@@ -1,0 +1,44 @@
+// Command bulkload-bench regenerates the paper's Figure 8: per-relation
+// bulk-load time of a bee-enabled database (SCL routine plus tuple-bee
+// creation, with the resulting storage reduction paying off in page-write
+// I/O) against the stock database (generic heap_fill_tuple). It also
+// prints the §VI-B instruction drill-down (heap_fill_tuple vs SCL).
+//
+// Usage:
+//
+//	bulkload-bench [-sf 0.01] [-smallrows 50000] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"microspec/internal/harness"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	smallRows := flag.Int("smallrows", 50000, "rows loaded into region and nation (the paper uses 1M)")
+	runs := flag.Int("runs", 3, "timed loads per relation (minimum reported)")
+	flag.Parse()
+
+	o := harness.DefaultBulkLoadOptions()
+	o.SF = *sf
+	o.SmallRelationRows = *smallRows
+	o.Runs = *runs
+	results, err := harness.RunBulkLoad(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bulkload-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(harness.FormatBulkLoad(results))
+	fmt.Println()
+	fmt.Println("§VI-B drill-down (orders): total instructions stock vs bee")
+	for _, r := range results {
+		if r.Relation == "orders" {
+			fmt.Printf("  total: %d vs %d (fill share: %d vs %d)\n",
+				r.StockTotalInstr, r.BeeTotalInstr, r.StockFillInstr, r.BeeFillInstr)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Command microspec is an interactive SQL shell over the bee-enabled
+// engine: it creates an in-memory database (optionally preloaded with
+// TPC-H data), reads semicolon-terminated statements from stdin, and
+// prints results. Meta commands: \bees (bee-module statistics), \cache
+// (bee cache contents), \source <relation> (the generated GCL template),
+// \stock (recreate the session without micro-specialization), \q.
+//
+// Usage:
+//
+//	microspec [-tpch 0.01] [-stock]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("tpch", 0, "preload TPC-H data at this scale factor (0 = empty database)")
+	stock := flag.Bool("stock", false, "disable all micro-specialization (stock engine)")
+	flag.Parse()
+
+	routines := core.AllRoutines
+	if *stock {
+		routines = core.Stock
+	}
+	db, err := buildDB(routines, *sf)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mode := "bee-enabled"
+	if *stock {
+		mode = "stock"
+	}
+	fmt.Printf("microspec (%s engine) — end statements with ';', \\q to quit\n", mode)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("microspec> ")
+		} else {
+			fmt.Print("       ... ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			run(db, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+func buildDB(routines core.RoutineSet, sf float64) (*engine.DB, error) {
+	db := engine.Open(engine.Config{Routines: routines})
+	if sf > 0 {
+		fmt.Printf("loading TPC-H at SF %g...\n", sf)
+		if err := tpch.CreateSchema(db); err != nil {
+			return nil, err
+		}
+		if _, err := tpch.Load(db, tpch.NewGenerator(sf), nil); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func run(db *engine.DB, stmt string) {
+	trimmed := strings.TrimSpace(stmt)
+	lower := strings.ToLower(trimmed)
+	start := time.Now()
+	if strings.HasPrefix(lower, "select") || strings.HasPrefix(lower, "with") {
+		res, err := db.Query(trimmed)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		printResult(res)
+		fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+		return
+	}
+	n, err := db.Exec(trimmed)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
+}
+
+func printResult(res *engine.Result) {
+	if len(res.Cols) == 0 {
+		return
+	}
+	names := make([]string, len(res.Cols))
+	for i, c := range res.Cols {
+		names[i] = c.Name
+	}
+	fmt.Println(strings.Join(names, " | "))
+	limit := len(res.Rows)
+	if limit > 50 {
+		limit = 50
+	}
+	for _, row := range res.Rows[:limit] {
+		parts := make([]string, len(row))
+		for i, d := range row {
+			parts[i] = d.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if limit < len(res.Rows) {
+		fmt.Printf("... (%d more rows)\n", len(res.Rows)-limit)
+	}
+}
+
+func meta(db *engine.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\bees":
+		st := db.Module().Stats()
+		fmt.Printf("relation bees: %d, tuple bees: %d, query bees: %d\n",
+			st.RelationBees, st.TupleBees, st.QueryBees)
+		fmt.Printf("calls: GCL=%d SCL=%d EVP=%d EVJ=%d EVA=%d\n", st.GCLCalls, st.SCLCalls, st.EVPCalls, st.EVJCalls, st.EVACalls)
+		fmt.Println(db.Module().Placement().Report())
+	case "\\cache":
+		for _, e := range db.Module().Cache().Entries() {
+			fmt.Printf("%-10s %-40s %5dB onDisk=%v\n", e.Kind, e.Name, e.Bytes, e.OnDisk)
+		}
+	case "\\explain":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\explain <select ...>")
+			break
+		}
+		out, err := db.ExplainQuery(strings.TrimPrefix(cmd, "\\explain "))
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		fmt.Print(out)
+	case "\\source":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\source <relation>")
+			break
+		}
+		rel, err := db.Catalog().Lookup(fields[1])
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		if rb := db.Module().RelationBeeFor(rel); rb != nil {
+			fmt.Print(rb.Source)
+		} else {
+			fmt.Println("no relation bee (stock engine)")
+		}
+	default:
+		fmt.Println("meta commands: \\bees \\cache \\source <rel> \\explain <select> \\q")
+	}
+	return true
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "microspec: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+// Command tpcc-bench regenerates the paper's §VI-C TPC-C throughput
+// comparison: the default (modification-heavy) mix, the query-only mix,
+// and the equal mix, each run as an identical seeded transaction stream
+// on a stock and a bee-enabled database.
+//
+// Usage:
+//
+//	tpcc-bench [-w 1] [-txns 4000] [-rounds 3] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"microspec/internal/harness"
+)
+
+func main() {
+	warehouses := flag.Int("w", 1, "warehouse count")
+	txns := flag.Int("txns", 4000, "transactions per timed round")
+	rounds := flag.Int("rounds", 3, "timed rounds (interleaved between engines)")
+	full := flag.Bool("full", false, "use the specification-sized population (default: laptop-scale)")
+	flag.Parse()
+
+	o := harness.DefaultTPCCOptions()
+	o.Warehouses = *warehouses
+	o.TxnsPerRound = *txns
+	o.Rounds = *rounds
+	o.Small = !*full
+	fmt.Printf("loading TPC-C (%d warehouse(s), small=%v) into stock and bee-enabled databases...\n",
+		o.Warehouses, o.Small)
+	res, err := harness.RunTPCC(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tpcc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(harness.FormatTPCC(res))
+}

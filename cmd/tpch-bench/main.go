@@ -1,0 +1,98 @@
+// Command tpch-bench regenerates the paper's TPC-H figures: per-query
+// run-time improvement with a warm cache (Figure 4) and a cold cache
+// (Figure 5), the reduction in instructions executed (Figure 6), the
+// bee-routine ablation (Figure 7), and the tuple-bee storage report (E9).
+//
+// Usage:
+//
+//	tpch-bench [-sf 0.01] [-runs 5] [-fig all|4|5|6|7|storage] [-q 1,6,9]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"microspec/internal/harness"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
+	runs := flag.Int("runs", 5, "timed runs per query (highest/lowest dropped)")
+	fig := flag.String("fig", "all", "which figure to regenerate: all, 4, 5, 6, 7, storage")
+	qlist := flag.String("q", "", "comma-separated query subset, e.g. 1,6,14")
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	o.SF = *sf
+	o.Runs = *runs
+	if *qlist != "" {
+		for _, part := range strings.Split(*qlist, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 || n > 22 {
+				fatalf("bad query number %q", part)
+			}
+			o.Queries = append(o.Queries, n)
+		}
+	}
+
+	fmt.Printf("loading TPC-H at SF %g into stock and bee-enabled databases...\n", o.SF)
+	stock, bee, err := harness.BuildTPCHPair(o)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("4") {
+		s, err := harness.RunTPCHRuntime(stock, bee, o, false)
+		if err != nil {
+			fatalf("figure 4: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(s.Format())
+	}
+	if want("5") {
+		s, err := harness.RunTPCHRuntime(stock, bee, o, true)
+		if err != nil {
+			fatalf("figure 5: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(s.Format())
+	}
+	if want("6") {
+		s, err := harness.RunTPCHInstructions(stock, bee, o)
+		if err != nil {
+			fatalf("figure 6: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(s.Format())
+	}
+	if want("7") {
+		series, err := harness.RunAblation(stock, bee, o)
+		if err != nil {
+			fatalf("figure 7: %v", err)
+		}
+		for _, s := range series {
+			fmt.Println()
+			fmt.Print(s.Format())
+		}
+	}
+	if want("storage") {
+		rows, err := harness.RunStorageReport(stock, bee)
+		if err != nil {
+			fatalf("storage: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(harness.FormatStorage(rows))
+		fmt.Println()
+		fmt.Println(bee.Module().Placement().Report())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tpch-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

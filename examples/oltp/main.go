@@ -1,0 +1,59 @@
+// OLTP: the paper's TPC-C evaluation in miniature. Build two identically
+// populated TPC-C databases — stock and bee-enabled — and run the same
+// seeded transaction stream on both, comparing throughput for the
+// paper's three mixes (§VI-C).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/tpcc"
+)
+
+func main() {
+	cfg := tpcc.SmallConfig(1)
+	fmt.Println("loading TPC-C (1 warehouse, laptop-scale) twice...")
+
+	mixes := []struct {
+		name string
+		mix  tpcc.Mix
+	}{
+		{"default (45% NewOrder, 43% Payment)", tpcc.DefaultMix},
+		{"query-only (OrderStatus + StockLevel)", tpcc.QueryOnlyMix},
+		{"equal modifications and queries", tpcc.EqualMix},
+	}
+
+	const txns = 3000
+	for _, m := range mixes {
+		var tpm [2]float64
+		for i, routines := range []core.RoutineSet{core.Stock, core.AllRoutines} {
+			db, err := tpcc.NewDatabase(engine.Config{Routines: routines}, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dr, err := tpcc.NewDriver(db, cfg, m.mix, 7, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st, err := dr.RunN(txns)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tpm[i] = st.TPM()
+			if i == 1 {
+				fmt.Printf("\n%s:\n", m.name)
+				fmt.Printf("  committed: %d (rolled back: %d)\n", st.Committed, st.RolledBack)
+				for t := tpcc.TxnNewOrder; t <= tpcc.TxnStockLevel; t++ {
+					if st.ByType[t] > 0 {
+						fmt.Printf("  %-12s %6d\n", t, st.ByType[t])
+					}
+				}
+			}
+		}
+		fmt.Printf("  throughput: stock %.0f tpm, bee %.0f tpm (%+.1f%%)\n",
+			tpm[0], tpm[1], 100*(tpm[1]-tpm[0])/tpm[0])
+	}
+}

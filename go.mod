@@ -1,0 +1,3 @@
+module microspec
+
+go 1.22

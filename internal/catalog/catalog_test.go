@@ -1,0 +1,177 @@
+package catalog
+
+import (
+	"testing"
+
+	"microspec/internal/types"
+)
+
+// ordersSchema mirrors TPC-H orders: the relation used throughout the
+// paper's case study (9 attributes, all NOT NULL, varlena in the middle).
+func ordersSchema() Schema {
+	return Schema{Attrs: []Attribute{
+		Col("o_orderkey", types.Int32, true),
+		Col("o_custkey", types.Int32, true),
+		LowCardCol("o_orderstatus", types.Char(1), true),
+		Col("o_totalprice", types.Float64, true),
+		Col("o_orderdate", types.Date, true),
+		LowCardCol("o_orderpriority", types.Char(15), true),
+		Col("o_clerk", types.Char(15), true),
+		Col("o_shippriority", types.Int32, true),
+		Col("o_comment", types.Varchar(79), true),
+	}}
+}
+
+func TestCreateRelationMetadata(t *testing.T) {
+	c := New()
+	rel, err := c.CreateRelation("orders", ordersSchema(), []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumAttrs() != 9 {
+		t.Fatalf("natts = %d, want 9", rel.NumAttrs())
+	}
+	if rel.HasNullable {
+		t.Error("orders has no nullable attributes")
+	}
+	// attlen / attalign derived from types.
+	if a := rel.Attrs[0]; a.Len != 4 || a.Align != 4 {
+		t.Errorf("o_orderkey len/align = %d/%d", a.Len, a.Align)
+	}
+	if a := rel.Attrs[8]; a.Len != -1 || a.Align != 4 {
+		t.Errorf("o_comment len/align = %d/%d", a.Len, a.Align)
+	}
+	// attcacheoff: constant offsets through the fixed prefix.
+	wantOffsets := []int{0, 4, 8, 16, 24, 28, 43, 60, 64}
+	for i, want := range wantOffsets {
+		if got := rel.Attrs[i].CacheOff; got != want {
+			t.Errorf("attr %d (%s) CacheOff = %d, want %d", i, rel.Attrs[i].Name, got, want)
+		}
+	}
+}
+
+func TestCacheOffStopsAfterVarlena(t *testing.T) {
+	c := New()
+	rel, err := c.CreateRelation("t", Schema{Attrs: []Attribute{
+		Col("a", types.Int32, true),
+		Col("b", types.Varchar(10), true),
+		Col("c", types.Int32, true),
+	}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Attrs[0].CacheOff != 0 || rel.Attrs[1].CacheOff != 4 {
+		t.Errorf("prefix offsets: %d %d", rel.Attrs[0].CacheOff, rel.Attrs[1].CacheOff)
+	}
+	if rel.Attrs[2].CacheOff != -1 {
+		t.Errorf("attr after varlena must have CacheOff -1, got %d", rel.Attrs[2].CacheOff)
+	}
+}
+
+func TestCacheOffStopsAfterNullable(t *testing.T) {
+	c := New()
+	rel, err := c.CreateRelation("t", Schema{Attrs: []Attribute{
+		Col("a", types.Int32, true),
+		Col("b", types.Int32, false), // nullable
+		Col("c", types.Int32, true),
+	}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.HasNullable {
+		t.Error("HasNullable must be set")
+	}
+	if rel.Attrs[1].CacheOff != 4 {
+		t.Errorf("nullable attr itself still has constant offset: %d", rel.Attrs[1].CacheOff)
+	}
+	if rel.Attrs[2].CacheOff != -1 {
+		t.Errorf("attr after nullable must have CacheOff -1, got %d", rel.Attrs[2].CacheOff)
+	}
+}
+
+func TestSpecializedAttrsSkipStorage(t *testing.T) {
+	c := New()
+	spec := &SpecInfo{Specialized: []bool{false, false, true, false, false, true, false, true, false}, NumSpecialized: 3}
+	rel, err := c.CreateRelation("orders", ordersSchema(), []int{0}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.IsSpecialized(2) || rel.IsSpecialized(3) {
+		t.Error("IsSpecialized mask wrong")
+	}
+	// o_orderstatus (attr 2, char(1)) is specialized away, so o_totalprice
+	// starts right after the two int4s, aligned to 8.
+	if got := rel.Attrs[3].CacheOff; got != 8 {
+		t.Errorf("o_totalprice CacheOff = %d, want 8", got)
+	}
+	// Specialized attrs have no storage offset.
+	if rel.Attrs[2].CacheOff != -1 {
+		t.Errorf("specialized attr CacheOff = %d, want -1", rel.Attrs[2].CacheOff)
+	}
+	// o_clerk: after o_orderdate (ends 16+8=24... recompute: ok=0..4,ck=4..8,
+	// tp=8..16, od=16..20, priority specialized, clerk at 20.
+	if got := rel.Attrs[6].CacheOff; got != 20 {
+		t.Errorf("o_clerk CacheOff = %d, want 20", got)
+	}
+}
+
+func TestCatalogLifecycle(t *testing.T) {
+	c := New()
+	if _, err := c.CreateRelation("r", ordersSchema(), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateRelation("r", ordersSchema(), nil, nil); err == nil {
+		t.Error("duplicate create must fail")
+	}
+	rel, err := c.Lookup("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.LookupID(rel.ID); got != rel {
+		t.Error("LookupID mismatch")
+	}
+	if n := len(c.Relations()); n != 1 {
+		t.Errorf("Relations len = %d", n)
+	}
+	if c.Lookups() == 0 {
+		t.Error("lookup counter must advance")
+	}
+	if _, err := c.DropRelation("r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Lookup("r"); err == nil {
+		t.Error("lookup after drop must fail")
+	}
+	if _, err := c.DropRelation("r"); err == nil {
+		t.Error("double drop must fail")
+	}
+}
+
+func TestCreateRelationValidation(t *testing.T) {
+	c := New()
+	if _, err := c.CreateRelation("e", Schema{}, nil, nil); err == nil {
+		t.Error("empty schema must fail")
+	}
+	if _, err := c.CreateRelation("d", Schema{Attrs: []Attribute{
+		Col("x", types.Int32, true), Col("x", types.Int32, true),
+	}}, nil, nil); err == nil {
+		t.Error("duplicate attribute must fail")
+	}
+	if _, err := c.CreateRelation("m", ordersSchema(), nil, &SpecInfo{Specialized: []bool{true}}); err == nil {
+		t.Error("mismatched spec mask must fail")
+	}
+	if _, err := c.CreateRelation("n", Schema{Attrs: []Attribute{Col("", types.Int32, true)}}, nil, nil); err == nil {
+		t.Error("empty attribute name must fail")
+	}
+}
+
+func TestAttrIndex(t *testing.T) {
+	c := New()
+	rel, _ := c.CreateRelation("orders", ordersSchema(), nil, nil)
+	if i := rel.AttrIndex("o_orderdate"); i != 4 {
+		t.Errorf("AttrIndex(o_orderdate) = %d", i)
+	}
+	if i := rel.AttrIndex("nope"); i != -1 {
+		t.Errorf("AttrIndex(nope) = %d", i)
+	}
+}

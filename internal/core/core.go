@@ -1,0 +1,442 @@
+// Package core implements the paper's contribution: the Generic Bee
+// Module. It creates and manages bees — specialized code fragments
+// obtained by dynamic specialization on variables that are invariant
+// across the query-evaluation loop — and exposes the API the DBMS calls
+// instead of its generic routines.
+//
+// The taxonomy (paper §III) maps onto this package as follows:
+//
+//   - Relation bees (created at schema-definition time) carry the GCL
+//     ("GetColumnsToLongs", the specialized slot_deform_tuple) and SCL
+//     ("SetColumnsFromLongs", the specialized heap_fill_tuple) routines,
+//     specialized on attribute count, lengths, alignments, offsets, and
+//     nullability. See relbee.go.
+//
+//   - Tuple bees (created during insert/update) dictionary-encode
+//     annotated low-cardinality attribute values into per-relation data
+//     sections; stored tuples carry a beeID and omit those values. See
+//     tuplebee.go.
+//
+//   - Query bees (created at plan time) carry the EVP (specialized
+//     predicate evaluation) and EVJ (specialized join qualification)
+//     routines, with operators, attribute ordinals and constants inserted
+//     into pre-compiled routine variants. See querybee.go.
+//
+// Bee creation never invokes a compiler in the query path: every routine
+// is assembled from pre-compiled typed snippets (package-level closures)
+// parameterized with the specializing values — the Go analogue of the
+// paper's pre-compiled ELF templates with constants patched into the
+// object code. The bee cache, placement optimizer, and collector live in
+// cache.go.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"microspec/internal/catalog"
+	"microspec/internal/expr"
+	"microspec/internal/profile"
+	"microspec/internal/storage/tuple"
+	"microspec/internal/types"
+)
+
+// RoutineSet selects which bee routines the module applies, mirroring the
+// paper's Figure 7 ablation (GCL / GCL+EVP / GCL+EVP+EVJ). SCL rides with
+// GCL on the modification path. TupleBees additionally enables
+// attribute-value specialization; it changes the stored tuple format of
+// annotated relations, so it must be chosen before data is loaded.
+type RoutineSet struct {
+	GCL       bool
+	SCL       bool
+	EVP       bool
+	EVJ       bool
+	TupleBees bool
+
+	// EVA and IDX are the extensions the paper's §VIII names as future
+	// work: micro-specialized aggregation (compiled aggregate-input
+	// evaluation, see CompileScalar) and micro-specialized index-key
+	// comparison (see CompileIndexCmp).
+	EVA bool
+	IDX bool
+}
+
+// AllRoutines enables every micro-specialization, including the paper's
+// future-work extensions (EVA, IDX).
+var AllRoutines = RoutineSet{GCL: true, SCL: true, EVP: true, EVJ: true, TupleBees: true, EVA: true, IDX: true}
+
+// Stock disables every micro-specialization (the stock DBMS).
+var Stock = RoutineSet{}
+
+// Stats counts bee-module activity.
+type Stats struct {
+	RelationBees int
+	TupleBees    int
+	QueryBees    int
+	GCLCalls     int64
+	SCLCalls     int64
+	EVPCalls     int64
+	EVJCalls     int64
+	EVACalls     int64
+}
+
+// callCounters holds the per-tuple invocation counts updated on hot
+// paths; they are atomics so the per-tuple routines never take the
+// module lock.
+type callCounters struct {
+	gcl, scl, evp, evj, eva atomic.Int64
+}
+
+// Module is the Generic Bee Module: one per database.
+type Module struct {
+	mu       sync.RWMutex
+	routines RoutineSet
+	relBees  map[catalog.RelID]*RelationBee
+	cache    *BeeCache
+	place    *Placement
+	stats    Stats
+	calls    callCounters
+}
+
+// NewModule returns a bee module with the given routine set.
+func NewModule(rs RoutineSet) *Module {
+	return &Module{
+		routines: rs,
+		relBees:  make(map[catalog.RelID]*RelationBee),
+		cache:    newBeeCache(),
+		place:    newPlacement(),
+	}
+}
+
+// Routines returns the active routine set.
+func (m *Module) Routines() RoutineSet {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.routines
+}
+
+// SetRoutines reconfigures which routines are invoked. Disabling
+// TupleBees after relations were created with specialized storage is
+// rejected: the stored format depends on it.
+func (m *Module) SetRoutines(rs RoutineSet) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !rs.TupleBees && m.routines.TupleBees {
+		for _, rb := range m.relBees {
+			if rb.DataSections != nil {
+				return fmt.Errorf("core: cannot disable tuple bees: relation %s has specialized storage", rb.Rel.Name)
+			}
+		}
+	}
+	if !rs.GCL {
+		for _, rb := range m.relBees {
+			if rb.DataSections != nil {
+				return fmt.Errorf("core: cannot disable GCL: relation %s has specialized storage that only GCL can deform", rb.Rel.Name)
+			}
+		}
+	}
+	m.routines = rs
+	return nil
+}
+
+// SpecMaskFor computes the tuple-bee storage mask for a schema: with
+// TupleBees enabled, every annotated low-cardinality attribute is
+// specialized out of the stored tuple. The engine passes the result to
+// catalog.CreateRelation. A nil return means stock storage.
+func (m *Module) SpecMaskFor(schema catalog.Schema) *catalog.SpecInfo {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if !m.routines.TupleBees {
+		return nil
+	}
+	mask := make([]bool, len(schema.Attrs))
+	n := 0
+	for i, a := range schema.Attrs {
+		if a.LowCard && a.NotNull {
+			mask[i] = true
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	return &catalog.SpecInfo{Specialized: mask, NumSpecialized: n}
+}
+
+// OnCreateRelation is called by the DDL path after the relation is
+// cataloged ("Relation bees are created at relation schema definition
+// time"). It builds the relation bee (GCL and SCL routines) and, if the
+// relation has specialized storage, its data sections.
+func (m *Module) OnCreateRelation(rel *catalog.Relation) *RelationBee {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rb := makeRelationBee(rel)
+	m.relBees[rel.ID] = rb
+	m.stats.RelationBees++
+	m.cache.put(beeKey{kind: "relation", name: rel.Name}, rb.Source)
+	m.place.assign(rb.Source)
+	return rb
+}
+
+// OnDropRelation garbage-collects the relation's bees (the Bee Collector:
+// "garbage collects dead bees, e.g., those not used anymore due to
+// relation deletion").
+func (m *Module) OnDropRelation(rel *catalog.Relation) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.relBees[rel.ID]; ok {
+		delete(m.relBees, rel.ID)
+		m.cache.drop(beeKey{kind: "relation", name: rel.Name})
+	}
+}
+
+// OnSchemaChange rebuilds a relation bee after the relation's schema
+// metadata changed (the Bee Reconstruction component).
+func (m *Module) OnSchemaChange(rel *catalog.Relation) *RelationBee {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.relBees[rel.ID]
+	rb := makeRelationBee(rel)
+	if old != nil {
+		rb.DataSections = old.DataSections // data sections survive metadata-only changes
+	}
+	m.relBees[rel.ID] = rb
+	m.cache.put(beeKey{kind: "relation", name: rel.Name}, rb.Source)
+	return rb
+}
+
+// RelationBeeFor returns the relation bee, or nil if none exists.
+func (m *Module) RelationBeeFor(rel *catalog.Relation) *RelationBee {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.relBees[rel.ID]
+}
+
+// DeformFunc extracts the first natts attributes of a stored tuple into
+// values — the signature shared by the generic slot_deform_tuple wrapper
+// and the GCL bee routine.
+type DeformFunc func(tup []byte, values []types.Datum, natts int, prof *profile.Counters)
+
+// Deformer returns the deform routine the executor should use for rel:
+// the GCL bee when enabled (the Bee Caller path), otherwise the generic
+// interpreted loop. Relations with specialized storage require GCL.
+func (m *Module) Deformer(rel *catalog.Relation) (DeformFunc, error) {
+	m.mu.RLock()
+	rb := m.relBees[rel.ID]
+	useGCL := m.routines.GCL
+	m.mu.RUnlock()
+	if useGCL && rb != nil {
+		return rb.GCL, nil
+	}
+	if rel.Spec != nil {
+		return nil, fmt.Errorf("core: relation %s has specialized storage but GCL is disabled", rel.Name)
+	}
+	return func(tup []byte, values []types.Datum, natts int, prof *profile.Counters) {
+		tuple.SlotDeform(rel, tup, values, natts, prof)
+	}, nil
+}
+
+// FormFunc forms the stored bytes of a tuple from its values.
+type FormFunc func(values []types.Datum, prof *profile.Counters) ([]byte, error)
+
+// Former returns the fill routine for rel: tuple-bee resolution plus the
+// SCL bee when enabled, the generic heap_fill_tuple otherwise. The engine
+// caches the returned closure so the per-tuple path never takes the
+// module lock.
+func (m *Module) Former(rel *catalog.Relation) FormFunc {
+	m.mu.RLock()
+	rb := m.relBees[rel.ID]
+	useSCL := m.routines.SCL
+	m.mu.RUnlock()
+
+	natts := len(rel.Attrs)
+	var ds *DataSections
+	if rb != nil {
+		ds = rb.DataSections
+	}
+	if useSCL && rb != nil {
+		scl := rb.SCL
+		counter := &m.calls.scl
+		return func(values []types.Datum, prof *profile.Counters) ([]byte, error) {
+			if len(values) != natts {
+				return nil, fmt.Errorf("relation %s: %d values for %d attributes", rel.Name, len(values), natts)
+			}
+			var beeID uint16
+			if ds != nil {
+				var err error
+				beeID, err = ds.ResolveBee(values, prof)
+				if err != nil {
+					return nil, err
+				}
+			}
+			counter.Add(1)
+			return scl(values, beeID, prof)
+		}
+	}
+	return func(values []types.Datum, prof *profile.Counters) ([]byte, error) {
+		if len(values) != natts {
+			return nil, fmt.Errorf("relation %s: %d values for %d attributes", rel.Name, len(values), natts)
+		}
+		var beeID uint16
+		if ds != nil {
+			var err error
+			beeID, err = ds.ResolveBee(values, prof)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return tuple.Form(rel, values, beeID, prof)
+	}
+}
+
+// FormTuple forms the stored bytes for values — the uncached convenience
+// entry point (the engine caches Former closures for hot paths).
+func (m *Module) FormTuple(rel *catalog.Relation, values []types.Datum, prof *profile.Counters) ([]byte, error) {
+	return m.Former(rel)(values, prof)
+}
+
+// CompiledPred is an EVP bee routine: a specialized predicate evaluator.
+type CompiledPred func(row expr.Row, ctx *expr.Ctx) types.Datum
+
+// CompilePredicate attempts to create an EVP query bee for e. It returns
+// (nil, false) when EVP is disabled or the expression contains shapes the
+// snippet library does not cover (e.g. subqueries), in which case the
+// executor keeps the generic interpreted evaluator — exactly the paper's
+// fallback behaviour.
+func (m *Module) CompilePredicate(e expr.Expr) (CompiledPred, bool) {
+	m.mu.RLock()
+	enabled := m.routines.EVP
+	m.mu.RUnlock()
+	if !enabled {
+		return nil, false
+	}
+	p, cost := compilePred(e)
+	if p == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	m.stats.QueryBees++
+	m.mu.Unlock()
+	m.cache.put(beeKey{kind: "query/EVP", name: e.String()}, "EVP "+e.String())
+	wrapped := func(row expr.Row, ctx *expr.Ctx) types.Datum {
+		ctx.Prof.Add(profile.CompExpr, cost)
+		return p(row)
+	}
+	return wrapped, true
+}
+
+// CompileScalar attempts to create an EVA query bee: a specialized
+// evaluator for an aggregate's input expression, with the same snippet
+// coverage as EVP (the paper's §VIII names aggregation as the next
+// micro-specialization target; the per-tuple hot path of aggregation is
+// evaluating the transition input).
+func (m *Module) CompileScalar(e expr.Expr) (CompiledPred, bool) {
+	m.mu.RLock()
+	enabled := m.routines.EVA
+	m.mu.RUnlock()
+	if !enabled || e == nil {
+		return nil, false
+	}
+	p, cost := compilePred(e)
+	if p == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	m.stats.QueryBees++
+	m.mu.Unlock()
+	m.cache.put(beeKey{kind: "query/EVA", name: e.String()}, "EVA "+e.String())
+	wrapped := func(row expr.Row, ctx *expr.Ctx) types.Datum {
+		ctx.Prof.Add(profile.CompExpr, cost)
+		return p(row)
+	}
+	return wrapped, true
+}
+
+// CompileIndexCmp attempts to create an IDX bee: a key comparator with
+// the per-position kinds baked in, replacing the generic per-datum kind
+// dispatch in B+tree descents (the index analogue of the paper's §VIII
+// indexing target). The returned comparator handles prefix keys like
+// btree.Compare.
+func (m *Module) CompileIndexCmp(keyTypes []types.T) (func(a, b []types.Datum) int, bool) {
+	m.mu.RLock()
+	enabled := m.routines.IDX
+	m.mu.RUnlock()
+	if !enabled || len(keyTypes) == 0 {
+		return nil, false
+	}
+	cmp := compileIndexCmp(keyTypes)
+	m.mu.Lock()
+	m.stats.QueryBees++
+	m.mu.Unlock()
+	m.cache.put(beeKey{kind: "index/IDX", name: fmt.Sprintf("cmp%d", len(keyTypes))}, "IDX")
+	return cmp, true
+}
+
+// JoinKeyFuncs is an EVJ bee routine for hash joins: specialized hash and
+// equality over baked key ordinals and types.
+type JoinKeyFuncs struct {
+	// HashOuter hashes the outer row's key columns.
+	HashOuter func(row expr.Row) uint64
+	// HashInner hashes the inner row's key columns.
+	HashInner func(row expr.Row) uint64
+	// Match reports whether outer and inner rows join.
+	Match func(outer, inner expr.Row) bool
+	// Cost is the abstract instruction cost of one Match invocation.
+	Cost int64
+}
+
+// CompileJoinKeys attempts to create an EVJ query bee for an equi-join on
+// the given key ordinals. Returns (nil, false) when EVJ is disabled.
+func (m *Module) CompileJoinKeys(outerIdx, innerIdx []int, keyTypes []types.T) (*JoinKeyFuncs, bool) {
+	m.mu.RLock()
+	enabled := m.routines.EVJ
+	m.mu.RUnlock()
+	if !enabled || len(outerIdx) == 0 {
+		return nil, false
+	}
+	jk := compileJoinKeys(outerIdx, innerIdx, keyTypes)
+	m.mu.Lock()
+	m.stats.QueryBees++
+	m.mu.Unlock()
+	m.cache.put(beeKey{kind: "query/EVJ", name: fmt.Sprintf("keys%v", outerIdx)}, "EVJ")
+	return jk, true
+}
+
+// NoteGCLCall lets the executor report bee invocations for the module's
+// statistics without taking its lock on the per-tuple path.
+func (m *Module) NoteGCLCall(n int64) { m.calls.gcl.Add(n) }
+
+// NoteEVPCall reports n EVP invocations.
+func (m *Module) NoteEVPCall(n int64) { m.calls.evp.Add(n) }
+
+// NoteEVJCall reports n EVJ invocations.
+func (m *Module) NoteEVJCall(n int64) { m.calls.evj.Add(n) }
+
+// NoteEVACall reports n EVA invocations.
+func (m *Module) NoteEVACall(n int64) { m.calls.eva.Add(n) }
+
+// Stats returns a snapshot of bee-module statistics.
+func (m *Module) Stats() Stats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	s := m.stats
+	s.GCLCalls = m.calls.gcl.Load()
+	s.SCLCalls = m.calls.scl.Load()
+	s.EVPCalls = m.calls.evp.Load()
+	s.EVJCalls = m.calls.evj.Load()
+	s.EVACalls = m.calls.eva.Load()
+	s.TupleBees = 0
+	for _, rb := range m.relBees {
+		if rb.DataSections != nil {
+			s.TupleBees += rb.DataSections.NumBees()
+		}
+	}
+	return s
+}
+
+// Cache exposes the bee cache for inspection and persistence.
+func (m *Module) Cache() *BeeCache { return m.cache }
+
+// Placement exposes the bee placement optimizer's report.
+func (m *Module) Placement() *Placement { return m.place }

@@ -1,0 +1,450 @@
+package engine
+
+import (
+	"fmt"
+
+	"microspec/internal/catalog"
+
+	"microspec/internal/exec"
+	"microspec/internal/expr"
+	"microspec/internal/profile"
+	"microspec/internal/sql"
+	"microspec/internal/storage/heap"
+	"microspec/internal/types"
+)
+
+// This file implements the DML paths. Inserts run through the bee
+// module's FormTuple — the SCL bee routine plus tuple-bee resolution when
+// enabled, the generic heap_fill_tuple otherwise — which is exactly the
+// code path the paper's bulk-loading experiment (Figure 8) measures.
+
+// insertRowLocked forms and stores one tuple and maintains indexes.
+// Caller holds db.mu. The returned undo reverses heap and index effects.
+func (db *DB) insertRowLocked(rel relHandle, values []types.Datum, prof *profile.Counters) (heap.TID, func() error, error) {
+	acc, err := db.accessFor(rel.rel)
+	if err != nil {
+		return heap.TID{}, nil, err
+	}
+	tup, err := acc.form(values, prof)
+	if err != nil {
+		return heap.TID{}, nil, err
+	}
+	tid, err := rel.heap.Insert(tup, prof)
+	if err != nil {
+		return heap.TID{}, nil, err
+	}
+	var insertedKeys []struct {
+		ix  *Index
+		key []types.Datum
+	}
+	for _, ix := range db.byRel[rel.rel.ID] {
+		key := indexKey(values, ix.Cols)
+		// Own the key datums: values may alias caller buffers.
+		for i := range key {
+			key[i] = exec.CloneDatum(key[i])
+		}
+		if err := ix.Tree.Insert(key, tid, prof); err != nil {
+			// Roll back what we did so far.
+			for _, done := range insertedKeys {
+				done.ix.Tree.Delete(done.key, tid, nil)
+			}
+			if undoDel, derr := rel.heap.Delete(tid, nil); derr == nil {
+				_ = undoDel
+			}
+			return heap.TID{}, nil, err
+		}
+		insertedKeys = append(insertedKeys, struct {
+			ix  *Index
+			key []types.Datum
+		}{ix, key})
+	}
+	undo := func() error {
+		for _, done := range insertedKeys {
+			done.ix.Tree.Delete(done.key, tid, nil)
+		}
+		_, err := rel.heap.Delete(tid, nil)
+		return err
+	}
+	return tid, undo, nil
+}
+
+// relHandle pairs a relation with its heap.
+type relHandle struct {
+	rel  *catalog.Relation
+	heap *heap.Heap
+}
+
+func (db *DB) handleFor(name string) (relHandle, error) {
+	rel, err := db.cat.Lookup(name)
+	if err != nil {
+		return relHandle{}, err
+	}
+	h, ok := db.heaps[rel.ID]
+	if !ok {
+		return relHandle{}, fmt.Errorf("engine: relation %s has no heap", name)
+	}
+	return relHandle{rel: rel, heap: h}, nil
+}
+
+// execInsert handles INSERT INTO ... VALUES.
+func (db *DB) execInsert(s *sql.Insert, prof *profile.Counters, txn *Txn) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rel, err := db.handleFor(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	colIdx, err := insertColumnMap(rel.rel, s.Cols)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, rowExprs := range s.Rows {
+		if len(rowExprs) != len(colIdx) {
+			return n, fmt.Errorf("engine: INSERT has %d values for %d columns", len(rowExprs), len(colIdx))
+		}
+		values := make([]types.Datum, len(rel.rel.Attrs))
+		for i := range values {
+			values[i] = types.Null
+		}
+		for i, e := range rowExprs {
+			d, err := evalConstAST(e)
+			if err != nil {
+				return n, err
+			}
+			values[colIdx[i]] = d
+		}
+		_, undo, err := db.insertRowLocked(rel, values, prof)
+		if err != nil {
+			return n, err
+		}
+		if txn != nil {
+			txn.undo = append(txn.undo, undo)
+		}
+		n++
+	}
+	return n, nil
+}
+
+func insertColumnMap(rel *catalog.Relation, cols []string) ([]int, error) {
+	if len(cols) == 0 {
+		idx := make([]int, len(rel.Attrs))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, nil
+	}
+	idx := make([]int, len(cols))
+	for i, name := range cols {
+		j := rel.AttrIndex(name)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: column %q not in %s", name, rel.Name)
+		}
+		idx[i] = j
+	}
+	return idx, nil
+}
+
+// evalConstAST evaluates a constant-only AST expression (INSERT values).
+func evalConstAST(e sql.Expr) (types.Datum, error) {
+	switch n := e.(type) {
+	case *sql.NumLit:
+		c, err := parseNum(n)
+		return c, err
+	case *sql.StrLit:
+		return types.NewString(n.Val), nil
+	case *sql.NullLit:
+		return types.Null, nil
+	case *sql.BoolLit:
+		return types.NewBool(n.Val), nil
+	case *sql.DateLit:
+		d, err := types.ParseDate(n.Val)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewDate(d), nil
+	case *sql.UnOp:
+		if n.Op == "-" {
+			d, err := evalConstAST(n.Kid)
+			if err != nil {
+				return types.Null, err
+			}
+			if d.Kind() == types.KindFloat64 {
+				return types.NewFloat64(-d.Float64()), nil
+			}
+			return types.NewInt64(-d.Int64()), nil
+		}
+	case *sql.BinOp:
+		l, err := evalConstAST(n.L)
+		if err != nil {
+			return types.Null, err
+		}
+		r, err := evalConstAST(n.R)
+		if err != nil {
+			return types.Null, err
+		}
+		switch n.Op {
+		case "+":
+			return expr.ApplyArith(expr.Add, l, r), nil
+		case "-":
+			return expr.ApplyArith(expr.Sub, l, r), nil
+		case "*":
+			return expr.ApplyArith(expr.Mul, l, r), nil
+		case "/":
+			return expr.ApplyArith(expr.Div, l, r), nil
+		}
+	}
+	return types.Null, fmt.Errorf("engine: INSERT values must be constants")
+}
+
+func parseNum(n *sql.NumLit) (types.Datum, error) {
+	if n.IsFloat {
+		var f float64
+		if _, err := fmt.Sscanf(n.Text, "%g", &f); err != nil {
+			return types.Null, fmt.Errorf("engine: bad number %q", n.Text)
+		}
+		return types.NewFloat64(f), nil
+	}
+	var v int64
+	if _, err := fmt.Sscanf(n.Text, "%d", &v); err != nil {
+		return types.Null, fmt.Errorf("engine: bad number %q", n.Text)
+	}
+	return types.NewInt64(v), nil
+}
+
+// execUpdate handles UPDATE ... SET ... WHERE by scanning the relation.
+func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, txn *Txn) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rel, err := db.handleFor(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	where, setExprs, setCols, err := db.compileUpdate(rel.rel, s)
+	if err != nil {
+		return 0, err
+	}
+	acc, err := db.accessFor(rel.rel)
+	if err != nil {
+		return 0, err
+	}
+	deform := acc.deform
+
+	// Two phases: collect matching TIDs and new value rows, then apply
+	// (updating during the scan would revisit moved tuples).
+	type pending struct {
+		tid    heap.TID
+		oldVal []types.Datum
+		newVal []types.Datum
+	}
+	var todo []pending
+	ctx := &exec.Ctx{Expr: expr.Ctx{Prof: prof}}
+	values := make([]types.Datum, len(rel.rel.Attrs))
+	sc := rel.heap.Scan(prof)
+	for {
+		tid, tup, ok := sc.Next()
+		if !ok {
+			break
+		}
+		deform(tup, values, len(values), prof)
+		if where != nil {
+			v := where.Eval(values, &ctx.Expr)
+			if v.IsNull() || !v.Bool() {
+				continue
+			}
+		}
+		old := exec.CloneRow(values)
+		newVal := exec.CloneRow(values)
+		for i, e := range setExprs {
+			newVal[setCols[i]] = exec.CloneDatum(e.Eval(old, &ctx.Expr))
+		}
+		todo = append(todo, pending{tid: tid, oldVal: old, newVal: newVal})
+	}
+	sc.Close()
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+
+	for _, pd := range todo {
+		undo, err := db.applyUpdateLocked(rel, pd.tid, pd.oldVal, pd.newVal, prof)
+		if err != nil {
+			return 0, err
+		}
+		if txn != nil {
+			txn.undo = append(txn.undo, undo)
+		}
+	}
+	return int64(len(todo)), nil
+}
+
+func (db *DB) compileUpdate(rel *catalog.Relation, s *sql.Update) (expr.Expr, []expr.Expr, []int, error) {
+	conv := db.astConverterFor(rel)
+	var where expr.Expr
+	var err error
+	if s.Where != nil {
+		where, err = conv(s.Where)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	var setExprs []expr.Expr
+	var setCols []int
+	for _, sc := range s.Set {
+		i := rel.AttrIndex(sc.Col)
+		if i < 0 {
+			return nil, nil, nil, fmt.Errorf("engine: column %q not in %s", sc.Col, rel.Name)
+		}
+		e, err := conv(sc.Expr)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		setCols = append(setCols, i)
+		setExprs = append(setExprs, e)
+	}
+	return where, setExprs, setCols, nil
+}
+
+// applyUpdateLocked rewrites one tuple and fixes indexes; the undo
+// restores the previous state.
+func (db *DB) applyUpdateLocked(rel relHandle, tid heap.TID, oldVal, newVal []types.Datum, prof *profile.Counters) (func() error, error) {
+	acc, err := db.accessFor(rel.rel)
+	if err != nil {
+		return nil, err
+	}
+	tup, err := acc.form(newVal, prof)
+	if err != nil {
+		return nil, err
+	}
+	newTID, undoHeap, err := rel.heap.Update(tid, tup, prof)
+	if err != nil {
+		return nil, err
+	}
+	// Index maintenance: remove old keys, add new ones (also when only
+	// the TID moved).
+	var undoIdx []func()
+	for _, ix := range db.byRel[rel.rel.ID] {
+		oldKey := indexKey(oldVal, ix.Cols)
+		newKey := indexKey(newVal, ix.Cols)
+		keyChanged := btreeCompare(oldKey, newKey) != 0
+		if !keyChanged && newTID == tid {
+			continue
+		}
+		ix.Tree.Delete(oldKey, tid, prof)
+		if err := ix.Tree.Insert(newKey, newTID, prof); err != nil {
+			return nil, err
+		}
+		ixc, ok, ot, nt := ix, keyChanged, tid, newTID
+		_ = ok
+		undoIdx = append(undoIdx, func() {
+			ixc.Tree.Delete(newKey, nt, nil)
+			_ = ixc.Tree.Insert(oldKey, ot, nil)
+		})
+	}
+	undo := func() error {
+		for _, u := range undoIdx {
+			u()
+		}
+		return undoHeap()
+	}
+	return undo, nil
+}
+
+func btreeCompare(a, b []types.Datum) int {
+	for i := range a {
+		if c := a[i].Compare(b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// execDelete handles DELETE FROM ... WHERE by scanning the relation.
+func (db *DB) execDelete(s *sql.Delete, prof *profile.Counters, txn *Txn) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rel, err := db.handleFor(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	conv := db.astConverterFor(rel.rel)
+	var where expr.Expr
+	if s.Where != nil {
+		where, err = conv(s.Where)
+		if err != nil {
+			return 0, err
+		}
+	}
+	acc, err := db.accessFor(rel.rel)
+	if err != nil {
+		return 0, err
+	}
+	deform := acc.deform
+	type victim struct {
+		tid heap.TID
+		val []types.Datum
+	}
+	var victims []victim
+	ctx := &expr.Ctx{Prof: prof}
+	values := make([]types.Datum, len(rel.rel.Attrs))
+	sc := rel.heap.Scan(prof)
+	for {
+		tid, tup, ok := sc.Next()
+		if !ok {
+			break
+		}
+		deform(tup, values, len(values), prof)
+		if where != nil {
+			v := where.Eval(values, ctx)
+			if v.IsNull() || !v.Bool() {
+				continue
+			}
+		}
+		victims = append(victims, victim{tid: tid, val: exec.CloneRow(values)})
+	}
+	sc.Close()
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	for _, v := range victims {
+		undo, err := db.deleteRowLocked(rel, v.tid, v.val, prof)
+		if err != nil {
+			return 0, err
+		}
+		if txn != nil {
+			txn.undo = append(txn.undo, undo)
+		}
+	}
+	return int64(len(victims)), nil
+}
+
+func (db *DB) deleteRowLocked(rel relHandle, tid heap.TID, values []types.Datum, prof *profile.Counters) (func() error, error) {
+	undoHeap, err := rel.heap.Delete(tid, prof)
+	if err != nil {
+		return nil, err
+	}
+	for _, ix := range db.byRel[rel.rel.ID] {
+		ix.Tree.Delete(indexKey(values, ix.Cols), tid, prof)
+	}
+	idxs := db.byRel[rel.rel.ID]
+	undo := func() error {
+		if err := undoHeap(); err != nil {
+			return err
+		}
+		for _, ix := range idxs {
+			if err := ix.Tree.Insert(indexKey(values, ix.Cols), tid, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return undo, nil
+}
+
+// astConverterFor builds a converter that resolves identifiers against a
+// single relation's attributes (for UPDATE/DELETE WHERE clauses).
+func (db *DB) astConverterFor(rel *catalog.Relation) func(sql.Expr) (expr.Expr, error) {
+	return func(e sql.Expr) (expr.Expr, error) {
+		planned, err := db.planner.ConvertForRelation(e, rel)
+		return planned, err
+	}
+}

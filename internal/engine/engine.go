@@ -1,0 +1,444 @@
+// Package engine is the database facade: it wires the catalog, storage,
+// bee module, planner, and executor into a usable DBMS with DDL, DML,
+// queries, secondary indexes, and transaction rollback. One DB is one
+// database instance; the paper's experiments run two instances side by
+// side — a stock one (core.Stock) and a bee-enabled one
+// (core.AllRoutines) — over identical data.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"microspec/internal/catalog"
+	"microspec/internal/core"
+	"microspec/internal/exec"
+	"microspec/internal/expr"
+	"microspec/internal/index/btree"
+	"microspec/internal/plan"
+	"microspec/internal/profile"
+	"microspec/internal/sql"
+	"microspec/internal/storage/buffer"
+	"microspec/internal/storage/disk"
+	"microspec/internal/storage/heap"
+	"microspec/internal/types"
+)
+
+// Config controls a database instance.
+type Config struct {
+	// Routines selects the micro-specializations (core.Stock for the
+	// stock DBMS, core.AllRoutines for the fully bee-enabled one).
+	Routines core.RoutineSet
+	// PoolPages is the buffer-pool capacity in pages (default 32768,
+	// 256 MiB — enough to hold the benchmark datasets warm).
+	PoolPages int
+	// Latency is the simulated disk latency model (zero = warm-only).
+	Latency disk.LatencyModel
+}
+
+// DB is one database instance.
+type DB struct {
+	// mu serializes writers against readers: queries take RLock,
+	// DML/DDL take Lock. This is the coarse-grained concurrency the
+	// DESIGN.md deviations describe.
+	mu sync.RWMutex
+
+	cat     *catalog.Catalog
+	mod     *core.Module
+	dm      *disk.Manager
+	pool    *buffer.Pool
+	planner *plan.Planner
+
+	heaps   map[catalog.RelID]*heap.Heap
+	indexes map[string]*Index
+	byRel   map[catalog.RelID][]*Index
+
+	// access caches the bee module's per-relation deform/form routines so
+	// per-tuple paths never take the module lock; it is rebuilt on DDL
+	// and on SetRoutines.
+	access map[catalog.RelID]*relAccess
+}
+
+// relAccess is the cached tuple-access pair for one relation.
+type relAccess struct {
+	deform core.DeformFunc
+	form   core.FormFunc
+}
+
+// Index is a secondary (or primary) B+tree index.
+type Index struct {
+	Name string
+	Rel  *catalog.Relation
+	Cols []int // attribute ordinals forming the key
+	Tree *btree.Tree
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *DB {
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 32768
+	}
+	dm := disk.NewManager(cfg.Latency)
+	db := &DB{
+		cat:     catalog.New(),
+		mod:     core.NewModule(cfg.Routines),
+		dm:      dm,
+		pool:    buffer.New(dm, cfg.PoolPages),
+		heaps:   make(map[catalog.RelID]*heap.Heap),
+		indexes: make(map[string]*Index),
+		byRel:   make(map[catalog.RelID][]*Index),
+		access:  make(map[catalog.RelID]*relAccess),
+	}
+	db.planner = &plan.Planner{
+		Cat: db.cat,
+		Mod: db.mod,
+		HeapFor: func(rel *catalog.Relation) (*heap.Heap, error) {
+			h, ok := db.heaps[rel.ID]
+			if !ok {
+				return nil, fmt.Errorf("engine: relation %s has no heap", rel.Name)
+			}
+			return h, nil
+		},
+	}
+	return db
+}
+
+// Module exposes the bee module (for experiment configuration and stats).
+func (db *DB) Module() *core.Module { return db.mod }
+
+// Catalog exposes the system catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Disk exposes the simulated disk manager (for I/O stats and latency).
+func (db *DB) Disk() *disk.Manager { return db.dm }
+
+// Pool exposes the buffer pool (for cold/warm cache control).
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// HeapOf returns the heap of a relation (tests and benchmarks).
+func (db *DB) HeapOf(name string) (*heap.Heap, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rel, err := db.cat.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return db.heaps[rel.ID], nil
+}
+
+// IndexOf returns a named index.
+func (db *DB) IndexOf(name string) (*Index, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ix, ok := db.indexes[name]
+	return ix, ok
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Cols []exec.ColInfo
+	Rows []expr.Row
+}
+
+// Query parses, plans, and runs a SELECT.
+func (db *DB) Query(text string) (*Result, error) {
+	return db.QueryProfiled(text, nil)
+}
+
+// QueryProfiled runs a SELECT charging abstract instructions to prof.
+func (db *DB) QueryProfiled(text string, prof *profile.Counters) (*Result, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	planned, err := db.planner.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &exec.Ctx{Expr: expr.Ctx{Prof: prof}}
+	rows, err := exec.Collect(ctx, planned.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: planned.Cols, Rows: rows}, nil
+}
+
+// ExplainQuery plans a SELECT and renders the plan outline, marking the
+// installed bee routines.
+func (db *DB) ExplainQuery(text string) (string, error) {
+	planned, err := db.PlanQuery(text)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(planned.Root), nil
+}
+
+// PlanQuery plans a SELECT without running it (used by tools and tests).
+func (db *DB) PlanQuery(text string) (*plan.Planned, error) {
+	sel, err := sql.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.planner.PlanSelect(sel)
+}
+
+// Exec parses and executes a DDL or DML statement, returning the number
+// of affected rows (0 for DDL).
+func (db *DB) Exec(text string) (int64, error) {
+	return db.ExecProfiled(text, nil)
+}
+
+// ExecProfiled is Exec with instruction accounting.
+func (db *DB) ExecProfiled(text string, prof *profile.Counters) (int64, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return 0, err
+	}
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		return 0, db.createTable(s)
+	case *sql.CreateIndex:
+		return 0, db.createIndex(s)
+	case *sql.DropTable:
+		return 0, db.dropTable(s.Name)
+	case *sql.Insert:
+		return db.execInsert(s, prof, nil)
+	case *sql.Update:
+		return db.execUpdate(s, prof, nil)
+	case *sql.Delete:
+		return db.execDelete(s, prof, nil)
+	case *sql.Select:
+		return 0, fmt.Errorf("engine: use Query for SELECT")
+	default:
+		return 0, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// --- DDL ---
+
+func (db *DB) createTable(s *sql.CreateTable) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	schema := catalog.Schema{Attrs: make([]catalog.Attribute, len(s.Cols))}
+	for i, c := range s.Cols {
+		schema.Attrs[i] = catalog.Attribute{
+			Name: c.Name, Type: c.Type, NotNull: c.NotNull, LowCard: c.LowCard,
+		}
+	}
+	var pkey []int
+	for _, name := range s.PKey {
+		idx := -1
+		for i, c := range s.Cols {
+			if c.Name == name {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("engine: primary key column %q not in table", name)
+		}
+		pkey = append(pkey, idx)
+	}
+	// Relation-bee creation happens at schema-definition time: compute
+	// the tuple-bee storage mask, catalog the relation, create its heap,
+	// and ask the bee module to build its relation bee.
+	spec := db.mod.SpecMaskFor(schema)
+	rel, err := db.cat.CreateRelation(s.Name, schema, pkey, spec)
+	if err != nil {
+		return err
+	}
+	db.heaps[rel.ID] = heap.Create(db.dm, db.pool, rel)
+	db.mod.OnCreateRelation(rel)
+	if err := db.refreshAccessLocked(rel); err != nil {
+		return err
+	}
+	if len(pkey) > 0 {
+		tree := btree.New(s.Name+"_pkey", true)
+		db.installIDX(tree, rel, pkey)
+		db.addIndexLocked(&Index{
+			Name: s.Name + "_pkey", Rel: rel, Cols: pkey,
+			Tree: tree,
+		})
+	}
+	return nil
+}
+
+// installIDX asks the bee module for a specialized key comparator (the
+// IDX bee) and installs it on the tree.
+func (db *DB) installIDX(tree *btree.Tree, rel *catalog.Relation, cols []int) {
+	keyTypes := make([]types.T, len(cols))
+	for i, c := range cols {
+		keyTypes[i] = rel.Attrs[c].Type
+	}
+	if cmp, ok := db.mod.CompileIndexCmp(keyTypes); ok {
+		tree.SetComparator(func(a, b btree.Key) int { return cmp(a, b) })
+	}
+}
+
+func (db *DB) createIndex(s *sql.CreateIndex) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.indexes[s.Name]; ok {
+		return fmt.Errorf("engine: index %q already exists", s.Name)
+	}
+	rel, err := db.cat.Lookup(s.Table)
+	if err != nil {
+		return err
+	}
+	var cols []int
+	for _, name := range s.Cols {
+		i := rel.AttrIndex(name)
+		if i < 0 {
+			return fmt.Errorf("engine: column %q not in %s", name, s.Table)
+		}
+		cols = append(cols, i)
+	}
+	ix := &Index{Name: s.Name, Rel: rel, Cols: cols, Tree: btree.New(s.Name, s.Unique)}
+	db.installIDX(ix.Tree, rel, cols)
+	// Backfill from the heap.
+	h := db.heaps[rel.ID]
+	acc, err := db.accessFor(rel)
+	if err != nil {
+		return err
+	}
+	deform := acc.deform
+	values := make([]types.Datum, len(rel.Attrs))
+	sc := h.Scan(nil)
+	defer sc.Close()
+	for {
+		tid, tup, ok := sc.Next()
+		if !ok {
+			break
+		}
+		deform(tup, values, len(values), nil)
+		if err := ix.Tree.Insert(indexKey(values, cols), tid, nil); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	db.addIndexLocked(ix)
+	return nil
+}
+
+func (db *DB) addIndexLocked(ix *Index) {
+	db.indexes[ix.Name] = ix
+	db.byRel[ix.Rel.ID] = append(db.byRel[ix.Rel.ID], ix)
+}
+
+func (db *DB) dropTable(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rel, err := db.cat.DropRelation(name)
+	if err != nil {
+		return err
+	}
+	if h := db.heaps[rel.ID]; h != nil {
+		h.Drop()
+		delete(db.heaps, rel.ID)
+	}
+	for _, ix := range db.byRel[rel.ID] {
+		delete(db.indexes, ix.Name)
+	}
+	delete(db.byRel, rel.ID)
+	delete(db.access, rel.ID)
+	// The Bee Collector reclaims the relation's bees.
+	db.mod.OnDropRelation(rel)
+	return nil
+}
+
+// refreshAccessLocked recomputes the cached routines for one relation.
+func (db *DB) refreshAccessLocked(rel *catalog.Relation) error {
+	deform, err := db.mod.Deformer(rel)
+	if err != nil {
+		return err
+	}
+	db.access[rel.ID] = &relAccess{deform: deform, form: db.mod.Former(rel)}
+	return nil
+}
+
+// SetRoutines reconfigures the bee module's routine set and refreshes the
+// cached per-relation access routines.
+func (db *DB) SetRoutines(rs core.RoutineSet) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.mod.SetRoutines(rs); err != nil {
+		return err
+	}
+	for _, rel := range db.cat.Relations() {
+		if err := db.refreshAccessLocked(rel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// accessFor returns the cached routines for a relation.
+func (db *DB) accessFor(rel *catalog.Relation) (*relAccess, error) {
+	a, ok := db.access[rel.ID]
+	if !ok {
+		return nil, fmt.Errorf("engine: relation %s has no cached access routines", rel.Name)
+	}
+	return a, nil
+}
+
+func indexKey(values []types.Datum, cols []int) btree.Key {
+	key := make(btree.Key, len(cols))
+	for i, c := range cols {
+		key[i] = values[c]
+	}
+	return key
+}
+
+// --- Cache control (warm/cold experiments) ---
+
+// DropCaches flushes and empties the buffer pool (cold-cache reset).
+func (db *DB) DropCaches() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.pool.DropCache()
+}
+
+// WarmUp touches every page of every relation so a warm-cache run sees
+// no disk reads.
+func (db *DB) WarmUp() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, h := range db.heaps {
+		sc := h.Scan(nil)
+		for {
+			if _, _, ok := sc.Next(); !ok {
+				break
+			}
+		}
+		sc.Close()
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SimIOTime returns the accumulated simulated I/O time.
+func (db *DB) SimIOTime() time.Duration {
+	_, _, sim := db.dm.Stats()
+	return sim
+}
+
+// TotalPages reports the page count of every user relation — the storage
+// footprint tuple bees shrink (experiment E9).
+func (db *DB) TotalPages() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	total := 0
+	for _, h := range db.heaps {
+		total += h.NumPages()
+	}
+	return total
+}

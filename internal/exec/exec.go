@@ -1,0 +1,103 @@
+// Package exec implements the Volcano-style query executor: sequential
+// and index scans, filters, projections, hash and nested-loop joins
+// (inner/left/semi/anti), hash aggregation, sorting, limits,
+// materialization, and subquery expressions. Each per-tuple path exists
+// in a generic form (interpreted predicates, generic join quals, generic
+// deform) and a bee form (EVP, EVJ, GCL) selected at plan time through
+// the bee module — the executor is the paper's "Runtime Database
+// Processor" with the Bee Caller wired in.
+package exec
+
+import (
+	"microspec/internal/expr"
+	"microspec/internal/profile"
+	"microspec/internal/types"
+)
+
+// ColInfo describes one output column of a plan node.
+type ColInfo struct {
+	Name string
+	T    types.T
+}
+
+// Ctx is the per-execution context threaded through every node.
+type Ctx struct {
+	// Expr carries the profiler and correlated-subquery outer rows.
+	Expr expr.Ctx
+}
+
+// Prof returns the profiler (possibly nil).
+func (c *Ctx) Prof() *profile.Counters { return c.Expr.Prof }
+
+// Node is a plan operator. The iteration contract:
+//
+//   - Open initializes (or re-initializes, for rescans) the node's state;
+//     it may be called again after Close.
+//   - Next returns the next row. Rows may alias node-internal buffers and
+//     are only valid until the following Next call; consumers that buffer
+//     rows must CloneRow them.
+//   - Close releases resources; it is idempotent.
+type Node interface {
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (expr.Row, bool, error)
+	Close(ctx *Ctx)
+	Schema() []ColInfo
+}
+
+// CloneRow deep-copies a row, including byte payloads that may alias
+// pinned pages or reusable deform buffers. All payloads share one backing
+// allocation to keep buffered operators (sorts, hash builds, result
+// collection) from fragmenting the heap.
+func CloneRow(row expr.Row) expr.Row {
+	out := make(expr.Row, len(row))
+	total := 0
+	for i := range row {
+		total += len(row[i].Bytes())
+	}
+	if total == 0 {
+		copy(out, row)
+		return out
+	}
+	buf := make([]byte, 0, total)
+	for i, d := range row {
+		if b := d.Bytes(); b != nil {
+			start := len(buf)
+			buf = append(buf, b...)
+			out[i] = types.NewBytes(buf[start:len(buf):len(buf)], d.Kind())
+		} else {
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// CloneDatum deep-copies one datum.
+func CloneDatum(d types.Datum) types.Datum {
+	if b := d.Bytes(); b != nil {
+		nb := append([]byte(nil), b...)
+		return types.NewBytes(nb, d.Kind())
+	}
+	return d
+}
+
+// Collect drains a node into a fully materialized result (Open through
+// Close), cloning every row. It is the standard entry point for running
+// a plan to completion.
+func Collect(ctx *Ctx, n Node) ([]expr.Row, error) {
+	if err := n.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer n.Close(ctx)
+	var out []expr.Row
+	for {
+		row, ok, err := n.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		ctx.Prof().Add(profile.CompExec, profile.EmitRow)
+		out = append(out, CloneRow(row))
+	}
+}

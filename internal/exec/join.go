@@ -1,0 +1,404 @@
+package exec
+
+import (
+	"fmt"
+
+	"microspec/internal/core"
+	"microspec/internal/expr"
+	"microspec/internal/profile"
+	"microspec/internal/types"
+)
+
+// JoinType enumerates the join semantics the executor supports — the
+// variants the paper's EVJ bee routine enumerates and pre-compiles
+// ("different types of joins (left, semi, anti, etc.)").
+type JoinType int
+
+// Join types.
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+	SemiJoin
+	AntiJoin
+)
+
+// String names the join type.
+func (j JoinType) String() string {
+	return [...]string{"inner", "left", "semi", "anti"}[j]
+}
+
+// HashJoin is an equi-join: it builds a hash table on the inner child and
+// probes with the outer child. Semi/anti joins emit only outer columns.
+//
+// Key evaluation has two forms, chosen at plan time:
+//
+//   - generic: per candidate pair, the JoinState analogue — hash with the
+//     generic datum hasher and compare keys with the generic comparator,
+//     charging JoinQualNode per pair;
+//   - EVJ bee: the specialized hash/equality closures with baked key
+//     ordinals and types, charging the bee's (smaller) cost.
+type HashJoin struct {
+	Outer, Inner Node
+	// OuterKeys/InnerKeys are key column ordinals in each child's schema.
+	OuterKeys, InnerKeys []int
+	Type                 JoinType
+	// Residual is an optional extra qual evaluated over the combined row
+	// (inner and left joins only).
+	Residual expr.Expr
+	// ResidualCompiled is the EVP form of Residual, if compiled.
+	ResidualCompiled core.CompiledPred
+	// EVJ is the specialized key-evaluation bee, nil for the generic path.
+	EVJ *core.JoinKeyFuncs
+	// NoteEVJ, when set, receives the number of EVJ invocations at Close.
+	NoteEVJ func(int64)
+
+	evjCalls int64
+
+	table    map[uint64][]expr.Row
+	innerW   int
+	cols     []ColInfo
+	keyTypes []types.T
+
+	outerRow expr.Row
+	matches  []expr.Row
+	matchPos int
+	combined expr.Row
+	// emitted records whether the current left-join outer row produced at
+	// least one residual-surviving match (controls null extension).
+	emitted bool
+}
+
+// Open implements Node: it (re)builds the hash table from the inner child.
+func (h *HashJoin) Open(ctx *Ctx) error {
+	if len(h.OuterKeys) != len(h.InnerKeys) || len(h.OuterKeys) == 0 {
+		return fmt.Errorf("hash join: bad key lists %v/%v", h.OuterKeys, h.InnerKeys)
+	}
+	h.cols = h.Schema()
+	innerCols := h.Inner.Schema()
+	h.innerW = len(innerCols)
+	h.keyTypes = make([]types.T, len(h.InnerKeys))
+	for i, k := range h.InnerKeys {
+		h.keyTypes[i] = innerCols[k].T
+	}
+	h.table = make(map[uint64][]expr.Row)
+	if err := h.Inner.Open(ctx); err != nil {
+		return err
+	}
+	for {
+		row, ok, err := h.Inner.Next(ctx)
+		if err != nil {
+			h.Inner.Close(ctx)
+			return err
+		}
+		if !ok {
+			break
+		}
+		ctx.Prof().Add(profile.CompExec, profile.HashBuild)
+		key := h.hashInner(row, ctx)
+		h.table[key] = append(h.table[key], CloneRow(row))
+	}
+	h.Inner.Close(ctx)
+	h.outerRow = nil
+	h.matches = nil
+	h.matchPos = 0
+	if h.combined == nil {
+		h.combined = make(expr.Row, len(h.Outer.Schema())+h.innerW)
+	}
+	return h.Outer.Open(ctx)
+}
+
+func (h *HashJoin) hashInner(row expr.Row, ctx *Ctx) uint64 {
+	if h.EVJ != nil {
+		return h.EVJ.HashInner(row)
+	}
+	return genericHash(row, h.InnerKeys)
+}
+
+func (h *HashJoin) hashOuter(row expr.Row, ctx *Ctx) uint64 {
+	if h.EVJ != nil {
+		return h.EVJ.HashOuter(row)
+	}
+	return genericHash(row, h.OuterKeys)
+}
+
+func genericHash(row expr.Row, keys []int) uint64 {
+	h := uint64(14695981039346656037)
+	for _, k := range keys {
+		h = (h ^ row[k].Hash()) * 1099511628211
+	}
+	return h
+}
+
+// keysMatch evaluates the join qualification for one candidate pair —
+// the per-pair code the EVJ bee specializes.
+func (h *HashJoin) keysMatch(outer, inner expr.Row, ctx *Ctx) bool {
+	if h.EVJ != nil {
+		ctx.Prof().Add(profile.CompJoin, h.EVJ.Cost)
+		h.evjCalls++
+		return h.EVJ.Match(outer, inner)
+	}
+	// Generic join-qual evaluation: JoinState consultation per pair.
+	ctx.Prof().Add(profile.CompJoin, profile.JoinQualNode*int64(len(h.OuterKeys)))
+	for i := range h.OuterKeys {
+		a, b := outer[h.OuterKeys[i]], inner[h.InnerKeys[i]]
+		if a.IsNull() || b.IsNull() {
+			return false
+		}
+		if a.Compare(b) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *HashJoin) residualOK(combined expr.Row, ctx *Ctx) bool {
+	if h.Residual == nil && h.ResidualCompiled == nil {
+		return true
+	}
+	var v types.Datum
+	if h.ResidualCompiled != nil {
+		v = h.ResidualCompiled(combined, &ctx.Expr)
+	} else {
+		v = h.Residual.Eval(combined, &ctx.Expr)
+	}
+	return !v.IsNull() && v.Bool()
+}
+
+// Next implements Node.
+func (h *HashJoin) Next(ctx *Ctx) (expr.Row, bool, error) {
+	for {
+		// Drain pending matches for the current outer row.
+		if h.outerRow != nil && h.matchPos < len(h.matches) {
+			inner := h.matches[h.matchPos]
+			h.matchPos++
+			combined := h.combine(h.outerRow, inner)
+			if h.residualOK(combined, ctx) {
+				switch h.Type {
+				case SemiJoin:
+					h.matchPos = len(h.matches) // one match suffices
+					return h.outerRow, true, nil
+				case AntiJoin:
+					// A surviving match disqualifies the outer row.
+					h.matchPos = len(h.matches)
+					h.outerRow = nil
+					continue
+				case LeftJoin:
+					h.emitted = true
+					return combined, true, nil
+				default:
+					return combined, true, nil
+				}
+			}
+			continue
+		}
+		// Left join: emit outer + nulls when no residual-surviving match.
+		if h.outerRow != nil && h.Type == LeftJoin && !h.emitted {
+			row := h.combineNulls(h.outerRow)
+			h.outerRow = nil
+			return row, true, nil
+		}
+		// Anti join: no (surviving) match at all → emit outer row.
+		if h.outerRow != nil && h.Type == AntiJoin {
+			row := h.outerRow
+			h.outerRow = nil
+			return row, true, nil
+		}
+		h.outerRow = nil
+
+		// Fetch the next outer row.
+		outer, ok, err := h.Outer.Next(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.Prof().Add(profile.CompExec, profile.ExecNodeTuple+profile.HashProbe)
+		bucket := h.table[h.hashOuter(outer, ctx)]
+		h.matches = h.matches[:0]
+		for _, inner := range bucket {
+			if h.keysMatch(outer, inner, ctx) {
+				h.matches = append(h.matches, inner)
+			}
+		}
+		h.matchPos = 0
+		h.emitted = false
+		switch h.Type {
+		case AntiJoin:
+			if len(h.matches) == 0 {
+				return outer, true, nil
+			}
+			if h.Residual == nil && h.ResidualCompiled == nil {
+				continue // matched → excluded
+			}
+			h.outerRow = CloneRow(outer)
+		case LeftJoin:
+			h.outerRow = CloneRow(outer)
+		case SemiJoin:
+			if len(h.matches) == 0 {
+				continue
+			}
+			if h.Residual == nil && h.ResidualCompiled == nil {
+				h.matches = h.matches[:0]
+				return outer, true, nil
+			}
+			h.outerRow = CloneRow(outer)
+		default:
+			if len(h.matches) == 0 {
+				continue
+			}
+			h.outerRow = CloneRow(outer)
+		}
+	}
+}
+
+func (h *HashJoin) combine(outer, inner expr.Row) expr.Row {
+	copy(h.combined, outer)
+	copy(h.combined[len(outer):], inner)
+	return h.combined
+}
+
+func (h *HashJoin) combineNulls(outer expr.Row) expr.Row {
+	copy(h.combined, outer)
+	for i := len(outer); i < len(h.combined); i++ {
+		h.combined[i] = types.Null
+	}
+	return h.combined
+}
+
+// Close implements Node.
+func (h *HashJoin) Close(ctx *Ctx) {
+	if h.NoteEVJ != nil && h.evjCalls > 0 {
+		h.NoteEVJ(h.evjCalls)
+		h.evjCalls = 0
+	}
+	h.Outer.Close(ctx)
+	h.table = nil
+}
+
+// Schema implements Node.
+func (h *HashJoin) Schema() []ColInfo {
+	outer := h.Outer.Schema()
+	if h.Type == SemiJoin || h.Type == AntiJoin {
+		return outer
+	}
+	return append(append([]ColInfo(nil), outer...), h.Inner.Schema()...)
+}
+
+// NLJoin is a nested-loop join for non-equi quals. The inner child must
+// be rescannable (wrap it in Materialize).
+type NLJoin struct {
+	Outer, Inner Node
+	Type         JoinType
+	Qual         expr.Expr
+	QualCompiled core.CompiledPred
+
+	outerRow expr.Row
+	matched  bool
+	combined expr.Row
+	innerOn  bool
+}
+
+// Open implements Node.
+func (n *NLJoin) Open(ctx *Ctx) error {
+	n.outerRow = nil
+	n.innerOn = false
+	if n.combined == nil {
+		n.combined = make(expr.Row, len(n.Outer.Schema())+len(n.Inner.Schema()))
+	}
+	return n.Outer.Open(ctx)
+}
+
+func (n *NLJoin) qualOK(combined expr.Row, ctx *Ctx) bool {
+	if n.Qual == nil && n.QualCompiled == nil {
+		return true
+	}
+	var v types.Datum
+	if n.QualCompiled != nil {
+		v = n.QualCompiled(combined, &ctx.Expr)
+	} else {
+		ctx.Prof().Add(profile.CompJoin, profile.JoinQualNode)
+		v = n.Qual.Eval(combined, &ctx.Expr)
+	}
+	return !v.IsNull() && v.Bool()
+}
+
+// Next implements Node.
+func (n *NLJoin) Next(ctx *Ctx) (expr.Row, bool, error) {
+	for {
+		if n.outerRow == nil {
+			outer, ok, err := n.Outer.Next(ctx)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			ctx.Prof().Add(profile.CompExec, profile.ExecNodeTuple)
+			n.outerRow = CloneRow(outer)
+			n.matched = false
+			if err := n.Inner.Open(ctx); err != nil {
+				return nil, false, err
+			}
+			n.innerOn = true
+		}
+		inner, ok, err := n.Inner.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			n.Inner.Close(ctx)
+			n.innerOn = false
+			outer := n.outerRow
+			n.outerRow = nil
+			switch n.Type {
+			case LeftJoin:
+				if !n.matched {
+					copy(n.combined, outer)
+					for i := len(outer); i < len(n.combined); i++ {
+						n.combined[i] = types.Null
+					}
+					return n.combined, true, nil
+				}
+			case AntiJoin:
+				if !n.matched {
+					return outer, true, nil
+				}
+			}
+			continue
+		}
+		copy(n.combined, n.outerRow)
+		copy(n.combined[len(n.outerRow):], inner)
+		if !n.qualOK(n.combined, ctx) {
+			continue
+		}
+		n.matched = true
+		switch n.Type {
+		case SemiJoin:
+			n.Inner.Close(ctx)
+			n.innerOn = false
+			outer := n.outerRow
+			n.outerRow = nil
+			return outer, true, nil
+		case AntiJoin:
+			n.Inner.Close(ctx)
+			n.innerOn = false
+			n.outerRow = nil
+			continue
+		default:
+			return n.combined, true, nil
+		}
+	}
+}
+
+// Close implements Node.
+func (n *NLJoin) Close(ctx *Ctx) {
+	if n.innerOn {
+		n.Inner.Close(ctx)
+		n.innerOn = false
+	}
+	n.Outer.Close(ctx)
+}
+
+// Schema implements Node.
+func (n *NLJoin) Schema() []ColInfo {
+	outer := n.Outer.Schema()
+	if n.Type == SemiJoin || n.Type == AntiJoin {
+		return outer
+	}
+	return append(append([]ColInfo(nil), outer...), n.Inner.Schema()...)
+}

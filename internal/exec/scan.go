@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"microspec/internal/catalog"
+	"microspec/internal/core"
+	"microspec/internal/expr"
+	"microspec/internal/index/btree"
+	"microspec/internal/profile"
+	"microspec/internal/storage/heap"
+)
+
+// SeqScan reads a heap relation sequentially, deforming each stored tuple
+// through the routine the bee module selected (GCL or the generic loop).
+type SeqScan struct {
+	Heap   *heap.Heap
+	Deform core.DeformFunc
+	// NAtts is how many leading attributes the plan needs; deforming
+	// stops there (PostgreSQL's slot_deform_tuple does the same).
+	NAtts int
+	// NoteDeforms, when set, receives the deform (GCL) call count at
+	// Close.
+	NoteDeforms func(int64)
+
+	deforms int64
+	scanner *heap.Scanner
+	buf     expr.Row
+	cols    []ColInfo
+}
+
+// NewSeqScan builds a sequential scan over rel's heap. natts ≤ 0 scans
+// all attributes.
+func NewSeqScan(h *heap.Heap, deform core.DeformFunc, natts int) *SeqScan {
+	rel := h.Rel
+	if natts <= 0 || natts > len(rel.Attrs) {
+		natts = len(rel.Attrs)
+	}
+	return &SeqScan{
+		Heap:   h,
+		Deform: deform,
+		NAtts:  natts,
+		cols:   relCols(rel, natts),
+	}
+}
+
+func relCols(rel *catalog.Relation, natts int) []ColInfo {
+	cols := make([]ColInfo, natts)
+	for i := 0; i < natts; i++ {
+		cols[i] = ColInfo{Name: rel.Attrs[i].Name, T: rel.Attrs[i].Type}
+	}
+	return cols
+}
+
+// Open implements Node.
+func (s *SeqScan) Open(ctx *Ctx) error {
+	s.scanner = s.Heap.Scan(ctx.Prof())
+	if s.buf == nil {
+		s.buf = make(expr.Row, s.NAtts)
+	}
+	return nil
+}
+
+// Next implements Node.
+func (s *SeqScan) Next(ctx *Ctx) (expr.Row, bool, error) {
+	_, tup, ok := s.scanner.Next()
+	if !ok {
+		return nil, false, s.scanner.Err()
+	}
+	ctx.Prof().Add(profile.CompExec, profile.ExecNodeTuple)
+	s.deforms++
+	s.Deform(tup, s.buf, s.NAtts, ctx.Prof())
+	return s.buf, true, nil
+}
+
+// Close implements Node.
+func (s *SeqScan) Close(*Ctx) {
+	if s.NoteDeforms != nil && s.deforms > 0 {
+		s.NoteDeforms(s.deforms)
+		s.deforms = 0
+	}
+	if s.scanner != nil {
+		s.scanner.Close()
+		s.scanner = nil
+	}
+}
+
+// Schema implements Node.
+func (s *SeqScan) Schema() []ColInfo { return s.cols }
+
+// IndexScan fetches tuples by index key or key range, in index order.
+type IndexScan struct {
+	Heap   *heap.Heap
+	Tree   *btree.Tree
+	Deform core.DeformFunc
+	NAtts  int
+	// Lo and Hi bound the scan (inclusive, prefix semantics); with Hi nil
+	// the scan uses prefix-equality on Lo.
+	Lo, Hi btree.Key
+	// Reverse returns rows in descending key order (materialized).
+	Reverse bool
+
+	tids []heap.TID
+	pos  int
+	buf  expr.Row
+	cols []ColInfo
+}
+
+// NewIndexScan builds an index scan.
+func NewIndexScan(h *heap.Heap, tree *btree.Tree, deform core.DeformFunc, natts int, lo, hi btree.Key, reverse bool) *IndexScan {
+	rel := h.Rel
+	if natts <= 0 || natts > len(rel.Attrs) {
+		natts = len(rel.Attrs)
+	}
+	return &IndexScan{
+		Heap: h, Tree: tree, Deform: deform, NAtts: natts,
+		Lo: lo, Hi: hi, Reverse: reverse,
+		cols: relCols(rel, natts),
+	}
+}
+
+// Open implements Node.
+func (s *IndexScan) Open(ctx *Ctx) error {
+	s.tids = s.tids[:0]
+	s.pos = 0
+	collect := func(_ btree.Key, tid heap.TID) bool {
+		s.tids = append(s.tids, tid)
+		return true
+	}
+	if s.Hi == nil {
+		s.Tree.AscendPrefix(s.Lo, ctx.Prof(), collect)
+	} else {
+		s.Tree.AscendRange(s.Lo, s.Hi, ctx.Prof(), collect)
+	}
+	if s.Reverse {
+		for i, j := 0, len(s.tids)-1; i < j; i, j = i+1, j-1 {
+			s.tids[i], s.tids[j] = s.tids[j], s.tids[i]
+		}
+	}
+	if s.buf == nil {
+		s.buf = make(expr.Row, s.NAtts)
+	}
+	return nil
+}
+
+// Next implements Node.
+func (s *IndexScan) Next(ctx *Ctx) (expr.Row, bool, error) {
+	for s.pos < len(s.tids) {
+		tid := s.tids[s.pos]
+		s.pos++
+		tup, release, err := s.Heap.Get(tid, ctx.Prof())
+		if err != nil {
+			// The tuple may have been deleted since the index snapshot;
+			// index entries are cleaned by the DML path, so an error here
+			// is a real corruption.
+			return nil, false, err
+		}
+		ctx.Prof().Add(profile.CompExec, profile.ExecNodeTuple)
+		s.Deform(tup, s.buf, s.NAtts, ctx.Prof())
+		// Clone before unpin: the deformed datums alias the page.
+		row := CloneRow(s.buf)
+		release()
+		return row, true, nil
+	}
+	return nil, false, nil
+}
+
+// Close implements Node.
+func (s *IndexScan) Close(*Ctx) {}
+
+// Schema implements Node.
+func (s *IndexScan) Schema() []ColInfo { return s.cols }
+
+// ValuesNode emits a fixed list of rows (used for constant subplans and
+// tests).
+type ValuesNode struct {
+	Rows []expr.Row
+	Cols []ColInfo
+	pos  int
+}
+
+// Open implements Node.
+func (v *ValuesNode) Open(*Ctx) error {
+	v.pos = 0
+	return nil
+}
+
+// Next implements Node.
+func (v *ValuesNode) Next(ctx *Ctx) (expr.Row, bool, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, false, nil
+	}
+	row := v.Rows[v.pos]
+	v.pos++
+	ctx.Prof().Add(profile.CompExec, profile.ExecNodeTuple)
+	return row, true, nil
+}
+
+// Close implements Node.
+func (v *ValuesNode) Close(*Ctx) {}
+
+// Schema implements Node.
+func (v *ValuesNode) Schema() []ColInfo { return v.Cols }

@@ -1,0 +1,148 @@
+package expr
+
+import (
+	"fmt"
+
+	"microspec/internal/profile"
+	"microspec/internal/types"
+)
+
+// ArithOp is an arithmetic operator.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+// String renders the operator.
+func (o ArithOp) String() string { return [...]string{"+", "-", "*", "/"}[o] }
+
+// Arith applies an arithmetic operator. Integer op integer yields int64;
+// anything involving a float yields float64; date ± interval-days yields
+// date (interval literals are lowered to IntervalConst by the planner).
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (a *Arith) Eval(row Row, ctx *Ctx) types.Datum {
+	ctx.Prof.Add(profile.CompExpr, profile.ExprNode)
+	l := a.L.Eval(row, ctx)
+	r := a.R.Eval(row, ctx)
+	if l.IsNull() || r.IsNull() {
+		return types.Null
+	}
+	return ApplyArith(a.Op, l, r)
+}
+
+// ApplyArith applies an arithmetic operator to two non-null datums.
+func ApplyArith(op ArithOp, l, r types.Datum) types.Datum {
+	// Date ± interval.
+	if l.Kind() == types.KindDate && r.Kind() == types.KindInvalid {
+		return types.Null
+	}
+	if l.Kind() == types.KindFloat64 || r.Kind() == types.KindFloat64 {
+		lf, rf := l.Float64(), r.Float64()
+		switch op {
+		case Add:
+			return types.NewFloat64(lf + rf)
+		case Sub:
+			return types.NewFloat64(lf - rf)
+		case Mul:
+			return types.NewFloat64(lf * rf)
+		case Div:
+			if rf == 0 {
+				return types.Null
+			}
+			return types.NewFloat64(lf / rf)
+		}
+	}
+	li, ri := l.Int64(), r.Int64()
+	switch op {
+	case Add:
+		return types.NewInt64(li + ri)
+	case Sub:
+		return types.NewInt64(li - ri)
+	case Mul:
+		return types.NewInt64(li * ri)
+	case Div:
+		if ri == 0 {
+			return types.Null
+		}
+		return types.NewInt64(li / ri)
+	}
+	return types.Null
+}
+
+// Type implements Expr.
+func (a *Arith) Type() types.T {
+	if a.L.Type().Kind == types.KindFloat64 || a.R.Type().Kind == types.KindFloat64 {
+		return types.Float64
+	}
+	if a.L.Type().Kind == types.KindDate {
+		return types.Date
+	}
+	return types.Int64
+}
+
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// DateArith adds or subtracts a constant interval from a date expression
+// (SQL: date '1998-12-01' - interval '90' day).
+type DateArith struct {
+	Sub bool
+	L   Expr
+	Iv  types.Interval
+}
+
+// Eval implements Expr.
+func (d *DateArith) Eval(row Row, ctx *Ctx) types.Datum {
+	ctx.Prof.Add(profile.CompExpr, profile.ExprNode)
+	l := d.L.Eval(row, ctx)
+	if l.IsNull() {
+		return types.Null
+	}
+	if d.Sub {
+		return types.NewDate(types.SubInterval(l.DateDays(), d.Iv))
+	}
+	return types.NewDate(types.AddInterval(l.DateDays(), d.Iv))
+}
+
+// Type implements Expr.
+func (d *DateArith) Type() types.T { return types.Date }
+
+func (d *DateArith) String() string {
+	op := "+"
+	if d.Sub {
+		op = "-"
+	}
+	return fmt.Sprintf("(%s %s interval '%dm%dd')", d.L, op, d.Iv.Months, d.Iv.Days)
+}
+
+// Neg negates a numeric expression.
+type Neg struct{ Kid Expr }
+
+// Eval implements Expr.
+func (n *Neg) Eval(row Row, ctx *Ctx) types.Datum {
+	ctx.Prof.Add(profile.CompExpr, profile.ExprNode)
+	v := n.Kid.Eval(row, ctx)
+	if v.IsNull() {
+		return types.Null
+	}
+	if v.Kind() == types.KindFloat64 {
+		return types.NewFloat64(-v.Float64())
+	}
+	return types.NewInt64(-v.Int64())
+}
+
+// Type implements Expr.
+func (n *Neg) Type() types.T { return n.Kid.Type() }
+
+func (n *Neg) String() string { return "(-" + n.Kid.String() + ")" }

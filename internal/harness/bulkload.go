@@ -1,0 +1,222 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/profile"
+	"microspec/internal/storage/disk"
+	"microspec/internal/tpch"
+	"microspec/internal/types"
+)
+
+// BulkLoadResult is Figure 8's data: per-relation load-time improvement
+// of the bee-enabled DBMS (SCL routine plus tuple-bee creation) over the
+// stock one (generic heap_fill_tuple).
+type BulkLoadResult struct {
+	Relation    string
+	Rows        int64
+	Stock, Bee  time.Duration
+	Improvement float64
+	// Fill instruction drill-down (§VI-B: heap_fill_tuple 4.6B → SCL
+	// 2.4B inside 148B → 146B totals for orders).
+	StockFillInstr, BeeFillInstr   int64
+	StockTotalInstr, BeeTotalInstr int64
+}
+
+// BulkLoadOptions configures Figure 8.
+type BulkLoadOptions struct {
+	SF float64
+	// SmallRelationRows pads region and nation, which "each occupy only
+	// two disk pages" (the paper loads them with 1M rows instead).
+	SmallRelationRows int
+	PoolPages         int
+	// Runs repeats each timed load; the median is reported.
+	Runs int
+}
+
+// DefaultBulkLoadOptions returns laptop-scale settings.
+func DefaultBulkLoadOptions() BulkLoadOptions {
+	return BulkLoadOptions{SF: 0.01, SmallRelationRows: 50000, PoolPages: 32768, Runs: 3}
+}
+
+// RunBulkLoad regenerates Figure 8: for each TPC-H relation, the time to
+// populate it on a fresh stock vs. a fresh bee-enabled database.
+func RunBulkLoad(o BulkLoadOptions) ([]BulkLoadResult, error) {
+	g := tpch.NewGenerator(o.SF)
+	relations := []struct {
+		name string
+		iter func() tpch.RowIter
+	}{
+		{"region", func() tpch.RowIter { return g.RegionRows(o.SmallRelationRows) }},
+		{"nation", func() tpch.RowIter { return g.NationRows(o.SmallRelationRows) }},
+		{"part", func() tpch.RowIter { return g.PartRows() }},
+		{"customer", func() tpch.RowIter { return g.CustomerRows() }},
+		{"orders", func() tpch.RowIter { return g.OrderRows() }},
+		{"lineitem", func() tpch.RowIter { return g.LineitemRows() }},
+	}
+	var out []BulkLoadResult
+	for _, rel := range relations {
+		res := BulkLoadResult{Relation: rel.name}
+		// Materialize the rows once, outside the timed region: the paper
+		// loads from pre-generated flat files, so generator cost must not
+		// pollute the measurement.
+		var rows [][]types.Datum
+		iter := rel.iter()
+		for {
+			row, ok := iter()
+			if !ok {
+				break
+			}
+			rows = append(rows, row)
+		}
+		replay := func() tpch.RowIter {
+			i := 0
+			return func() ([]types.Datum, bool) {
+				if i >= len(rows) {
+					return nil, false
+				}
+				i++
+				return rows[i-1], true
+			}
+		}
+		for _, routines := range []core.RoutineSet{core.Stock, core.AllRoutines} {
+			runs := o.Runs
+			if runs < 1 {
+				runs = 1
+			}
+			// Timed passes on fresh databases. The measured time is CPU
+			// wall time plus the simulated disk time of the page writes
+			// (load + checkpoint): the paper's loads wrote to a physical
+			// disk, and most of its Figure 8 improvement is the I/O saved
+			// by tuple-bee storage reduction. The minimum of the runs is
+			// reported (the noise-robust estimator for CPU-bound work).
+			var n int64
+			var elapsed time.Duration
+			for r := 0; r < runs; r++ {
+				db := engine.Open(engine.Config{
+					Routines: routines, PoolPages: o.PoolPages,
+					Latency: disk.DefaultColdLatency,
+				})
+				if err := tpch.CreateSchema(db); err != nil {
+					return nil, err
+				}
+				runtime.GC()
+				db.Disk().ResetStats()
+				start := time.Now()
+				var err error
+				n, err = db.BulkLoad(rel.name, nil, replay())
+				if err != nil {
+					return nil, fmt.Errorf("harness: loading %s: %w", rel.name, err)
+				}
+				if err := db.Pool().FlushAll(); err != nil {
+					return nil, err
+				}
+				wall := time.Since(start)
+				_, _, sim := db.Disk().Stats()
+				total := wall + sim
+				if r == 0 || total < elapsed {
+					elapsed = total
+				}
+			}
+			// Profiled pass on a fresh database.
+			db2 := engine.Open(engine.Config{Routines: routines, PoolPages: o.PoolPages})
+			if err := tpch.CreateSchema(db2); err != nil {
+				return nil, err
+			}
+			prof := &profile.Counters{}
+			if _, err := db2.BulkLoad(rel.name, prof, replay()); err != nil {
+				return nil, err
+			}
+			res.Rows = n
+			if !routines.SCL {
+				res.Stock = elapsed
+				res.StockFillInstr = prof.Component(profile.CompFill)
+				res.StockTotalInstr = prof.Total()
+			} else {
+				res.Bee = elapsed
+				res.BeeFillInstr = prof.Component(profile.CompFill)
+				res.BeeTotalInstr = prof.Total()
+			}
+		}
+		res.Improvement = improvement(float64(res.Stock), float64(res.Bee))
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatBulkLoad renders Figure 8 as a table.
+func FormatBulkLoad(results []BulkLoadResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: bulk-loading run-time improvement (%)\n")
+	fmt.Fprintf(&b, "%-10s %10s %12s %12s %9s %22s\n",
+		"relation", "rows", "stock", "bee", "improv%", "fill instr (stock/bee)")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %10d %12v %12v %8.1f%% %11d/%d\n",
+			r.Relation, r.Rows,
+			r.Stock.Round(time.Millisecond), r.Bee.Round(time.Millisecond),
+			r.Improvement, r.StockFillInstr, r.BeeFillInstr)
+	}
+	return b.String()
+}
+
+// StorageRow is E9's data: per-relation page counts, stock vs. bee.
+type StorageRow struct {
+	Relation         string
+	StockPages       int
+	BeePages         int
+	SavingPct        float64
+	TupleBees        int
+	SpecializedAttrs int
+}
+
+// RunStorageReport regenerates the storage/I-O saving implied by tuple
+// bees (experiment E9) over an existing pair.
+func RunStorageReport(stock, bee *engine.DB) ([]StorageRow, error) {
+	var out []StorageRow
+	for _, name := range tpch.TableNames() {
+		hs, err := stock.HeapOf(name)
+		if err != nil {
+			return nil, err
+		}
+		hb, err := bee.HeapOf(name)
+		if err != nil {
+			return nil, err
+		}
+		row := StorageRow{
+			Relation:   name,
+			StockPages: hs.NumPages(),
+			BeePages:   hb.NumPages(),
+		}
+		if row.StockPages > 0 {
+			row.SavingPct = 100 * float64(row.StockPages-row.BeePages) / float64(row.StockPages)
+		}
+		rel, err := bee.Catalog().Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		if rb := bee.Module().RelationBeeFor(rel); rb != nil && rb.DataSections != nil {
+			row.TupleBees = rb.DataSections.NumBees()
+			row.SpecializedAttrs = len(rb.DataSections.SpecializedAttrs())
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatStorage renders the E9 table.
+func FormatStorage(rows []StorageRow) string {
+	var b strings.Builder
+	b.WriteString("Storage report (E9): tuple-bee page savings\n")
+	fmt.Fprintf(&b, "%-10s %12s %10s %8s %10s %10s\n",
+		"relation", "stock pages", "bee pages", "saving", "tuple bees", "spec attrs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12d %10d %7.1f%% %10d %10d\n",
+			r.Relation, r.StockPages, r.BeePages, r.SavingPct, r.TupleBees, r.SpecializedAttrs)
+	}
+	return b.String()
+}

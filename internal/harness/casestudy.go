@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"microspec/internal/profile"
+)
+
+// CaseStudyResult reproduces the paper's §II case study: the query
+// `select o_comment from orders` on a stock vs. a bee-enabled database,
+// reporting per-tuple deform instructions, whole-query instruction
+// totals, and run times.
+type CaseStudyResult struct {
+	Rows int64
+
+	// Per-invocation deform cost (paper: ≈340 generic vs. ≈146 GCL).
+	StockDeformPerTuple float64
+	BeeDeformPerTuple   float64
+
+	// Whole-query instruction totals (paper: 3.447B vs. 3.153B at SF 1,
+	// an 8.5% reduction).
+	StockInstr, BeeInstr int64
+
+	// Run times (paper: 734 ms vs. 680 ms, a 7.4% improvement).
+	StockTime, BeeTime time.Duration
+}
+
+// InstrImprovement returns the whole-query instruction reduction (%).
+func (r CaseStudyResult) InstrImprovement() float64 {
+	return improvement(float64(r.StockInstr), float64(r.BeeInstr))
+}
+
+// TimeImprovement returns the run-time improvement (%).
+func (r CaseStudyResult) TimeImprovement() float64 {
+	return improvement(float64(r.StockTime), float64(r.BeeTime))
+}
+
+// caseStudyQuery is the paper's §II query.
+const caseStudyQuery = "select o_comment from orders"
+
+// RunCaseStudy runs the §II case study over a fresh stock/bee pair
+// built by BuildTPCHPair.
+func RunCaseStudy(o Options) (CaseStudyResult, error) {
+	stock, bee, err := BuildTPCHPair(o)
+	if err != nil {
+		return CaseStudyResult{}, err
+	}
+	var res CaseStudyResult
+
+	// Instruction profiles (the callgrind pass).
+	sp := &profile.Counters{}
+	rs, err := stock.QueryProfiled(caseStudyQuery, sp)
+	if err != nil {
+		return res, err
+	}
+	bp := &profile.Counters{}
+	if _, err := bee.QueryProfiled(caseStudyQuery, bp); err != nil {
+		return res, err
+	}
+	res.Rows = int64(len(rs.Rows))
+	res.StockInstr, res.BeeInstr = sp.Total(), bp.Total()
+	if res.Rows > 0 {
+		res.StockDeformPerTuple = float64(sp.Component(profile.CompDeform)) / float64(res.Rows)
+		res.BeeDeformPerTuple = float64(bp.Component(profile.CompDeform)) / float64(res.Rows)
+	}
+
+	// Wall-clock pass (profiler off), warm cache, runs interleaved.
+	st, bt, err := timeBoth(stock, bee, caseStudyQuery, o.Runs, false)
+	if err != nil {
+		return res, err
+	}
+	res.StockTime = time.Duration(st * float64(time.Millisecond))
+	res.BeeTime = time.Duration(bt * float64(time.Millisecond))
+	return res, nil
+}
+
+// Format renders the case study like the paper's §II narrative.
+func (r CaseStudyResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Case study (§II): %s over %d orders tuples\n", caseStudyQuery, r.Rows)
+	fmt.Fprintf(&b, "  deform instructions/tuple: generic %.0f vs GCL %.0f (paper: ≈340 vs ≈146)\n",
+		r.StockDeformPerTuple, r.BeeDeformPerTuple)
+	fmt.Fprintf(&b, "  whole-query instructions:  stock %d vs bee %d (-%.1f%%; paper: -8.5%%)\n",
+		r.StockInstr, r.BeeInstr, r.InstrImprovement())
+	fmt.Fprintf(&b, "  run time:                  stock %v vs bee %v (-%.1f%%; paper: -7.4%%)\n",
+		r.StockTime.Round(time.Microsecond), r.BeeTime.Round(time.Microsecond), r.TimeImprovement())
+	return b.String()
+}

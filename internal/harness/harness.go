@@ -1,0 +1,335 @@
+// Package harness runs the paper's experiments: it builds stock and
+// bee-enabled database pairs over identical data and regenerates each
+// table and figure of the evaluation section (see DESIGN.md §3 for the
+// experiment index E1–E9). Results are returned structured and can be
+// rendered with the Format helpers.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/profile"
+	"microspec/internal/storage/disk"
+	"microspec/internal/tpch"
+)
+
+// Options configures the TPC-H experiments.
+type Options struct {
+	// SF is the TPC-H scale factor.
+	SF float64
+	// Runs per query; with ≥3 runs the best and worst are dropped, as in
+	// the paper ("the highest and lowest measurements were considered
+	// outliers").
+	Runs int
+	// Queries restricts the run (nil = all 22).
+	Queries []int
+	// PoolPages sizes the buffer pool.
+	PoolPages int
+}
+
+// DefaultOptions returns laptop-scale settings.
+func DefaultOptions() Options {
+	return Options{SF: 0.01, Runs: 3, PoolPages: 32768}
+}
+
+func (o Options) queries() []int {
+	if len(o.Queries) > 0 {
+		return o.Queries
+	}
+	return tpch.QueryNumbers()
+}
+
+// BuildTPCHPair loads identical TPC-H data into a stock and a
+// bee-enabled database.
+func BuildTPCHPair(o Options) (stock, bee *engine.DB, err error) {
+	stock, err = tpch.NewDatabase(engine.Config{
+		Routines: core.Stock, PoolPages: o.PoolPages, Latency: disk.DefaultColdLatency,
+	}, o.SF)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: building stock DB: %w", err)
+	}
+	bee, err = tpch.NewDatabase(engine.Config{
+		Routines: core.AllRoutines, PoolPages: o.PoolPages, Latency: disk.DefaultColdLatency,
+	}, o.SF)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: building bee DB: %w", err)
+	}
+	return stock, bee, nil
+}
+
+// QueryResult is one query's stock-vs-bee comparison.
+type QueryResult struct {
+	Query       int
+	Stock, Bee  float64 // milliseconds (runtime figures) or instructions
+	Improvement float64 // percent
+}
+
+// Series is one figure's data: per-query results plus the paper's two
+// averages (Avg1: unweighted mean of improvements; Avg2: improvement of
+// the summed totals).
+type Series struct {
+	Title   string
+	Results []QueryResult
+	Avg1    float64
+	Avg2    float64
+}
+
+func newSeries(title string, results []QueryResult) Series {
+	s := Series{Title: title, Results: results}
+	var sumImp, sumStock, sumBee float64
+	for _, r := range results {
+		sumImp += r.Improvement
+		sumStock += r.Stock
+		sumBee += r.Bee
+	}
+	if len(results) > 0 {
+		s.Avg1 = sumImp / float64(len(results))
+	}
+	if sumStock > 0 {
+		s.Avg2 = 100 * (sumStock - sumBee) / sumStock
+	}
+	return s
+}
+
+func improvement(stock, bee float64) float64 {
+	if stock <= 0 {
+		return 0
+	}
+	return 100 * (stock - bee) / stock
+}
+
+// timeOnce measures one query execution: wall-clock time plus, for cold
+// runs, the simulated disk time of the pages read. A garbage collection
+// drains allocator debt before the timer starts so the previous
+// measurement's garbage is not charged to this one.
+func timeOnce(db *engine.DB, q string, cold bool) (float64, error) {
+	if cold {
+		if err := db.DropCaches(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.GC()
+	db.Disk().ResetStats()
+	start := time.Now()
+	if _, err := db.Query(q); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if cold {
+		_, _, sim := db.Disk().Stats()
+		elapsed += sim
+	}
+	return float64(elapsed.Microseconds()) / 1000, nil
+}
+
+// aggregate applies the paper's protocol: with ≥3 samples the highest and
+// lowest are dropped as outliers; the rest are averaged.
+func aggregate(samples []float64) float64 {
+	sort.Float64s(samples)
+	if len(samples) >= 3 {
+		samples = samples[1 : len(samples)-1]
+	}
+	sum := 0.0
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / float64(len(samples))
+}
+
+// timeQuery measures one query on one database (uncontrasted callers).
+func timeQuery(db *engine.DB, q string, runs int, cold bool) (float64, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	samples := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		s, err := timeOnce(db, q, cold)
+		if err != nil {
+			return 0, err
+		}
+		samples = append(samples, s)
+	}
+	return aggregate(samples), nil
+}
+
+// timeBoth measures one query on the stock and bee databases with the
+// runs interleaved, so scheduler noise hits both streams alike.
+func timeBoth(stock, bee *engine.DB, q string, runs int, cold bool) (float64, float64, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	ss := make([]float64, 0, runs)
+	bs := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		s, err := timeOnce(stock, q, cold)
+		if err != nil {
+			return 0, 0, err
+		}
+		b, err := timeOnce(bee, q, cold)
+		if err != nil {
+			return 0, 0, err
+		}
+		ss = append(ss, s)
+		bs = append(bs, b)
+	}
+	return aggregate(ss), aggregate(bs), nil
+}
+
+// RunTPCHRuntime regenerates Figure 4 (warm cache) or Figure 5 (cold
+// cache): per-query run-time improvement of the bee-enabled DBMS.
+func RunTPCHRuntime(stock, bee *engine.DB, o Options, cold bool) (Series, error) {
+	title := "Figure 4: TPC-H run-time improvement, warm cache (%)"
+	if cold {
+		title = "Figure 5: TPC-H run-time improvement, cold cache (%)"
+	}
+	if !cold {
+		if err := stock.WarmUp(); err != nil {
+			return Series{}, err
+		}
+		if err := bee.WarmUp(); err != nil {
+			return Series{}, err
+		}
+	}
+	queries := tpch.Queries()
+	var results []QueryResult
+	for _, qn := range o.queries() {
+		st, bt, err := timeBoth(stock, bee, queries[qn], o.Runs, cold)
+		if err != nil {
+			return Series{}, fmt.Errorf("q%d: %w", qn, err)
+		}
+		results = append(results, QueryResult{
+			Query: qn, Stock: st, Bee: bt, Improvement: improvement(st, bt),
+		})
+	}
+	return newSeries(title, results), nil
+}
+
+// RunTPCHInstructions regenerates Figure 6: per-query reduction in
+// dynamic (abstract) instructions executed.
+func RunTPCHInstructions(stock, bee *engine.DB, o Options) (Series, error) {
+	if err := stock.WarmUp(); err != nil {
+		return Series{}, err
+	}
+	if err := bee.WarmUp(); err != nil {
+		return Series{}, err
+	}
+	queries := tpch.Queries()
+	var results []QueryResult
+	for _, qn := range o.queries() {
+		sp := &profile.Counters{}
+		if _, err := stock.QueryProfiled(queries[qn], sp); err != nil {
+			return Series{}, fmt.Errorf("q%d stock: %w", qn, err)
+		}
+		bp := &profile.Counters{}
+		if _, err := bee.QueryProfiled(queries[qn], bp); err != nil {
+			return Series{}, fmt.Errorf("q%d bee: %w", qn, err)
+		}
+		st, bt := float64(sp.Total()), float64(bp.Total())
+		results = append(results, QueryResult{
+			Query: qn, Stock: st, Bee: bt, Improvement: improvement(st, bt),
+		})
+	}
+	return newSeries("Figure 6: reduction in instructions executed (%)", results), nil
+}
+
+// AblationStep names one routine set of Figure 7.
+type AblationStep struct {
+	Label    string
+	Routines core.RoutineSet
+}
+
+// AblationSteps returns the paper's three Figure 7 configurations. All
+// three keep SCL and tuple bees (the bee database's storage format
+// requires GCL; the paper's "GCL" configuration is likewise the
+// relation-bee baseline every other routine stacks on).
+func AblationSteps() []AblationStep {
+	return []AblationStep{
+		{"GCL", core.RoutineSet{GCL: true, SCL: true, TupleBees: true}},
+		{"GCL+EVP", core.RoutineSet{GCL: true, SCL: true, TupleBees: true, EVP: true}},
+		{"GCL+EVP+EVJ", core.AllRoutines},
+	}
+}
+
+// RunAblation regenerates Figure 7: warm-cache run-time improvement with
+// successively more bee routines enabled on the same bee database. For
+// each query, the stock baseline and every routine set are measured in
+// interleaved rounds so machine noise hits all configurations alike.
+func RunAblation(stock, bee *engine.DB, o Options) ([]Series, error) {
+	if err := stock.WarmUp(); err != nil {
+		return nil, err
+	}
+	if err := bee.WarmUp(); err != nil {
+		return nil, err
+	}
+	queries := tpch.Queries()
+	steps := AblationSteps()
+	runs := o.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	type cell struct{ samples []float64 }
+	stockCells := map[int]*cell{}
+	stepCells := make([]map[int]*cell, len(steps))
+	for i := range steps {
+		stepCells[i] = map[int]*cell{}
+	}
+	for _, qn := range o.queries() {
+		stockCells[qn] = &cell{}
+		for i := range steps {
+			stepCells[i][qn] = &cell{}
+		}
+		for r := 0; r < runs; r++ {
+			s, err := timeOnce(stock, queries[qn], false)
+			if err != nil {
+				return nil, fmt.Errorf("q%d stock: %w", qn, err)
+			}
+			stockCells[qn].samples = append(stockCells[qn].samples, s)
+			for i, step := range steps {
+				if err := bee.SetRoutines(step.Routines); err != nil {
+					return nil, err
+				}
+				b, err := timeOnce(bee, queries[qn], false)
+				if err != nil {
+					return nil, fmt.Errorf("q%d %s: %w", qn, step.Label, err)
+				}
+				stepCells[i][qn].samples = append(stepCells[i][qn].samples, b)
+			}
+		}
+	}
+	var out []Series
+	for i, step := range steps {
+		var results []QueryResult
+		for _, qn := range o.queries() {
+			st := aggregate(stockCells[qn].samples)
+			bt := aggregate(stepCells[i][qn].samples)
+			results = append(results, QueryResult{
+				Query: qn, Stock: st, Bee: bt, Improvement: improvement(st, bt),
+			})
+		}
+		out = append(out, newSeries("Figure 7 ("+step.Label+"): run-time improvement, warm cache (%)", results))
+	}
+	// Restore the full routine set.
+	if err := bee.SetRoutines(core.AllRoutines); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Format renders a series as the paper's bar-chart data in table form.
+func (s Series) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Title)
+	fmt.Fprintf(&b, "%-6s %14s %14s %9s\n", "query", "stock", "bee", "improv%")
+	for _, r := range s.Results {
+		fmt.Fprintf(&b, "q%-5d %14.2f %14.2f %8.1f%%\n", r.Query, r.Stock, r.Bee, r.Improvement)
+	}
+	fmt.Fprintf(&b, "%-6s %30s %8.1f%%\n", "Avg1", "", s.Avg1)
+	fmt.Fprintf(&b, "%-6s %30s %8.1f%%\n", "Avg2", "", s.Avg2)
+	return b.String()
+}

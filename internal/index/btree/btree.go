@@ -1,0 +1,324 @@
+// Package btree implements an in-memory B+tree index over heap TIDs, used
+// for the point lookups and range scans of the TPC-C transactions. Keys
+// are composite datum tuples compared lexicographically; duplicate keys
+// are permitted unless the index is declared unique. The tree charges
+// abstract instructions per descent to the profiler but no page I/O: index
+// pages are treated as resident, a deviation recorded in DESIGN.md (the
+// paper's experiments do not measure index I/O).
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"microspec/internal/profile"
+	"microspec/internal/storage/heap"
+	"microspec/internal/types"
+)
+
+// degree is the maximum number of keys per node; nodes split at degree.
+const degree = 64
+
+// Key is a composite index key.
+type Key []types.Datum
+
+// Compare orders two keys lexicographically. A shorter key that is a
+// prefix of the longer compares equal on the shared prefix then less,
+// which makes prefix keys usable as inclusive lower bounds. NULLs sort
+// first.
+func Compare(a, b Key) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := datumCmp(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// datumCmp is a comparison with an inlinable fast path for the by-value
+// kinds that dominate index keys (integers, dates).
+func datumCmp(x, y types.Datum) int {
+	xk, yk := x.Kind(), y.Kind()
+	if xk == yk {
+		switch xk {
+		case types.KindInt32, types.KindInt64, types.KindDate, types.KindBool:
+			switch {
+			case x.I < y.I:
+				return -1
+			case x.I > y.I:
+				return 1
+			default:
+				return 0
+			}
+		case types.KindInvalid: // both NULL
+			return 0
+		}
+	}
+	xn, yn := x.IsNull(), y.IsNull()
+	switch {
+	case xn && yn:
+		return 0
+	case xn:
+		return -1
+	case yn:
+		return 1
+	}
+	return x.Compare(y)
+}
+
+type entry struct {
+	key Key
+	tid heap.TID
+}
+
+type node struct {
+	leaf     bool
+	entries  []entry // leaf payload
+	keys     []Key   // internal separators: keys[i] is the smallest key in children[i+1]
+	children []*node
+	next     *node // leaf sibling chain
+}
+
+// Tree is the index. It is not internally synchronized; the engine
+// serializes writers and guards readers at a higher level.
+type Tree struct {
+	Name   string
+	Unique bool
+	root   *node
+	size   int
+	cmp    func(a, b Key) int
+}
+
+// New returns an empty tree using the generic key comparator.
+func New(name string, unique bool) *Tree {
+	return &Tree{Name: name, Unique: unique, root: &node{leaf: true}, cmp: Compare}
+}
+
+// SetComparator installs a specialized key comparator (the IDX bee
+// routine: per-position kinds baked at creation). It must order keys
+// exactly like Compare and may only be called on an empty tree.
+func (t *Tree) SetComparator(cmp func(a, b Key) int) {
+	if t.size == 0 && cmp != nil {
+		t.cmp = cmp
+	}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// cmpEntry orders entries by key then TID so duplicates have a stable
+// total order and (key,tid) pairs are unique.
+func (t *Tree) cmpEntry(a entry, key Key, tid heap.TID) int {
+	if c := t.cmp(a.key, key); c != 0 {
+		return c
+	}
+	switch {
+	case a.tid.Page != tid.Page:
+		if a.tid.Page < tid.Page {
+			return -1
+		}
+		return 1
+	case a.tid.Slot != tid.Slot:
+		if a.tid.Slot < tid.Slot {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Insert adds (key, tid). For unique indexes it fails if the key exists.
+func (t *Tree) Insert(key Key, tid heap.TID, prof *profile.Counters) error {
+	prof.Add(profile.CompStorage, profile.IndexDescend)
+	if t.Unique {
+		if _, ok := t.SearchEq(key, nil); ok {
+			return fmt.Errorf("index %s: duplicate key %v", t.Name, key)
+		}
+	}
+	k := append(Key(nil), key...) // own the key
+	newChild, sep := t.insert(t.root, k, tid)
+	if newChild != nil {
+		t.root = &node{
+			keys:     []Key{sep},
+			children: []*node{t.root, newChild},
+		}
+	}
+	t.size++
+	return nil
+}
+
+// insert descends into n; on split it returns the new right sibling and
+// the separator key.
+func (t *Tree) insert(n *node, key Key, tid heap.TID) (*node, Key) {
+	if n.leaf {
+		i := sort.Search(len(n.entries), func(i int) bool {
+			return t.cmpEntry(n.entries[i], key, tid) >= 0
+		})
+		n.entries = append(n.entries, entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = entry{key: key, tid: tid}
+		if len(n.entries) <= degree {
+			return nil, nil
+		}
+		mid := len(n.entries) / 2
+		right := &node{leaf: true, entries: append([]entry(nil), n.entries[mid:]...)}
+		n.entries = n.entries[:mid]
+		right.next = n.next
+		n.next = right
+		return right, right.entries[0].key
+	}
+	i := sort.Search(len(n.keys), func(i int) bool {
+		return t.cmp(n.keys[i], key) > 0
+	})
+	newChild, sep := t.insert(n.children[i], key, tid)
+	if newChild == nil {
+		return nil, nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = newChild
+	if len(n.keys) <= degree {
+		return nil, nil
+	}
+	mid := len(n.keys) / 2
+	sepUp := n.keys[mid]
+	right := &node{
+		keys:     append([]Key(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return right, sepUp
+}
+
+// leafFor returns the leftmost leaf that may contain key.
+func (t *Tree) leafFor(key Key) *node {
+	n := t.root
+	for !n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool {
+			return t.cmp(n.keys[i], key) > 0
+		})
+		n = n.children[i]
+	}
+	return n
+}
+
+// SearchEq returns the TID of the first entry whose key's prefix equals
+// key, charging one descent.
+func (t *Tree) SearchEq(key Key, prof *profile.Counters) (heap.TID, bool) {
+	prof.Add(profile.CompStorage, profile.IndexDescend)
+	var out heap.TID
+	found := false
+	t.AscendPrefix(key, nil, func(_ Key, tid heap.TID) bool {
+		out, found = tid, true
+		return false
+	})
+	return out, found
+}
+
+// SearchAll returns the TIDs of every entry whose key prefix equals key.
+func (t *Tree) SearchAll(key Key, prof *profile.Counters) []heap.TID {
+	prof.Add(profile.CompStorage, profile.IndexDescend)
+	var out []heap.TID
+	t.AscendPrefix(key, nil, func(_ Key, tid heap.TID) bool {
+		out = append(out, tid)
+		return true
+	})
+	return out
+}
+
+// AscendPrefix visits, in key order, every entry whose key starts with
+// prefix (all entries if prefix is nil). fn returning false stops the
+// scan.
+func (t *Tree) AscendPrefix(prefix Key, prof *profile.Counters, fn func(Key, heap.TID) bool) {
+	prof.Add(profile.CompStorage, profile.IndexDescend)
+	var n *node
+	if len(prefix) == 0 {
+		n = t.root
+		for !n.leaf {
+			n = n.children[0]
+		}
+	} else {
+		n = t.leafFor(prefix)
+	}
+	for ; n != nil; n = n.next {
+		for _, e := range n.entries {
+			if len(prefix) > 0 {
+				c := t.cmp(e.key[:min(len(e.key), len(prefix))], prefix)
+				if c < 0 {
+					continue
+				}
+				if c > 0 {
+					return
+				}
+			}
+			if !fn(e.key, e.tid) {
+				return
+			}
+		}
+	}
+}
+
+// AscendRange visits entries with lo <= key-prefix <= hi in key order.
+// Bounds compare against the entry key truncated to the bound's length,
+// so prefix bounds behave inclusively on both ends.
+func (t *Tree) AscendRange(lo, hi Key, prof *profile.Counters, fn func(Key, heap.TID) bool) {
+	prof.Add(profile.CompStorage, profile.IndexDescend)
+	n := t.leafFor(lo)
+	for ; n != nil; n = n.next {
+		for _, e := range n.entries {
+			if t.cmp(e.key[:min(len(e.key), len(lo))], lo) < 0 {
+				continue
+			}
+			if len(hi) > 0 && t.cmp(e.key[:min(len(e.key), len(hi))], hi) > 0 {
+				return
+			}
+			if !fn(e.key, e.tid) {
+				return
+			}
+		}
+	}
+}
+
+// Delete removes the (key, tid) entry. Leaves are not rebalanced (lazy
+// deletion); correctness is unaffected.
+func (t *Tree) Delete(key Key, tid heap.TID, prof *profile.Counters) bool {
+	prof.Add(profile.CompStorage, profile.IndexDescend)
+	n := t.leafFor(key)
+	for ; n != nil; n = n.next {
+		i := sort.Search(len(n.entries), func(i int) bool {
+			return t.cmpEntry(n.entries[i], key, tid) >= 0
+		})
+		if i < len(n.entries) && t.cmpEntry(n.entries[i], key, tid) == 0 {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			t.size--
+			return true
+		}
+		if i < len(n.entries) {
+			return false // passed the position: not present
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

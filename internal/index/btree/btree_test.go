@@ -1,0 +1,254 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"microspec/internal/storage/heap"
+	"microspec/internal/types"
+)
+
+func ik(vs ...int) Key {
+	k := make(Key, len(vs))
+	for i, v := range vs {
+		k[i] = types.NewInt32(int32(v))
+	}
+	return k
+}
+
+func tid(n int) heap.TID { return heap.TID{Page: int32(n / 100), Slot: uint16(n % 100)} }
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want int
+	}{
+		{ik(1), ik(2), -1},
+		{ik(2, 5), ik(2, 5), 0},
+		{ik(2), ik(2, 5), -1}, // prefix is less
+		{ik(2, 5), ik(2), 1},
+		{Key{types.Null}, ik(0), -1}, // nulls first
+		{Key{types.Null}, Key{types.Null}, 0},
+	}
+	for i, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Compare = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestInsertSearchManyRandom(t *testing.T) {
+	tr := New("pk", false)
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	perm := rng.Perm(n)
+	for _, v := range perm {
+		if err := tr.Insert(ik(v), tid(v), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < n; i += 37 {
+		got, ok := tr.SearchEq(ik(i), nil)
+		if !ok || got != tid(i) {
+			t.Fatalf("search %d: %v %v", i, got, ok)
+		}
+	}
+	if _, ok := tr.SearchEq(ik(n+5), nil); ok {
+		t.Error("search of absent key must fail")
+	}
+}
+
+func TestUniqueConstraint(t *testing.T) {
+	tr := New("u", true)
+	if err := tr.Insert(ik(1), tid(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(ik(1), tid(2), nil); err == nil {
+		t.Error("duplicate insert into unique index must fail")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("len = %d", tr.Len())
+	}
+}
+
+func TestDuplicatesAndSearchAll(t *testing.T) {
+	tr := New("multi", false)
+	for i := 0; i < 10; i++ {
+		tr.Insert(ik(5), tid(i), nil)
+	}
+	tr.Insert(ik(4), tid(100), nil)
+	tr.Insert(ik(6), tid(101), nil)
+	got := tr.SearchAll(ik(5), nil)
+	if len(got) != 10 {
+		t.Fatalf("SearchAll returned %d", len(got))
+	}
+}
+
+func TestAscendPrefixComposite(t *testing.T) {
+	tr := New("ol", false)
+	// Composite key (w, d, o): like TPC-C order_line.
+	id := 0
+	for w := 1; w <= 3; w++ {
+		for d := 1; d <= 4; d++ {
+			for o := 1; o <= 5; o++ {
+				tr.Insert(ik(w, d, o), tid(id), nil)
+				id++
+			}
+		}
+	}
+	var keys []Key
+	tr.AscendPrefix(ik(2, 3), nil, func(k Key, _ heap.TID) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 5 {
+		t.Fatalf("prefix scan found %d, want 5", len(keys))
+	}
+	for i, k := range keys {
+		if k[0].Int32() != 2 || k[1].Int32() != 3 || k[2].Int32() != int32(i+1) {
+			t.Errorf("entry %d: %v", i, k)
+		}
+	}
+	// Full scan in order.
+	var all []Key
+	tr.AscendPrefix(nil, nil, func(k Key, _ heap.TID) bool {
+		all = append(all, k)
+		return true
+	})
+	if len(all) != 60 {
+		t.Fatalf("full scan found %d", len(all))
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return Compare(all[i], all[j]) < 0 }) {
+		t.Error("full scan not in key order")
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New("r", false)
+	for i := 0; i < 100; i++ {
+		tr.Insert(ik(i), tid(i), nil)
+	}
+	var got []int
+	tr.AscendRange(ik(20), ik(29), nil, func(k Key, _ heap.TID) bool {
+		got = append(got, int(k[0].Int32()))
+		return true
+	})
+	if len(got) != 10 || got[0] != 20 || got[9] != 29 {
+		t.Errorf("range [20,29]: %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.AscendRange(ik(0), ik(99), nil, func(Key, heap.TID) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestRangeWithCompositePrefixBounds(t *testing.T) {
+	tr := New("no", false)
+	// TPC-C new_order key: (w, d, o).
+	for o := 3000; o < 3020; o++ {
+		tr.Insert(ik(1, 2, o), tid(o), nil)
+	}
+	// Prefix bounds (1,2)..(1,2) select the whole district.
+	var oids []int
+	tr.AscendRange(ik(1, 2), ik(1, 2), nil, func(k Key, _ heap.TID) bool {
+		oids = append(oids, int(k[2].Int32()))
+		return true
+	})
+	if len(oids) != 20 || oids[0] != 3000 {
+		t.Errorf("district scan: %v", oids)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New("d", false)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(ik(i), tid(i), nil)
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !tr.Delete(ik(i), tid(i), nil) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		_, ok := tr.SearchEq(ik(i), nil)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("search %d = %v, want %v", i, ok, want)
+		}
+	}
+	if tr.Delete(ik(0), tid(0), nil) {
+		t.Error("double delete must return false")
+	}
+	if tr.Delete(ik(100000), tid(0), nil) {
+		t.Error("delete of absent key must return false")
+	}
+}
+
+func TestDeleteSpecificDuplicate(t *testing.T) {
+	tr := New("dd", false)
+	tr.Insert(ik(7), tid(1), nil)
+	tr.Insert(ik(7), tid(2), nil)
+	tr.Insert(ik(7), tid(3), nil)
+	if !tr.Delete(ik(7), tid(2), nil) {
+		t.Fatal("delete of specific duplicate failed")
+	}
+	got := tr.SearchAll(ik(7), nil)
+	if len(got) != 2 {
+		t.Fatalf("remaining = %d", len(got))
+	}
+	for _, g := range got {
+		if g == tid(2) {
+			t.Error("wrong duplicate deleted")
+		}
+	}
+}
+
+// Property-style test: tree iteration matches a sorted reference model
+// under random inserts and deletes.
+func TestTreeMatchesReferenceModel(t *testing.T) {
+	tr := New("model", false)
+	rng := rand.New(rand.NewSource(42))
+	model := map[int]bool{}
+	for step := 0; step < 20000; step++ {
+		v := rng.Intn(3000)
+		if model[v] && rng.Intn(2) == 0 {
+			tr.Delete(ik(v), tid(v), nil)
+			delete(model, v)
+		} else if !model[v] {
+			tr.Insert(ik(v), tid(v), nil)
+			model[v] = true
+		}
+	}
+	var want []int
+	for v := range model {
+		want = append(want, v)
+	}
+	sort.Ints(want)
+	var got []int
+	tr.AscendPrefix(nil, nil, func(k Key, _ heap.TID) bool {
+		got = append(got, int(k[0].Int32()))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("len: got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	if tr.Len() != len(want) {
+		t.Errorf("Len() = %d, want %d", tr.Len(), len(want))
+	}
+}

@@ -1,0 +1,98 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"microspec/internal/exec"
+)
+
+// Explain renders a plan tree as an indented outline, marking where bee
+// routines were installed — the quickest way to see which generic code
+// paths a query's micro-specialization replaced.
+func Explain(n exec.Node) string {
+	var b strings.Builder
+	explainNode(&b, n, 0)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, n exec.Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch v := n.(type) {
+	case *exec.SeqScan:
+		bee := ""
+		if v.NoteDeforms != nil {
+			bee = " [GCL]"
+		}
+		fmt.Fprintf(b, "%sSeqScan %s (%d cols)%s\n", indent, v.Heap.Rel.Name, v.NAtts, bee)
+	case *exec.IndexScan:
+		fmt.Fprintf(b, "%sIndexScan %s via %s\n", indent, v.Heap.Rel.Name, v.Tree.Name)
+	case *exec.ValuesNode:
+		fmt.Fprintf(b, "%sValues (%d rows)\n", indent, len(v.Rows))
+	case *exec.Filter:
+		bee := ""
+		if v.Compiled != nil {
+			bee = " [EVP]"
+		}
+		fmt.Fprintf(b, "%sFilter %s%s\n", indent, v.Pred, bee)
+		explainNode(b, v.Child, depth+1)
+	case *exec.Project:
+		names := make([]string, len(v.Cols))
+		for i, c := range v.Cols {
+			names[i] = c.Name
+		}
+		fmt.Fprintf(b, "%sProject %s\n", indent, strings.Join(names, ", "))
+		explainNode(b, v.Child, depth+1)
+	case *exec.Limit:
+		fmt.Fprintf(b, "%sLimit %d offset %d\n", indent, v.N, v.Offset)
+		explainNode(b, v.Child, depth+1)
+	case *exec.Sort:
+		fmt.Fprintf(b, "%sSort %v\n", indent, v.Keys)
+		explainNode(b, v.Child, depth+1)
+	case *exec.Distinct:
+		fmt.Fprintf(b, "%sDistinct\n", indent)
+		explainNode(b, v.Child, depth+1)
+	case *exec.Materialize:
+		fmt.Fprintf(b, "%sMaterialize\n", indent)
+		explainNode(b, v.Child, depth+1)
+	case *exec.HashAgg:
+		bees := ""
+		for i := range v.Aggs {
+			if v.Aggs[i].CompiledArg != nil {
+				bees = " [EVA]"
+				break
+			}
+		}
+		names := make([]string, len(v.Aggs))
+		for i, a := range v.Aggs {
+			names[i] = a.Name
+		}
+		fmt.Fprintf(b, "%sHashAgg groups=%d aggs=[%s]%s\n", indent, len(v.GroupBy), strings.Join(names, ", "), bees)
+		explainNode(b, v.Child, depth+1)
+	case *exec.HashJoin:
+		bee := ""
+		if v.EVJ != nil {
+			bee = " [EVJ]"
+		}
+		res := ""
+		if v.Residual != nil {
+			res = " residual=" + v.Residual.String()
+			if v.ResidualCompiled != nil {
+				res += " [EVP]"
+			}
+		}
+		fmt.Fprintf(b, "%sHashJoin %s keys=%v/%v%s%s\n", indent, v.Type, v.OuterKeys, v.InnerKeys, bee, res)
+		explainNode(b, v.Outer, depth+1)
+		explainNode(b, v.Inner, depth+1)
+	case *exec.NLJoin:
+		qual := ""
+		if v.Qual != nil {
+			qual = " qual=" + v.Qual.String()
+		}
+		fmt.Fprintf(b, "%sNestedLoopJoin %s%s\n", indent, v.Type, qual)
+		explainNode(b, v.Outer, depth+1)
+		explainNode(b, v.Inner, depth+1)
+	default:
+		fmt.Fprintf(b, "%s%T\n", indent, n)
+	}
+}

@@ -1,0 +1,368 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"microspec/internal/exec"
+	"microspec/internal/expr"
+	"microspec/internal/sql"
+	"microspec/internal/types"
+)
+
+// convertExpr lowers an AST expression to an executable expr.Expr,
+// resolving identifiers against s (and its ancestors, producing OuterVar
+// nodes) and planning any embedded subqueries. Aggregate calls are
+// rejected here: the select planner substitutes them before conversion.
+func (p *Planner) convertExpr(e sql.Expr, s *scope) (expr.Expr, error) {
+	switch n := e.(type) {
+	case *sql.Ident:
+		depth, idx, t, err := s.resolve(n.Parts)
+		if err != nil {
+			return nil, err
+		}
+		return exprVar(depth, idx, t, strings.Join(n.Parts, ".")), nil
+
+	case *sql.NumLit:
+		if n.IsFloat {
+			f, err := strconv.ParseFloat(n.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("plan: bad numeric literal %q", n.Text)
+			}
+			return expr.NewConst(types.NewFloat64(f)), nil
+		}
+		v, err := strconv.ParseInt(n.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("plan: bad integer literal %q", n.Text)
+		}
+		return expr.NewConst(types.NewInt64(v)), nil
+
+	case *sql.StrLit:
+		return expr.NewConst(types.NewString(n.Val)), nil
+
+	case *sql.BoolLit:
+		return expr.NewConst(types.NewBool(n.Val)), nil
+
+	case *sql.NullLit:
+		return expr.NewConst(types.Null), nil
+
+	case *sql.DateLit:
+		d, err := types.ParseDate(n.Val)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewConst(types.NewDate(d)), nil
+
+	case *sql.IntervalLit:
+		return nil, fmt.Errorf("plan: interval literal only allowed in date arithmetic")
+
+	case *sql.BinOp:
+		return p.convertBinOp(n, s)
+
+	case *sql.UnOp:
+		kid, err := p.convertExpr(n.Kid, s)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "not" {
+			return &expr.Not{Kid: kid}, nil
+		}
+		return &expr.Neg{Kid: kid}, nil
+
+	case *sql.FuncCall:
+		return nil, fmt.Errorf("plan: aggregate %s() not allowed in this context", n.Name)
+
+	case *sql.CaseExpr:
+		ce := &expr.Case{}
+		for _, w := range n.Whens {
+			cond, err := p.convertExpr(w.Cond, s)
+			if err != nil {
+				return nil, err
+			}
+			res, err := p.convertExpr(w.Result, s)
+			if err != nil {
+				return nil, err
+			}
+			ce.Whens = append(ce.Whens, expr.When{Cond: cond, Result: res})
+		}
+		if n.Else != nil {
+			var err error
+			ce.Else, err = p.convertExpr(n.Else, s)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ce.T = ce.Whens[0].Result.Type()
+		// Numeric CASE arms with mixed int/float widen to float.
+		if n.Else != nil && ce.Else.Type().Kind == types.KindFloat64 {
+			ce.T = types.Float64
+		}
+		return ce, nil
+
+	case *sql.BetweenExpr:
+		x, err := p.convertExpr(n.X, s)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := p.convertExpr(n.Lo, s)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := p.convertExpr(n.Hi, s)
+		if err != nil {
+			return nil, err
+		}
+		// x BETWEEN lo AND hi needs x twice; rebuild the x expression for
+		// the second comparison to keep the tree a tree.
+		x2, _ := p.convertExpr(n.X, s)
+		var b expr.Expr = &expr.And{Kids: []expr.Expr{
+			&expr.Cmp{Op: expr.GE, L: x, R: lo},
+			&expr.Cmp{Op: expr.LE, L: x2, R: hi},
+		}}
+		if n.Not {
+			b = &expr.Not{Kid: b}
+		}
+		return b, nil
+
+	case *sql.InExpr:
+		if n.Sub != nil {
+			return p.planInSubquery(n, s)
+		}
+		x, err := p.convertExpr(n.X, s)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]types.Datum, len(n.List))
+		for i, it := range n.List {
+			ce, err := p.convertExpr(it, s)
+			if err != nil {
+				return nil, err
+			}
+			c, ok := ce.(*expr.Const)
+			if !ok {
+				return nil, fmt.Errorf("plan: IN list items must be constants")
+			}
+			items[i] = c.D
+		}
+		return &expr.InList{Kid: x, Items: items, Negate: n.Not}, nil
+
+	case *sql.ExistsExpr:
+		node, sub, err := p.planSubSelect(n.Sub, s)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.ExistsSubquery{Plan: node, Correlated: sub.correlated, Negate: n.Not}, nil
+
+	case *sql.SubqueryExpr:
+		node, sub, err := p.planSubSelect(n.Sel, s)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.cols) != 1 {
+			return nil, fmt.Errorf("plan: scalar subquery must return one column")
+		}
+		return &exec.ScalarSubquery{Plan: node, Correlated: sub.correlated, T: sub.cols[0].t}, nil
+
+	case *sql.LikeExpr:
+		x, err := p.convertExpr(n.X, s)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewLike(x, n.Pattern, n.Not), nil
+
+	case *sql.IsNullExpr:
+		x, err := p.convertExpr(n.X, s)
+		if err != nil {
+			return nil, err
+		}
+		var b expr.Expr = &expr.IsNull{Kid: x}
+		if n.Not {
+			b = &expr.Not{Kid: b}
+		}
+		return b, nil
+
+	case *sql.ExtractExpr:
+		if n.Field != "year" {
+			return nil, fmt.Errorf("plan: EXTRACT(%s) not supported", strings.ToUpper(n.Field))
+		}
+		x, err := p.convertExpr(n.X, s)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.ExtractYear{Kid: x}, nil
+
+	case *sql.SubstringExpr:
+		x, err := p.convertExpr(n.X, s)
+		if err != nil {
+			return nil, err
+		}
+		from, err := p.convertExpr(n.From, s)
+		if err != nil {
+			return nil, err
+		}
+		span, err := p.convertExpr(n.For, s)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Substring{Kid: x, Start: from, Span: span}, nil
+
+	default:
+		return nil, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+func (p *Planner) convertBinOp(n *sql.BinOp, s *scope) (expr.Expr, error) {
+	switch n.Op {
+	case "and":
+		l, err := p.convertExpr(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.convertExpr(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.And{Kids: flattenAnd(l, r)}, nil
+	case "or":
+		l, err := p.convertExpr(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.convertExpr(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Or{Kids: flattenOr(l, r)}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		l, err := p.convertExpr(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.convertExpr(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Cmp{Op: cmpOp(n.Op), L: l, R: r}, nil
+	case "+", "-":
+		// Date ± interval.
+		if iv, ok := n.R.(*sql.IntervalLit); ok {
+			l, err := p.convertExpr(n.L, s)
+			if err != nil {
+				return nil, err
+			}
+			return &expr.DateArith{Sub: n.Op == "-", L: l, Iv: interval(iv)}, nil
+		}
+		fallthrough
+	case "*", "/":
+		l, err := p.convertExpr(n.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.convertExpr(n.R, s)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Arith{Op: arithOp(n.Op), L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("plan: unsupported operator %q", n.Op)
+	}
+}
+
+func interval(iv *sql.IntervalLit) types.Interval {
+	switch iv.Unit {
+	case "day":
+		return types.Interval{Days: iv.N}
+	case "month":
+		return types.Interval{Months: iv.N}
+	default: // year
+		return types.Interval{Months: 12 * iv.N}
+	}
+}
+
+func cmpOp(op string) expr.CmpOp {
+	switch op {
+	case "=":
+		return expr.EQ
+	case "<>":
+		return expr.NE
+	case "<":
+		return expr.LT
+	case "<=":
+		return expr.LE
+	case ">":
+		return expr.GT
+	default:
+		return expr.GE
+	}
+}
+
+func arithOp(op string) expr.ArithOp {
+	switch op {
+	case "+":
+		return expr.Add
+	case "-":
+		return expr.Sub
+	case "*":
+		return expr.Mul
+	default:
+		return expr.Div
+	}
+}
+
+func flattenAnd(l, r expr.Expr) []expr.Expr {
+	var kids []expr.Expr
+	if a, ok := l.(*expr.And); ok {
+		kids = append(kids, a.Kids...)
+	} else {
+		kids = append(kids, l)
+	}
+	if a, ok := r.(*expr.And); ok {
+		kids = append(kids, a.Kids...)
+	} else {
+		kids = append(kids, r)
+	}
+	return kids
+}
+
+func flattenOr(l, r expr.Expr) []expr.Expr {
+	var kids []expr.Expr
+	if o, ok := l.(*expr.Or); ok {
+		kids = append(kids, o.Kids...)
+	} else {
+		kids = append(kids, l)
+	}
+	if o, ok := r.(*expr.Or); ok {
+		kids = append(kids, o.Kids...)
+	} else {
+		kids = append(kids, r)
+	}
+	return kids
+}
+
+// planInSubquery plans x IN (SELECT ...) as an expression node.
+func (p *Planner) planInSubquery(n *sql.InExpr, s *scope) (expr.Expr, error) {
+	x, err := p.convertExpr(n.X, s)
+	if err != nil {
+		return nil, err
+	}
+	node, sub, err := p.planSubSelect(n.Sub, s)
+	if err != nil {
+		return nil, err
+	}
+	if len(sub.cols) != 1 {
+		return nil, fmt.Errorf("plan: IN subquery must return one column")
+	}
+	return &exec.InSubquery{Kid: x, Plan: node, Correlated: sub.correlated, Negate: n.Not}, nil
+}
+
+// planSubSelect plans a nested SELECT with s as the parent scope and
+// reports the subquery's output scope (whose correlated flag says whether
+// it referenced s or an ancestor).
+func (p *Planner) planSubSelect(sel *sql.Select, s *scope) (exec.Node, *scope, error) {
+	node, sub, err := p.planSelect(sel, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return node, sub, nil
+}

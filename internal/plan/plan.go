@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"fmt"
+
+	"microspec/internal/catalog"
+	"microspec/internal/core"
+	"microspec/internal/exec"
+	"microspec/internal/expr"
+	"microspec/internal/sql"
+	"microspec/internal/storage/heap"
+)
+
+// Planner turns parsed statements into executable plans for one database.
+type Planner struct {
+	Cat *catalog.Catalog
+	Mod *core.Module
+	// HeapFor resolves a relation to its heap (provided by the engine).
+	HeapFor func(rel *catalog.Relation) (*heap.Heap, error)
+}
+
+// Planned is a ready-to-run query plan.
+type Planned struct {
+	Root exec.Node
+	Cols []exec.ColInfo
+}
+
+// PlanSelect plans a full SELECT statement.
+func (p *Planner) PlanSelect(sel *sql.Select) (*Planned, error) {
+	node, sc, err := p.planSelect(sel, nil)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]exec.ColInfo, len(sc.cols))
+	for i, c := range sc.cols {
+		cols[i] = exec.ColInfo{Name: c.name, T: c.t}
+	}
+	return &Planned{Root: node, Cols: cols}, nil
+}
+
+// scanFor builds a sequential scan over a base relation through the bee
+// module's deformer selection.
+func (p *Planner) scanFor(rel *catalog.Relation) (exec.Node, error) {
+	h, err := p.HeapFor(rel)
+	if err != nil {
+		return nil, err
+	}
+	deform, err := p.Mod.Deformer(rel)
+	if err != nil {
+		return nil, err
+	}
+	scan := exec.NewSeqScan(h, deform, 0)
+	if p.Mod.Routines().GCL {
+		scan.NoteDeforms = p.Mod.NoteGCLCall
+	}
+	return scan, nil
+}
+
+// estRows estimates a base relation's cardinality for join ordering.
+func (p *Planner) estRows(rel *catalog.Relation) float64 {
+	h, err := p.HeapFor(rel)
+	if err != nil || h.LiveTuples() == 0 {
+		return 1000
+	}
+	return float64(h.LiveTuples())
+}
+
+// ConvertForRelation lowers an AST expression whose identifiers all
+// reference one relation's attributes (UPDATE/DELETE WHERE clauses and
+// SET expressions).
+func (p *Planner) ConvertForRelation(e sql.Expr, rel *catalog.Relation) (expr.Expr, error) {
+	cols := make([]column, len(rel.Attrs))
+	for i, a := range rel.Attrs {
+		cols[i] = column{tbl: rel.Name, name: a.Name, t: a.Type}
+	}
+	return p.convertExpr(e, &scope{cols: cols})
+}
+
+// baseRelation resolves a FROM-list base table to a catalog relation,
+// returning nil if the name is a CTE instead.
+func (p *Planner) baseRelation(name string, s *scope) (*catalog.Relation, error) {
+	if s != nil {
+		if _, ok := s.lookupCTE(name); ok {
+			return nil, nil
+		}
+	}
+	rel, err := p.Cat.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("plan: %w", err)
+	}
+	return rel, nil
+}

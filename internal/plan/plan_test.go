@@ -1,0 +1,342 @@
+package plan_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/exec"
+)
+
+// The planner is exercised end-to-end through the engine (query results
+// are checked in internal/engine and internal/tpch); the tests here pin
+// the *plan shapes*: join ordering, pushdown, decorrelation, and the
+// OR-factorization rewrite.
+
+func planDB(t testing.TB) *engine.DB {
+	t.Helper()
+	db := engine.Open(engine.Config{Routines: core.AllRoutines, PoolPages: 512})
+	stmts := []string{
+		`create table big (b_id integer not null, b_small integer not null, b_tag char(2) not null, primary key (b_id))`,
+		`create table small (s_id integer not null, s_name varchar(10) not null, primary key (s_id))`,
+		`create table tiny (t_id integer not null, t_flag char(1) not null, primary key (t_id))`,
+	}
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 1000; i++ {
+		mustExec(t, db, fmt.Sprintf("insert into big values (%d, %d, 'T%d')", i, i%100+1, i%4))
+	}
+	for i := 1; i <= 100; i++ {
+		mustExec(t, db, fmt.Sprintf("insert into small values (%d, 'n%d')", i, i))
+	}
+	for i := 1; i <= 10; i++ {
+		mustExec(t, db, fmt.Sprintf("insert into tiny values (%d, 'F')", i))
+	}
+	return db
+}
+
+func mustExec(t testing.TB, db *engine.DB, stmt string) {
+	t.Helper()
+	if _, err := db.Exec(stmt); err != nil {
+		t.Fatalf("%s: %v", stmt, err)
+	}
+}
+
+// walk collects every node in a plan tree.
+func walk(n exec.Node) []exec.Node {
+	out := []exec.Node{n}
+	switch v := n.(type) {
+	case *exec.Filter:
+		out = append(out, walk(v.Child)...)
+	case *exec.Project:
+		out = append(out, walk(v.Child)...)
+	case *exec.Limit:
+		out = append(out, walk(v.Child)...)
+	case *exec.Sort:
+		out = append(out, walk(v.Child)...)
+	case *exec.Distinct:
+		out = append(out, walk(v.Child)...)
+	case *exec.HashAgg:
+		out = append(out, walk(v.Child)...)
+	case *exec.Materialize:
+		out = append(out, walk(v.Child)...)
+	case *exec.HashJoin:
+		out = append(out, walk(v.Outer)...)
+		out = append(out, walk(v.Inner)...)
+	case *exec.NLJoin:
+		out = append(out, walk(v.Outer)...)
+		out = append(out, walk(v.Inner)...)
+	}
+	return out
+}
+
+func nodesOf[T exec.Node](nodes []exec.Node) []T {
+	var out []T
+	for _, n := range nodes {
+		if v, ok := n.(T); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestJoinUsesHashJoinWithLargestAsProbe(t *testing.T) {
+	db := planDB(t)
+	p, err := db.PlanQuery("select count(*) from big, small where b_small = s_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := walk(p.Root)
+	joins := nodesOf[*exec.HashJoin](nodes)
+	if len(joins) != 1 {
+		t.Fatalf("hash joins = %d", len(joins))
+	}
+	// The probe (outer) side should reach the big table's scan; the build
+	// (inner) side the small one.
+	outerScans := nodesOf[*exec.SeqScan](walk(joins[0].Outer))
+	if len(outerScans) != 1 || outerScans[0].Heap.Rel.Name != "big" {
+		t.Errorf("probe side should be big, got %v", outerScans)
+	}
+	innerScans := nodesOf[*exec.SeqScan](walk(joins[0].Inner))
+	if len(innerScans) != 1 || innerScans[0].Heap.Rel.Name != "small" {
+		t.Errorf("build side should be small, got %v", innerScans)
+	}
+	if joins[0].EVJ == nil {
+		t.Error("bee-enabled plan must carry an EVJ bee")
+	}
+}
+
+func TestFilterPushdownBelowJoin(t *testing.T) {
+	db := planDB(t)
+	p, err := db.PlanQuery(
+		"select count(*) from big, small where b_small = s_id and b_id < 50 and s_name like 'n1%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := walk(p.Root)
+	joins := nodesOf[*exec.HashJoin](nodes)
+	if len(joins) != 1 {
+		t.Fatalf("hash joins = %d", len(joins))
+	}
+	// Both single-table predicates must sit below the join.
+	if len(nodesOf[*exec.Filter](walk(joins[0].Outer))) != 1 {
+		t.Error("big-side filter not pushed below join")
+	}
+	if len(nodesOf[*exec.Filter](walk(joins[0].Inner))) != 1 {
+		t.Error("small-side filter not pushed below join")
+	}
+	// The pushed filters are EVP-compiled on a bee-enabled database.
+	for _, f := range nodesOf[*exec.Filter](nodes) {
+		if f.Compiled == nil {
+			t.Errorf("filter %v not EVP-compiled", f.Pred)
+		}
+	}
+}
+
+func TestOrFactorizationCreatesJoinEdge(t *testing.T) {
+	db := planDB(t)
+	// The q19 shape: the equi-join conjunct lives inside both OR branches.
+	p, err := db.PlanQuery(`select count(*) from big, small where
+		(b_small = s_id and b_id < 10)
+		or (b_small = s_id and b_id > 990)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := nodesOf[*exec.HashJoin](walk(p.Root))
+	if len(joins) != 1 {
+		t.Fatal("OR-factorization must produce a hash join, not a cross join")
+	}
+	// And the OR itself must remain as a post-join filter.
+	post := nodesOf[*exec.Filter](walk(p.Root))
+	found := false
+	for _, f := range post {
+		if strings.Contains(f.Pred.String(), "OR") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("OR predicate lost")
+	}
+	// Result sanity: 9 + 10 matching big rows, each matching one small row.
+	r, err := db.Query(`select count(*) from big, small where
+		(b_small = s_id and b_id < 10) or (b_small = s_id and b_id > 990)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int64() != 19 {
+		t.Errorf("count = %v, want 19", r.Rows[0][0])
+	}
+}
+
+func TestExistsDecorrelatesToSemiJoin(t *testing.T) {
+	db := planDB(t)
+	p, err := db.PlanQuery(`select count(*) from small
+		where exists (select * from big where b_small = s_id and b_id < 500)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := nodesOf[*exec.HashJoin](walk(p.Root))
+	if len(joins) != 1 || joins[0].Type != exec.SemiJoin {
+		t.Fatalf("want one semi join, got %v", joins)
+	}
+	// NOT EXISTS → anti join.
+	p2, err := db.PlanQuery(`select count(*) from small
+		where not exists (select * from big where b_small = s_id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins2 := nodesOf[*exec.HashJoin](walk(p2.Root))
+	if len(joins2) != 1 || joins2[0].Type != exec.AntiJoin {
+		t.Fatalf("want one anti join, got %v", joins2)
+	}
+}
+
+func TestCorrelatedScalarDecorrelatesToLeftJoin(t *testing.T) {
+	db := planDB(t)
+	p, err := db.PlanQuery(`select count(*) from small
+		where s_id > (select avg(b_small) from big where b_small = s_id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins := nodesOf[*exec.HashJoin](walk(p.Root))
+	if len(joins) != 1 || joins[0].Type != exec.LeftJoin {
+		t.Fatalf("want one left join, got %d joins", len(joins))
+	}
+	// The aggregate subplan is grouped on the correlation key.
+	aggs := nodesOf[*exec.HashAgg](walk(joins[0].Inner))
+	if len(aggs) != 1 || len(aggs[0].GroupBy) != 1 {
+		t.Fatalf("decorrelated subplan must group by the key, got %v", aggs)
+	}
+}
+
+func TestUncorrelatedSubqueryStaysExpression(t *testing.T) {
+	db := planDB(t)
+	p, err := db.PlanQuery(`select count(*) from small
+		where s_id > (select avg(b_small) from big)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No join introduced: the scalar subquery is a cached expression.
+	if n := len(nodesOf[*exec.HashJoin](walk(p.Root))); n != 0 {
+		t.Errorf("uncorrelated scalar must not join, got %d joins", n)
+	}
+}
+
+func TestCorrelatedExistsWithResidual(t *testing.T) {
+	db := planDB(t)
+	// Correlation equality plus a non-equality correlated residual (the
+	// q21 shape).
+	r, err := db.Query(`select count(*) from small s1
+		where exists (select * from big where b_small = s_id and b_id <> s_id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int64() == 0 {
+		t.Error("residual-exists found nothing")
+	}
+}
+
+func TestOrderByVariants(t *testing.T) {
+	db := planDB(t)
+	// Ordinal.
+	r, err := db.Query("select b_id, b_small from big where b_id <= 5 order by 2 desc, 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][1].Int32() < r.Rows[4][1].Int32() {
+		t.Error("ordinal order by failed")
+	}
+	// Alias.
+	r, err = db.Query("select b_small * 2 as dbl from big where b_id <= 5 order by dbl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hidden column: order by an expression not in the output.
+	r, err = db.Query("select b_id from big where b_id <= 5 order by b_small desc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cols) != 1 {
+		t.Errorf("hidden sort column leaked: %v", r.Cols)
+	}
+	if len(r.Rows) != 5 {
+		t.Errorf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestPlannerErrors(t *testing.T) {
+	db := planDB(t)
+	bad := []string{
+		"select nope from big",
+		"select b_id from nosuchtable",
+		"select b_id from big group by b_small",            // b_id not grouped
+		"select sum(b_id) from big order by 5",             // ordinal out of range
+		"select b_id from big, small where frob = 1",       // unknown column
+		"select t_id from tiny order by nosuch",            // unknown order target
+		"select count(*) from big where b_id in (s_id, 1)", // non-constant IN list
+	}
+	for _, q := range bad {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("Query(%q) must fail", q)
+		}
+	}
+}
+
+func TestGroupByExpressionMatching(t *testing.T) {
+	db := planDB(t)
+	r, err := db.Query(`select b_small * 2, count(*) from big group by b_small * 2 order by 1 limit 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0][0].Int64() != 2 || r.Rows[0][1].Int64() != 10 {
+		t.Errorf("first group = %v", r.Rows[0])
+	}
+}
+
+func TestConvertForRelation(t *testing.T) {
+	db := planDB(t)
+	n, err := db.Exec("update tiny set t_flag = 'G' where t_id between 2 and 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("updated %d", n)
+	}
+	if _, err := db.Exec("update tiny set t_flag = 'X' where nosuch = 1"); err == nil {
+		t.Error("unknown column in UPDATE WHERE must fail")
+	}
+}
+
+func TestExplainMarksBeeRoutines(t *testing.T) {
+	db := planDB(t)
+	out, err := db.ExplainQuery(`select b_tag, sum(b_small * 2) from big, small
+		where b_small = s_id and b_id < 500 group by b_tag`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"[GCL]", "[EVP]", "[EVJ]", "[EVA]", "HashJoin", "HashAgg", "SeqScan big"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// A stock database's plan carries no bee markers.
+	stock := engine.Open(engine.Config{Routines: core.Stock, PoolPages: 128})
+	if _, err := stock.Exec("create table t (a integer not null, primary key (a))"); err != nil {
+		t.Fatal(err)
+	}
+	out2, err := stock.ExplainQuery("select count(*) from t where a > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out2, "[EVP]") || strings.Contains(out2, "[GCL]") {
+		t.Errorf("stock plan must not carry bee markers:\n%s", out2)
+	}
+}

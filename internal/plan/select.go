@@ -1,0 +1,1044 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+
+	"microspec/internal/exec"
+	"microspec/internal/expr"
+	"microspec/internal/sql"
+	"microspec/internal/types"
+)
+
+// selectPlan carries the state of planning one SELECT block.
+type selectPlan struct {
+	p      *Planner
+	parent *scope
+	ctes   map[string]*sql.Select
+	frames []*scope
+}
+
+// newScope creates a resolution frame belonging to this select block.
+func (sp *selectPlan) newScope(cols []column) *scope {
+	s := &scope{cols: cols, parent: sp.parent, ctes: sp.ctes}
+	sp.frames = append(sp.frames, s)
+	return s
+}
+
+// correlated reports whether any frame of this block referenced an
+// enclosing scope.
+func (sp *selectPlan) isCorrelated() bool {
+	for _, f := range sp.frames {
+		if f.correlated {
+			return true
+		}
+	}
+	return false
+}
+
+// fromItem is one planned FROM-list entry.
+type fromItem struct {
+	node    exec.Node
+	cols    []column
+	est     float64
+	filters []sql.Expr // pushed-down single-item conjuncts
+}
+
+// joinEdge is an equi-join conjunct between two from items.
+type joinEdge struct {
+	li, ri int
+	lIdent *sql.Ident // column of item li
+	rIdent *sql.Ident // column of item ri
+	used   bool
+}
+
+// planSelect plans one SELECT block. parent is the enclosing scope for
+// correlated references (nil at the top level). It returns the plan root
+// and the output scope (cols named by the select list; correlated set if
+// the block references parent).
+func (p *Planner) planSelect(sel *sql.Select, parent *scope) (exec.Node, *scope, error) {
+	sp := &selectPlan{p: p, parent: parent}
+	if len(sel.With) > 0 {
+		sp.ctes = make(map[string]*sql.Select, len(sel.With))
+		for _, cte := range sel.With {
+			sp.ctes[cte.Name] = cte.Sel
+		}
+	}
+
+	// --- FROM ---
+	var items []*fromItem
+	for _, ref := range sel.From {
+		it, err := sp.planTableRef(ref)
+		if err != nil {
+			return nil, nil, err
+		}
+		items = append(items, it)
+	}
+	if len(items) == 0 {
+		items = append(items, &fromItem{
+			node: &exec.ValuesNode{Rows: []expr.Row{{}}},
+			est:  1,
+		})
+	}
+	itemCols := make([][]column, len(items))
+	for i, it := range items {
+		itemCols[i] = it.cols
+	}
+
+	// --- WHERE classification ---
+	outerForRefs := sp.parent
+	var edges []*joinEdge
+	var postFilters []sql.Expr // conjuncts evaluated over the joined row
+	var subqConjs []sql.Expr   // conjuncts containing subqueries
+	for _, c := range splitConjuncts(sel.Where) {
+		info := collectRefs(c, itemCols, outerForRefs)
+		switch {
+		case info.subquery:
+			subqConjs = append(subqConjs, c)
+		case info.unknown:
+			postFilters = append(postFilters, c) // will fail with a clear error
+		case len(info.items) <= 1 && !info.outer || len(info.items) == 1 && info.outer:
+			// Single-item (possibly correlated) predicate: push to the scan.
+			idx := 0
+			for i := range info.items {
+				idx = i
+			}
+			if len(info.items) == 0 {
+				postFilters = append(postFilters, c)
+			} else {
+				items[idx].filters = append(items[idx].filters, c)
+			}
+		case len(info.items) == 2 && !info.outer:
+			if e := identEqEdge(c, itemCols); e != nil {
+				edges = append(edges, e)
+			} else {
+				// OR-of-ANDs with a join predicate repeated in every
+				// branch (the q19 shape): factor the common equality out
+				// as a join edge so the pair hash-joins instead of
+				// cross-joining; the OR itself remains a post filter.
+				edges = append(edges, factorOrEdges(c, itemCols)...)
+				postFilters = append(postFilters, c)
+			}
+		default:
+			postFilters = append(postFilters, c)
+		}
+	}
+
+	// Attach pushed filters to each item.
+	for _, it := range items {
+		if err := sp.attachFilters(it); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// --- Join ordering ---
+	ts, err := sp.buildJoinTree(items, edges)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// --- Subquery conjuncts: decorrelate or evaluate as expressions ---
+	var postExprs []expr.Expr
+	for _, c := range subqConjs {
+		handled, repl, err := sp.handleSubqueryConjunct(ts, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		if handled {
+			if repl != nil {
+				postExprs = append(postExprs, repl)
+			}
+			continue
+		}
+		// Fallback: evaluate the subquery as an expression per row.
+		e, err := p.convertExpr(c, sp.newScope(ts.cols))
+		if err != nil {
+			return nil, nil, err
+		}
+		postExprs = append(postExprs, e)
+	}
+
+	// --- Remaining post-join filters ---
+	if len(postFilters) > 0 {
+		s := sp.newScope(ts.cols)
+		for _, c := range postFilters {
+			e, err := p.convertExpr(c, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			postExprs = append(postExprs, e)
+		}
+	}
+	if len(postExprs) > 0 {
+		var pred expr.Expr
+		if len(postExprs) == 1 {
+			pred = postExprs[0]
+		} else {
+			pred = &expr.And{Kids: postExprs}
+		}
+		f := &exec.Filter{Child: ts.node, Pred: pred}
+		if cp, ok := p.Mod.CompilePredicate(pred); ok {
+			f.Compiled = cp
+			f.NoteCalls = p.Mod.NoteEVPCall
+		}
+		ts.node = f
+	}
+
+	// --- Aggregation, projection, ordering ---
+	return sp.finishSelect(sel, ts)
+}
+
+// attachFilters wraps an item's node in a Filter for its pushed conjuncts.
+func (sp *selectPlan) attachFilters(it *fromItem) error {
+	if len(it.filters) == 0 {
+		return nil
+	}
+	s := sp.newScope(it.cols)
+	var kids []expr.Expr
+	for _, c := range it.filters {
+		e, err := sp.p.convertExpr(c, s)
+		if err != nil {
+			return err
+		}
+		kids = append(kids, e)
+	}
+	var pred expr.Expr
+	if len(kids) == 1 {
+		pred = kids[0]
+	} else {
+		pred = &expr.And{Kids: kids}
+	}
+	f := &exec.Filter{Child: it.node, Pred: pred}
+	if cp, ok := sp.p.Mod.CompilePredicate(pred); ok {
+		f.Compiled = cp
+		f.NoteCalls = sp.p.Mod.NoteEVPCall
+	}
+	it.node = f
+	it.est = it.est / float64(1+len(it.filters))
+	return nil
+}
+
+// identEqEdge recognizes a two-item equi-join conjunct col_a = col_b.
+func identEqEdge(c sql.Expr, itemCols [][]column) *joinEdge {
+	b, ok := c.(*sql.BinOp)
+	if !ok || b.Op != "=" {
+		return nil
+	}
+	li, ok1 := b.L.(*sql.Ident)
+	ri, ok2 := b.R.(*sql.Ident)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	find := func(id *sql.Ident) int {
+		for i, cols := range itemCols {
+			if idx, err := findColumn(cols, id.Parts); err == nil && idx >= 0 {
+				return i
+			}
+		}
+		return -1
+	}
+	a, bb := find(li), find(ri)
+	if a < 0 || bb < 0 || a == bb {
+		return nil
+	}
+	return &joinEdge{li: a, ri: bb, lIdent: li, rIdent: ri}
+}
+
+// factorOrEdges extracts equi-join conjuncts that appear in every branch
+// of an OR as implied join edges (A∧X ∨ A∧Y ⇒ A).
+func factorOrEdges(c sql.Expr, itemCols [][]column) []*joinEdge {
+	or, ok := c.(*sql.BinOp)
+	if !ok || or.Op != "or" {
+		return nil
+	}
+	branches := splitDisjuncts(c)
+	if len(branches) < 2 {
+		return nil
+	}
+	first := splitConjuncts(branches[0])
+	var edges []*joinEdge
+	for _, cand := range first {
+		e := identEqEdge(cand, itemCols)
+		if e == nil {
+			continue
+		}
+		want := astString(cand)
+		inAll := true
+		for _, b := range branches[1:] {
+			found := false
+			for _, cc := range splitConjuncts(b) {
+				if astString(cc) == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}
+
+func splitDisjuncts(e sql.Expr) []sql.Expr {
+	if b, ok := e.(*sql.BinOp); ok && b.Op == "or" {
+		return append(splitDisjuncts(b.L), splitDisjuncts(b.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// treeState is the join tree under construction.
+type treeState struct {
+	node exec.Node
+	cols []column
+}
+
+// buildJoinTree greedily assembles a left-deep join tree: start from the
+// largest item (the probe side), repeatedly attach the smallest item
+// connected by an equi-join edge as the hash-join build side; cross-join
+// (materialized nested loop) only when nothing connects.
+func (sp *selectPlan) buildJoinTree(items []*fromItem, edges []*joinEdge) (*treeState, error) {
+	n := len(items)
+	inTree := make([]bool, n)
+	itemOffset := make([]int, n)
+
+	// Start with the largest item.
+	start := 0
+	for i := 1; i < n; i++ {
+		if items[i].est > items[start].est {
+			start = i
+		}
+	}
+	ts := &treeState{node: items[start].node, cols: append([]column(nil), items[start].cols...)}
+	inTree[start] = true
+	itemOffset[start] = 0
+
+	for added := 1; added < n; added++ {
+		// Find the smallest item connected to the tree.
+		next := -1
+		for i := 0; i < n; i++ {
+			if inTree[i] {
+				continue
+			}
+			connected := false
+			for _, e := range edges {
+				if e.used {
+					continue
+				}
+				if e.li == i && inTree[e.ri] || e.ri == i && inTree[e.li] {
+					connected = true
+					break
+				}
+			}
+			if connected && (next < 0 || items[i].est < items[next].est) {
+				next = i
+			}
+		}
+		if next < 0 {
+			// Cross join with the smallest remaining item.
+			for i := 0; i < n; i++ {
+				if !inTree[i] && (next < 0 || items[i].est < items[next].est) {
+					next = i
+				}
+			}
+			itemOffset[next] = len(ts.cols)
+			ts.node = &exec.NLJoin{
+				Outer: ts.node,
+				Inner: &exec.Materialize{Child: items[next].node},
+				Type:  exec.InnerJoin,
+			}
+			ts.cols = append(ts.cols, items[next].cols...)
+			inTree[next] = true
+			continue
+		}
+
+		// Gather all unused edges connecting next to the tree as keys.
+		var outerKeys, innerKeys []int
+		var keyTypes []types.T
+		for _, e := range edges {
+			if e.used {
+				continue
+			}
+			var treeIdent, itemIdent *sql.Ident
+			switch {
+			case e.li == next && inTree[e.ri]:
+				itemIdent, treeIdent = e.lIdent, e.rIdent
+			case e.ri == next && inTree[e.li]:
+				itemIdent, treeIdent = e.rIdent, e.lIdent
+			default:
+				continue
+			}
+			ti, err := findColumn(ts.cols, treeIdent.Parts)
+			if err != nil || ti < 0 {
+				continue
+			}
+			ii, err := findColumn(items[next].cols, itemIdent.Parts)
+			if err != nil || ii < 0 {
+				continue
+			}
+			outerKeys = append(outerKeys, ti)
+			innerKeys = append(innerKeys, ii)
+			keyTypes = append(keyTypes, items[next].cols[ii].t)
+			e.used = true
+		}
+		hj := &exec.HashJoin{
+			Outer:     ts.node,
+			Inner:     items[next].node,
+			OuterKeys: outerKeys,
+			InnerKeys: innerKeys,
+			Type:      exec.InnerJoin,
+		}
+		if evj, ok := sp.p.Mod.CompileJoinKeys(outerKeys, innerKeys, keyTypes); ok {
+			hj.EVJ = evj
+			hj.NoteEVJ = sp.p.Mod.NoteEVJCall
+		}
+		itemOffset[next] = len(ts.cols)
+		ts.node = hj
+		ts.cols = append(ts.cols, items[next].cols...)
+		inTree[next] = true
+	}
+
+	// Leftover edges (cycles) become post filters on the combined row.
+	var leftovers []expr.Expr
+	s := sp.newScope(ts.cols)
+	for _, e := range edges {
+		if e.used {
+			continue
+		}
+		l, err := sp.p.convertExpr(&sql.BinOp{Op: "=", L: e.lIdent, R: e.rIdent}, s)
+		if err != nil {
+			return nil, err
+		}
+		leftovers = append(leftovers, l)
+	}
+	if len(leftovers) > 0 {
+		var pred expr.Expr
+		if len(leftovers) == 1 {
+			pred = leftovers[0]
+		} else {
+			pred = &expr.And{Kids: leftovers}
+		}
+		f := &exec.Filter{Child: ts.node, Pred: pred}
+		if cp, ok := sp.p.Mod.CompilePredicate(pred); ok {
+			f.Compiled = cp
+		}
+		ts.node = f
+	}
+	return ts, nil
+}
+
+// planTableRef plans one FROM-list entry.
+func (sp *selectPlan) planTableRef(ref sql.TableRef) (*fromItem, error) {
+	p := sp.p
+	switch r := ref.(type) {
+	case *sql.BaseTable:
+		alias := r.Alias
+		if alias == "" {
+			alias = r.Name
+		}
+		// CTE reference?
+		probe := &scope{parent: sp.parent, ctes: sp.ctes}
+		if cteSel, ok := probe.lookupCTE(r.Name); ok {
+			node, sub, err := p.planSelect(cteSel, sp.parent)
+			if err != nil {
+				return nil, fmt.Errorf("plan: in CTE %s: %w", r.Name, err)
+			}
+			cols := make([]column, len(sub.cols))
+			for i, c := range sub.cols {
+				cols[i] = column{tbl: alias, name: c.name, t: c.t}
+			}
+			return &fromItem{node: node, cols: cols, est: 500}, nil
+		}
+		rel, err := p.baseRelation(r.Name, probe)
+		if err != nil {
+			return nil, err
+		}
+		node, err := p.scanFor(rel)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]column, len(rel.Attrs))
+		for i, a := range rel.Attrs {
+			cols[i] = column{tbl: alias, name: a.Name, t: a.Type}
+		}
+		return &fromItem{node: node, cols: cols, est: p.estRows(rel)}, nil
+
+	case *sql.SubqueryRef:
+		node, sub, err := p.planSelect(r.Sel, sp.parent)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]column, len(sub.cols))
+		for i, c := range sub.cols {
+			cols[i] = column{tbl: r.Alias, name: c.name, t: c.t}
+		}
+		if sub.correlated {
+			return nil, fmt.Errorf("plan: correlated derived table %q not supported", r.Alias)
+		}
+		return &fromItem{node: node, cols: cols, est: 500}, nil
+
+	case *sql.JoinRef:
+		return sp.planJoinRef(r)
+
+	default:
+		return nil, fmt.Errorf("plan: unsupported FROM item %T", ref)
+	}
+}
+
+// planJoinRef plans an explicit JOIN ... ON, extracting equi keys from
+// the ON conjuncts and keeping the rest as the join residual (ON-clause
+// semantics, which matter for outer joins).
+func (sp *selectPlan) planJoinRef(r *sql.JoinRef) (*fromItem, error) {
+	left, err := sp.planTableRef(r.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := sp.planTableRef(r.Right)
+	if err != nil {
+		return nil, err
+	}
+	combined := append(append([]column(nil), left.cols...), right.cols...)
+
+	if r.Type == sql.JoinCross {
+		return &fromItem{
+			node: &exec.NLJoin{Outer: left.node, Inner: &exec.Materialize{Child: right.node}, Type: exec.InnerJoin},
+			cols: combined,
+			est:  left.est * right.est,
+		}, nil
+	}
+
+	jt := exec.InnerJoin
+	if r.Type == sql.JoinLeft {
+		jt = exec.LeftJoin
+	}
+	itemCols := [][]column{left.cols, right.cols}
+	var outerKeys, innerKeys []int
+	var keyTypes []types.T
+	var residualASTs []sql.Expr
+	for _, c := range splitConjuncts(r.On) {
+		if e := identEqEdge(c, itemCols); e != nil {
+			lId, rId := e.lIdent, e.rIdent
+			if e.li == 1 {
+				lId, rId = rId, lId // normalize: left ident first
+			}
+			li, _ := findColumn(left.cols, lId.Parts)
+			ri, _ := findColumn(right.cols, rId.Parts)
+			outerKeys = append(outerKeys, li)
+			innerKeys = append(innerKeys, ri)
+			keyTypes = append(keyTypes, right.cols[ri].t)
+			continue
+		}
+		residualASTs = append(residualASTs, c)
+	}
+	var residual expr.Expr
+	if len(residualASTs) > 0 {
+		s := sp.newScope(combined)
+		var kids []expr.Expr
+		for _, c := range residualASTs {
+			e, err := sp.p.convertExpr(c, s)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, e)
+		}
+		if len(kids) == 1 {
+			residual = kids[0]
+		} else {
+			residual = &expr.And{Kids: kids}
+		}
+	}
+
+	var node exec.Node
+	if len(outerKeys) > 0 {
+		hj := &exec.HashJoin{
+			Outer: left.node, Inner: right.node,
+			OuterKeys: outerKeys, InnerKeys: innerKeys,
+			Type: jt, Residual: residual,
+		}
+		if residual != nil {
+			if cp, ok := sp.p.Mod.CompilePredicate(residual); ok {
+				hj.ResidualCompiled = cp
+			}
+		}
+		if evj, ok := sp.p.Mod.CompileJoinKeys(outerKeys, innerKeys, keyTypes); ok {
+			hj.EVJ = evj
+			hj.NoteEVJ = sp.p.Mod.NoteEVJCall
+		}
+		node = hj
+	} else {
+		nl := &exec.NLJoin{
+			Outer: left.node, Inner: &exec.Materialize{Child: right.node},
+			Type: jt, Qual: residual,
+		}
+		if residual != nil {
+			if cp, ok := sp.p.Mod.CompilePredicate(residual); ok {
+				nl.QualCompiled = cp
+			}
+		}
+		node = nl
+	}
+	return &fromItem{node: node, cols: combined, est: left.est * 1.2}, nil
+}
+
+// substVar is a pre-resolved substitution target for aggregate planning.
+type substVar struct {
+	idx  int
+	t    types.T
+	name string
+}
+
+// finishSelect handles aggregation, HAVING, projection, DISTINCT, ORDER
+// BY, and LIMIT over the joined tree.
+func (sp *selectPlan) finishSelect(sel *sql.Select, ts *treeState) (exec.Node, *scope, error) {
+	p := sp.p
+
+	// Expand stars.
+	var outASTs []sql.Expr
+	var outAliases []string
+	starCols := []column(nil)
+	for _, item := range sel.Items {
+		if item.Star {
+			for _, c := range ts.cols {
+				outASTs = append(outASTs, nil) // marker: direct column
+				outAliases = append(outAliases, "")
+				starCols = append(starCols, c)
+			}
+			continue
+		}
+		outASTs = append(outASTs, item.Expr)
+		outAliases = append(outAliases, item.Alias)
+	}
+
+	needAgg := len(sel.GroupBy) > 0 || sel.Having != nil
+	for _, a := range outASTs {
+		if a != nil && containsAggregate(a) {
+			needAgg = true
+		}
+	}
+
+	curNode := ts.node
+	curScope := sp.newScope(ts.cols)
+	subst := map[string]substVar(nil)
+
+	if needAgg {
+		var err error
+		curNode, curScope, subst, err = sp.planAggregation(sel, ts, outASTs)
+		if err != nil {
+			return nil, nil, err
+		}
+		// HAVING.
+		if sel.Having != nil {
+			pred, err := sp.convertSubst(sel.Having, curScope, subst)
+			if err != nil {
+				return nil, nil, err
+			}
+			f := &exec.Filter{Child: curNode, Pred: pred}
+			if cp, ok := p.Mod.CompilePredicate(pred); ok {
+				f.Compiled = cp
+			}
+			curNode = f
+		}
+	}
+
+	// Convert output expressions.
+	var outExprs []expr.Expr
+	var outCols []column
+	starIdx := 0
+	for i, ast := range outASTs {
+		if ast == nil {
+			c := starCols[starIdx]
+			starIdx++
+			idx, err := findColumn(curScope.cols, []string{c.tbl, c.name})
+			if err != nil || idx < 0 {
+				idx, _ = findColumn(curScope.cols, []string{c.name})
+			}
+			if idx < 0 {
+				return nil, nil, fmt.Errorf("plan: cannot expand * column %s.%s", c.tbl, c.name)
+			}
+			outExprs = append(outExprs, &expr.Var{Idx: idx, T: c.t, Name: c.name})
+			outCols = append(outCols, c)
+			continue
+		}
+		e, err := sp.convertSubst(ast, curScope, subst)
+		if err != nil {
+			return nil, nil, err
+		}
+		outExprs = append(outExprs, e)
+		name := outAliases[i]
+		if name == "" {
+			if id, ok := ast.(*sql.Ident); ok {
+				name = id.Parts[len(id.Parts)-1]
+			} else {
+				name = astString(ast)
+			}
+		}
+		outCols = append(outCols, column{name: name, t: e.Type()})
+	}
+
+	// ORDER BY resolution: output ordinal, alias, or structural match;
+	// otherwise a hidden projected column.
+	var sortKeys []exec.SortKey
+	hidden := 0
+	for _, oi := range sel.OrderBy {
+		idx := -1
+		if n, ok := oi.Expr.(*sql.NumLit); ok && !n.IsFloat {
+			v, _ := strconv.Atoi(n.Text)
+			if v < 1 || v > len(outASTs) {
+				return nil, nil, fmt.Errorf("plan: ORDER BY position %d out of range", v)
+			}
+			idx = v - 1
+		}
+		if idx < 0 {
+			if id, ok := oi.Expr.(*sql.Ident); ok && len(id.Parts) == 1 {
+				for j, alias := range outAliases {
+					if alias == id.Parts[0] {
+						idx = j
+						break
+					}
+				}
+			}
+		}
+		if idx < 0 {
+			want := astString(oi.Expr)
+			for j, ast := range outASTs {
+				if ast != nil && astString(ast) == want {
+					idx = j
+					break
+				}
+			}
+			// Also match star columns / bare output names.
+			if idx < 0 {
+				if id, ok := oi.Expr.(*sql.Ident); ok {
+					name := id.Parts[len(id.Parts)-1]
+					for j, c := range outCols {
+						if c.name == name {
+							idx = j
+							break
+						}
+					}
+				}
+			}
+		}
+		if idx < 0 {
+			// Hidden sort column.
+			if sel.Distinct {
+				return nil, nil, fmt.Errorf("plan: ORDER BY expression must appear in SELECT DISTINCT list")
+			}
+			e, err := sp.convertSubst(oi.Expr, curScope, subst)
+			if err != nil {
+				return nil, nil, err
+			}
+			idx = len(outExprs)
+			outExprs = append(outExprs, e)
+			hidden++
+		}
+		sortKeys = append(sortKeys, exec.SortKey{Idx: idx, Desc: oi.Desc})
+	}
+
+	projCols := make([]exec.ColInfo, len(outExprs))
+	for i := range outExprs {
+		if i < len(outCols) {
+			projCols[i] = exec.ColInfo{Name: outCols[i].name, T: outExprs[i].Type()}
+		} else {
+			projCols[i] = exec.ColInfo{Name: fmt.Sprintf("_sort%d", i), T: outExprs[i].Type()}
+		}
+	}
+	var node exec.Node = &exec.Project{Child: curNode, Exprs: outExprs, Cols: projCols}
+
+	if sel.Distinct {
+		node = &exec.Distinct{Child: node}
+	}
+	if len(sortKeys) > 0 {
+		node = &exec.Sort{Child: node, Keys: sortKeys}
+	}
+	if hidden > 0 {
+		visible := len(outExprs) - hidden
+		strip := make([]expr.Expr, visible)
+		for i := 0; i < visible; i++ {
+			strip[i] = &expr.Var{Idx: i, T: projCols[i].T, Name: projCols[i].Name}
+		}
+		node = &exec.Project{Child: node, Exprs: strip, Cols: projCols[:visible]}
+	}
+	if sel.Limit >= 0 || sel.Offset > 0 {
+		node = &exec.Limit{Child: node, N: sel.Limit, Offset: sel.Offset}
+	}
+
+	out := &scope{cols: outCols, parent: sp.parent, correlated: sp.isCorrelated()}
+	return node, out, nil
+}
+
+// planAggregation builds the HashAgg node: group keys from GROUP BY,
+// aggregate specs extracted from the select list, HAVING, and ORDER BY.
+// It returns the post-aggregation scope and the substitution table used
+// to rewrite those expressions over the aggregate output.
+func (sp *selectPlan) planAggregation(sel *sql.Select, ts *treeState, outASTs []sql.Expr) (exec.Node, *scope, map[string]substVar, error) {
+	p := sp.p
+	joined := sp.newScope(ts.cols)
+
+	subst := map[string]substVar{}
+	var groupExprs []expr.Expr
+	var postCols []column
+	for i, g := range sel.GroupBy {
+		e, err := p.convertExpr(g, joined)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		groupExprs = append(groupExprs, e)
+		key := astString(g)
+		col := column{name: key, t: e.Type()}
+		if id, ok := g.(*sql.Ident); ok {
+			idx, _ := findColumn(ts.cols, id.Parts)
+			if idx >= 0 {
+				col = ts.cols[idx]
+			}
+		}
+		postCols = append(postCols, col)
+		subst[key] = substVar{idx: i, t: e.Type(), name: col.name}
+	}
+
+	// Extract aggregate calls from every expression that will be
+	// evaluated post-aggregation.
+	var aggs []exec.AggSpec
+	var extract func(e sql.Expr) error
+	seen := map[string]int{}
+	extract = func(e sql.Expr) error {
+		switch n := e.(type) {
+		case nil:
+			return nil
+		case *sql.FuncCall:
+			if !isAggName(n.Name) {
+				return fmt.Errorf("plan: unknown function %q", n.Name)
+			}
+			key := astString(n)
+			if _, ok := seen[key]; ok {
+				return nil
+			}
+			spec := exec.AggSpec{Distinct: n.Distinct, Name: key}
+			switch n.Name {
+			case "count":
+				spec.Fn = exec.AggCount
+			case "sum":
+				spec.Fn = exec.AggSum
+			case "avg":
+				spec.Fn = exec.AggAvg
+			case "min":
+				spec.Fn = exec.AggMin
+			case "max":
+				spec.Fn = exec.AggMax
+			}
+			if !n.Star {
+				if len(n.Args) != 1 {
+					return fmt.Errorf("plan: %s takes one argument", n.Name)
+				}
+				arg, err := p.convertExpr(n.Args[0], joined)
+				if err != nil {
+					return err
+				}
+				spec.Arg = arg
+				// EVA: specialize the aggregate's input evaluation.
+				if ca, ok := p.Mod.CompileScalar(arg); ok {
+					spec.CompiledArg = ca
+				}
+			}
+			idx := len(sel.GroupBy) + len(aggs)
+			aggs = append(aggs, spec)
+			seen[key] = idx
+			subst[key] = substVar{idx: idx, t: spec.ResultType(), name: key}
+			return nil
+		case *sql.BinOp:
+			if err := extract(n.L); err != nil {
+				return err
+			}
+			return extract(n.R)
+		case *sql.UnOp:
+			return extract(n.Kid)
+		case *sql.CaseExpr:
+			for _, w := range n.Whens {
+				if err := extract(w.Cond); err != nil {
+					return err
+				}
+				if err := extract(w.Result); err != nil {
+					return err
+				}
+			}
+			return extract(n.Else)
+		case *sql.BetweenExpr:
+			if err := extract(n.X); err != nil {
+				return err
+			}
+			if err := extract(n.Lo); err != nil {
+				return err
+			}
+			return extract(n.Hi)
+		case *sql.LikeExpr:
+			return extract(n.X)
+		case *sql.IsNullExpr:
+			return extract(n.X)
+		case *sql.ExtractExpr:
+			return extract(n.X)
+		case *sql.SubstringExpr:
+			if err := extract(n.X); err != nil {
+				return err
+			}
+			if err := extract(n.From); err != nil {
+				return err
+			}
+			return extract(n.For)
+		case *sql.InExpr:
+			if err := extract(n.X); err != nil {
+				return err
+			}
+			for _, it := range n.List {
+				if err := extract(it); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	gather := append([]sql.Expr(nil), outASTs...)
+	if sel.Having != nil {
+		gather = append(gather, sel.Having)
+	}
+	for _, oi := range sel.OrderBy {
+		gather = append(gather, oi.Expr)
+	}
+	for _, e := range gather {
+		if e == nil {
+			continue
+		}
+		if err := extractAggsOnly(e, extract); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	for _, a := range aggs {
+		postCols = append(postCols, column{name: a.Name, t: a.ResultType()})
+	}
+	agg := &exec.HashAgg{Child: ts.node, GroupBy: groupExprs, Aggs: aggs}
+	for i := range aggs {
+		if aggs[i].CompiledArg != nil {
+			agg.NoteEVA = p.Mod.NoteEVACall
+			break
+		}
+	}
+	return agg, sp.newScope(postCols), subst, nil
+}
+
+// extractAggsOnly walks e calling extract on aggregate FuncCall nodes
+// (skipping subtrees that match group-by keys is unnecessary: group keys
+// never contain aggregates).
+func extractAggsOnly(e sql.Expr, extract func(sql.Expr) error) error {
+	switch n := e.(type) {
+	case *sql.FuncCall:
+		if isAggName(n.Name) {
+			return extract(n)
+		}
+		return nil
+	default:
+		return extract(e)
+	}
+}
+
+func isAggName(name string) bool {
+	switch name {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}
+
+// convertSubst converts an AST expression, first substituting any subtree
+// that matches a group-by key or extracted aggregate (by canonical string)
+// with a Var over the aggregate output row. With a nil substitution table
+// it is plain convertExpr.
+func (sp *selectPlan) convertSubst(e sql.Expr, s *scope, subst map[string]substVar) (expr.Expr, error) {
+	if subst == nil {
+		return sp.p.convertExpr(e, s)
+	}
+	if sv, ok := subst[astString(e)]; ok {
+		return &expr.Var{Idx: sv.idx, T: sv.t, Name: sv.name}, nil
+	}
+	switch n := e.(type) {
+	case *sql.BinOp:
+		l, err := sp.convertSubst(n.L, s, subst)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sp.convertSubst(n.R, s, subst)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "and":
+			return &expr.And{Kids: flattenAnd(l, r)}, nil
+		case "or":
+			return &expr.Or{Kids: flattenOr(l, r)}, nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			return &expr.Cmp{Op: cmpOp(n.Op), L: l, R: r}, nil
+		default:
+			return &expr.Arith{Op: arithOp(n.Op), L: l, R: r}, nil
+		}
+	case *sql.UnOp:
+		k, err := sp.convertSubst(n.Kid, s, subst)
+		if err != nil {
+			return nil, err
+		}
+		if n.Op == "not" {
+			return &expr.Not{Kid: k}, nil
+		}
+		return &expr.Neg{Kid: k}, nil
+	case *sql.CaseExpr:
+		ce := &expr.Case{}
+		for _, w := range n.Whens {
+			c, err := sp.convertSubst(w.Cond, s, subst)
+			if err != nil {
+				return nil, err
+			}
+			r, err := sp.convertSubst(w.Result, s, subst)
+			if err != nil {
+				return nil, err
+			}
+			ce.Whens = append(ce.Whens, expr.When{Cond: c, Result: r})
+		}
+		if n.Else != nil {
+			var err error
+			ce.Else, err = sp.convertSubst(n.Else, s, subst)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ce.T = ce.Whens[0].Result.Type()
+		return ce, nil
+	case *sql.BetweenExpr:
+		x1, err := sp.convertSubst(n.X, s, subst)
+		if err != nil {
+			return nil, err
+		}
+		x2, _ := sp.convertSubst(n.X, s, subst)
+		lo, err := sp.convertSubst(n.Lo, s, subst)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := sp.convertSubst(n.Hi, s, subst)
+		if err != nil {
+			return nil, err
+		}
+		var b expr.Expr = &expr.And{Kids: []expr.Expr{
+			&expr.Cmp{Op: expr.GE, L: x1, R: lo},
+			&expr.Cmp{Op: expr.LE, L: x2, R: hi},
+		}}
+		if n.Not {
+			b = &expr.Not{Kid: b}
+		}
+		return b, nil
+	default:
+		return sp.p.convertExpr(e, s)
+	}
+}

@@ -1,0 +1,81 @@
+package profile
+
+import "testing"
+
+func TestNilCountersAreNoOps(t *testing.T) {
+	var p *Counters
+	p.Add(CompDeform, 100) // must not panic
+	if p.Total() != 0 || p.Component(CompDeform) != 0 {
+		t.Error("nil counters must read zero")
+	}
+	p.Merge(&Counters{})
+	p.Reset()
+	if len(p.Breakdown()) != 0 {
+		t.Error("nil breakdown must be empty")
+	}
+}
+
+func TestAddTotalMergeReset(t *testing.T) {
+	a := &Counters{}
+	a.Add(CompDeform, 340)
+	a.Add(CompExec, 100)
+	a.Add(CompDeform, 10)
+	if got := a.Component(CompDeform); got != 350 {
+		t.Errorf("deform = %d", got)
+	}
+	if got := a.Total(); got != 450 {
+		t.Errorf("total = %d", got)
+	}
+	b := &Counters{}
+	b.Add(CompFill, 5)
+	b.Merge(a)
+	if got := b.Total(); got != 455 {
+		t.Errorf("merged total = %d", got)
+	}
+	bd := b.Breakdown()
+	if len(bd) != 3 {
+		t.Fatalf("breakdown entries = %d, want 3", len(bd))
+	}
+	if bd[0].Name != "deform" || bd[0].Count != 350 {
+		t.Errorf("breakdown[0] = %+v", bd[0])
+	}
+	b.Reset()
+	if b.Total() != 0 {
+		t.Error("reset must zero counters")
+	}
+}
+
+// TestCaseStudyCalibration pins the cost model to the paper's §II hand
+// count: the generic deform of the 9-attribute TPC-H orders tuple costs
+// ≈340 instructions and the specialized GCL routine ≈146 (8 fixed + 1
+// varlena attribute generic; 5 stored fixed + 1 varlena + 3 data-section
+// holes specialized).
+func TestCaseStudyCalibration(t *testing.T) {
+	generic := int64(DeformBase + 8*DeformFixedAttr + 1*DeformVarlenaAttr)
+	gcl := int64(GCLBase + 5*GCLFixedAttr + 1*GCLVarlenaAttr + 3*GCLHoleAttr)
+	if generic < 320 || generic > 360 {
+		t.Errorf("generic orders deform = %d, want ≈340", generic)
+	}
+	if gcl < 135 || gcl > 160 {
+		t.Errorf("GCL orders deform = %d, want ≈146", gcl)
+	}
+	saving := float64(generic-gcl) / float64(generic)
+	if saving < 0.5 || saving > 0.65 {
+		t.Errorf("per-call saving = %.2f, want ≈0.57 (340→146)", saving)
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	names := map[Component]string{
+		CompDeform: "deform", CompFill: "fill", CompExpr: "expr",
+		CompJoin: "join", CompExec: "exec", CompStorage: "storage", CompBee: "bee",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if Component(99).String() != "?" {
+		t.Error("unknown component must stringify as ?")
+	}
+}

@@ -1,0 +1,265 @@
+package sql
+
+import "microspec/internal/types"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is CREATE TABLE with optional PRIMARY KEY and the paper's
+// LOWCARD column annotation (the Annotation DDL of the bee architecture).
+type CreateTable struct {
+	Name string
+	Cols []ColDef
+	PKey []string
+}
+
+// ColDef is one column definition.
+type ColDef struct {
+	Name    string
+	Type    types.T
+	NotNull bool
+	LowCard bool
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (cols...).
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Cols   []string
+	Unique bool
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// Update is UPDATE table SET col = expr, ... [WHERE ...].
+type Update struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// Delete is DELETE FROM table [WHERE ...].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Select is a full query block.
+type Select struct {
+	With     []CTE
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 = none
+	Offset   int64
+}
+
+// CTE is one WITH name AS (select) entry.
+type CTE struct {
+	Name string
+	Sel  *Select
+}
+
+// SelectItem is one output expression. Star items have Star set.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// OrderItem orders by an expression (possibly an output alias or 1-based
+// ordinal).
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableRef is a FROM-list item.
+type TableRef interface{ tableRef() }
+
+// BaseTable references a named relation (or CTE) with an optional alias.
+type BaseTable struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryRef is a derived table.
+type SubqueryRef struct {
+	Sel   *Select
+	Alias string
+}
+
+// JoinRef is an explicit JOIN with an ON condition.
+type JoinRef struct {
+	Left, Right TableRef
+	Type        JoinKind
+	On          Expr
+}
+
+// JoinKind is the parsed join flavor.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+func (*BaseTable) tableRef()   {}
+func (*SubqueryRef) tableRef() {}
+func (*JoinRef) tableRef()     {}
+
+func (*CreateTable) stmt() {}
+func (*CreateIndex) stmt() {}
+func (*DropTable) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+func (*Select) stmt()      {}
+
+// Expr is a parsed (untyped) expression.
+type Expr interface{ expr() }
+
+// Ident is a possibly-qualified column reference (a or a.b).
+type Ident struct{ Parts []string }
+
+// NumLit is a numeric literal.
+type NumLit struct {
+	Text    string
+	IsFloat bool
+}
+
+// StrLit is a string literal.
+type StrLit struct{ Val string }
+
+// BoolLit is TRUE/FALSE.
+type BoolLit struct{ Val bool }
+
+// NullLit is NULL.
+type NullLit struct{}
+
+// DateLit is DATE 'yyyy-mm-dd'.
+type DateLit struct{ Val string }
+
+// IntervalLit is INTERVAL 'n' day|month|year.
+type IntervalLit struct {
+	N    int
+	Unit string // "day", "month", "year"
+}
+
+// BinOp is a binary operator: comparison, arithmetic, AND, OR.
+type BinOp struct {
+	Op   string
+	L, R Expr
+}
+
+// UnOp is NOT or unary minus.
+type UnOp struct {
+	Op  string
+	Kid Expr
+}
+
+// FuncCall is an aggregate or scalar function call.
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Distinct bool
+	Star     bool // count(*)
+}
+
+// CaseExpr is a searched CASE.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr
+}
+
+// WhenClause is WHEN cond THEN result.
+type WhenClause struct {
+	Cond, Result Expr
+}
+
+// BetweenExpr is x [NOT] BETWEEN lo AND hi.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// InExpr is x [NOT] IN (list) or x [NOT] IN (subquery).
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Sub  *Select
+	Not  bool
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Sub *Select
+	Not bool
+}
+
+// SubqueryExpr is a scalar subquery.
+type SubqueryExpr struct{ Sel *Select }
+
+// LikeExpr is x [NOT] LIKE 'pattern'.
+type LikeExpr struct {
+	X       Expr
+	Pattern string
+	Not     bool
+}
+
+// IsNullExpr is x IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// ExtractExpr is EXTRACT(field FROM x).
+type ExtractExpr struct {
+	Field string
+	X     Expr
+}
+
+// SubstringExpr is SUBSTRING(x FROM a FOR b).
+type SubstringExpr struct {
+	X, From, For Expr
+}
+
+func (*Ident) expr()         {}
+func (*NumLit) expr()        {}
+func (*StrLit) expr()        {}
+func (*BoolLit) expr()       {}
+func (*NullLit) expr()       {}
+func (*DateLit) expr()       {}
+func (*IntervalLit) expr()   {}
+func (*BinOp) expr()         {}
+func (*UnOp) expr()          {}
+func (*FuncCall) expr()      {}
+func (*CaseExpr) expr()      {}
+func (*BetweenExpr) expr()   {}
+func (*InExpr) expr()        {}
+func (*ExistsExpr) expr()    {}
+func (*SubqueryExpr) expr()  {}
+func (*LikeExpr) expr()      {}
+func (*IsNullExpr) expr()    {}
+func (*ExtractExpr) expr()   {}
+func (*SubstringExpr) expr() {}

@@ -1,0 +1,378 @@
+package sql
+
+import (
+	"testing"
+
+	"microspec/internal/types"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func mustSelect(t *testing.T, src string) *Select {
+	t.Helper()
+	sel, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestParseCreateTable(t *testing.T) {
+	ct := mustParse(t, `create table orders (
+		o_orderkey integer not null,
+		o_orderstatus char(1) not null lowcard,
+		o_totalprice decimal(15,2) not null,
+		o_comment varchar(79) not null,
+		primary key (o_orderkey)
+	)`).(*CreateTable)
+	if ct.Name != "orders" || len(ct.Cols) != 4 {
+		t.Fatalf("ct = %+v", ct)
+	}
+	if ct.Cols[0].Type != types.Int32 || !ct.Cols[0].NotNull {
+		t.Errorf("col0 = %+v", ct.Cols[0])
+	}
+	if !ct.Cols[1].LowCard || ct.Cols[1].Type != types.Char(1) {
+		t.Errorf("col1 = %+v", ct.Cols[1])
+	}
+	if ct.Cols[2].Type != types.Float64 {
+		t.Errorf("decimal must map to float64: %+v", ct.Cols[2])
+	}
+	if ct.Cols[3].Type != types.Varchar(79) {
+		t.Errorf("col3 = %+v", ct.Cols[3])
+	}
+	if len(ct.PKey) != 1 || ct.PKey[0] != "o_orderkey" {
+		t.Errorf("pkey = %v", ct.PKey)
+	}
+}
+
+func TestParseCreateIndexAndDrop(t *testing.T) {
+	ci := mustParse(t, "create unique index pk_c on customer (c_w_id, c_d_id, c_id)").(*CreateIndex)
+	if !ci.Unique || ci.Table != "customer" || len(ci.Cols) != 3 {
+		t.Fatalf("ci = %+v", ci)
+	}
+	dt := mustParse(t, "drop table foo;").(*DropTable)
+	if dt.Name != "foo" {
+		t.Fatalf("dt = %+v", dt)
+	}
+}
+
+func TestParseInsertUpdateDelete(t *testing.T) {
+	ins := mustParse(t, "insert into t (a, b) values (1, 'x'), (2, 'y')").(*Insert)
+	if ins.Table != "t" || len(ins.Cols) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("ins = %+v", ins)
+	}
+	up := mustParse(t, "update stock set s_quantity = s_quantity - 5, s_ytd = 0 where s_i_id = 7").(*Update)
+	if up.Table != "stock" || len(up.Set) != 2 || up.Where == nil {
+		t.Fatalf("up = %+v", up)
+	}
+	del := mustParse(t, "delete from new_order where no_o_id = 3").(*Delete)
+	if del.Table != "new_order" || del.Where == nil {
+		t.Fatalf("del = %+v", del)
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "select o_comment from orders")
+	if len(sel.Items) != 1 || len(sel.From) != 1 {
+		t.Fatalf("sel = %+v", sel)
+	}
+	bt := sel.From[0].(*BaseTable)
+	if bt.Name != "orders" {
+		t.Errorf("from = %+v", bt)
+	}
+	id := sel.Items[0].Expr.(*Ident)
+	if id.Parts[0] != "o_comment" {
+		t.Errorf("item = %+v", id)
+	}
+}
+
+func TestParseQ1Shape(t *testing.T) {
+	sel := mustSelect(t, `
+		select l_returnflag, l_linestatus,
+			sum(l_quantity) as sum_qty,
+			sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+			avg(l_discount) as avg_disc,
+			count(*) as count_order
+		from lineitem
+		where l_shipdate <= date '1998-12-01' - interval '90' day
+		group by l_returnflag, l_linestatus
+		order by l_returnflag, l_linestatus`)
+	if len(sel.Items) != 6 || len(sel.GroupBy) != 2 || len(sel.OrderBy) != 2 {
+		t.Fatalf("q1 shape: items=%d groups=%d orders=%d", len(sel.Items), len(sel.GroupBy), len(sel.OrderBy))
+	}
+	if sel.Items[5].Alias != "count_order" {
+		t.Errorf("alias = %q", sel.Items[5].Alias)
+	}
+	fc := sel.Items[5].Expr.(*FuncCall)
+	if !fc.Star || fc.Name != "count" {
+		t.Errorf("count(*) = %+v", fc)
+	}
+	// where: binop <= with date arithmetic on the right.
+	w := sel.Where.(*BinOp)
+	if w.Op != "<=" {
+		t.Errorf("where op = %q", w.Op)
+	}
+	r := w.R.(*BinOp)
+	if r.Op != "-" {
+		t.Errorf("rhs = %+v", r)
+	}
+	if _, ok := r.L.(*DateLit); !ok {
+		t.Errorf("date literal missing")
+	}
+	if iv, ok := r.R.(*IntervalLit); !ok || iv.N != 90 || iv.Unit != "day" {
+		t.Errorf("interval = %+v", r.R)
+	}
+}
+
+func TestParseSubqueriesAndExists(t *testing.T) {
+	sel := mustSelect(t, `
+		select o_orderpriority, count(*) as order_count
+		from orders
+		where o_orderdate >= date '1993-07-01'
+		  and exists (
+			select * from lineitem
+			where l_orderkey = o_orderkey and l_commitdate < l_receiptdate
+		  )
+		group by o_orderpriority
+		order by o_orderpriority`)
+	and := sel.Where.(*BinOp)
+	if and.Op != "and" {
+		t.Fatalf("where = %+v", and)
+	}
+	ex, ok := and.R.(*ExistsExpr)
+	if !ok || ex.Not {
+		t.Fatalf("exists = %+v", and.R)
+	}
+	if len(ex.Sub.From) != 1 {
+		t.Errorf("subquery from = %+v", ex.Sub.From)
+	}
+}
+
+func TestParseNotExistsAndNotIn(t *testing.T) {
+	sel := mustSelect(t, `select 1 from t where not exists (select 1 from u) and a not in (1, 2)`)
+	and := sel.Where.(*BinOp)
+	ne := and.L.(*ExistsExpr)
+	if !ne.Not {
+		t.Error("not exists lost negation")
+	}
+	ni := and.R.(*InExpr)
+	if !ni.Not || len(ni.List) != 2 {
+		t.Errorf("not in = %+v", ni)
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	sel := mustSelect(t, `select 1 from part where p_partkey in (select l_partkey from lineitem)`)
+	in := sel.Where.(*InExpr)
+	if in.Sub == nil || in.List != nil {
+		t.Fatalf("in = %+v", in)
+	}
+}
+
+func TestParseScalarSubqueryComparison(t *testing.T) {
+	sel := mustSelect(t, `select 1 from lineitem, part
+		where l_quantity < (select 0.2 * avg(l_quantity) from lineitem where l_partkey = p_partkey)`)
+	and := sel.Where.(*BinOp)
+	if and.Op != "<" {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+	sub := and.R.(*SubqueryExpr)
+	mul := sub.Sel.Items[0].Expr.(*BinOp)
+	if mul.Op != "*" {
+		t.Errorf("scalar expr = %+v", mul)
+	}
+}
+
+func TestParseCaseLikeBetween(t *testing.T) {
+	sel := mustSelect(t, `
+		select sum(case when p_type like 'PROMO%' then l_extendedprice else 0 end)
+		from lineitem
+		where l_quantity between 1 and 11 and p_name not like '%green%'`)
+	cs := sel.Items[0].Expr.(*FuncCall).Args[0].(*CaseExpr)
+	if len(cs.Whens) != 1 || cs.Else == nil {
+		t.Fatalf("case = %+v", cs)
+	}
+	lk := cs.Whens[0].Cond.(*LikeExpr)
+	if lk.Pattern != "PROMO%" || lk.Not {
+		t.Errorf("like = %+v", lk)
+	}
+	and := sel.Where.(*BinOp)
+	bw := and.L.(*BetweenExpr)
+	if bw.Not {
+		t.Errorf("between = %+v", bw)
+	}
+	nl := and.R.(*LikeExpr)
+	if !nl.Not {
+		t.Errorf("not like = %+v", nl)
+	}
+}
+
+func TestParseJoinsExplicit(t *testing.T) {
+	sel := mustSelect(t, `
+		select c_custkey, count(o_orderkey)
+		from customer left outer join orders
+			on c_custkey = o_custkey and o_comment not like '%special%requests%'
+		group by c_custkey`)
+	j := sel.From[0].(*JoinRef)
+	if j.Type != JoinLeft {
+		t.Fatalf("join type = %v", j.Type)
+	}
+	on := j.On.(*BinOp)
+	if on.Op != "and" {
+		t.Errorf("on = %+v", on)
+	}
+}
+
+func TestParseCTE(t *testing.T) {
+	sel := mustSelect(t, `
+		with revenue as (
+			select l_suppkey as supplier_no, sum(l_extendedprice * (1 - l_discount)) as total_revenue
+			from lineitem group by l_suppkey
+		)
+		select s_suppkey, total_revenue
+		from supplier, revenue
+		where s_suppkey = supplier_no
+		  and total_revenue = (select max(total_revenue) from revenue)
+		order by s_suppkey`)
+	if len(sel.With) != 1 || sel.With[0].Name != "revenue" {
+		t.Fatalf("with = %+v", sel.With)
+	}
+	if len(sel.From) != 2 {
+		t.Errorf("from = %d", len(sel.From))
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	sel := mustSelect(t, `
+		select supp_nation, l_year, sum(volume) as revenue
+		from (
+			select n1.n_name as supp_nation, extract(year from l_shipdate) as l_year,
+				l_extendedprice * (1 - l_discount) as volume
+			from supplier, lineitem, nation n1
+			where s_suppkey = l_suppkey and s_nationkey = n1.n_nationkey
+		) as shipping
+		group by supp_nation, l_year
+		order by supp_nation, l_year`)
+	sq := sel.From[0].(*SubqueryRef)
+	if sq.Alias != "shipping" {
+		t.Fatalf("alias = %q", sq.Alias)
+	}
+	inner := sq.Sel
+	if len(inner.From) != 3 {
+		t.Errorf("inner from = %d", len(inner.From))
+	}
+	bt := inner.From[2].(*BaseTable)
+	if bt.Name != "nation" || bt.Alias != "n1" {
+		t.Errorf("aliased table = %+v", bt)
+	}
+	ex := inner.Items[1].Expr.(*ExtractExpr)
+	if ex.Field != "year" {
+		t.Errorf("extract = %+v", ex)
+	}
+}
+
+func TestParseSubstringAndHaving(t *testing.T) {
+	sel := mustSelect(t, `
+		select cntrycode, count(*) from (
+			select substring(c_phone from 1 for 2) as cntrycode, c_acctbal from customer
+			where substring(c_phone from 1 for 2) in ('13', '31')
+		) as custsale
+		group by cntrycode
+		having count(*) > 5 and sum(c_acctbal) > 0
+		order by cntrycode`)
+	if sel.Having == nil {
+		t.Fatal("having lost")
+	}
+	inner := sel.From[0].(*SubqueryRef).Sel
+	ss := inner.Items[0].Expr.(*SubstringExpr)
+	if ss.X == nil {
+		t.Errorf("substring = %+v", ss)
+	}
+	in := inner.Where.(*InExpr)
+	if len(in.List) != 2 {
+		t.Errorf("in list = %+v", in)
+	}
+}
+
+func TestParseDistinctLimitOffsetOrder(t *testing.T) {
+	sel := mustSelect(t, "select distinct a from t order by a desc, b asc limit 10 offset 5")
+	if !sel.Distinct || sel.Limit != 10 || sel.Offset != 5 {
+		t.Fatalf("sel = %+v", sel)
+	}
+	if !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order = %+v", sel.OrderBy)
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	sel := mustSelect(t, "select count(distinct ps_suppkey) from partsupp")
+	fc := sel.Items[0].Expr.(*FuncCall)
+	if !fc.Distinct || fc.Name != "count" {
+		t.Fatalf("fc = %+v", fc)
+	}
+}
+
+func TestParseOrGroups(t *testing.T) {
+	sel := mustSelect(t, `select 1 from part, lineitem where
+		(p_brand = 'Brand#12' and l_quantity between 1 and 11)
+		or (p_brand = 'Brand#23' and l_quantity between 10 and 20)`)
+	or := sel.Where.(*BinOp)
+	if or.Op != "or" {
+		t.Fatalf("top = %+v", or)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"select",
+		"select from t",
+		"select * from",
+		"create table t",
+		"create table t (a unknowntype)",
+		"insert into t values",
+		"select a from t where a like 5",
+		"select 'unterminated from t",
+		"select a from t group",
+		"select a b c from t",
+		"select (select 1 from t",
+		"select a from (select b from u)", // derived table needs alias
+		"update t set",
+		"select interval 'x' day from t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) must fail", src)
+		}
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	sel := mustSelect(t, "select 'it''s' from t")
+	sl := sel.Items[0].Expr.(*StrLit)
+	if sl.Val != "it's" {
+		t.Errorf("escaped string = %q", sl.Val)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sel := mustSelect(t, "select a -- trailing comment\nfrom t")
+	if len(sel.Items) != 1 {
+		t.Fatal("comment handling broken")
+	}
+}
+
+func TestParseQualifiedStarNotSupported(t *testing.T) {
+	// plain * is supported; qualified t.* is not in this dialect.
+	sel := mustSelect(t, "select * from t")
+	if !sel.Items[0].Star {
+		t.Error("star item lost")
+	}
+}

@@ -1,0 +1,227 @@
+// Package buffer implements a clock-sweep buffer pool over the simulated
+// disk. It provides the warm/cold cache control the paper's experiments
+// rely on: a warm run pre-faults every page ("keeping the data in memory
+// effectively eliminated the disk I/O requests"); a cold run starts from
+// an empty pool so every first touch pays the simulated disk latency.
+package buffer
+
+import (
+	"fmt"
+	"sync"
+
+	"microspec/internal/storage/disk"
+)
+
+type pageKey struct {
+	file disk.FileID
+	page int
+}
+
+type frame struct {
+	key   pageKey
+	buf   []byte
+	pins  int
+	dirty bool
+	ref   bool // clock reference bit
+	valid bool
+}
+
+// Pool is a fixed-capacity page cache. All methods are safe for
+// concurrent use. Page contents are handed out as aliases of the frame
+// buffer; callers must hold the pin while reading or writing them.
+type Pool struct {
+	mu       sync.Mutex
+	disk     *disk.Manager
+	frames   []frame
+	table    map[pageKey]int
+	hand     int
+	hits     int64
+	misses   int64
+	writeOut int64
+}
+
+// New returns a pool with capacity pages backed by d.
+func New(d *disk.Manager, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	// Frame buffers are allocated lazily on first use: a pool sized for a
+	// large warm working set must not cost its full capacity in memory at
+	// open time.
+	return &Pool{
+		disk:   d,
+		frames: make([]frame, capacity),
+		table:  make(map[pageKey]int, capacity),
+	}
+}
+
+// Handle is a pinned page. Release it with Unpin.
+type Handle struct {
+	pool  *Pool
+	idx   int
+	Bytes []byte
+}
+
+// Get pins the page, reading it from disk on a miss. The returned handle's
+// Bytes alias the frame.
+func (p *Pool) Get(file disk.FileID, pageNo int) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := pageKey{file, pageNo}
+	if idx, ok := p.table[key]; ok {
+		f := &p.frames[idx]
+		f.pins++
+		f.ref = true
+		p.hits++
+		return &Handle{pool: p, idx: idx, Bytes: f.buf}, nil
+	}
+	idx, err := p.evictLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	if f.buf == nil {
+		f.buf = make([]byte, disk.PageSize)
+	}
+	if err := p.disk.ReadPage(file, pageNo, f.buf); err != nil {
+		f.valid = false
+		return nil, err
+	}
+	f.key = key
+	f.pins = 1
+	f.dirty = false
+	f.ref = true
+	f.valid = true
+	p.table[key] = idx
+	p.misses++
+	return &Handle{pool: p, idx: idx, Bytes: f.buf}, nil
+}
+
+// GetNew pins a frame for a freshly extended page without reading from
+// disk (the page is known to be zero); the frame starts dirty.
+func (p *Pool) GetNew(file disk.FileID, pageNo int) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := pageKey{file, pageNo}
+	if _, ok := p.table[key]; ok {
+		return nil, fmt.Errorf("buffer: page %v already cached", key)
+	}
+	idx, err := p.evictLocked()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	if f.buf == nil {
+		f.buf = make([]byte, disk.PageSize)
+	} else {
+		for i := range f.buf {
+			f.buf[i] = 0
+		}
+	}
+	f.key = key
+	f.pins = 1
+	f.dirty = true
+	f.ref = true
+	f.valid = true
+	p.table[key] = idx
+	return &Handle{pool: p, idx: idx, Bytes: f.buf}, nil
+}
+
+// evictLocked finds a free or evictable frame, flushing it if dirty.
+func (p *Pool) evictLocked() (int, error) {
+	n := len(p.frames)
+	for sweep := 0; sweep < 2*n+1; sweep++ {
+		idx := p.hand
+		p.hand = (p.hand + 1) % n
+		f := &p.frames[idx]
+		if !f.valid {
+			return idx, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.dirty {
+			if err := p.disk.WritePage(f.key.file, f.key.page, f.buf); err != nil {
+				return 0, err
+			}
+			p.writeOut++
+		}
+		delete(p.table, f.key)
+		f.valid = false
+		return idx, nil
+	}
+	return 0, fmt.Errorf("buffer: all %d frames pinned", n)
+}
+
+// Unpin releases the pin; dirty records that the caller modified the page.
+func (h *Handle) Unpin(dirty bool) {
+	p := h.pool
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f := &p.frames[h.idx]
+	if f.pins <= 0 {
+		panic("buffer: unpin of unpinned page")
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// FlushAll writes every dirty page back to disk (checkpoint).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.valid && f.dirty {
+			if err := p.disk.WritePage(f.key.file, f.key.page, f.buf); err != nil {
+				return err
+			}
+			f.dirty = false
+			p.writeOut++
+		}
+	}
+	return nil
+}
+
+// DropCache flushes and then empties the pool — the cold-cache reset.
+func (p *Pool) DropCache() error {
+	if err := p.FlushAll(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: cannot drop cache with pinned pages")
+		}
+		if f.valid {
+			delete(p.table, f.key)
+			f.valid = false
+		}
+	}
+	return nil
+}
+
+// Stats returns hit/miss/write-back counts since creation.
+func (p *Pool) Stats() (hits, misses, writeOut int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.writeOut
+}
+
+// ResetStats zeroes the counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits, p.misses, p.writeOut = 0, 0, 0
+}
+
+// Capacity returns the number of frames.
+func (p *Pool) Capacity() int { return len(p.frames) }

@@ -1,0 +1,137 @@
+package buffer
+
+import (
+	"testing"
+
+	"microspec/internal/storage/disk"
+)
+
+func setup(t *testing.T, capacity, pages int) (*disk.Manager, *Pool, disk.FileID) {
+	t.Helper()
+	m := disk.NewManager(disk.LatencyModel{})
+	f := m.CreateFile()
+	buf := make([]byte, disk.PageSize)
+	for i := 0; i < pages; i++ {
+		m.ExtendFile(f)
+		buf[0] = byte(i + 1) // tag each page
+		if err := m.WritePage(f, i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, New(m, capacity), f
+}
+
+func TestHitAndMiss(t *testing.T) {
+	_, p, f := setup(t, 4, 2)
+	h1, err := p.Get(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Bytes[0] != 1 {
+		t.Errorf("page 0 tag = %d", h1.Bytes[0])
+	}
+	h1.Unpin(false)
+	h2, _ := p.Get(f, 0)
+	h2.Unpin(false)
+	hits, misses, _ := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	m, p, f := setup(t, 2, 4)
+	h, _ := p.Get(f, 0)
+	h.Bytes[1] = 0xAB
+	h.Unpin(true)
+	// Touch enough pages to force eviction of page 0.
+	for i := 1; i < 4; i++ {
+		h, err := p.Get(f, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Unpin(false)
+	}
+	buf := make([]byte, disk.PageSize)
+	if err := m.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[1] != 0xAB {
+		t.Error("dirty page not written back on eviction")
+	}
+}
+
+func TestPinnedPagesNotEvicted(t *testing.T) {
+	_, p, f := setup(t, 2, 4)
+	h0, _ := p.Get(f, 0)
+	h1, _ := p.Get(f, 1)
+	if _, err := p.Get(f, 2); err == nil {
+		t.Error("get with all frames pinned must fail")
+	}
+	h0.Unpin(false)
+	h2, err := p.Get(f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Bytes[0] != 3 {
+		t.Errorf("page 2 tag = %d", h2.Bytes[0])
+	}
+	h2.Unpin(false)
+	h1.Unpin(false)
+}
+
+func TestGetNew(t *testing.T) {
+	m, p, f := setup(t, 4, 0)
+	pn, _ := m.ExtendFile(f)
+	h, err := p.GetNew(f, pn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Bytes[0] = 0x7F
+	h.Unpin(true)
+	if _, err := p.GetNew(f, pn); err == nil {
+		t.Error("GetNew of cached page must fail")
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, disk.PageSize)
+	m.ReadPage(f, pn, buf)
+	if buf[0] != 0x7F {
+		t.Error("FlushAll lost dirty data")
+	}
+}
+
+func TestDropCache(t *testing.T) {
+	_, p, f := setup(t, 4, 2)
+	h, _ := p.Get(f, 0)
+	h.Unpin(false)
+	if err := p.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+	h2, _ := p.Get(f, 0)
+	h2.Unpin(false)
+	hits, misses, _ := p.Stats()
+	if hits != 0 || misses != 1 {
+		t.Errorf("after drop: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	// DropCache with a pinned page must refuse.
+	h3, _ := p.Get(f, 1)
+	if err := p.DropCache(); err == nil {
+		t.Error("DropCache with pinned page must fail")
+	}
+	h3.Unpin(false)
+}
+
+func TestUnpinPanicsWhenUnpinned(t *testing.T) {
+	_, p, f := setup(t, 2, 1)
+	h, _ := p.Get(f, 0)
+	h.Unpin(false)
+	defer func() {
+		if recover() == nil {
+			t.Error("double unpin must panic")
+		}
+	}()
+	h.Unpin(false)
+}

@@ -1,0 +1,150 @@
+// Package disk implements the simulated disk beneath the buffer pool: a
+// per-file page store with a configurable latency model. The paper's
+// cold-cache experiments (its Figure 5) measure how tuple-bee storage
+// reduction translates into I/O-time reduction; with a simulated disk the
+// same effect is produced by charging a fixed cost per page actually read,
+// accumulated as simulated I/O time rather than slept, so experiments stay
+// fast and deterministic (see DESIGN.md §1).
+package disk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PageSize is the size of every page, matching PostgreSQL's 8 KiB default.
+const PageSize = 8192
+
+// FileID names one relation's page file within a Manager.
+type FileID uint32
+
+// LatencyModel charges simulated time per page transferred. Zero values
+// disable the charge (the warm-cache configuration).
+type LatencyModel struct {
+	ReadPerPage  time.Duration
+	WritePerPage time.Duration
+}
+
+// DefaultColdLatency approximates a sequential HDD/SSD mix: 100µs per 8 KiB
+// page read, 120µs per page write.
+var DefaultColdLatency = LatencyModel{ReadPerPage: 100 * time.Microsecond, WritePerPage: 120 * time.Microsecond}
+
+// Manager is a simulated disk: a set of page files plus I/O statistics.
+// It is safe for concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	files   map[FileID]*file
+	nextID  FileID
+	latency LatencyModel
+
+	reads, writes int64
+	simIO         time.Duration
+}
+
+type file struct {
+	pages [][]byte
+}
+
+// NewManager returns an empty simulated disk with the given latency model.
+func NewManager(lat LatencyModel) *Manager {
+	return &Manager{files: make(map[FileID]*file), nextID: 1, latency: lat}
+}
+
+// SetLatency swaps the latency model (e.g. warm → cold between runs).
+func (m *Manager) SetLatency(lat LatencyModel) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latency = lat
+}
+
+// CreateFile allocates a new empty page file.
+func (m *Manager) CreateFile() FileID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextID
+	m.nextID++
+	m.files[id] = &file{}
+	return id
+}
+
+// DropFile releases a file and its pages.
+func (m *Manager) DropFile(id FileID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, id)
+}
+
+// NumPages returns the page count of a file.
+func (m *Manager) NumPages(id FileID) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[id]
+	if !ok {
+		return 0, fmt.Errorf("disk: no such file %d", id)
+	}
+	return len(f.pages), nil
+}
+
+// ExtendFile appends one zeroed page and returns its page number. The new
+// page is charged as a write.
+func (m *Manager) ExtendFile(id FileID) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[id]
+	if !ok {
+		return 0, fmt.Errorf("disk: no such file %d", id)
+	}
+	f.pages = append(f.pages, make([]byte, PageSize))
+	m.writes++
+	m.simIO += m.latency.WritePerPage
+	return len(f.pages) - 1, nil
+}
+
+// ReadPage copies page pageNo of the file into dst (length PageSize).
+func (m *Manager) ReadPage(id FileID, pageNo int, dst []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[id]
+	if !ok {
+		return fmt.Errorf("disk: no such file %d", id)
+	}
+	if pageNo < 0 || pageNo >= len(f.pages) {
+		return fmt.Errorf("disk: file %d has no page %d", id, pageNo)
+	}
+	copy(dst, f.pages[pageNo])
+	m.reads++
+	m.simIO += m.latency.ReadPerPage
+	return nil
+}
+
+// WritePage copies src (length PageSize) into page pageNo of the file.
+func (m *Manager) WritePage(id FileID, pageNo int, src []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[id]
+	if !ok {
+		return fmt.Errorf("disk: no such file %d", id)
+	}
+	if pageNo < 0 || pageNo >= len(f.pages) {
+		return fmt.Errorf("disk: file %d has no page %d", id, pageNo)
+	}
+	copy(f.pages[pageNo], src)
+	m.writes++
+	m.simIO += m.latency.WritePerPage
+	return nil
+}
+
+// Stats returns cumulative read/write page counts and simulated I/O time.
+func (m *Manager) Stats() (reads, writes int64, simIO time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reads, m.writes, m.simIO
+}
+
+// ResetStats zeroes the counters (between experiment phases).
+func (m *Manager) ResetStats() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reads, m.writes, m.simIO = 0, 0, 0
+}

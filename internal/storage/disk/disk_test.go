@@ -1,0 +1,94 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestFileLifecycle(t *testing.T) {
+	m := NewManager(LatencyModel{})
+	f := m.CreateFile()
+	if n, err := m.NumPages(f); err != nil || n != 0 {
+		t.Fatalf("new file pages = %d, %v", n, err)
+	}
+	p0, err := m.ExtendFile(f)
+	if err != nil || p0 != 0 {
+		t.Fatalf("extend: %d, %v", p0, err)
+	}
+	p1, _ := m.ExtendFile(f)
+	if p1 != 1 {
+		t.Fatalf("second extend = %d", p1)
+	}
+	src := make([]byte, PageSize)
+	copy(src, "payload")
+	if err := m.WritePage(f, 1, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, PageSize)
+	if err := m.ReadPage(f, 1, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Error("read-back mismatch")
+	}
+	// Page 0 still zero.
+	if err := m.ReadPage(f, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 0 {
+		t.Error("page 0 must be zeroed")
+	}
+	m.DropFile(f)
+	if err := m.ReadPage(f, 0, dst); err == nil {
+		t.Error("read after drop must fail")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	m := NewManager(LatencyModel{})
+	f := m.CreateFile()
+	buf := make([]byte, PageSize)
+	if err := m.ReadPage(f, 0, buf); err == nil {
+		t.Error("read past EOF must fail")
+	}
+	if err := m.WritePage(f, 3, buf); err == nil {
+		t.Error("write past EOF must fail")
+	}
+	if err := m.ReadPage(999, 0, buf); err == nil {
+		t.Error("unknown file must fail")
+	}
+	if _, err := m.ExtendFile(999); err == nil {
+		t.Error("extend of unknown file must fail")
+	}
+	if _, err := m.NumPages(999); err == nil {
+		t.Error("NumPages of unknown file must fail")
+	}
+}
+
+func TestLatencyAccounting(t *testing.T) {
+	m := NewManager(LatencyModel{ReadPerPage: time.Millisecond, WritePerPage: 2 * time.Millisecond})
+	f := m.CreateFile()
+	m.ExtendFile(f) // 1 write
+	buf := make([]byte, PageSize)
+	m.ReadPage(f, 0, buf)  // 1 read
+	m.WritePage(f, 0, buf) // 1 write
+	m.ReadPage(f, 0, buf)  // 1 read
+	reads, writes, sim := m.Stats()
+	if reads != 2 || writes != 2 {
+		t.Errorf("reads=%d writes=%d", reads, writes)
+	}
+	if want := 2*time.Millisecond + 2*2*time.Millisecond; sim != want {
+		t.Errorf("simIO = %v, want %v", sim, want)
+	}
+	m.ResetStats()
+	if r, w, s := m.Stats(); r != 0 || w != 0 || s != 0 {
+		t.Error("ResetStats must zero counters")
+	}
+	// Swapping to the warm model stops the charging.
+	m.SetLatency(LatencyModel{})
+	m.ReadPage(f, 0, buf)
+	if _, _, s := m.Stats(); s != 0 {
+		t.Errorf("warm model must not charge time, got %v", s)
+	}
+}

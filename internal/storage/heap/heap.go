@@ -1,0 +1,283 @@
+// Package heap implements heap relations: unordered tuple files over
+// slotted pages, with insert, delete, in-place and moving update, point
+// fetch by TID, and sequential scan. This is the storage substrate whose
+// per-tuple access paths (deform on scan, fill on insert) the paper
+// micro-specializes.
+package heap
+
+import (
+	"fmt"
+	"sync"
+
+	"microspec/internal/catalog"
+	"microspec/internal/profile"
+	"microspec/internal/storage/buffer"
+	"microspec/internal/storage/disk"
+	"microspec/internal/storage/page"
+)
+
+// TID addresses a tuple: page number plus slot within the page.
+type TID struct {
+	Page int32
+	Slot uint16
+}
+
+// String renders the TID like PostgreSQL's ctid, e.g. "(3,14)".
+func (t TID) String() string { return fmt.Sprintf("(%d,%d)", t.Page, t.Slot) }
+
+// Heap is one relation's tuple file.
+type Heap struct {
+	Rel  *catalog.Relation
+	file disk.FileID
+	dm   *disk.Manager
+	pool *buffer.Pool
+
+	mu         sync.Mutex
+	numPages   int
+	insertPage int // last page that accepted an insert; -1 if none
+	liveTuples int64
+}
+
+// Create allocates a new empty heap for rel.
+func Create(dm *disk.Manager, pool *buffer.Pool, rel *catalog.Relation) *Heap {
+	return &Heap{
+		Rel:        rel,
+		file:       dm.CreateFile(),
+		dm:         dm,
+		pool:       pool,
+		insertPage: -1,
+	}
+}
+
+// Drop releases the heap's disk file.
+func (h *Heap) Drop() { h.dm.DropFile(h.file) }
+
+// NumPages returns the current page count.
+func (h *Heap) NumPages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.numPages
+}
+
+// LiveTuples returns the live tuple count.
+func (h *Heap) LiveTuples() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.liveTuples
+}
+
+// Insert stores the already-formed tuple bytes and returns its TID. prof
+// is charged the per-tuple storage bookkeeping (CompStorage).
+func (h *Heap) Insert(tup []byte, prof *profile.Counters) (TID, error) {
+	if len(tup) > disk.PageSize/2 {
+		return TID{}, fmt.Errorf("heap %s: tuple of %d bytes exceeds half a page", h.Rel.Name, len(tup))
+	}
+	prof.Add(profile.CompStorage, profile.InsertTuple)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	// Try the last insert page first, then extend.
+	if h.insertPage >= 0 {
+		hd, err := h.pool.Get(h.file, h.insertPage)
+		if err != nil {
+			return TID{}, err
+		}
+		if slot, ok := page.AddTuple(page.Page(hd.Bytes), tup); ok {
+			hd.Unpin(true)
+			h.liveTuples++
+			return TID{Page: int32(h.insertPage), Slot: uint16(slot)}, nil
+		}
+		hd.Unpin(false)
+	}
+	pageNo, err := h.dm.ExtendFile(h.file)
+	if err != nil {
+		return TID{}, err
+	}
+	h.numPages = pageNo + 1
+	hd, err := h.pool.GetNew(h.file, pageNo)
+	if err != nil {
+		return TID{}, err
+	}
+	page.Init(page.Page(hd.Bytes))
+	slot, ok := page.AddTuple(page.Page(hd.Bytes), tup)
+	if !ok {
+		hd.Unpin(true)
+		return TID{}, fmt.Errorf("heap %s: tuple does not fit in an empty page", h.Rel.Name)
+	}
+	hd.Unpin(true)
+	h.insertPage = pageNo
+	h.liveTuples++
+	return TID{Page: int32(pageNo), Slot: uint16(slot)}, nil
+}
+
+// Get fetches a live tuple by TID. The returned bytes alias the pinned
+// page; the caller must call release exactly once when done.
+func (h *Heap) Get(tid TID, prof *profile.Counters) (tup []byte, release func(), err error) {
+	prof.Add(profile.CompStorage, profile.PageAccess)
+	hd, err := h.pool.Get(h.file, int(tid.Page))
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := page.GetTuple(page.Page(hd.Bytes), int(tid.Slot))
+	if err != nil {
+		hd.Unpin(false)
+		return nil, nil, fmt.Errorf("heap %s: %w", h.Rel.Name, err)
+	}
+	return b, func() { hd.Unpin(false) }, nil
+}
+
+// Delete marks the tuple dead. It returns an undo closure that resurrects
+// the tuple (rollback support).
+func (h *Heap) Delete(tid TID, prof *profile.Counters) (undo func() error, err error) {
+	prof.Add(profile.CompStorage, profile.PageAccess)
+	hd, err := h.pool.Get(h.file, int(tid.Page))
+	if err != nil {
+		return nil, err
+	}
+	if err := page.DeleteTuple(page.Page(hd.Bytes), int(tid.Slot)); err != nil {
+		hd.Unpin(false)
+		return nil, err
+	}
+	hd.Unpin(true)
+	h.mu.Lock()
+	h.liveTuples--
+	h.mu.Unlock()
+	return func() error {
+		hd, err := h.pool.Get(h.file, int(tid.Page))
+		if err != nil {
+			return err
+		}
+		defer hd.Unpin(true)
+		if err := page.ResurrectTuple(page.Page(hd.Bytes), int(tid.Slot)); err != nil {
+			return err
+		}
+		h.mu.Lock()
+		h.liveTuples++
+		h.mu.Unlock()
+		return nil
+	}, nil
+}
+
+// Update replaces the tuple. Same-length tuples are overwritten in place
+// and keep their TID; otherwise the old tuple is deleted and the new one
+// inserted (the TID moves). It returns the new TID and an undo closure
+// restoring the old bytes.
+func (h *Heap) Update(tid TID, newTup []byte, prof *profile.Counters) (TID, func() error, error) {
+	prof.Add(profile.CompStorage, profile.PageAccess)
+	hd, err := h.pool.Get(h.file, int(tid.Page))
+	if err != nil {
+		return TID{}, nil, err
+	}
+	old, err := page.GetTuple(page.Page(hd.Bytes), int(tid.Slot))
+	if err != nil {
+		hd.Unpin(false)
+		return TID{}, nil, err
+	}
+	if len(old) == len(newTup) {
+		oldCopy := append([]byte(nil), old...)
+		if err := page.OverwriteTuple(page.Page(hd.Bytes), int(tid.Slot), newTup); err != nil {
+			hd.Unpin(false)
+			return TID{}, nil, err
+		}
+		hd.Unpin(true)
+		undo := func() error {
+			hd, err := h.pool.Get(h.file, int(tid.Page))
+			if err != nil {
+				return err
+			}
+			defer hd.Unpin(true)
+			return page.OverwriteTuple(page.Page(hd.Bytes), int(tid.Slot), oldCopy)
+		}
+		return tid, undo, nil
+	}
+	hd.Unpin(false)
+	undoDel, err := h.Delete(tid, prof)
+	if err != nil {
+		return TID{}, nil, err
+	}
+	newTID, err := h.Insert(newTup, prof)
+	if err != nil {
+		_ = undoDel()
+		return TID{}, nil, err
+	}
+	undo := func() error {
+		if u, err := h.Delete(newTID, nil); err != nil {
+			return err
+		} else {
+			_ = u // the resurrected insert slot stays dead permanently
+		}
+		return undoDel()
+	}
+	return newTID, undo, nil
+}
+
+// Scan returns a sequential scanner positioned before the first tuple.
+func (h *Heap) Scan(prof *profile.Counters) *Scanner {
+	h.mu.Lock()
+	n := h.numPages
+	h.mu.Unlock()
+	return &Scanner{h: h, numPages: n, pageNo: -1, prof: prof}
+}
+
+// Scanner iterates a heap page by page, holding a pin on the current
+// page so returned tuple bytes stay valid until the next call.
+type Scanner struct {
+	h        *Heap
+	numPages int
+	pageNo   int
+	slot     int
+	cur      *buffer.Handle
+	prof     *profile.Counters
+	err      error
+}
+
+// Next advances to the next live tuple. It returns ok=false at the end of
+// the heap or on error (check Err).
+func (s *Scanner) Next() (TID, []byte, bool) {
+	for {
+		if s.cur == nil {
+			s.pageNo++
+			if s.pageNo >= s.numPages {
+				return TID{}, nil, false
+			}
+			hd, err := s.h.pool.Get(s.h.file, s.pageNo)
+			if err != nil {
+				s.err = err
+				return TID{}, nil, false
+			}
+			s.prof.Add(profile.CompStorage, profile.PageAccess)
+			s.cur = hd
+			s.slot = 0
+		}
+		p := page.Page(s.cur.Bytes)
+		n := page.NumSlots(p)
+		for s.slot < n {
+			slot := s.slot
+			s.slot++
+			if !page.IsLive(p, slot) {
+				continue
+			}
+			b, err := page.GetTuple(p, slot)
+			if err != nil {
+				s.err = err
+				return TID{}, nil, false
+			}
+			s.prof.Add(profile.CompStorage, profile.HeapNextTuple)
+			return TID{Page: int32(s.pageNo), Slot: uint16(slot)}, b, true
+		}
+		s.cur.Unpin(false)
+		s.cur = nil
+	}
+}
+
+// Close releases the scanner's pin; safe to call multiple times.
+func (s *Scanner) Close() {
+	if s.cur != nil {
+		s.cur.Unpin(false)
+		s.cur = nil
+	}
+	s.pageNo = s.numPages
+}
+
+// Err reports a scan error, if any.
+func (s *Scanner) Err() error { return s.err }

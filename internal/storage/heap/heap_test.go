@@ -1,0 +1,261 @@
+package heap
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"microspec/internal/catalog"
+	"microspec/internal/storage/buffer"
+	"microspec/internal/storage/disk"
+	"microspec/internal/types"
+)
+
+func newHeap(t testing.TB, poolPages int) *Heap {
+	t.Helper()
+	m := disk.NewManager(disk.LatencyModel{})
+	pool := buffer.New(m, poolPages)
+	c := catalog.New()
+	rel, err := c.CreateRelation("t", catalog.Schema{Attrs: []catalog.Attribute{
+		catalog.Col("a", types.Int32, true),
+	}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Create(m, pool, rel)
+}
+
+func tupleOf(s string) []byte { return []byte(s) }
+
+func TestInsertGet(t *testing.T) {
+	h := newHeap(t, 8)
+	tid, err := h.Insert(tupleOf("tuple-one"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, release, err := h.Get(tid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "tuple-one" {
+		t.Errorf("got %q", got)
+	}
+	release()
+	if h.LiveTuples() != 1 {
+		t.Errorf("live = %d", h.LiveTuples())
+	}
+	if tid.String() != "(0,0)" {
+		t.Errorf("tid = %s", tid)
+	}
+}
+
+func TestInsertSpillsToNewPages(t *testing.T) {
+	h := newHeap(t, 8)
+	big := bytes.Repeat([]byte{0xEE}, 3000)
+	var tids []TID
+	for i := 0; i < 5; i++ {
+		tid, err := h.Insert(big, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	if h.NumPages() < 2 {
+		t.Errorf("expected multiple pages, got %d", h.NumPages())
+	}
+	for _, tid := range tids {
+		got, release, err := h.Get(tid, nil)
+		if err != nil || len(got) != 3000 {
+			t.Errorf("get %s: len=%d err=%v", tid, len(got), err)
+		}
+		if err == nil {
+			release()
+		}
+	}
+}
+
+func TestOversizeTupleRejected(t *testing.T) {
+	h := newHeap(t, 4)
+	if _, err := h.Insert(make([]byte, disk.PageSize), nil); err == nil {
+		t.Error("oversize insert must fail")
+	}
+}
+
+func TestDeleteAndUndo(t *testing.T) {
+	h := newHeap(t, 8)
+	tid, _ := h.Insert(tupleOf("victim"), nil)
+	undo, err := h.Delete(tid, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Get(tid, nil); err == nil {
+		t.Error("get after delete must fail")
+	}
+	if h.LiveTuples() != 0 {
+		t.Errorf("live = %d", h.LiveTuples())
+	}
+	if err := undo(); err != nil {
+		t.Fatal(err)
+	}
+	got, release, err := h.Get(tid, nil)
+	if err != nil || string(got) != "victim" {
+		t.Errorf("after undo: %q %v", got, err)
+	}
+	if err == nil {
+		release()
+	}
+	if h.LiveTuples() != 1 {
+		t.Errorf("live after undo = %d", h.LiveTuples())
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	h := newHeap(t, 8)
+	tid, _ := h.Insert(tupleOf("aaaa"), nil)
+	newTID, undo, err := h.Update(tid, tupleOf("bbbb"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newTID != tid {
+		t.Error("same-length update must keep TID")
+	}
+	got, release, _ := h.Get(tid, nil)
+	if string(got) != "bbbb" {
+		t.Errorf("updated = %q", got)
+	}
+	release()
+	if err := undo(); err != nil {
+		t.Fatal(err)
+	}
+	got, release, _ = h.Get(tid, nil)
+	if string(got) != "aaaa" {
+		t.Errorf("after undo = %q", got)
+	}
+	release()
+}
+
+func TestUpdateMoving(t *testing.T) {
+	h := newHeap(t, 8)
+	tid, _ := h.Insert(tupleOf("short"), nil)
+	newTID, undo, err := h.Update(tid, tupleOf("much longer tuple"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newTID == tid {
+		t.Error("length-changing update must move the tuple")
+	}
+	got, release, _ := h.Get(newTID, nil)
+	if string(got) != "much longer tuple" {
+		t.Errorf("moved tuple = %q", got)
+	}
+	release()
+	if _, _, err := h.Get(tid, nil); err == nil {
+		t.Error("old TID must be dead")
+	}
+	if err := undo(); err != nil {
+		t.Fatal(err)
+	}
+	got, release, _ = h.Get(tid, nil)
+	if string(got) != "short" {
+		t.Errorf("after undo = %q", got)
+	}
+	release()
+	if h.LiveTuples() != 1 {
+		t.Errorf("live after undo = %d", h.LiveTuples())
+	}
+}
+
+func TestScan(t *testing.T) {
+	h := newHeap(t, 8)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert(tupleOf(fmt.Sprintf("tuple-%04d-padding-padding", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every 10th.
+	sc := h.Scan(nil)
+	var toDelete []TID
+	i := 0
+	for {
+		tid, _, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if i%10 == 0 {
+			toDelete = append(toDelete, tid)
+		}
+		i++
+	}
+	sc.Close()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("scanned %d, want %d", i, n)
+	}
+	for _, tid := range toDelete {
+		if _, err := h.Delete(tid, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rescan sees only live tuples, in order.
+	sc = h.Scan(nil)
+	count := 0
+	for {
+		_, b, ok := sc.Next()
+		if !ok {
+			break
+		}
+		if !bytes.HasPrefix(b, []byte("tuple-")) {
+			t.Fatalf("bad tuple %q", b)
+		}
+		count++
+	}
+	sc.Close()
+	if count != n-len(toDelete) {
+		t.Errorf("live scan = %d, want %d", count, n-len(toDelete))
+	}
+}
+
+func TestScanWithTinyPool(t *testing.T) {
+	// The scan must work even when the pool is smaller than the heap.
+	h := newHeap(t, 2)
+	big := bytes.Repeat([]byte{1}, 2000)
+	for i := 0; i < 20; i++ {
+		if _, err := h.Insert(big, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.NumPages() < 5 {
+		t.Fatalf("pages = %d", h.NumPages())
+	}
+	sc := h.Scan(nil)
+	count := 0
+	for {
+		_, _, ok := sc.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	sc.Close()
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if count != 20 {
+		t.Errorf("scanned %d", count)
+	}
+}
+
+func TestScannerCloseIdempotent(t *testing.T) {
+	h := newHeap(t, 4)
+	h.Insert(tupleOf("x"), nil)
+	sc := h.Scan(nil)
+	sc.Next()
+	sc.Close()
+	sc.Close()
+	if _, _, ok := sc.Next(); ok {
+		t.Error("Next after Close must return false")
+	}
+}

@@ -1,0 +1,171 @@
+// Package page implements the slotted-page layout used by heap files: a
+// small header, an array of line pointers growing down the page, and tuple
+// bodies growing up from the end, with tuple starts 8-aligned so that the
+// tuple format's intra-tuple alignment guarantees hold (see
+// internal/storage/tuple).
+//
+// Layout:
+//
+//	offset 0..1  lower: end of the line-pointer array
+//	offset 2..3  upper: start of the tuple area
+//	offset 4..5  nslots
+//	offset 6..7  reserved
+//	offset 8..   line pointers, 4 bytes each: {off uint16, len uint16}
+//
+// A line pointer with len == 0 is dead (deleted tuple).
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"microspec/internal/storage/disk"
+)
+
+const (
+	headerSize  = 8
+	linePtrSize = 4
+)
+
+// A Page is a PageSize byte slice interpreted in place.
+type Page []byte
+
+// Init formats p as an empty page.
+func Init(p Page) {
+	for i := range p[:headerSize] {
+		p[i] = 0
+	}
+	setLower(p, headerSize)
+	setUpper(p, disk.PageSize)
+	setNSlots(p, 0)
+}
+
+func lower(p Page) int       { return int(binary.LittleEndian.Uint16(p[0:2])) }
+func upper(p Page) int       { return int(binary.LittleEndian.Uint16(p[2:4])) }
+func setLower(p Page, v int) { binary.LittleEndian.PutUint16(p[0:2], uint16(v)) }
+func setUpper(p Page, v int) {
+	// upper may be PageSize (8192) which overflows uint16; store v-1 is
+	// fragile, so store v>>3: the tuple area start is always 8-aligned.
+	binary.LittleEndian.PutUint16(p[2:4], uint16(v>>3))
+}
+func upperRaw(p Page) int { return int(binary.LittleEndian.Uint16(p[2:4])) << 3 }
+
+// NumSlots returns the number of line pointers (live or dead).
+func NumSlots(p Page) int { return int(binary.LittleEndian.Uint16(p[4:6])) }
+
+func setNSlots(p Page, v int) { binary.LittleEndian.PutUint16(p[4:6], uint16(v)) }
+
+// deadBit in the offset halfword marks a deleted slot; offsets fit in 13
+// bits, so the top bit is free. Keeping the length intact makes undo
+// (ResurrectTuple) lossless.
+const deadBit = 0x8000
+
+func linePtr(p Page, slot int) (off, ln int, dead bool) {
+	base := headerSize + slot*linePtrSize
+	rawOff := binary.LittleEndian.Uint16(p[base : base+2])
+	return int(rawOff &^ deadBit),
+		int(binary.LittleEndian.Uint16(p[base+2 : base+4])),
+		rawOff&deadBit != 0
+}
+
+func setLinePtr(p Page, slot, off, ln int) {
+	base := headerSize + slot*linePtrSize
+	binary.LittleEndian.PutUint16(p[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p[base+2:base+4], uint16(ln))
+}
+
+// FreeSpace returns the bytes available for one more tuple plus its line
+// pointer, accounting for alignment slack.
+func FreeSpace(p Page) int {
+	free := upperRaw(p) - lower(p) - linePtrSize - 7
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// AddTuple stores tup in the page and returns its slot number, or ok=false
+// if the page lacks space.
+func AddTuple(p Page, tup []byte) (slot int, ok bool) {
+	need := (len(tup) + 7) &^ 7
+	newUpper := (upperRaw(p) - need) &^ 7
+	if newUpper < lower(p)+linePtrSize {
+		return 0, false
+	}
+	copy(p[newUpper:], tup)
+	slot = NumSlots(p)
+	setLinePtr(p, slot, newUpper, len(tup))
+	setNSlots(p, slot+1)
+	setLower(p, lower(p)+linePtrSize)
+	setUpper(p, newUpper)
+	return slot, true
+}
+
+// GetTuple returns the stored bytes of a live tuple, aliasing the page.
+func GetTuple(p Page, slot int) ([]byte, error) {
+	if slot < 0 || slot >= NumSlots(p) {
+		return nil, fmt.Errorf("page: slot %d out of range (nslots=%d)", slot, NumSlots(p))
+	}
+	off, ln, dead := linePtr(p, slot)
+	if dead {
+		return nil, fmt.Errorf("page: slot %d is dead", slot)
+	}
+	return p[off : off+ln : off+ln], nil
+}
+
+// IsLive reports whether the slot holds a live tuple.
+func IsLive(p Page, slot int) bool {
+	if slot < 0 || slot >= NumSlots(p) {
+		return false
+	}
+	_, _, dead := linePtr(p, slot)
+	return !dead
+}
+
+// DeleteTuple marks a slot dead. The tuple bytes and length remain until
+// the page is rewritten, which makes undo (ResurrectTuple) lossless.
+func DeleteTuple(p Page, slot int) error {
+	if slot < 0 || slot >= NumSlots(p) {
+		return fmt.Errorf("page: slot %d out of range", slot)
+	}
+	off, ln, dead := linePtr(p, slot)
+	if dead {
+		return fmt.Errorf("page: slot %d already dead", slot)
+	}
+	base := headerSize + slot*linePtrSize
+	binary.LittleEndian.PutUint16(p[base:base+2], uint16(off|deadBit))
+	_ = ln
+	return nil
+}
+
+// ResurrectTuple undoes DeleteTuple (transaction rollback support).
+func ResurrectTuple(p Page, slot int) error {
+	if slot < 0 || slot >= NumSlots(p) {
+		return fmt.Errorf("page: slot %d out of range", slot)
+	}
+	off, _, dead := linePtr(p, slot)
+	if !dead {
+		return fmt.Errorf("page: slot %d is live", slot)
+	}
+	base := headerSize + slot*linePtrSize
+	binary.LittleEndian.PutUint16(p[base:base+2], uint16(off))
+	return nil
+}
+
+// OverwriteTuple replaces a live tuple's bytes in place. The new tuple
+// must have exactly the old length (the fast path for fixed-layout
+// updates, e.g. TPC-C stock-quantity updates).
+func OverwriteTuple(p Page, slot int, tup []byte) error {
+	if slot < 0 || slot >= NumSlots(p) {
+		return fmt.Errorf("page: slot %d out of range", slot)
+	}
+	off, ln, dead := linePtr(p, slot)
+	if dead {
+		return fmt.Errorf("page: slot %d is dead", slot)
+	}
+	if ln != len(tup) {
+		return fmt.Errorf("page: in-place overwrite needs equal length (%d != %d)", ln, len(tup))
+	}
+	copy(p[off:off+ln], tup)
+	return nil
+}

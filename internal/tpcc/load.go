@@ -1,0 +1,333 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microspec/internal/engine"
+	"microspec/internal/profile"
+	"microspec/internal/types"
+)
+
+// Config sizes the initial population. The specification's values are
+// the defaults; tests shrink them to keep runs fast.
+type Config struct {
+	Warehouses        int
+	DistrictsPerWH    int
+	CustomersPerDist  int
+	Items             int
+	OrdersPerDistrict int // initial orders per district (spec: 3000)
+}
+
+// DefaultConfig returns the specification-sized population for the given
+// warehouse count.
+func DefaultConfig(warehouses int) Config {
+	return Config{
+		Warehouses:        warehouses,
+		DistrictsPerWH:    10,
+		CustomersPerDist:  3000,
+		Items:             100000,
+		OrdersPerDistrict: 3000,
+	}
+}
+
+// SmallConfig returns a laptop-scale population that preserves the
+// schema and access patterns.
+func SmallConfig(warehouses int) Config {
+	return Config{
+		Warehouses:        warehouses,
+		DistrictsPerWH:    10,
+		CustomersPerDist:  60,
+		Items:             1000,
+		OrdersPerDistrict: 60,
+	}
+}
+
+// lastNameSyllables is the specification's last-name generator input.
+var lastNameSyllables = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName builds a customer last name from a number per the spec.
+func LastName(num int) string {
+	return lastNameSyllables[num/100%10] + lastNameSyllables[num/10%10] + lastNameSyllables[num%10]
+}
+
+// nuRand is the specification's non-uniform random function NURand(A,x,y).
+func nuRand(rng *rand.Rand, a, x, y int) int {
+	c := 123 % (a + 1)
+	return ((rng.Intn(a+1)|(x+rng.Intn(y-x+1)))+c)%(y-x+1) + x
+}
+
+func randStr(rng *rand.Rand, lo, hi int) string {
+	n := lo + rng.Intn(hi-lo+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+var loadDate = types.MustParseDate("2011-01-01")
+
+// CreateSchema issues the TPC-C DDL.
+func CreateSchema(db *engine.DB) error {
+	for _, ddl := range SchemaDDL() {
+		if _, err := db.Exec(ddl); err != nil {
+			return fmt.Errorf("tpcc: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load populates the database per cfg and returns total rows.
+func Load(db *engine.DB, cfg Config, prof *profile.Counters) (int64, error) {
+	rng := rand.New(rand.NewSource(42))
+	var total int64
+	load := func(table string, iter func() ([]types.Datum, bool)) error {
+		n, err := db.BulkLoad(table, prof, iter)
+		if err != nil {
+			return fmt.Errorf("tpcc: loading %s: %w", table, err)
+		}
+		total += n
+		return nil
+	}
+
+	// item (global).
+	i := 0
+	if err := load("item", func() ([]types.Datum, bool) {
+		if i >= cfg.Items {
+			return nil, false
+		}
+		i++
+		data := randStr(rng, 26, 50)
+		if rng.Intn(10) == 0 {
+			data = data[:10] + "ORIGINAL" + data[10+8:]
+		}
+		return []types.Datum{
+			types.NewInt32(int32(i)),
+			types.NewInt32(int32(1 + rng.Intn(10000))),
+			types.NewString("item-" + randStr(rng, 8, 16)),
+			types.NewFloat64(1 + float64(rng.Intn(9900))/100),
+			types.NewString(data),
+		}, true
+	}); err != nil {
+		return total, err
+	}
+
+	for w := 1; w <= cfg.Warehouses; w++ {
+		wID := int32(w)
+		// warehouse.
+		done := false
+		if err := load("warehouse", func() ([]types.Datum, bool) {
+			if done {
+				return nil, false
+			}
+			done = true
+			return []types.Datum{
+				types.NewInt32(wID),
+				types.NewString(fmt.Sprintf("wh-%d", w)),
+				types.NewString(randStr(rng, 10, 20)),
+				types.NewString(randStr(rng, 10, 20)),
+				types.NewString(randStr(rng, 10, 20)),
+				types.NewChar(randStr(rng, 2, 2)),
+				types.NewChar(fmt.Sprintf("%09d", rng.Intn(1e9))),
+				types.NewFloat64(float64(rng.Intn(2000)) / 10000),
+				types.NewFloat64(300000),
+			}, true
+		}); err != nil {
+			return total, err
+		}
+		// stock.
+		si := 0
+		if err := load("stock", func() ([]types.Datum, bool) {
+			if si >= cfg.Items {
+				return nil, false
+			}
+			si++
+			return []types.Datum{
+				types.NewInt32(wID),
+				types.NewInt32(int32(si)),
+				types.NewInt32(int32(10 + rng.Intn(91))),
+				types.NewInt32(0),
+				types.NewInt32(0),
+				types.NewInt32(0),
+				types.NewString(randStr(rng, 26, 50)),
+			}, true
+		}); err != nil {
+			return total, err
+		}
+		for d := 1; d <= cfg.DistrictsPerWH; d++ {
+			dID := int32(d)
+			done := false
+			if err := load("district", func() ([]types.Datum, bool) {
+				if done {
+					return nil, false
+				}
+				done = true
+				return []types.Datum{
+					types.NewInt32(wID),
+					types.NewInt32(dID),
+					types.NewString(fmt.Sprintf("dist-%d-%d", w, d)),
+					types.NewString(randStr(rng, 10, 20)),
+					types.NewString(randStr(rng, 10, 20)),
+					types.NewChar(randStr(rng, 2, 2)),
+					types.NewChar(fmt.Sprintf("%09d", rng.Intn(1e9))),
+					types.NewFloat64(float64(rng.Intn(2000)) / 10000),
+					types.NewFloat64(30000),
+					types.NewInt32(int32(cfg.OrdersPerDistrict + 1)),
+				}, true
+			}); err != nil {
+				return total, err
+			}
+			// customers.
+			ci := 0
+			if err := load("customer", func() ([]types.Datum, bool) {
+				if ci >= cfg.CustomersPerDist {
+					return nil, false
+				}
+				ci++
+				credit := "GC"
+				if rng.Intn(10) == 0 {
+					credit = "BC"
+				}
+				lastNum := ci - 1
+				if ci > 1000 {
+					lastNum = nuRand(rng, 255, 0, 999)
+				}
+				return []types.Datum{
+					types.NewInt32(wID),
+					types.NewInt32(dID),
+					types.NewInt32(int32(ci)),
+					types.NewString(randStr(rng, 8, 16)),
+					types.NewChar("OE"),
+					types.NewString(LastName(lastNum)),
+					types.NewString(randStr(rng, 10, 20)),
+					types.NewString(randStr(rng, 10, 20)),
+					types.NewChar(randStr(rng, 2, 2)),
+					types.NewChar(fmt.Sprintf("%09d", rng.Intn(1e9))),
+					types.NewChar(fmt.Sprintf("%016d", rng.Int63n(1e16))),
+					types.NewDate(loadDate),
+					types.NewChar(credit),
+					types.NewFloat64(50000),
+					types.NewFloat64(float64(rng.Intn(5000)) / 10000),
+					types.NewFloat64(-10),
+					types.NewFloat64(10),
+					types.NewInt32(1),
+					types.NewInt32(0),
+					types.NewString(randStr(rng, 50, 100)),
+				}, true
+			}); err != nil {
+				return total, err
+			}
+			// history (one row per customer).
+			hi := 0
+			if err := load("history", func() ([]types.Datum, bool) {
+				if hi >= cfg.CustomersPerDist {
+					return nil, false
+				}
+				hi++
+				return []types.Datum{
+					types.NewInt32(int32(hi)),
+					types.NewInt32(dID),
+					types.NewInt32(wID),
+					types.NewInt32(dID),
+					types.NewInt32(wID),
+					types.NewDate(loadDate),
+					types.NewFloat64(10),
+					types.NewString(randStr(rng, 12, 24)),
+				}, true
+			}); err != nil {
+				return total, err
+			}
+			// orders with lines; the last third are undelivered and get
+			// new_order entries.
+			perm := rng.Perm(cfg.CustomersPerDist)
+			oi := 0
+			var pendingLines [][]types.Datum
+			var newOrders [][]types.Datum
+			if err := load("orders", func() ([]types.Datum, bool) {
+				if oi >= cfg.OrdersPerDistrict {
+					return nil, false
+				}
+				oi++
+				oID := int32(oi)
+				cID := int32(perm[(oi-1)%len(perm)] + 1)
+				olCnt := 5 + rng.Intn(11)
+				carrier := int32(0)
+				delivered := oi <= cfg.OrdersPerDistrict*2/3
+				if delivered {
+					carrier = int32(1 + rng.Intn(10))
+				} else {
+					newOrders = append(newOrders, []types.Datum{
+						types.NewInt32(wID), types.NewInt32(dID), types.NewInt32(oID),
+					})
+				}
+				for ln := 1; ln <= olCnt; ln++ {
+					amount := 0.0
+					deliveryD := loadDate
+					if !delivered {
+						amount = 1 + float64(rng.Intn(999900))/100
+						deliveryD = 0
+					}
+					pendingLines = append(pendingLines, []types.Datum{
+						types.NewInt32(wID), types.NewInt32(dID), types.NewInt32(oID),
+						types.NewInt32(int32(ln)),
+						types.NewInt32(int32(1 + rng.Intn(cfg.Items))),
+						types.NewInt32(wID),
+						types.NewDate(deliveryD),
+						types.NewInt32(5),
+						types.NewFloat64(amount),
+						types.NewChar(randStr(rng, 24, 24)),
+					})
+				}
+				return []types.Datum{
+					types.NewInt32(wID), types.NewInt32(dID), types.NewInt32(oID),
+					types.NewInt32(cID),
+					types.NewDate(loadDate),
+					types.NewInt32(carrier),
+					types.NewInt32(int32(olCnt)),
+					types.NewInt32(1),
+				}, true
+			}); err != nil {
+				return total, err
+			}
+			li := 0
+			if err := load("order_line", func() ([]types.Datum, bool) {
+				if li >= len(pendingLines) {
+					return nil, false
+				}
+				li++
+				return pendingLines[li-1], true
+			}); err != nil {
+				return total, err
+			}
+			ni := 0
+			if err := load("new_order", func() ([]types.Datum, bool) {
+				if ni >= len(newOrders) {
+					return nil, false
+				}
+				ni++
+				return newOrders[ni-1], true
+			}); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// NewDatabase creates, populates, and warms a TPC-C database.
+func NewDatabase(ecfg engine.Config, cfg Config) (*engine.DB, error) {
+	db := engine.Open(ecfg)
+	if err := CreateSchema(db); err != nil {
+		return nil, err
+	}
+	if _, err := Load(db, cfg, nil); err != nil {
+		return nil, err
+	}
+	if err := db.WarmUp(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

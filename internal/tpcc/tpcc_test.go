@@ -1,0 +1,330 @@
+package tpcc
+
+import (
+	"errors"
+	"testing"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+)
+
+func smallDB(t testing.TB, rs core.RoutineSet) *engine.DB {
+	t.Helper()
+	db, err := NewDatabase(engine.Config{Routines: rs, PoolPages: 8192}, SmallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestLastName(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Errorf("LastName(0) = %q", LastName(0))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Errorf("LastName(371) = %q", LastName(371))
+	}
+	if LastName(999) != "EINGEINGEING" {
+		t.Errorf("LastName(999) = %q", LastName(999))
+	}
+}
+
+func TestMixes(t *testing.T) {
+	for _, m := range []Mix{DefaultMix, QueryOnlyMix, EqualMix} {
+		if !m.Valid() {
+			t.Errorf("mix %v does not sum to 1000", m)
+		}
+	}
+	if (Mix{1, 2, 3, 4, 5}).Valid() {
+		t.Error("bad mix accepted")
+	}
+}
+
+func TestLoadPopulation(t *testing.T) {
+	db := smallDB(t, core.AllRoutines)
+	cfg := SmallConfig(1)
+	checks := map[string]int64{
+		"select count(*) from warehouse": 1,
+		"select count(*) from district":  int64(cfg.DistrictsPerWH),
+		"select count(*) from customer":  int64(cfg.DistrictsPerWH * cfg.CustomersPerDist),
+		"select count(*) from item":      int64(cfg.Items),
+		"select count(*) from stock":     int64(cfg.Items),
+		"select count(*) from orders":    int64(cfg.DistrictsPerWH * cfg.OrdersPerDistrict),
+		"select count(*) from new_order": int64(cfg.DistrictsPerWH * (cfg.OrdersPerDistrict - cfg.OrdersPerDistrict*2/3)),
+	}
+	for q, want := range checks {
+		r, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if got := r.Rows[0][0].Int64(); got != want {
+			t.Errorf("%s = %d, want %d", q, got, want)
+		}
+	}
+	// Every order has lines.
+	r, err := db.Query(`select count(*) from orders
+		where not exists (select * from order_line
+			where ol_w_id = o_w_id and ol_d_id = o_d_id and ol_o_id = o_id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int64() != 0 {
+		t.Error("orders without lines")
+	}
+}
+
+func TestEachTransactionType(t *testing.T) {
+	for _, rs := range []core.RoutineSet{core.Stock, core.AllRoutines} {
+		db := smallDB(t, rs)
+		ex := NewExecutor(db, SmallConfig(1), 7)
+		for i := 0; i < 20; i++ {
+			if err := ex.NewOrder(); err != nil && !errors.Is(err, ErrRollback) {
+				t.Fatalf("NewOrder: %v", err)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			if err := ex.Payment(); err != nil {
+				t.Fatalf("Payment: %v", err)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			if err := ex.OrderStatus(); err != nil {
+				t.Fatalf("OrderStatus: %v", err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			if err := ex.Delivery(); err != nil {
+				t.Fatalf("Delivery: %v", err)
+			}
+		}
+		for i := 0; i < 20; i++ {
+			if err := ex.StockLevel(); err != nil {
+				t.Fatalf("StockLevel: %v", err)
+			}
+		}
+	}
+}
+
+func TestNewOrderAdvancesDistrictAndInserts(t *testing.T) {
+	db := smallDB(t, core.AllRoutines)
+	before, _ := db.Query("select sum(d_next_o_id) from district")
+	ex := NewExecutor(db, SmallConfig(1), 1)
+	committed := 0
+	for committed < 10 {
+		if err := ex.NewOrder(); err != nil {
+			if errors.Is(err, ErrRollback) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		committed++
+	}
+	after, _ := db.Query("select sum(d_next_o_id) from district")
+	if after.Rows[0][0].Int64() != before.Rows[0][0].Int64()+10 {
+		t.Errorf("d_next_o_id advanced by %d, want 10",
+			after.Rows[0][0].Int64()-before.Rows[0][0].Int64())
+	}
+	r, _ := db.Query("select count(*) from new_order")
+	base := int64(SmallConfig(1).DistrictsPerWH * (SmallConfig(1).OrdersPerDistrict - SmallConfig(1).OrdersPerDistrict*2/3))
+	if r.Rows[0][0].Int64() != base+10 {
+		t.Errorf("new_order count = %d, want %d", r.Rows[0][0].Int64(), base+10)
+	}
+}
+
+func TestNewOrderRollbackLeavesNoTrace(t *testing.T) {
+	db := smallDB(t, core.AllRoutines)
+	cfg := SmallConfig(1)
+	countAll := func() [3]int64 {
+		var out [3]int64
+		for i, q := range []string{
+			"select count(*) from orders",
+			"select count(*) from order_line",
+			"select sum(d_next_o_id) from district",
+		} {
+			r, err := db.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = r.Rows[0][0].Int64()
+		}
+		return out
+	}
+	before := countAll()
+	// Drive until we see a rollback.
+	ex := NewExecutor(db, cfg, 3)
+	sawRollback := false
+	for i := 0; i < 2000 && !sawRollback; i++ {
+		err := ex.NewOrder()
+		if errors.Is(err, ErrRollback) {
+			sawRollback = true
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawRollback {
+		t.Fatal("no rollback in 2000 new-orders (expected ≈1%)")
+	}
+	// Replay the same committed count on a fresh DB without the aborted
+	// txn and compare: the aborted transaction must leave no trace. We
+	// approximate by checking invariants instead: every order id below
+	// d_next_o_id exists.
+	after := countAll()
+	if after[0] < before[0] || after[1] < before[1] {
+		t.Error("counts went backwards")
+	}
+	r, err := db.Query(`select count(*) from district
+		where d_next_o_id - 1 > (select max(o_id) from orders
+			where o_w_id = d_w_id and o_d_id = d_id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int64() != 0 {
+		t.Error("rollback left a gap: d_next_o_id advanced past max(o_id)")
+	}
+}
+
+func TestDeliveryConsumesNewOrders(t *testing.T) {
+	db := smallDB(t, core.AllRoutines)
+	ex := NewExecutor(db, SmallConfig(1), 5)
+	r, _ := db.Query("select count(*) from new_order")
+	before := r.Rows[0][0].Int64()
+	if err := ex.Delivery(); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = db.Query("select count(*) from new_order")
+	after := r.Rows[0][0].Int64()
+	if before-after != int64(SmallConfig(1).DistrictsPerWH) {
+		t.Errorf("delivery consumed %d new_orders, want %d", before-after, SmallConfig(1).DistrictsPerWH)
+	}
+	// The delivered orders got a carrier.
+	r, _ = db.Query("select count(*) from orders where o_carrier_id = 0")
+	undelivered := r.Rows[0][0].Int64()
+	if undelivered != after {
+		t.Errorf("undelivered orders (%d) != new_order entries (%d)", undelivered, after)
+	}
+}
+
+func TestDriverMixAndTPM(t *testing.T) {
+	db := smallDB(t, core.AllRoutines)
+	dr, err := NewDriver(db, SmallConfig(1), DefaultMix, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dr.RunN(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed < 290 {
+		t.Errorf("committed = %d (rolled back %d)", st.Committed, st.RolledBack)
+	}
+	if st.TPM() <= 0 {
+		t.Error("TPM must be positive")
+	}
+	// The mix should roughly follow the weights: NewOrder ≈ 45%.
+	no := float64(st.ByType[TxnNewOrder]) / float64(st.Committed)
+	if no < 0.30 || no > 0.60 {
+		t.Errorf("NewOrder share = %.2f, want ≈0.45", no)
+	}
+	if _, err := NewDriver(db, SmallConfig(1), Mix{1, 0, 0, 0, 0}, 1, nil); err == nil {
+		t.Error("invalid mix must be rejected")
+	}
+}
+
+func TestStockAndBeeSameResults(t *testing.T) {
+	// Run the same seeded transaction stream on both engines and compare
+	// final aggregate state.
+	var sums [2][3]string
+	for i, rs := range []core.RoutineSet{core.Stock, core.AllRoutines} {
+		db := smallDB(t, rs)
+		dr, err := NewDriver(db, SmallConfig(1), EqualMix, 99, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dr.RunN(200); err != nil {
+			t.Fatal(err)
+		}
+		for j, q := range []string{
+			"select sum(d_next_o_id) from district",
+			"select count(*) from order_line",
+			"select sum(s_order_cnt) from stock",
+		} {
+			r, err := db.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums[i][j] = r.Rows[0][0].String()
+		}
+	}
+	for j := range sums[0] {
+		if sums[0][j] != sums[1][j] {
+			t.Errorf("metric %d: stock %s, bee %s", j, sums[0][j], sums[1][j])
+		}
+	}
+}
+
+func TestPaymentByLastName(t *testing.T) {
+	db := smallDB(t, core.AllRoutines)
+	ex := NewExecutor(db, SmallConfig(1), 21)
+	// Customer balances drop as payments apply; total payment count rises.
+	before, _ := db.Query("select sum(c_payment_cnt) from customer")
+	for i := 0; i < 30; i++ {
+		if err := ex.Payment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := db.Query("select sum(c_payment_cnt) from customer")
+	paid := after.Rows[0][0].Int64() - before.Rows[0][0].Int64()
+	// Some by-last-name lookups may find no customer (small population),
+	// but most payments must land.
+	if paid < 20 {
+		t.Errorf("payments applied = %d of 30", paid)
+	}
+	// History grew by the same amount.
+	h, _ := db.Query("select count(*) from history")
+	base := int64(SmallConfig(1).DistrictsPerWH * SmallConfig(1).CustomersPerDist)
+	if h.Rows[0][0].Int64() != base+paid {
+		t.Errorf("history rows = %d, want %d", h.Rows[0][0].Int64(), base+paid)
+	}
+}
+
+func TestWarehouseYtdConsistency(t *testing.T) {
+	// Invariant (TPC-C consistency condition 1): w_ytd equals the sum of
+	// its districts' d_ytd after any number of payments.
+	db := smallDB(t, core.AllRoutines)
+	ex := NewExecutor(db, SmallConfig(1), 31)
+	for i := 0; i < 50; i++ {
+		if err := ex.Payment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, _ := db.Query("select w_ytd from warehouse where w_id = 1")
+	d, _ := db.Query("select sum(d_ytd) from district where d_w_id = 1")
+	diff := w.Rows[0][0].Float64() - d.Rows[0][0].Float64()
+	if diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("w_ytd %v != sum(d_ytd) %v", w.Rows[0][0], d.Rows[0][0])
+	}
+}
+
+func TestIdenticalSeedsIdenticalStreams(t *testing.T) {
+	// Two executors with the same seed on identical databases must issue
+	// the same transactions (the property the throughput harness relies
+	// on to compare engines fairly).
+	counts := make([][5]int64, 2)
+	for i := 0; i < 2; i++ {
+		db := smallDB(t, core.AllRoutines)
+		dr, err := NewDriver(db, SmallConfig(1), EqualMix, 123, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := dr.RunN(150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(counts[i][:], st.ByType[:])
+	}
+	if counts[0] != counts[1] {
+		t.Errorf("streams diverged: %v vs %v", counts[0], counts[1])
+	}
+}

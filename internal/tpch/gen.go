@@ -1,0 +1,438 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"microspec/internal/types"
+)
+
+// Generator produces TPC-H data deterministically for a scale factor.
+// Cardinalities follow the specification (supplier SF·10k, part SF·200k,
+// partsupp 4·part, customer SF·150k, orders SF·1.5M, lineitem 1–7 per
+// order); value distributions are the specification's, with the text
+// grammar simplified to weighted word pools that preserve every substring
+// the queries select on (green, forest%, %special%requests%,
+// %Customer%Complaints%, PROMO%, …). See DESIGN.md §1.
+type Generator struct {
+	SF float64
+}
+
+// NewGenerator returns a generator for the given scale factor.
+func NewGenerator(sf float64) *Generator { return &Generator{SF: sf} }
+
+// Cardinalities.
+
+// NumSupplier returns the supplier row count.
+func (g *Generator) NumSupplier() int { return maxInt(1, int(g.SF*10000)) }
+
+// NumPart returns the part row count.
+func (g *Generator) NumPart() int { return maxInt(1, int(g.SF*200000)) }
+
+// NumCustomer returns the customer row count.
+func (g *Generator) NumCustomer() int { return maxInt(1, int(g.SF*150000)) }
+
+// NumOrders returns the orders row count.
+func (g *Generator) NumOrders() int { return maxInt(1, int(g.SF*1500000)) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Static pools (TPC-H specification §4.2.2 and Appendix).
+
+var regions = []struct {
+	key  int32
+	name string
+}{
+	{0, "AFRICA"}, {1, "AMERICA"}, {2, "ASIA"}, {3, "EUROPE"}, {4, "MIDDLE EAST"},
+}
+
+var nations = []struct {
+	key    int32
+	name   string
+	region int32
+}{
+	{0, "ALGERIA", 0}, {1, "ARGENTINA", 1}, {2, "BRAZIL", 1}, {3, "CANADA", 1},
+	{4, "EGYPT", 4}, {5, "ETHIOPIA", 0}, {6, "FRANCE", 3}, {7, "GERMANY", 3},
+	{8, "INDIA", 2}, {9, "INDONESIA", 2}, {10, "IRAN", 4}, {11, "IRAQ", 4},
+	{12, "JAPAN", 2}, {13, "JORDAN", 4}, {14, "KENYA", 0}, {15, "MOROCCO", 0},
+	{16, "MOZAMBIQUE", 0}, {17, "PERU", 1}, {18, "CHINA", 2}, {19, "ROMANIA", 3},
+	{20, "SAUDI ARABIA", 4}, {21, "VIETNAM", 2}, {22, "RUSSIA", 3},
+	{23, "UNITED KINGDOM", 3}, {24, "UNITED STATES", 1},
+}
+
+var colors = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+	"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+	"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+	"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+	"hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+	"lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+	"midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+	"orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+	"puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+	"sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+	"steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+	"yellow",
+}
+
+var typeSyllable1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyllable2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyllable3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+var containerSyllable1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+var containerSyllable2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+// commentWords feeds the simplified text grammar. It deliberately
+// includes the words the benchmark predicates search for.
+var commentWords = []string{
+	"carefully", "quickly", "furiously", "slyly", "blithely", "ironic",
+	"regular", "final", "express", "special", "pending", "bold", "even",
+	"silent", "unusual", "requests", "deposits", "packages", "instructions",
+	"accounts", "theodolites", "foxes", "pinto", "beans", "ideas", "dependencies",
+	"platelets", "excuses", "asymptotes", "somas", "dugouts", "waters",
+}
+
+// Date anchors (TPC-H §4.2.3).
+var (
+	startDate = types.MustParseDate("1992-01-01")
+	endDate   = types.MustParseDate("1998-08-02")
+	cutoff    = types.MustParseDate("1995-06-17")
+)
+
+func comment(rng *rand.Rand, maxLen int) string {
+	n := 3 + rng.Intn(6)
+	out := ""
+	for i := 0; i < n; i++ {
+		w := commentWords[rng.Intn(len(commentWords))]
+		if len(out)+1+len(w) > maxLen {
+			break
+		}
+		if out != "" {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+func phone(rng *rand.Rand, nationkey int32) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+nationkey,
+		100+rng.Intn(900), 100+rng.Intn(900), 1000+rng.Intn(9000))
+}
+
+func money(rng *rand.Rand, lo, hi float64) float64 {
+	cents := int64(lo*100) + rng.Int63n(int64((hi-lo)*100)+1)
+	return float64(cents) / 100
+}
+
+// RowIter yields one tuple per call; ok=false ends the stream. The
+// signature matches engine.DB.BulkLoad.
+type RowIter func() ([]types.Datum, bool)
+
+// RegionRows returns the 5 region tuples. extraRows pads the relation
+// (Figure 8 loads region and nation with 1M rows each because the
+// originals are too small to measure).
+func (g *Generator) RegionRows(extraRows int) RowIter {
+	rng := rand.New(rand.NewSource(101))
+	i := 0
+	return func() ([]types.Datum, bool) {
+		if i >= len(regions)+extraRows {
+			return nil, false
+		}
+		r := regions[i%len(regions)]
+		key := int32(i)
+		if i < len(regions) {
+			key = r.key
+		} else {
+			key = int32(i)
+		}
+		i++
+		return []types.Datum{
+			types.NewInt32(key),
+			types.NewChar(r.name),
+			types.NewString(comment(rng, 152)),
+		}, true
+	}
+}
+
+// NationRows returns the 25 nation tuples plus extraRows padding rows.
+func (g *Generator) NationRows(extraRows int) RowIter {
+	rng := rand.New(rand.NewSource(102))
+	i := 0
+	return func() ([]types.Datum, bool) {
+		if i >= len(nations)+extraRows {
+			return nil, false
+		}
+		n := nations[i%len(nations)]
+		key := n.key
+		if i >= len(nations) {
+			key = int32(i)
+		}
+		i++
+		return []types.Datum{
+			types.NewInt32(key),
+			types.NewChar(n.name),
+			types.NewInt32(n.region),
+			types.NewString(comment(rng, 152)),
+		}, true
+	}
+}
+
+// SupplierRows returns the supplier stream. Every 50th supplier's comment
+// contains "Customer Complaints" (q16's anti-pattern).
+func (g *Generator) SupplierRows() RowIter {
+	rng := rand.New(rand.NewSource(103))
+	n := g.NumSupplier()
+	i := 0
+	return func() ([]types.Datum, bool) {
+		if i >= n {
+			return nil, false
+		}
+		i++
+		key := int32(i)
+		nationkey := nations[rng.Intn(len(nations))].key
+		cmt := comment(rng, 70)
+		if i%50 == 0 {
+			cmt = "carefully Customer Complaints " + cmt
+			if len(cmt) > 101 {
+				cmt = cmt[:101]
+			}
+		}
+		return []types.Datum{
+			types.NewInt32(key),
+			types.NewChar(fmt.Sprintf("Supplier#%09d", key)),
+			types.NewString(fmt.Sprintf("addr-%d %s", key, commentWords[rng.Intn(len(commentWords))])),
+			types.NewInt32(nationkey),
+			types.NewChar(phone(rng, nationkey)),
+			types.NewFloat64(money(rng, -999.99, 9999.99)),
+			types.NewString(cmt),
+		}, true
+	}
+}
+
+// PartName builds p_name: five color words (the q9/q20 pattern space).
+func partName(rng *rand.Rand) string {
+	out := ""
+	for w := 0; w < 5; w++ {
+		if w > 0 {
+			out += " "
+		}
+		out += colors[rng.Intn(len(colors))]
+	}
+	return out
+}
+
+// PartRows returns the part stream.
+func (g *Generator) PartRows() RowIter {
+	rng := rand.New(rand.NewSource(104))
+	n := g.NumPart()
+	i := 0
+	return func() ([]types.Datum, bool) {
+		if i >= n {
+			return nil, false
+		}
+		i++
+		key := int32(i)
+		mfgr := 1 + rng.Intn(5)
+		brand := mfgr*10 + 1 + rng.Intn(5)
+		ptype := typeSyllable1[rng.Intn(6)] + " " + typeSyllable2[rng.Intn(5)] + " " + typeSyllable3[rng.Intn(5)]
+		container := containerSyllable1[rng.Intn(5)] + " " + containerSyllable2[rng.Intn(8)]
+		return []types.Datum{
+			types.NewInt32(key),
+			types.NewString(partName(rng)),
+			types.NewChar(fmt.Sprintf("Manufacturer#%d", mfgr)),
+			types.NewChar(fmt.Sprintf("Brand#%d", brand)),
+			types.NewString(ptype),
+			types.NewInt32(int32(1 + rng.Intn(50))),
+			types.NewChar(container),
+			types.NewFloat64(900 + float64(key%200) + float64(key%1000)/10),
+			types.NewString(comment(rng, 23)),
+		}, true
+	}
+}
+
+// PartSuppRows returns the partsupp stream: 4 suppliers per part.
+func (g *Generator) PartSuppRows() RowIter {
+	rng := rand.New(rand.NewSource(105))
+	nPart := g.NumPart()
+	nSupp := g.NumSupplier()
+	part, within := 1, 0
+	return func() ([]types.Datum, bool) {
+		if part > nPart {
+			return nil, false
+		}
+		// The spec's supplier spreading function keeps (part, supp) unique.
+		supp := (part+within*(nSupp/4+1))%nSupp + 1
+		row := []types.Datum{
+			types.NewInt32(int32(part)),
+			types.NewInt32(int32(supp)),
+			types.NewInt32(int32(1 + rng.Intn(9999))),
+			types.NewFloat64(money(rng, 1.00, 1000.00)),
+			types.NewString(comment(rng, 199)),
+		}
+		within++
+		if within == 4 {
+			within = 0
+			part++
+		}
+		return row, true
+	}
+}
+
+// CustomerRows returns the customer stream.
+func (g *Generator) CustomerRows() RowIter {
+	rng := rand.New(rand.NewSource(106))
+	n := g.NumCustomer()
+	i := 0
+	return func() ([]types.Datum, bool) {
+		if i >= n {
+			return nil, false
+		}
+		i++
+		key := int32(i)
+		nationkey := nations[rng.Intn(len(nations))].key
+		return []types.Datum{
+			types.NewInt32(key),
+			types.NewString(fmt.Sprintf("Customer#%09d", key)),
+			types.NewString(fmt.Sprintf("addr-%d", key)),
+			types.NewInt32(nationkey),
+			types.NewChar(phone(rng, nationkey)),
+			types.NewFloat64(money(rng, -999.99, 9999.99)),
+			types.NewChar(segments[rng.Intn(len(segments))]),
+			types.NewString(comment(rng, 117)),
+		}, true
+	}
+}
+
+// Order is one generated order with its line items (used by the paired
+// OrderRows/LineitemRows streams so o_totalprice and o_orderstatus are
+// consistent with the lines).
+type order struct {
+	row   []types.Datum
+	lines [][]types.Datum
+}
+
+// genOrder produces order i (1-based) and its lines.
+func (g *Generator) genOrder(rng *rand.Rand, i int) order {
+	key := int32(i)
+	custkey := int32(rng.Intn(g.NumCustomer())/3*3 + 1) // skip 2 of every 3, like dbgen
+	if custkey > int32(g.NumCustomer()) {
+		custkey = 1
+	}
+	odate := startDate + int32(rng.Intn(int(endDate-startDate-121)))
+	nLines := 1 + rng.Intn(7)
+	total := 0.0
+	allF, allO := true, true
+	var lines [][]types.Datum
+	for ln := 1; ln <= nLines; ln++ {
+		partkey := int32(1 + rng.Intn(g.NumPart()))
+		// One of the part's four suppliers.
+		nSupp := g.NumSupplier()
+		supp := (int(partkey)+rng.Intn(4)*(nSupp/4+1))%nSupp + 1
+		qty := float64(1 + rng.Intn(50))
+		price := (900 + float64(partkey%200) + float64(partkey%1000)/10) * qty / 10
+		discount := float64(rng.Intn(11)) / 100
+		tax := float64(rng.Intn(9)) / 100
+		sdate := odate + int32(1+rng.Intn(121))
+		cdate := odate + int32(30+rng.Intn(61))
+		rdate := sdate + int32(1+rng.Intn(30))
+		rf := "N"
+		if rdate <= cutoff {
+			if rng.Intn(2) == 0 {
+				rf = "R"
+			} else {
+				rf = "A"
+			}
+		}
+		ls := "O"
+		if sdate <= cutoff {
+			ls = "F"
+			allO = false
+		} else {
+			allF = false
+		}
+		total += price * (1 + tax) * (1 - discount)
+		lines = append(lines, []types.Datum{
+			types.NewInt32(key),
+			types.NewInt32(partkey),
+			types.NewInt32(int32(supp)),
+			types.NewInt32(int32(ln)),
+			types.NewFloat64(qty),
+			types.NewFloat64(price),
+			types.NewFloat64(discount),
+			types.NewFloat64(tax),
+			types.NewChar(rf),
+			types.NewChar(ls),
+			types.NewDate(sdate),
+			types.NewDate(cdate),
+			types.NewDate(rdate),
+			types.NewChar(shipInstructs[rng.Intn(4)]),
+			types.NewChar(shipModes[rng.Intn(7)]),
+			types.NewString(comment(rng, 44)),
+		})
+	}
+	status := "P"
+	if allF {
+		status = "F"
+	} else if allO {
+		status = "O"
+	}
+	row := []types.Datum{
+		types.NewInt32(key),
+		types.NewInt32(custkey),
+		types.NewChar(status),
+		types.NewFloat64(total),
+		types.NewDate(odate),
+		types.NewChar(priorities[rng.Intn(5)]),
+		types.NewChar(fmt.Sprintf("Clerk#%09d", 1+rng.Intn(maxInt(1, int(g.SF*1000))))),
+		types.NewInt32(0),
+		types.NewString(comment(rng, 79)),
+	}
+	return order{row: row, lines: lines}
+}
+
+// OrderRows returns the orders stream.
+func (g *Generator) OrderRows() RowIter {
+	rng := rand.New(rand.NewSource(107))
+	n := g.NumOrders()
+	i := 0
+	return func() ([]types.Datum, bool) {
+		if i >= n {
+			return nil, false
+		}
+		i++
+		return g.genOrder(rng, i).row, true
+	}
+}
+
+// LineitemRows returns the lineitem stream, consistent with OrderRows
+// (same seed regenerates the same orders).
+func (g *Generator) LineitemRows() RowIter {
+	rng := rand.New(rand.NewSource(107))
+	n := g.NumOrders()
+	i := 0
+	var pending [][]types.Datum
+	return func() ([]types.Datum, bool) {
+		for len(pending) == 0 {
+			if i >= n {
+				return nil, false
+			}
+			i++
+			pending = g.genOrder(rng, i).lines
+		}
+		row := pending[0]
+		pending = pending[1:]
+		return row, true
+	}
+}

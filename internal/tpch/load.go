@@ -1,0 +1,61 @@
+package tpch
+
+import (
+	"fmt"
+
+	"microspec/internal/engine"
+	"microspec/internal/profile"
+)
+
+// CreateSchema issues the TPC-H DDL on db (relation bees are created
+// here, at schema-definition time, when the database is bee-enabled).
+func CreateSchema(db *engine.DB) error {
+	for _, ddl := range SchemaDDL() {
+		if _, err := db.Exec(ddl); err != nil {
+			return fmt.Errorf("tpch: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load populates all eight relations at the generator's scale factor and
+// refreshes planner statistics. It returns the total rows loaded.
+func Load(db *engine.DB, g *Generator, prof *profile.Counters) (int64, error) {
+	streams := []struct {
+		table string
+		iter  RowIter
+	}{
+		{"region", g.RegionRows(0)},
+		{"nation", g.NationRows(0)},
+		{"supplier", g.SupplierRows()},
+		{"part", g.PartRows()},
+		{"partsupp", g.PartSuppRows()},
+		{"customer", g.CustomerRows()},
+		{"orders", g.OrderRows()},
+		{"lineitem", g.LineitemRows()},
+	}
+	var total int64
+	for _, s := range streams {
+		n, err := db.BulkLoad(s.table, prof, s.iter)
+		if err != nil {
+			return total, fmt.Errorf("tpch: loading %s: %w", s.table, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// NewDatabase creates, populates, and warms a TPC-H database.
+func NewDatabase(cfg engine.Config, sf float64) (*engine.DB, error) {
+	db := engine.Open(cfg)
+	if err := CreateSchema(db); err != nil {
+		return nil, err
+	}
+	if _, err := Load(db, NewGenerator(sf), nil); err != nil {
+		return nil, err
+	}
+	if err := db.WarmUp(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

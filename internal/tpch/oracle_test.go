@@ -1,0 +1,251 @@
+package tpch
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/types"
+)
+
+// Oracle tests: selected TPC-H queries are recomputed in plain Go
+// directly over the generator's row streams and compared with the SQL
+// engine's answers — an independent correctness check that does not rely
+// on comparing two configurations of the same engine.
+
+var (
+	oracleOnce sync.Once
+	oracleddb  *engine.DB
+	oracleErr  error
+)
+
+// oracleDB shares one loaded database across the oracle tests (they are
+// read-only).
+func oracleDB(t *testing.T) *engine.DB {
+	t.Helper()
+	oracleOnce.Do(func() {
+		oracleddb, oracleErr = NewDatabase(engine.Config{Routines: core.AllRoutines}, testSF)
+	})
+	if oracleErr != nil {
+		t.Fatal(oracleErr)
+	}
+	return oracleddb
+}
+
+func approxEq(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), 1)
+	return diff/scale < 1e-9
+}
+
+// TestQ6Oracle recomputes q6's revenue sum by hand.
+func TestQ6Oracle(t *testing.T) {
+	db := oracleDB(t)
+	lo := types.MustParseDate("1994-01-01")
+	hi := types.MustParseDate("1995-01-01")
+
+	want := 0.0
+	iter := NewGenerator(testSF).LineitemRows()
+	for {
+		row, ok := iter()
+		if !ok {
+			break
+		}
+		ship := row[10].DateDays()
+		disc := row[6].Float64()
+		qty := row[4].Float64()
+		price := row[5].Float64()
+		if ship >= lo && ship < hi && disc >= 0.05 && disc <= 0.07 && qty < 24 {
+			want += price * disc
+		}
+	}
+
+	r, err := db.Query(Queries()[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Rows[0][0]
+	if want == 0 {
+		if !got.IsNull() {
+			t.Fatalf("q6: want NULL (no qualifying rows), got %v", got)
+		}
+		return
+	}
+	if !approxEq(got.Float64(), want) {
+		t.Fatalf("q6 revenue: engine %v, oracle %v", got.Float64(), want)
+	}
+}
+
+// TestQ1Oracle recomputes q1's grouped aggregates by hand.
+func TestQ1Oracle(t *testing.T) {
+	db := oracleDB(t)
+	cutoff := types.SubInterval(types.MustParseDate("1998-12-01"), types.Interval{Days: 90})
+
+	type agg struct {
+		qty, price, disc, discPrice, charge float64
+		n                                   int64
+	}
+	want := map[string]*agg{}
+	iter := NewGenerator(testSF).LineitemRows()
+	for {
+		row, ok := iter()
+		if !ok {
+			break
+		}
+		if row[10].DateDays() > cutoff {
+			continue
+		}
+		key := row[8].Str() + "|" + row[9].Str()
+		a := want[key]
+		if a == nil {
+			a = &agg{}
+			want[key] = a
+		}
+		qty, price, disc, tax := row[4].Float64(), row[5].Float64(), row[6].Float64(), row[7].Float64()
+		a.qty += qty
+		a.price += price
+		a.disc += disc
+		a.discPrice += price * (1 - disc)
+		a.charge += price * (1 - disc) * (1 + tax)
+		a.n++
+	}
+
+	r, err := db.Query(Queries()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(want) {
+		t.Fatalf("q1 groups: engine %d, oracle %d", len(r.Rows), len(want))
+	}
+	for _, row := range r.Rows {
+		key := row[0].Str() + "|" + row[1].Str()
+		a := want[key]
+		if a == nil {
+			t.Fatalf("unexpected group %q", key)
+		}
+		checks := []struct {
+			name string
+			got  float64
+			want float64
+		}{
+			{"sum_qty", row[2].Float64(), a.qty},
+			{"sum_base_price", row[3].Float64(), a.price},
+			{"sum_disc_price", row[4].Float64(), a.discPrice},
+			{"sum_charge", row[5].Float64(), a.charge},
+			{"avg_qty", row[6].Float64(), a.qty / float64(a.n)},
+			{"avg_disc", row[8].Float64(), a.disc / float64(a.n)},
+		}
+		for _, c := range checks {
+			if !approxEq(c.got, c.want) {
+				t.Errorf("q1 %s (%s): engine %v, oracle %v", c.name, key, c.got, c.want)
+			}
+		}
+		if row[9].Int64() != a.n {
+			t.Errorf("q1 count_order (%s): engine %v, oracle %d", key, row[9], a.n)
+		}
+	}
+}
+
+// TestQ4Oracle recomputes q4 (EXISTS decorrelation) by hand.
+func TestQ4Oracle(t *testing.T) {
+	db := oracleDB(t)
+	lo := types.MustParseDate("1993-07-01")
+	hi := types.AddInterval(lo, types.Interval{Months: 3})
+
+	g := NewGenerator(testSF)
+	lateOrders := map[int32]bool{} // orders with a commit<receipt line
+	li := g.LineitemRows()
+	for {
+		row, ok := li()
+		if !ok {
+			break
+		}
+		if row[11].DateDays() < row[12].DateDays() {
+			lateOrders[row[0].Int32()] = true
+		}
+	}
+	want := map[string]int64{}
+	oi := g.OrderRows()
+	for {
+		row, ok := oi()
+		if !ok {
+			break
+		}
+		od := row[4].DateDays()
+		if od >= lo && od < hi && lateOrders[row[0].Int32()] {
+			want[row[5].Str()]++
+		}
+	}
+
+	r, err := db.Query(Queries()[4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(want) {
+		t.Fatalf("q4 groups: engine %d, oracle %d", len(r.Rows), len(want))
+	}
+	for _, row := range r.Rows {
+		if got := row[1].Int64(); got != want[row[0].Str()] {
+			t.Errorf("q4 %s: engine %d, oracle %d", row[0].Str(), got, want[row[0].Str()])
+		}
+	}
+}
+
+// TestQ13Oracle recomputes q13 (left outer join + double grouping).
+func TestQ13Oracle(t *testing.T) {
+	db := oracleDB(t)
+	g := NewGenerator(testSF)
+
+	// Count qualifying orders per customer.
+	perCust := map[int32]int64{}
+	oi := g.OrderRows()
+	for {
+		row, ok := oi()
+		if !ok {
+			break
+		}
+		comment := row[8].Str()
+		if matchesSpecialRequests(comment) {
+			continue
+		}
+		perCust[row[1].Int32()]++
+	}
+	want := map[int64]int64{} // c_count → customers
+	nCust := g.NumCustomer()
+	for c := 1; c <= nCust; c++ {
+		want[perCust[int32(c)]]++
+	}
+
+	r, err := db.Query(Queries()[13])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(want) {
+		t.Fatalf("q13 groups: engine %d, oracle %d", len(r.Rows), len(want))
+	}
+	for _, row := range r.Rows {
+		if got := row[1].Int64(); got != want[row[0].Int64()] {
+			t.Errorf("q13 c_count=%d: engine %d, oracle %d", row[0].Int64(), got, want[row[0].Int64()])
+		}
+	}
+}
+
+// matchesSpecialRequests is LIKE '%special%requests%'.
+func matchesSpecialRequests(s string) bool {
+	i := indexOf(s, "special")
+	if i < 0 {
+		return false
+	}
+	return indexOf(s[i+len("special"):], "requests") >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

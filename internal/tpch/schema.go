@@ -1,0 +1,97 @@
+// Package tpch is the TPC-H kit: a DBGEN-equivalent data generator
+// parameterized by scale factor, the benchmark schema (with the paper's
+// LOWCARD annotations on the low-cardinality attributes of lineitem,
+// orders, part, and nation — the relations its Figure 5 discussion names
+// as tuple-bee enabled), and the 22 queries with the specification's
+// validation parameter values.
+package tpch
+
+// SchemaDDL returns the CREATE TABLE statements for the eight TPC-H
+// relations. DECIMAL columns map to float64 (DESIGN.md deviations); the
+// LOWCARD clauses are the paper's annotation DDL ("We also added DDL
+// clauses to identify the handful of low-cardinality attributes").
+func SchemaDDL() []string {
+	return []string{
+		`create table region (
+			r_regionkey integer not null,
+			r_name char(25) not null,
+			r_comment varchar(152) not null,
+			primary key (r_regionkey))`,
+		`create table nation (
+			n_nationkey integer not null,
+			n_name char(25) not null,
+			n_regionkey integer not null lowcard,
+			n_comment varchar(152) not null,
+			primary key (n_nationkey))`,
+		`create table supplier (
+			s_suppkey integer not null,
+			s_name char(25) not null,
+			s_address varchar(40) not null,
+			s_nationkey integer not null,
+			s_phone char(15) not null,
+			s_acctbal decimal(15,2) not null,
+			s_comment varchar(101) not null,
+			primary key (s_suppkey))`,
+		`create table part (
+			p_partkey integer not null,
+			p_name varchar(55) not null,
+			p_mfgr char(25) not null lowcard,
+			p_brand char(10) not null lowcard,
+			p_type varchar(25) not null,
+			p_size integer not null,
+			p_container char(10) not null lowcard,
+			p_retailprice decimal(15,2) not null,
+			p_comment varchar(23) not null,
+			primary key (p_partkey))`,
+		`create table partsupp (
+			ps_partkey integer not null,
+			ps_suppkey integer not null,
+			ps_availqty integer not null,
+			ps_supplycost decimal(15,2) not null,
+			ps_comment varchar(199) not null,
+			primary key (ps_partkey, ps_suppkey))`,
+		`create table customer (
+			c_custkey integer not null,
+			c_name varchar(25) not null,
+			c_address varchar(40) not null,
+			c_nationkey integer not null,
+			c_phone char(15) not null,
+			c_acctbal decimal(15,2) not null,
+			c_mktsegment char(10) not null,
+			c_comment varchar(117) not null,
+			primary key (c_custkey))`,
+		`create table orders (
+			o_orderkey integer not null,
+			o_custkey integer not null,
+			o_orderstatus char(1) not null lowcard,
+			o_totalprice decimal(15,2) not null,
+			o_orderdate date not null,
+			o_orderpriority char(15) not null lowcard,
+			o_clerk char(15) not null,
+			o_shippriority integer not null lowcard,
+			o_comment varchar(79) not null,
+			primary key (o_orderkey))`,
+		`create table lineitem (
+			l_orderkey integer not null,
+			l_partkey integer not null,
+			l_suppkey integer not null,
+			l_linenumber integer not null,
+			l_quantity decimal(15,2) not null,
+			l_extendedprice decimal(15,2) not null,
+			l_discount decimal(15,2) not null,
+			l_tax decimal(15,2) not null,
+			l_returnflag char(1) not null lowcard,
+			l_linestatus char(1) not null lowcard,
+			l_shipdate date not null,
+			l_commitdate date not null,
+			l_receiptdate date not null,
+			l_shipinstruct char(25) not null lowcard,
+			l_shipmode char(10) not null lowcard,
+			l_comment varchar(44) not null)`,
+	}
+}
+
+// TableNames lists the relations in dependency (load) order.
+func TableNames() []string {
+	return []string{"region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem"}
+}

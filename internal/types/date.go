@@ -1,0 +1,69 @@
+package types
+
+import (
+	"fmt"
+	"time"
+)
+
+// Dates are stored as signed day counts since 1970-01-01 (the Unix epoch),
+// which keeps DATE a 4-byte pass-by-value type exactly like PostgreSQL's
+// (PostgreSQL uses a 2000-01-01 epoch; the offset is irrelevant to layout).
+
+// unixEpoch is the civil anchor for day counts.
+var unixEpoch = time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// ParseDate parses a 'YYYY-MM-DD' literal into a day count.
+func ParseDate(s string) (int32, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid date literal %q: %w", s, err)
+	}
+	return int32(t.Sub(unixEpoch).Hours() / 24), nil
+}
+
+// MustParseDate is ParseDate for literals known to be valid (tests, query
+// templates); it panics on error.
+func MustParseDate(s string) int32 {
+	d, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// FormatDate renders a day count as 'YYYY-MM-DD'.
+func FormatDate(days int32) string {
+	return unixEpoch.AddDate(0, 0, int(days)).Format("2006-01-02")
+}
+
+// DateYear returns the calendar year of a day count (SQL EXTRACT(YEAR ...)).
+func DateYear(days int32) int {
+	return unixEpoch.AddDate(0, 0, int(days)).Year()
+}
+
+// DateYMD builds a day count from calendar components.
+func DateYMD(year, month, day int) int32 {
+	t := time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC)
+	return int32(t.Sub(unixEpoch).Hours() / 24)
+}
+
+// Interval is a calendar interval: a month part and a day part, the two
+// units TPC-H query templates use ("interval '3' month", "interval '90'
+// day"). Months and days do not commute, so both are kept.
+type Interval struct {
+	Months int
+	Days   int
+}
+
+// AddInterval advances a day count by an interval using civil-calendar
+// month arithmetic (matching SQL date + interval semantics).
+func AddInterval(days int32, iv Interval) int32 {
+	t := unixEpoch.AddDate(0, 0, int(days))
+	t = t.AddDate(0, iv.Months, iv.Days)
+	return int32(t.Sub(unixEpoch).Hours() / 24)
+}
+
+// SubInterval retreats a day count by an interval.
+func SubInterval(days int32, iv Interval) int32 {
+	return AddInterval(days, Interval{Months: -iv.Months, Days: -iv.Days})
+}

@@ -1,0 +1,151 @@
+// Package types defines the value domain of the engine: SQL column types,
+// runtime datums, comparison, hashing, and date/interval arithmetic.
+//
+// The storage-relevant properties of each type (fixed length, alignment)
+// mirror PostgreSQL's pg_attribute fields attlen and attalign, because the
+// paper's central case study (the slot_deform_tuple function) branches on
+// exactly those properties per attribute. Fixed-length types have Len > 0;
+// variable-length ("varlena") types have Len == -1 and are stored with a
+// 4-byte length prefix aligned to 4 bytes.
+package types
+
+import "fmt"
+
+// Kind enumerates the runtime representation classes of a datum.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; it never describes a real column.
+	KindInvalid Kind = iota
+	// KindInt32 is a 4-byte signed integer (SQL INTEGER).
+	KindInt32
+	// KindInt64 is an 8-byte signed integer (SQL BIGINT).
+	KindInt64
+	// KindFloat64 is an 8-byte IEEE-754 double (SQL DOUBLE PRECISION and,
+	// in this engine, DECIMAL — see DESIGN.md "Known deviations").
+	KindFloat64
+	// KindBool is a 1-byte boolean.
+	KindBool
+	// KindDate is a 4-byte day count since 1970-01-01 (SQL DATE).
+	KindDate
+	// KindChar is a fixed-length byte string, blank-padded (SQL CHAR(n)).
+	KindChar
+	// KindVarchar is a variable-length byte string (SQL VARCHAR(n)).
+	KindVarchar
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt32:
+		return "integer"
+	case KindInt64:
+		return "bigint"
+	case KindFloat64:
+		return "double"
+	case KindBool:
+		return "boolean"
+	case KindDate:
+		return "date"
+	case KindChar:
+		return "char"
+	case KindVarchar:
+		return "varchar"
+	default:
+		return "invalid"
+	}
+}
+
+// T is a complete column type: a kind plus, for character types, a width.
+type T struct {
+	Kind  Kind
+	Width int // declared width for CHAR(n)/VARCHAR(n); 0 otherwise
+}
+
+// Convenience constructors for the fixed catalog of types the engine uses.
+var (
+	Int32   = T{Kind: KindInt32}
+	Int64   = T{Kind: KindInt64}
+	Float64 = T{Kind: KindFloat64}
+	Bool    = T{Kind: KindBool}
+	Date    = T{Kind: KindDate}
+)
+
+// Char returns the CHAR(n) type.
+func Char(n int) T { return T{Kind: KindChar, Width: n} }
+
+// Varchar returns the VARCHAR(n) type.
+func Varchar(n int) T { return T{Kind: KindVarchar, Width: n} }
+
+// Len returns the on-page storage length in bytes, or -1 for
+// variable-length types (the varlena convention; compare attlen == -1 in
+// Listing 1 of the paper).
+func (t T) Len() int {
+	switch t.Kind {
+	case KindInt32, KindDate:
+		return 4
+	case KindInt64, KindFloat64:
+		return 8
+	case KindBool:
+		return 1
+	case KindChar:
+		return t.Width
+	case KindVarchar:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Align returns the required storage alignment in bytes (attalign).
+// Varlena values are aligned to 4 because of their 4-byte length prefix.
+func (t T) Align() int {
+	switch t.Kind {
+	case KindInt32, KindDate, KindVarchar:
+		return 4
+	case KindInt64, KindFloat64:
+		return 8
+	case KindBool, KindChar:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// FixedLen reports whether the type has a schema-constant storage length.
+func (t T) FixedLen() bool { return t.Kind != KindVarchar }
+
+// ByValue reports whether the datum is passed by value (numeric kinds) as
+// opposed to by reference into the tuple buffer (character kinds). This is
+// PostgreSQL's attbyval distinction, which selects the fetch snippet used
+// by both the generic deform loop and the GCL bee routine.
+func (t T) ByValue() bool {
+	switch t.Kind {
+	case KindChar, KindVarchar:
+		return false
+	default:
+		return true
+	}
+}
+
+// Numeric reports whether the type participates in arithmetic.
+func (t T) Numeric() bool {
+	switch t.Kind {
+	case KindInt32, KindInt64, KindFloat64:
+		return true
+	default:
+		return false
+	}
+}
+
+// String renders the type as SQL, e.g. "varchar(44)".
+func (t T) String() string {
+	switch t.Kind {
+	case KindChar:
+		return fmt.Sprintf("char(%d)", t.Width)
+	case KindVarchar:
+		return fmt.Sprintf("varchar(%d)", t.Width)
+	default:
+		return t.Kind.String()
+	}
+}
