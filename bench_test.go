@@ -248,3 +248,42 @@ func BenchmarkStorage(b *testing.B) {
 		// The measurement is static; keep the loop for the harness.
 	}
 }
+
+// BenchmarkTPCHObserved is the observability integration: it runs Q1 and
+// Q3 on both engines and reports MetricsSnapshot deltas — buffer hit
+// rate and per-query bee-routine calls — alongside wall-clock, so
+// benchmark trajectories capture hit rates, not just ns/op. The full
+// snapshot JSON is dumped by `tpch-bench -metrics out.json`.
+func BenchmarkTPCHObserved(b *testing.B) {
+	stock, bee := tpchPair(b)
+	queries := tpch.Queries()
+	for _, qn := range []int{1, 3} {
+		q := queries[qn]
+		for _, side := range []struct {
+			name string
+			db   *engine.DB
+		}{{"stock", stock}, {"bee", bee}} {
+			b.Run(fmt.Sprintf("q%02d/%s", qn, side.name), func(b *testing.B) {
+				before := side.db.MetricsSnapshot()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := side.db.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				after := side.db.MetricsSnapshot()
+				delta := func(k string) float64 {
+					return float64(after.Counters[k] - before.Counters[k])
+				}
+				if total := delta("buffer.hits") + delta("buffer.misses"); total > 0 {
+					b.ReportMetric(delta("buffer.hits")/total, "buffer-hit-rate")
+				}
+				n := float64(b.N)
+				b.ReportMetric(delta("bees.calls.gcl")/n, "gcl-calls/op")
+				b.ReportMetric(delta("bees.calls.evp")/n, "evp-calls/op")
+				b.ReportMetric(delta("bees.calls.evj")/n, "evj-calls/op")
+			})
+		}
+	}
+}

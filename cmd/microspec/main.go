@@ -1,13 +1,16 @@
 // Command microspec is an interactive SQL shell over the bee-enabled
 // engine: it creates an in-memory database (optionally preloaded with
 // TPC-H data), reads semicolon-terminated statements from stdin, and
-// prints results. Meta commands: \bees (bee-module statistics), \cache
-// (bee cache contents), \source <relation> (the generated GCL template),
-// \stock (recreate the session without micro-specialization), \q.
+// prints results. EXPLAIN <select> prints the plan; EXPLAIN ANALYZE
+// <select> runs it and annotates every node with actual rows, loops, and
+// time. Meta commands: \bees (bee-module statistics), \cache (bee cache
+// contents and stats), \source <relation> (the generated GCL template),
+// \metrics (unified metrics snapshot), \slow [ms] (slow-query log /
+// threshold), \resetmetrics, \q.
 //
 // Usage:
 //
-//	microspec [-tpch 0.01] [-stock]
+//	microspec [-tpch 0.01] [-stock] [-slowms 100]
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 func main() {
 	sf := flag.Float64("tpch", 0, "preload TPC-H data at this scale factor (0 = empty database)")
 	stock := flag.Bool("stock", false, "disable all micro-specialization (stock engine)")
+	slowMS := flag.Int("slowms", 100, "slow-query log threshold in milliseconds (0 disables)")
 	flag.Parse()
 
 	routines := core.AllRoutines
@@ -36,6 +40,7 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	db.SetSlowQueryThreshold(time.Duration(*slowMS) * time.Millisecond)
 	mode := "bee-enabled"
 	if *stock {
 		mode = "stock"
@@ -91,6 +96,25 @@ func run(db *engine.DB, stmt string) {
 	trimmed := strings.TrimSpace(stmt)
 	lower := strings.ToLower(trimmed)
 	start := time.Now()
+	if rest, analyze, ok := stripExplain(trimmed, lower); ok {
+		if analyze {
+			out, res, err := db.ExplainAnalyzeQuery(rest)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				return
+			}
+			fmt.Print(out)
+			fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+			return
+		}
+		out, err := db.ExplainQuery(rest)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Print(out)
+		return
+	}
 	if strings.HasPrefix(lower, "select") || strings.HasPrefix(lower, "with") {
 		res, err := db.Query(trimmed)
 		if err != nil {
@@ -107,6 +131,25 @@ func run(db *engine.DB, stmt string) {
 		return
 	}
 	fmt.Printf("ok (%d rows affected, %v)\n", n, time.Since(start).Round(time.Microsecond))
+}
+
+// stripExplain detects a leading EXPLAIN [ANALYZE] and returns the rest
+// of the statement.
+func stripExplain(stmt, lower string) (rest string, analyze, ok bool) {
+	const explainKw = "explain"
+	if !strings.HasPrefix(lower, explainKw) {
+		return "", false, false
+	}
+	rest = strings.TrimSpace(stmt[len(explainKw):])
+	if len(rest) == len(stmt)-len(explainKw) && rest != "" {
+		// No whitespace after the keyword: an identifier like "explains".
+		return "", false, false
+	}
+	lowerRest := strings.ToLower(rest)
+	if strings.HasPrefix(lowerRest, "analyze ") || strings.HasPrefix(lowerRest, "analyze\n") || strings.HasPrefix(lowerRest, "analyze\t") {
+		return strings.TrimSpace(rest[len("analyze"):]), true, true
+	}
+	return rest, false, true
 }
 
 func printResult(res *engine.Result) {
@@ -149,12 +192,48 @@ func meta(db *engine.DB, cmd string) bool {
 		for _, e := range db.Module().Cache().Entries() {
 			fmt.Printf("%-10s %-40s %5dB onDisk=%v\n", e.Kind, e.Name, e.Bytes, e.OnDisk)
 		}
-	case "\\explain":
-		if len(fields) < 2 {
-			fmt.Println("usage: \\explain <select ...>")
+		cs := db.Module().Cache().Stats()
+		fmt.Printf("entries: mem=%d (%dB) disk=%d (%dB)\n", cs.MemEntries, cs.MemBytes, cs.DiskEntries, cs.DiskBytes)
+		fmt.Printf("writes=%d hits=%d misses=%d evictions=%d\n", cs.Writes, cs.Hits, cs.Misses, cs.Evictions)
+	case "\\metrics":
+		fmt.Print(db.MetricsSnapshot().Format())
+	case "\\slow":
+		if len(fields) > 1 {
+			var ms int
+			if _, err := fmt.Sscanf(fields[1], "%d", &ms); err != nil {
+				fmt.Println("usage: \\slow [threshold-ms]")
+				break
+			}
+			db.SetSlowQueryThreshold(time.Duration(ms) * time.Millisecond)
+			fmt.Printf("slow-query threshold set to %dms\n", ms)
 			break
 		}
-		out, err := db.ExplainQuery(strings.TrimPrefix(cmd, "\\explain "))
+		entries := db.SlowQueries()
+		if len(entries) == 0 {
+			fmt.Printf("no queries slower than %v logged\n", db.SlowQueryThreshold())
+			break
+		}
+		for _, e := range entries {
+			fmt.Printf("%s %8s %8d rows [%s] %s\n",
+				e.When.Format("15:04:05"), e.Duration.Round(time.Microsecond), e.Rows, e.Mode,
+				strings.Join(strings.Fields(e.SQL), " "))
+		}
+	case "\\resetmetrics":
+		db.ResetMetrics()
+		fmt.Println("metrics reset")
+	case "\\explain":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\explain [analyze] <select ...>")
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, "\\explain"))
+		var out string
+		var err error
+		if strings.HasPrefix(strings.ToLower(rest), "analyze ") {
+			out, _, err = db.ExplainAnalyzeQuery(strings.TrimSpace(rest[len("analyze"):]))
+		} else {
+			out, err = db.ExplainQuery(rest)
+		}
 		if err != nil {
 			fmt.Printf("error: %v\n", err)
 			break
@@ -176,7 +255,7 @@ func meta(db *engine.DB, cmd string) bool {
 			fmt.Println("no relation bee (stock engine)")
 		}
 	default:
-		fmt.Println("meta commands: \\bees \\cache \\source <rel> \\explain <select> \\q")
+		fmt.Println("meta commands: \\bees \\cache \\source <rel> \\explain <select> \\metrics \\slow [ms] \\resetmetrics \\q")
 	}
 	return true
 }

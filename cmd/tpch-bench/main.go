@@ -3,12 +3,17 @@
 // (Figure 5), the reduction in instructions executed (Figure 6), the
 // bee-routine ablation (Figure 7), and the tuple-bee storage report (E9).
 //
+// Alongside the timing tables, -metrics dumps a MetricsSnapshot JSON for
+// both engines so benchmark trajectories capture buffer hit rates and bee
+// hit rates, not just wall-clock.
+//
 // Usage:
 //
-//	tpch-bench [-sf 0.01] [-runs 5] [-fig all|4|5|6|7|storage] [-q 1,6,9]
+//	tpch-bench [-sf 0.01] [-runs 5] [-fig all|4|5|6|7|storage] [-q 1,6,9] [-metrics out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +21,7 @@ import (
 	"strings"
 
 	"microspec/internal/harness"
+	"microspec/internal/metrics"
 )
 
 func main() {
@@ -23,6 +29,7 @@ func main() {
 	runs := flag.Int("runs", 5, "timed runs per query (highest/lowest dropped)")
 	fig := flag.String("fig", "all", "which figure to regenerate: all, 4, 5, 6, 7, storage")
 	qlist := flag.String("q", "", "comma-separated query subset, e.g. 1,6,14")
+	metricsOut := flag.String("metrics", "", "write both engines' MetricsSnapshot JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
@@ -89,6 +96,26 @@ func main() {
 		fmt.Print(harness.FormatStorage(rows))
 		fmt.Println()
 		fmt.Println(bee.Module().Placement().Report())
+	}
+
+	if *metricsOut != "" {
+		dump := map[string]metrics.Snapshot{
+			"stock": stock.MetricsSnapshot(),
+			"bee":   bee.MetricsSnapshot(),
+		}
+		data, err := json.MarshalIndent(dump, "", "  ")
+		if err != nil {
+			fatalf("metrics: %v", err)
+		}
+		data = append(data, '\n')
+		if *metricsOut == "-" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(*metricsOut, data, 0o644); err != nil {
+				fatalf("metrics: %v", err)
+			}
+			fmt.Printf("\nwrote metrics snapshot to %s\n", *metricsOut)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ package catalog
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"microspec/internal/types"
 )
@@ -166,8 +167,9 @@ type Catalog struct {
 
 	// Lookups counts catalog consultations, the overhead the paper's
 	// introduction calls out ("the catalog ... must be scanned for each
-	// attribute value of the tuple").
-	lookups int64
+	// attribute value of the tuple"). Atomic: bumped under the read lock
+	// by concurrent lookups.
+	lookups atomic.Int64
 }
 
 // New returns an empty catalog.
@@ -236,7 +238,7 @@ func (c *Catalog) DropRelation(name string) (*Relation, error) {
 func (c *Catalog) Lookup(name string) (*Relation, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	c.lookups++
+	c.lookups.Add(1)
 	rel, ok := c.byName[name]
 	if !ok {
 		return nil, fmt.Errorf("relation %q does not exist", name)
@@ -248,7 +250,7 @@ func (c *Catalog) Lookup(name string) (*Relation, error) {
 func (c *Catalog) LookupID(id RelID) *Relation {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	c.lookups++
+	c.lookups.Add(1)
 	return c.byID[id]
 }
 
@@ -267,7 +269,5 @@ func (c *Catalog) Relations() []*Relation {
 
 // Lookups returns the cumulative catalog-lookup count.
 func (c *Catalog) Lookups() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.lookups
+	return c.lookups.Load()
 }

@@ -32,10 +32,48 @@ type CacheEntry struct {
 // in memory and flushed to the on-disk cache; on "server start" they
 // would be loaded back (Load simulates this).
 type BeeCache struct {
-	mu     sync.Mutex
-	mem    map[beeKey]string
-	disk   map[beeKey]string
-	writes int64
+	mu        sync.Mutex
+	mem       map[beeKey]string
+	disk      map[beeKey]string
+	writes    int64
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// CacheStats is a point-in-time summary of bee-cache activity and
+// footprint, surfaced through the metrics registry and the \cache shell
+// command.
+type CacheStats struct {
+	MemEntries  int   `json:"mem_entries"`
+	DiskEntries int   `json:"disk_entries"`
+	MemBytes    int64 `json:"mem_bytes"`
+	DiskBytes   int64 `json:"disk_bytes"`
+	Writes      int64 `json:"writes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+}
+
+// Stats returns cumulative cache counters and current entry/byte totals.
+func (c *BeeCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		MemEntries:  len(c.mem),
+		DiskEntries: len(c.disk),
+		Writes:      c.writes,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+	}
+	for _, v := range c.mem {
+		s.MemBytes += int64(len(v))
+	}
+	for _, v := range c.disk {
+		s.DiskBytes += int64(len(v))
+	}
+	return s
 }
 
 func newBeeCache() *BeeCache {
@@ -51,6 +89,9 @@ func (c *BeeCache) put(k beeKey, code string) {
 func (c *BeeCache) drop(k beeKey) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.mem[k]; ok {
+		c.evictions++
+	}
 	delete(c.mem, k)
 	delete(c.disk, k)
 }
@@ -87,6 +128,11 @@ func (c *BeeCache) Get(kind, name string) (string, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v, ok := c.mem[beeKey{kind, name}]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
 	return v, ok
 }
 
@@ -170,4 +216,11 @@ func (p *Placement) Assigned() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.assigned
+}
+
+// Stats returns the placement decision count and wrap-conflict count.
+func (p *Placement) Stats() (assigned, conflicts int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.assigned, p.conflicts
 }

@@ -435,6 +435,20 @@ func (m *Module) Stats() Stats {
 	return s
 }
 
+// TupleBeeProbes sums the tuple-bee dictionary probe counts across every
+// relation with specialized storage.
+func (m *Module) TupleBeeProbes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var n int64
+	for _, rb := range m.relBees {
+		if rb.DataSections != nil {
+			n += rb.DataSections.Probes()
+		}
+	}
+	return n
+}
+
 // Cache exposes the bee cache for inspection and persistence.
 func (m *Module) Cache() *BeeCache { return m.cache }
 

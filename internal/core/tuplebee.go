@@ -34,6 +34,7 @@ type DataSections struct {
 	slab     []byte           // arena for dictionary byte payloads
 	comboIdx map[string]uint16
 	nCombos  int
+	probes   int64 // dictionary probes (one per specialized attribute per resolve)
 
 	// combos maps beeID → the specialized attribute values, indexed by
 	// specialized position. It is a two-level paged table so GCL hole
@@ -94,6 +95,13 @@ func (ds *DataSections) NumBees() int {
 	return ds.nCombos - 1
 }
 
+// Probes returns the cumulative dictionary probe count.
+func (ds *DataSections) Probes() int64 {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.probes
+}
+
 // DictSize returns the number of distinct values for specialized position
 // pos (for tests and the storage report).
 func (ds *DataSections) DictSize(pos int) int {
@@ -150,6 +158,7 @@ func (ds *DataSections) ResolveBee(values []types.Datum, prof *profile.Counters)
 // either way).
 func (ds *DataSections) dictLookup(pos, attIdx int, v types.Datum, prof *profile.Counters) (int, error) {
 	prof.Add(profile.CompBee, profile.BeeDictProbe)
+	ds.probes++ // caller holds ds.mu
 	a := &ds.rel.Attrs[attIdx]
 	var vb []byte
 	if a.Type.ByValue() {

@@ -1,0 +1,217 @@
+// Golden EXPLAIN ANALYZE tests over TPC-H data: one scan-heavy query
+// (Q6), one join-heavy query (Q3), and one aggregate query (Q1). Row
+// counts are exact — the TPC-H generator is deterministic — and only the
+// wall-clock annotations are normalized. An external test package so the
+// tpch loader (which imports engine) can be used.
+package engine_test
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/tpch"
+)
+
+var (
+	tpchOnce sync.Once
+	tpchDB   *engine.DB
+)
+
+func analyzeDB(t *testing.T) *engine.DB {
+	t.Helper()
+	tpchOnce.Do(func() {
+		db, err := tpch.NewDatabase(engine.Config{Routines: core.AllRoutines}, 0.002)
+		if err != nil {
+			panic(err)
+		}
+		tpchDB = db
+	})
+	return tpchDB
+}
+
+var timeRE = regexp.MustCompile(`time=[0-9.]+ms`)
+
+func normalize(s string) string { return timeRE.ReplaceAllString(s, "time=X") }
+
+func TestExplainAnalyzeQ1Aggregate(t *testing.T) {
+	db := analyzeDB(t)
+	out, res, err := db.ExplainAnalyzeQuery(tpch.Queries()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("Q1 returned %d rows, want 4", len(res.Rows))
+	}
+	want := `Sort [{0 false} {1 false}] (actual rows=4 loops=1 time=X)
+  Project l_returnflag, l_linestatus, sum_qty, sum_base_price, sum_disc_price, sum_charge, avg_qty, avg_price, avg_disc, count_order (actual rows=4 loops=1 time=X)
+    HashAgg groups=2 aggs=[sum(l_quantity), sum(l_extendedprice), sum((l_extendedprice * (1 - l_discount))), sum(((l_extendedprice * (1 - l_discount)) * (1 + l_tax))), avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)] [EVA] (actual rows=4 loops=1 time=X)
+      Filter (l_shipdate <= (1998-12-01 - interval '0m90d')) [EVP] (actual rows=11653 loops=1 time=X)
+        SeqScan lineitem (16 cols) [GCL] (actual rows=11653 loops=1 time=X)
+`
+	if got := normalize(out); got != want {
+		t.Fatalf("Q1 explain analyze mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExplainAnalyzeQ3Joins(t *testing.T) {
+	db := analyzeDB(t)
+	out, res, err := db.ExplainAnalyzeQuery(tpch.Queries()[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("Q3 returned %d rows, want 10", len(res.Rows))
+	}
+	want := `Limit 10 offset 0 (actual rows=10 loops=1 time=X)
+  Sort [{1 true} {2 false}] (actual rows=10 loops=1 time=X)
+    Project l_orderkey, revenue, o_orderdate, o_shippriority (actual rows=24 loops=1 time=X)
+      HashAgg groups=3 aggs=[sum((l_extendedprice * (1 - l_discount)))] [EVA] (actual rows=24 loops=1 time=X)
+        HashJoin inner keys=[17]/[0] [EVJ] (actual rows=65 loops=1 time=X)
+          HashJoin inner keys=[0]/[0] [EVJ] (actual rows=329 loops=1 time=X)
+            Filter (l_shipdate > 1995-03-15) [EVP] (actual rows=5752 loops=1 time=X)
+              SeqScan lineitem (16 cols) [GCL] (actual rows=11653 loops=1 time=X)
+            Filter (o_orderdate < 1995-03-15) [EVP] (actual rows=1583 loops=1 time=X)
+              SeqScan orders (9 cols) [GCL] (actual rows=3000 loops=1 time=X)
+          Filter (c_mktsegment = 'BUILDING') [EVP] (actual rows=59 loops=1 time=X)
+            SeqScan customer (8 cols) [GCL] (actual rows=300 loops=1 time=X)
+`
+	if got := normalize(out); got != want {
+		t.Fatalf("Q3 explain analyze mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestExplainAnalyzeQ6Scan(t *testing.T) {
+	db := analyzeDB(t)
+	out, res, err := db.ExplainAnalyzeQuery(tpch.Queries()[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("Q6 returned %d rows, want 1", len(res.Rows))
+	}
+	want := `Project revenue (actual rows=1 loops=1 time=X)
+  HashAgg groups=0 aggs=[sum((l_extendedprice * l_discount))] [EVA] (actual rows=1 loops=1 time=X)
+    Filter ((l_shipdate >= 1994-01-01) AND (l_shipdate < (1994-01-01 + interval '12m0d')) AND ((l_discount >= 0.05) AND (l_discount <= 0.07)) AND (l_quantity < 24)) [EVP] (actual rows=253 loops=1 time=X)
+      SeqScan lineitem (16 cols) [GCL] (actual rows=11653 loops=1 time=X)
+`
+	if got := normalize(out); got != want {
+		t.Fatalf("Q6 explain analyze mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeDoesNotDisturbPlainQuery pins that a plain Query on
+// the same statement still returns the same result after an analyzed run
+// (Instrument rewrites the plan tree; plans must not be shared).
+func TestExplainAnalyzeDoesNotDisturbPlainQuery(t *testing.T) {
+	db := analyzeDB(t)
+	if _, _, err := db.ExplainAnalyzeQuery(tpch.Queries()[6]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(tpch.Queries()[6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("plain Q6 after analyze returned %d rows", len(res.Rows))
+	}
+}
+
+func TestMetricsSnapshotAndExecNodeCounters(t *testing.T) {
+	db := analyzeDB(t)
+	if _, _, err := db.ExplainAnalyzeQuery(tpch.Queries()[6]); err != nil {
+		t.Fatal(err)
+	}
+	s := db.MetricsSnapshot()
+	if s.Counters["exec.node.SeqScan.rows"] < 11653 {
+		t.Fatalf("exec.node.SeqScan.rows = %d, want ≥ 11653", s.Counters["exec.node.SeqScan.rows"])
+	}
+	if s.Counters["bees.calls.gcl"] == 0 {
+		t.Fatal("bees.calls.gcl = 0, want > 0 on a bee-enabled engine")
+	}
+	if s.Counters["buffer.hits"]+s.Counters["buffer.misses"] == 0 {
+		t.Fatal("buffer counters empty")
+	}
+	if s.Gauges["heap.relations"] != 8 {
+		t.Fatalf("heap.relations = %d, want 8", s.Gauges["heap.relations"])
+	}
+	if s.Counters["heap.inserts"] == 0 || s.Counters["index.searches"] == 0 {
+		t.Fatalf("storage counters empty: inserts=%d searches=%d",
+			s.Counters["heap.inserts"], s.Counters["index.searches"])
+	}
+	if s.Histograms["query.latency.bee"].Count == 0 {
+		t.Fatal("bee latency histogram empty after queries on a bee-enabled engine")
+	}
+	if !strings.Contains(s.Format(), "bees.calls.gcl") {
+		t.Fatal("Format() missing collector-backed counters")
+	}
+}
+
+func TestSlowQueryLog(t *testing.T) {
+	db, err := tpch.NewDatabase(engine.Config{Routines: core.AllRoutines}, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetSlowQueryThreshold(1 * time.Nanosecond) // log everything
+	if _, err := db.Query("select count(*) from orders"); err != nil {
+		t.Fatal(err)
+	}
+	slow := db.SlowQueries()
+	if len(slow) == 0 {
+		t.Fatal("no slow queries logged at 1ns threshold")
+	}
+	if !strings.Contains(slow[0].SQL, "count(*)") || slow[0].Mode != "bee" || slow[0].Rows != 1 {
+		t.Fatalf("slow entry = %+v", slow[0])
+	}
+	db.SetSlowQueryThreshold(time.Hour)
+	if _, err := db.Query("select count(*) from orders"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(db.SlowQueries()); got != len(slow) {
+		t.Fatalf("fast query was logged: %d entries, want %d", got, len(slow))
+	}
+	db.ResetMetrics()
+	if len(db.SlowQueries()) != 0 {
+		t.Fatal("ResetMetrics did not clear the slow-query log")
+	}
+	if db.MetricsSnapshot().Counters["query.count"] != 0 {
+		t.Fatal("ResetMetrics did not zero query.count")
+	}
+}
+
+// TestConcurrentQueriesAndSnapshots hammers the buffer-pool counters,
+// bee-call atomics, and the metrics registry from concurrent scans while
+// snapshots and analyzed runs race them (run with -race).
+func TestConcurrentQueriesAndSnapshots(t *testing.T) {
+	db := analyzeDB(t)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					if _, err := db.Query("select count(*) from lineitem where l_quantity < 10"); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, _, err := db.ExplainAnalyzeQuery("select count(*) from orders"); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					_ = db.MetricsSnapshot()
+					_ = db.SlowQueries()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

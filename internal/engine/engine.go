@@ -58,6 +58,10 @@ type DB struct {
 	// per-tuple paths never take the module lock; it is rebuilt on DDL
 	// and on SetRoutines.
 	access map[catalog.RelID]*relAccess
+
+	// obs is the observability layer: metrics registry, latency
+	// histograms, and the slow-query log (see observe.go).
+	obs *observer
 }
 
 // relAccess is the cached tuple-access pair for one relation.
@@ -89,7 +93,10 @@ func Open(cfg Config) *DB {
 		indexes: make(map[string]*Index),
 		byRel:   make(map[catalog.RelID][]*Index),
 		access:  make(map[catalog.RelID]*relAccess),
+		obs:     newObserver(),
 	}
+	db.obs.beeMode.Store(cfg.Routines != core.Stock)
+	db.registerCollectors()
 	db.planner = &plan.Planner{
 		Cat: db.cat,
 		Mod: db.mod,
@@ -143,27 +150,57 @@ type Result struct {
 
 // Query parses, plans, and runs a SELECT.
 func (db *DB) Query(text string) (*Result, error) {
-	return db.QueryProfiled(text, nil)
+	res, _, err := db.runSelect(text, nil, false)
+	return res, err
 }
 
 // QueryProfiled runs a SELECT charging abstract instructions to prof.
 func (db *DB) QueryProfiled(text string, prof *profile.Counters) (*Result, error) {
+	res, _, err := db.runSelect(text, prof, false)
+	return res, err
+}
+
+// ExplainAnalyzeQuery executes a SELECT with every plan node wrapped in
+// an instrumentation decorator and returns the annotated plan outline —
+// actual rows, loops, and inclusive wall-clock time per node, with the
+// bee-routine markers intact — alongside the materialized result.
+func (db *DB) ExplainAnalyzeQuery(text string) (string, *Result, error) {
+	res, root, err := db.runSelect(text, nil, true)
+	if err != nil {
+		return "", nil, err
+	}
+	return plan.ExplainAnalyze(root), res, nil
+}
+
+// runSelect is the single SELECT execution path: parse, plan, optionally
+// instrument, execute, observe. Every public query entry point funnels
+// here so query-level metrics land in exactly one place.
+func (db *DB) runSelect(text string, prof *profile.Counters, analyze bool) (*Result, exec.Node, error) {
+	start := time.Now()
 	sel, err := sql.ParseSelect(text)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	planned, err := db.planner.PlanSelect(sel)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	root := planned.Root
+	if analyze {
+		root = exec.Instrument(root)
 	}
 	ctx := &exec.Ctx{Expr: expr.Ctx{Prof: prof}}
-	rows, err := exec.Collect(ctx, planned.Root)
+	rows, err := exec.Collect(ctx, root)
+	db.obs.observeQuery(text, time.Since(start), int64(len(rows)), err)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &Result{Cols: planned.Cols, Rows: rows}, nil
+	if analyze {
+		db.obs.foldNodeStats(root)
+	}
+	return &Result{Cols: planned.Cols, Rows: rows}, root, nil
 }
 
 // ExplainQuery plans a SELECT and renders the plan outline, marking the
@@ -193,8 +230,16 @@ func (db *DB) Exec(text string) (int64, error) {
 	return db.ExecProfiled(text, nil)
 }
 
-// ExecProfiled is Exec with instruction accounting.
+// ExecProfiled is Exec with instruction accounting. Like runSelect it is
+// the single funnel for statement-level metrics.
 func (db *DB) ExecProfiled(text string, prof *profile.Counters) (int64, error) {
+	start := time.Now()
+	n, err := db.execStmt(text, prof)
+	db.obs.observeStmt(text, time.Since(start), n, err)
+	return n, err
+}
+
+func (db *DB) execStmt(text string, prof *profile.Counters) (int64, error) {
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return 0, err
@@ -376,6 +421,7 @@ func (db *DB) SetRoutines(rs core.RoutineSet) error {
 			return err
 		}
 	}
+	db.obs.beeMode.Store(rs != core.Stock)
 	return nil
 }
 

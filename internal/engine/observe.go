@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"microspec/internal/exec"
+	"microspec/internal/metrics"
+)
+
+// This file is the engine's observability layer: one metrics registry per
+// database instance, query-level latency histograms split by bee-enabled
+// vs. stock mode, a ring-buffer slow-query log, and snapshot collectors
+// that pull the internal statistics of every subsystem (buffer pool,
+// simulated disk, heaps, indexes, bee module) into one unified view.
+
+// DefaultSlowQueryThreshold is the initial slow-query log threshold.
+const DefaultSlowQueryThreshold = 100 * time.Millisecond
+
+// slowLogSize is the slow-query ring-buffer capacity.
+const slowLogSize = 64
+
+// slowSQLMax truncates logged statement text.
+const slowSQLMax = 300
+
+// SlowQuery is one slow-query log entry.
+type SlowQuery struct {
+	SQL      string        `json:"sql"`
+	Duration time.Duration `json:"duration_ns"`
+	Rows     int64         `json:"rows"`
+	Mode     string        `json:"mode"` // "bee" or "stock"; DML is tagged "dml"
+	When     time.Time     `json:"when"`
+}
+
+// observer bundles the per-database registry, the pre-resolved hot-path
+// metrics, and the slow-query log.
+type observer struct {
+	reg     *metrics.Registry
+	beeMode atomic.Bool
+	slowNs  atomic.Int64
+
+	queries      *metrics.Counter
+	statements   *metrics.Counter
+	queryErrors  *metrics.Counter
+	rowsReturned *metrics.Counter
+	rowsAffected *metrics.Counter
+	analyzed     *metrics.Counter
+	latBee       *metrics.Histogram
+	latStock     *metrics.Histogram
+	latStmt      *metrics.Histogram
+
+	mu   sync.Mutex
+	ring [slowLogSize]SlowQuery
+	next int
+	n    int
+}
+
+func newObserver() *observer {
+	reg := metrics.NewRegistry()
+	o := &observer{
+		reg:          reg,
+		queries:      reg.Counter("query.count"),
+		statements:   reg.Counter("stmt.count"),
+		queryErrors:  reg.Counter("query.errors"),
+		rowsReturned: reg.Counter("query.rows_returned"),
+		rowsAffected: reg.Counter("stmt.rows_affected"),
+		analyzed:     reg.Counter("query.analyzed"),
+		latBee:       reg.Histogram("query.latency.bee"),
+		latStock:     reg.Histogram("query.latency.stock"),
+		latStmt:      reg.Histogram("stmt.latency"),
+	}
+	o.slowNs.Store(int64(DefaultSlowQueryThreshold))
+	return o
+}
+
+func (o *observer) mode() string {
+	if o.beeMode.Load() {
+		return "bee"
+	}
+	return "stock"
+}
+
+// observeQuery records one SELECT: counters, the mode-split latency
+// histogram, and (past the threshold) a slow-query log entry.
+func (o *observer) observeQuery(sql string, d time.Duration, rows int64, err error) {
+	o.queries.Inc()
+	if err != nil {
+		o.queryErrors.Inc()
+		return
+	}
+	o.rowsReturned.Add(rows)
+	if o.beeMode.Load() {
+		o.latBee.Observe(d)
+	} else {
+		o.latStock.Observe(d)
+	}
+	o.noteSlow(sql, d, rows, o.mode())
+}
+
+// observeStmt records one DDL/DML statement.
+func (o *observer) observeStmt(sql string, d time.Duration, rows int64, err error) {
+	o.statements.Inc()
+	if err != nil {
+		o.queryErrors.Inc()
+		return
+	}
+	o.rowsAffected.Add(rows)
+	o.latStmt.Observe(d)
+	o.noteSlow(sql, d, rows, "dml")
+}
+
+func (o *observer) noteSlow(sql string, d time.Duration, rows int64, mode string) {
+	thresh := o.slowNs.Load()
+	if thresh <= 0 || int64(d) < thresh {
+		return
+	}
+	sql = strings.TrimSpace(sql)
+	if len(sql) > slowSQLMax {
+		sql = sql[:slowSQLMax] + "..."
+	}
+	o.mu.Lock()
+	o.ring[o.next] = SlowQuery{SQL: sql, Duration: d, Rows: rows, Mode: mode, When: time.Now()}
+	o.next = (o.next + 1) % slowLogSize
+	if o.n < slowLogSize {
+		o.n++
+	}
+	o.mu.Unlock()
+}
+
+// slowQueries returns the logged entries, most recent first.
+func (o *observer) slowQueries() []SlowQuery {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make([]SlowQuery, 0, o.n)
+	for i := 0; i < o.n; i++ {
+		out = append(out, o.ring[(o.next-1-i+2*slowLogSize)%slowLogSize])
+	}
+	return out
+}
+
+func (o *observer) resetSlow() {
+	o.mu.Lock()
+	o.next, o.n = 0, 0
+	o.mu.Unlock()
+}
+
+// foldNodeStats accumulates an analyzed plan's per-node statistics into
+// per-node-type registry counters, so EXPLAIN ANALYZE runs feed the
+// unified executor metrics (exec.node.<Type>.rows / .time_ns / .loops).
+func (o *observer) foldNodeStats(root exec.Node) {
+	o.analyzed.Inc()
+	exec.WalkInstrumented(root, func(in *exec.Instrumented) {
+		name := "exec.node." + exec.NodeTypeName(in.Inner)
+		o.reg.Counter(name + ".rows").Add(in.Rows)
+		o.reg.Counter(name + ".loops").Add(in.Loops)
+		o.reg.Counter(name + ".time_ns").Add(int64(in.Elapsed))
+	})
+}
+
+// --- public DB surface ---
+
+// Metrics exposes the database's metrics registry (for tests and
+// embedding applications that want to add their own instruments).
+func (db *DB) Metrics() *metrics.Registry { return db.obs.reg }
+
+// MetricsSnapshot returns a point-in-time copy of every metric, including
+// the collector-backed subsystem statistics.
+func (db *DB) MetricsSnapshot() metrics.Snapshot { return db.obs.reg.Snapshot() }
+
+// SetSlowQueryThreshold sets the slow-query log threshold; zero or
+// negative disables logging.
+func (db *DB) SetSlowQueryThreshold(d time.Duration) { db.obs.slowNs.Store(int64(d)) }
+
+// SlowQueryThreshold returns the current slow-query log threshold.
+func (db *DB) SlowQueryThreshold() time.Duration {
+	return time.Duration(db.obs.slowNs.Load())
+}
+
+// SlowQueries returns the slow-query log, most recent first.
+func (db *DB) SlowQueries() []SlowQuery { return db.obs.slowQueries() }
+
+// ResetMetrics zeroes every registry counter and histogram, the
+// slow-query log, and the cumulative buffer-pool and disk statistics.
+func (db *DB) ResetMetrics() {
+	db.obs.reg.Reset()
+	db.obs.resetSlow()
+	db.pool.ResetStats()
+	db.dm.ResetStats()
+}
+
+// registerCollectors wires the snapshot-time pulls from every subsystem.
+// Called once from Open, after the subsystems exist.
+func (db *DB) registerCollectors() {
+	db.obs.reg.RegisterCollector(func(s *metrics.Snapshot) {
+		// Storage layer.
+		hits, misses, writeBacks := db.pool.Stats()
+		s.SetCounter("buffer.hits", hits)
+		s.SetCounter("buffer.misses", misses)
+		s.SetCounter("buffer.write_backs", writeBacks)
+		s.SetGauge("buffer.capacity_pages", int64(db.pool.Capacity()))
+		reads, writes, simIO := db.dm.Stats()
+		s.SetCounter("disk.page_reads", reads)
+		s.SetCounter("disk.page_writes", writes)
+		s.SetCounter("disk.sim_io_ns", int64(simIO))
+		s.SetCounter("catalog.lookups", db.cat.Lookups())
+
+		// Heaps and indexes (under the engine lock: DDL mutates the maps).
+		db.mu.RLock()
+		var pages, live, inserts int64
+		for _, h := range db.heaps {
+			pages += int64(h.NumPages())
+			live += h.LiveTuples()
+			inserts += h.Inserts()
+		}
+		var searches, splits int64
+		for _, ix := range db.indexes {
+			se, sp := ix.Tree.Stats()
+			searches += se
+			splits += sp
+		}
+		nIndexes := len(db.indexes)
+		nRels := len(db.heaps)
+		db.mu.RUnlock()
+		s.SetGauge("heap.relations", int64(nRels))
+		s.SetGauge("heap.pages", pages)
+		s.SetGauge("heap.live_tuples", live)
+		s.SetCounter("heap.inserts", inserts)
+		s.SetGauge("index.count", int64(nIndexes))
+		s.SetCounter("index.searches", searches)
+		s.SetCounter("index.splits", splits)
+
+		// Bee module.
+		st := db.mod.Stats()
+		s.SetGauge("bees.relation", int64(st.RelationBees))
+		s.SetGauge("bees.tuple", int64(st.TupleBees))
+		s.SetGauge("bees.query", int64(st.QueryBees))
+		s.SetCounter("bees.calls.gcl", st.GCLCalls)
+		s.SetCounter("bees.calls.scl", st.SCLCalls)
+		s.SetCounter("bees.calls.evp", st.EVPCalls)
+		s.SetCounter("bees.calls.evj", st.EVJCalls)
+		s.SetCounter("bees.calls.eva", st.EVACalls)
+		s.SetCounter("bees.dict_probes", db.mod.TupleBeeProbes())
+		cs := db.mod.Cache().Stats()
+		s.SetGauge("beecache.mem_entries", int64(cs.MemEntries))
+		s.SetGauge("beecache.disk_entries", int64(cs.DiskEntries))
+		s.SetGauge("beecache.mem_bytes", cs.MemBytes)
+		s.SetGauge("beecache.disk_bytes", cs.DiskBytes)
+		s.SetCounter("beecache.writes", cs.Writes)
+		s.SetCounter("beecache.hits", cs.Hits)
+		s.SetCounter("beecache.misses", cs.Misses)
+		s.SetCounter("beecache.evictions", cs.Evictions)
+		assigned, conflicts := db.mod.Placement().Stats()
+		s.SetGauge("bees.placed", int64(assigned))
+		s.SetCounter("bees.placement_conflicts", int64(conflicts))
+	})
+}

@@ -10,6 +10,7 @@ package btree
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"microspec/internal/profile"
 	"microspec/internal/storage/heap"
@@ -98,6 +99,17 @@ type Tree struct {
 	root   *node
 	size   int
 	cmp    func(a, b Key) int
+
+	// searches counts descents to a leaf (point lookups, range-scan
+	// positioning, deletes); splits counts node splits. Atomics: readers
+	// run concurrently under the engine's shared lock.
+	searches atomic.Int64
+	splits   atomic.Int64
+}
+
+// Stats returns the cumulative descent and split counts.
+func (t *Tree) Stats() (searches, splits int64) {
+	return t.searches.Load(), t.splits.Load()
 }
 
 // New returns an empty tree using the generic key comparator.
@@ -177,6 +189,7 @@ func (t *Tree) insert(n *node, key Key, tid heap.TID) (*node, Key) {
 		n.entries = n.entries[:mid]
 		right.next = n.next
 		n.next = right
+		t.splits.Add(1)
 		return right, right.entries[0].key
 	}
 	i := sort.Search(len(n.keys), func(i int) bool {
@@ -197,6 +210,7 @@ func (t *Tree) insert(n *node, key Key, tid heap.TID) (*node, Key) {
 	}
 	mid := len(n.keys) / 2
 	sepUp := n.keys[mid]
+	t.splits.Add(1)
 	right := &node{
 		keys:     append([]Key(nil), n.keys[mid+1:]...),
 		children: append([]*node(nil), n.children[mid+1:]...),
@@ -208,6 +222,7 @@ func (t *Tree) insert(n *node, key Key, tid heap.TID) (*node, Key) {
 
 // leafFor returns the leftmost leaf that may contain key.
 func (t *Tree) leafFor(key Key) *node {
+	t.searches.Add(1)
 	n := t.root
 	for !n.leaf {
 		i := sort.Search(len(n.keys), func(i int) bool {
@@ -249,6 +264,7 @@ func (t *Tree) AscendPrefix(prefix Key, prof *profile.Counters, fn func(Key, hea
 	prof.Add(profile.CompStorage, profile.IndexDescend)
 	var n *node
 	if len(prefix) == 0 {
+		t.searches.Add(1)
 		n = t.root
 		for !n.leaf {
 			n = n.children[0]

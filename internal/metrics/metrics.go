@@ -1,0 +1,335 @@
+// Package metrics is a lightweight, dependency-free registry of atomic
+// counters, gauges, and fixed-bucket latency histograms — the engine's
+// unified observability substrate. Hot paths hold *Counter / *Histogram
+// pointers obtained once at construction; recording is a single atomic
+// add with no allocation and no lock. Subsystems that already keep their
+// own internal statistics (buffer pool, disk manager, bee module) are
+// pulled in at snapshot time through registered collectors, so reading
+// metrics never perturbs the paths being measured.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an instantaneous atomic value (set, not accumulated).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBounds are the fixed histogram bucket upper bounds in nanoseconds:
+// a 1-2-5 ladder from 1µs to 10s. The last implicit bucket is +Inf.
+var histBounds = []int64{
+	1e3, 2e3, 5e3, // 1µs 2µs 5µs
+	1e4, 2e4, 5e4, // 10µs 20µs 50µs
+	1e5, 2e5, 5e5, // 100µs 200µs 500µs
+	1e6, 2e6, 5e6, // 1ms 2ms 5ms
+	1e7, 2e7, 5e7, // 10ms 20ms 50ms
+	1e8, 2e8, 5e8, // 100ms 200ms 500ms
+	1e9, 2e9, 5e9, // 1s 2s 5s
+	1e10, // 10s
+}
+
+// numBuckets includes the overflow (+Inf) bucket.
+const numBuckets = 23 + 1
+
+// Histogram is a fixed-bucket latency histogram. Observation is
+// allocation-free: a linear probe over 23 bounds plus two atomic adds.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < len(histBounds) && ns > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     time.Duration `json:"sum_ns"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty bucket: observations ≤ Le nanoseconds
+// (Le < 0 marks the overflow bucket).
+type BucketCount struct {
+	Le int64 `json:"le_ns"`
+	N  int64 `json:"n"`
+}
+
+// Mean returns the average observed duration.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q ≤ 1):
+// the bound of the bucket in which the q·count-th observation falls.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.N
+		if seen >= rank {
+			if b.Le < 0 {
+				return time.Duration(histBounds[len(histBounds)-1])
+			}
+			return time.Duration(b.Le)
+		}
+	}
+	return time.Duration(histBounds[len(histBounds)-1])
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: time.Duration(h.sum.Load())}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < len(histBounds) {
+			le = histBounds[i]
+		}
+		s.Buckets = append(s.Buckets, BucketCount{Le: le, N: n})
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of every metric, JSON-serializable for
+// benchmark trajectories and dashboards.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// SetCounter records a counter value in the snapshot (collector API).
+func (s *Snapshot) SetCounter(name string, v int64) { s.Counters[name] = v }
+
+// SetGauge records a gauge value in the snapshot (collector API).
+func (s *Snapshot) SetGauge(name string, v int64) { s.Gauges[name] = v }
+
+// Format renders the snapshot as sorted "name value" lines; histograms
+// show count, mean, and estimated p50/p95/p99.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-44s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-44s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%-44s count=%d mean=%v p50=%v p95=%v p99=%v\n",
+			n, h.Count, h.Mean().Round(time.Microsecond),
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+	}
+	return b.String()
+}
+
+// Registry holds named metrics. Metric lookup takes a lock and may
+// allocate; hot paths must look up once and keep the pointer.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	collectors []func(*Snapshot)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// RegisterCollector adds a callback run at every Snapshot, used to pull
+// values from subsystems that keep their own internal statistics.
+func (r *Registry) RegisterCollector(fn func(*Snapshot)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// Snapshot copies every registered metric and runs the collectors.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Load()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Load()
+	}
+	for n, h := range r.histograms {
+		s.Histograms[n] = h.snapshot()
+	}
+	collectors := make([]func(*Snapshot), len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn(&s)
+	}
+	return s
+}
+
+// Reset zeroes every counter and histogram (gauges and collector-backed
+// values are instantaneous and are left to their sources).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.reset()
+	}
+	for _, h := range r.histograms {
+		h.reset()
+	}
+}

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a") != c {
+		t.Fatal("Counter did not return the existing counter")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Load(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Nil receivers are no-ops so unwired metrics never panic.
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Set(1)
+	var nh *Histogram
+	nh.Observe(time.Second)
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 0; i < 90; i++ {
+		h.Observe(800 * time.Nanosecond) // ≤1µs bucket
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(3 * time.Millisecond) // ≤5ms bucket
+	}
+	h.Observe(time.Minute) // overflow bucket
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if got := s.Quantile(0.50); got != time.Microsecond {
+		t.Fatalf("p50 = %v, want 1µs", got)
+	}
+	if got := s.Quantile(0.95); got != 5*time.Millisecond {
+		t.Fatalf("p95 = %v, want 5ms", got)
+	}
+	// The overflow observation caps at the largest bound.
+	if got := s.Quantile(1.0); got != 10*time.Second {
+		t.Fatalf("p100 = %v, want 10s", got)
+	}
+	var n int64
+	for _, b := range s.Buckets {
+		n += b.N
+	}
+	if n != s.Count {
+		t.Fatalf("bucket sum %d != count %d", n, s.Count)
+	}
+}
+
+func TestSnapshotCollectorAndReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Histogram("h").Observe(time.Millisecond)
+	r.RegisterCollector(func(s *Snapshot) {
+		s.SetCounter("pulled.counter", 42)
+		s.SetGauge("pulled.gauge", 7)
+	})
+	s := r.Snapshot()
+	if s.Counters["c"] != 3 || s.Counters["pulled.counter"] != 42 || s.Gauges["pulled.gauge"] != 7 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if !strings.Contains(s.Format(), "pulled.counter") {
+		t.Fatalf("Format missing collector value:\n%s", s.Format())
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot not JSON-serializable: %v", err)
+	}
+	r.Reset()
+	s = r.Snapshot()
+	if s.Counters["c"] != 0 || s.Histograms["h"].Count != 0 {
+		t.Fatalf("Reset left values: %+v", s)
+	}
+	if s.Counters["pulled.counter"] != 42 {
+		t.Fatal("collector-backed values should survive Reset")
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// creation races, recording races, snapshot-during-write races — and
+// checks the totals. Run with -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared").Inc()
+				r.Gauge("gauge").Set(int64(i))
+				r.Histogram("lat").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if want := int64(goroutines * perG); s.Counters["shared"] != want {
+		t.Fatalf("shared = %d, want %d", s.Counters["shared"], want)
+	}
+	if s.Histograms["lat"].Count != int64(goroutines*perG) {
+		t.Fatalf("histogram count = %d", s.Histograms["lat"].Count)
+	}
+}

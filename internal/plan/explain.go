@@ -12,49 +12,71 @@ import (
 // paths a query's micro-specialization replaced.
 func Explain(n exec.Node) string {
 	var b strings.Builder
-	explainNode(&b, n, 0)
+	explainNode(&b, n, 0, false)
 	return b.String()
 }
 
-func explainNode(b *strings.Builder, n exec.Node, depth int) {
-	indent := strings.Repeat("  ", depth)
+// ExplainAnalyze renders a plan tree that has been run under
+// exec.Instrument, appending "(actual rows=N loops=L time=T)" to every
+// node line. Times are inclusive of children (the PostgreSQL convention).
+func ExplainAnalyze(n exec.Node) string {
+	var b strings.Builder
+	explainNode(&b, n, 0, true)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, n exec.Node, depth int, analyze bool) {
+	var in *exec.Instrumented
+	if wrapped, ok := n.(*exec.Instrumented); ok {
+		in = wrapped
+		n = wrapped.Inner
+	}
+	line, kids := describe(n)
+	if analyze && in != nil {
+		line += fmt.Sprintf(" (actual rows=%d loops=%d time=%.3fms)",
+			in.Rows, in.Loops, in.Elapsed.Seconds()*1000)
+	}
+	fmt.Fprintf(b, "%s%s\n", strings.Repeat("  ", depth), line)
+	for _, kid := range kids {
+		explainNode(b, kid, depth+1, analyze)
+	}
+}
+
+// describe returns one node's outline line (bee-routine markers included)
+// and its children. Child links may point at exec.Instrumented wrappers
+// after an analyzed run; explainNode unwraps them.
+func describe(n exec.Node) (string, []exec.Node) {
 	switch v := n.(type) {
 	case *exec.SeqScan:
 		bee := ""
 		if v.NoteDeforms != nil {
 			bee = " [GCL]"
 		}
-		fmt.Fprintf(b, "%sSeqScan %s (%d cols)%s\n", indent, v.Heap.Rel.Name, v.NAtts, bee)
+		return fmt.Sprintf("SeqScan %s (%d cols)%s", v.Heap.Rel.Name, v.NAtts, bee), nil
 	case *exec.IndexScan:
-		fmt.Fprintf(b, "%sIndexScan %s via %s\n", indent, v.Heap.Rel.Name, v.Tree.Name)
+		return fmt.Sprintf("IndexScan %s via %s", v.Heap.Rel.Name, v.Tree.Name), nil
 	case *exec.ValuesNode:
-		fmt.Fprintf(b, "%sValues (%d rows)\n", indent, len(v.Rows))
+		return fmt.Sprintf("Values (%d rows)", len(v.Rows)), nil
 	case *exec.Filter:
 		bee := ""
 		if v.Compiled != nil {
 			bee = " [EVP]"
 		}
-		fmt.Fprintf(b, "%sFilter %s%s\n", indent, v.Pred, bee)
-		explainNode(b, v.Child, depth+1)
+		return fmt.Sprintf("Filter %s%s", v.Pred, bee), []exec.Node{v.Child}
 	case *exec.Project:
 		names := make([]string, len(v.Cols))
 		for i, c := range v.Cols {
 			names[i] = c.Name
 		}
-		fmt.Fprintf(b, "%sProject %s\n", indent, strings.Join(names, ", "))
-		explainNode(b, v.Child, depth+1)
+		return "Project " + strings.Join(names, ", "), []exec.Node{v.Child}
 	case *exec.Limit:
-		fmt.Fprintf(b, "%sLimit %d offset %d\n", indent, v.N, v.Offset)
-		explainNode(b, v.Child, depth+1)
+		return fmt.Sprintf("Limit %d offset %d", v.N, v.Offset), []exec.Node{v.Child}
 	case *exec.Sort:
-		fmt.Fprintf(b, "%sSort %v\n", indent, v.Keys)
-		explainNode(b, v.Child, depth+1)
+		return fmt.Sprintf("Sort %v", v.Keys), []exec.Node{v.Child}
 	case *exec.Distinct:
-		fmt.Fprintf(b, "%sDistinct\n", indent)
-		explainNode(b, v.Child, depth+1)
+		return "Distinct", []exec.Node{v.Child}
 	case *exec.Materialize:
-		fmt.Fprintf(b, "%sMaterialize\n", indent)
-		explainNode(b, v.Child, depth+1)
+		return "Materialize", []exec.Node{v.Child}
 	case *exec.HashAgg:
 		bees := ""
 		for i := range v.Aggs {
@@ -67,8 +89,8 @@ func explainNode(b *strings.Builder, n exec.Node, depth int) {
 		for i, a := range v.Aggs {
 			names[i] = a.Name
 		}
-		fmt.Fprintf(b, "%sHashAgg groups=%d aggs=[%s]%s\n", indent, len(v.GroupBy), strings.Join(names, ", "), bees)
-		explainNode(b, v.Child, depth+1)
+		return fmt.Sprintf("HashAgg groups=%d aggs=[%s]%s", len(v.GroupBy), strings.Join(names, ", "), bees),
+			[]exec.Node{v.Child}
 	case *exec.HashJoin:
 		bee := ""
 		if v.EVJ != nil {
@@ -81,18 +103,15 @@ func explainNode(b *strings.Builder, n exec.Node, depth int) {
 				res += " [EVP]"
 			}
 		}
-		fmt.Fprintf(b, "%sHashJoin %s keys=%v/%v%s%s\n", indent, v.Type, v.OuterKeys, v.InnerKeys, bee, res)
-		explainNode(b, v.Outer, depth+1)
-		explainNode(b, v.Inner, depth+1)
+		return fmt.Sprintf("HashJoin %s keys=%v/%v%s%s", v.Type, v.OuterKeys, v.InnerKeys, bee, res),
+			[]exec.Node{v.Outer, v.Inner}
 	case *exec.NLJoin:
 		qual := ""
 		if v.Qual != nil {
 			qual = " qual=" + v.Qual.String()
 		}
-		fmt.Fprintf(b, "%sNestedLoopJoin %s%s\n", indent, v.Type, qual)
-		explainNode(b, v.Outer, depth+1)
-		explainNode(b, v.Inner, depth+1)
+		return fmt.Sprintf("NestedLoopJoin %s%s", v.Type, qual), []exec.Node{v.Outer, v.Inner}
 	default:
-		fmt.Fprintf(b, "%s%T\n", indent, n)
+		return fmt.Sprintf("%T", n), nil
 	}
 }

@@ -36,6 +36,7 @@ type Heap struct {
 	numPages   int
 	insertPage int // last page that accepted an insert; -1 if none
 	liveTuples int64
+	inserts    int64
 }
 
 // Create allocates a new empty heap for rel.
@@ -66,6 +67,14 @@ func (h *Heap) LiveTuples() int64 {
 	return h.liveTuples
 }
 
+// Inserts returns the cumulative count of tuples ever inserted
+// (updates that move a tuple count as inserts, as in PostgreSQL).
+func (h *Heap) Inserts() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.inserts
+}
+
 // Insert stores the already-formed tuple bytes and returns its TID. prof
 // is charged the per-tuple storage bookkeeping (CompStorage).
 func (h *Heap) Insert(tup []byte, prof *profile.Counters) (TID, error) {
@@ -85,6 +94,7 @@ func (h *Heap) Insert(tup []byte, prof *profile.Counters) (TID, error) {
 		if slot, ok := page.AddTuple(page.Page(hd.Bytes), tup); ok {
 			hd.Unpin(true)
 			h.liveTuples++
+			h.inserts++
 			return TID{Page: int32(h.insertPage), Slot: uint16(slot)}, nil
 		}
 		hd.Unpin(false)
@@ -107,6 +117,7 @@ func (h *Heap) Insert(tup []byte, prof *profile.Counters) (TID, error) {
 	hd.Unpin(true)
 	h.insertPage = pageNo
 	h.liveTuples++
+	h.inserts++
 	return TID{Page: int32(pageNo), Slot: uint16(slot)}, nil
 }
 
