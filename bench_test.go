@@ -252,8 +252,11 @@ func BenchmarkStorage(b *testing.B) {
 // BenchmarkTPCHObserved is the observability integration: it runs Q1 and
 // Q3 on both engines and reports MetricsSnapshot deltas — buffer hit
 // rate and per-query bee-routine calls — alongside wall-clock, so
-// benchmark trajectories capture hit rates, not just ns/op. The full
-// snapshot JSON is dumped by `tpch-bench -metrics out.json`.
+// benchmark trajectories capture hit rates, not just ns/op. The
+// q*/workers* sub-benchmarks add the intra-query parallelism contrast on
+// the scan-dominated Q1 and Q6 (compare ns/op at workers=1 vs workers=4;
+// on a single-core machine the degrees tie). The full snapshot JSON is
+// dumped by `tpch-bench -metrics out.json`.
 func BenchmarkTPCHObserved(b *testing.B) {
 	stock, bee := tpchPair(b)
 	queries := tpch.Queries()
@@ -283,6 +286,30 @@ func BenchmarkTPCHObserved(b *testing.B) {
 				b.ReportMetric(delta("bees.calls.gcl")/n, "gcl-calls/op")
 				b.ReportMetric(delta("bees.calls.evp")/n, "evp-calls/op")
 				b.ReportMetric(delta("bees.calls.evj")/n, "evj-calls/op")
+			})
+		}
+	}
+
+	// Parallel-scan scaling on the bee engine. Restore the engine's
+	// original degree afterwards so later benchmarks see the default.
+	prev := bee.Workers()
+	defer bee.SetWorkers(prev)
+	for _, qn := range []int{1, 6} {
+		q := queries[qn]
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("q%02d/bee/workers%d", qn, w), func(b *testing.B) {
+				bee.SetWorkers(w)
+				before := bee.MetricsSnapshot()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := bee.Query(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				after := bee.MetricsSnapshot()
+				par := after.Counters["parallel_queries"] - before.Counters["parallel_queries"]
+				b.ReportMetric(float64(par)/float64(b.N), "parallel-queries/op")
 			})
 		}
 	}

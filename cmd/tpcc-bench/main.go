@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tpcc-bench [-w 1] [-txns 4000] [-rounds 3] [-full]
+//	tpcc-bench [-w 1] [-txns 4000] [-rounds 3] [-workers 0] [-full]
 package main
 
 import (
@@ -20,6 +20,7 @@ func main() {
 	warehouses := flag.Int("w", 1, "warehouse count")
 	txns := flag.Int("txns", 4000, "transactions per timed round")
 	rounds := flag.Int("rounds", 3, "timed rounds (interleaved between engines)")
+	workers := flag.Int("workers", 0, "intra-query parallelism degree (0 = GOMAXPROCS, 1 = serial)")
 	full := flag.Bool("full", false, "use the specification-sized population (default: laptop-scale)")
 	flag.Parse()
 
@@ -28,6 +29,7 @@ func main() {
 	o.TxnsPerRound = *txns
 	o.Rounds = *rounds
 	o.Small = !*full
+	o.Workers = *workers
 	fmt.Printf("loading TPC-C (%d warehouse(s), small=%v) into stock and bee-enabled databases...\n",
 		o.Warehouses, o.Small)
 	res, err := harness.RunTPCC(o)

@@ -2,6 +2,8 @@
 // run-time improvement with a warm cache (Figure 4) and a cold cache
 // (Figure 5), the reduction in instructions executed (Figure 6), the
 // bee-routine ablation (Figure 7), and the tuple-bee storage report (E9).
+// The scaling figure sweeps intra-query parallelism: each query timed at
+// worker degrees 1..-scale-to on the bee engine (see EXPERIMENTS.md).
 //
 // Alongside the timing tables, -metrics dumps a MetricsSnapshot JSON for
 // both engines so benchmark trajectories capture buffer hit rates and bee
@@ -9,7 +11,8 @@
 //
 // Usage:
 //
-//	tpch-bench [-sf 0.01] [-runs 5] [-fig all|4|5|6|7|storage] [-q 1,6,9] [-metrics out.json]
+//	tpch-bench [-sf 0.01] [-runs 5] [-fig all|4|5|6|7|storage|scaling] [-q 1,6,9]
+//	           [-workers 0] [-scale-to 4] [-metrics out.json]
 package main
 
 import (
@@ -27,14 +30,17 @@ import (
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-H scale factor")
 	runs := flag.Int("runs", 5, "timed runs per query (highest/lowest dropped)")
-	fig := flag.String("fig", "all", "which figure to regenerate: all, 4, 5, 6, 7, storage")
+	fig := flag.String("fig", "all", "which figure to regenerate: all, 4, 5, 6, 7, storage, scaling")
 	qlist := flag.String("q", "", "comma-separated query subset, e.g. 1,6,14")
+	workers := flag.Int("workers", 0, "intra-query parallelism degree for both engines (0 = GOMAXPROCS, 1 = serial)")
+	scaleTo := flag.Int("scale-to", 4, "highest worker degree for the scaling figure")
 	metricsOut := flag.String("metrics", "", "write both engines' MetricsSnapshot JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
 	o.SF = *sf
 	o.Runs = *runs
+	o.Workers = *workers
 	if *qlist != "" {
 		for _, part := range strings.Split(*qlist, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -86,6 +92,14 @@ func main() {
 			fmt.Println()
 			fmt.Print(s.Format())
 		}
+	}
+	if want("scaling") {
+		s, err := harness.RunScaling(bee, o, *scaleTo)
+		if err != nil {
+			fatalf("scaling: %v", err)
+		}
+		fmt.Println()
+		fmt.Print(s.Format())
 	}
 	if want("storage") {
 		rows, err := harness.RunStorageReport(stock, bee)

@@ -172,6 +172,11 @@ type Placement struct {
 	nextLine  int
 	assigned  int
 	conflicts int
+	// parallelPlans counts plans the planner marked parallel-safe: every
+	// bee in such a plan is instantiated per worker, so the optimizer
+	// knows those placements are duplicated across cores rather than
+	// shared (per-core I1 caches make duplicate placement free).
+	parallelPlans int64
 }
 
 // Simulated I1 geometry: 32 KiB, 64-byte lines.
@@ -203,12 +208,27 @@ func (p *Placement) assign(code string) int {
 	return start
 }
 
+// MarkParallelSafe records that the planner cleared one plan's bees for
+// concurrent per-worker invocation.
+func (p *Placement) MarkParallelSafe() {
+	p.mu.Lock()
+	p.parallelPlans++
+	p.mu.Unlock()
+}
+
+// ParallelSafePlans returns how many plans were marked parallel-safe.
+func (p *Placement) ParallelSafePlans() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.parallelPlans
+}
+
 // Report summarizes placement activity.
 func (p *Placement) Report() string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return fmt.Sprintf("placement: %d bees, next line %d/%d, %d wrap conflicts",
-		p.assigned, p.nextLine, icacheLines, p.conflicts)
+	return fmt.Sprintf("placement: %d bees, next line %d/%d, %d wrap conflicts, %d parallel-safe plans",
+		p.assigned, p.nextLine, icacheLines, p.conflicts, p.parallelPlans)
 }
 
 // Assigned returns how many bees have been placed.

@@ -416,6 +416,12 @@ func (m *Module) NoteEVJCall(n int64) { m.calls.evj.Add(n) }
 // NoteEVACall reports n EVA invocations.
 func (m *Module) NoteEVACall(n int64) { m.calls.eva.Add(n) }
 
+// NoteParallelPlan is called by the planner when it marks a plan
+// parallel-safe: every bee closure in the plan was freshly instantiated
+// per partition worker, so the placement optimizer records the plan as
+// duplicated across cores.
+func (m *Module) NoteParallelPlan() { m.place.MarkParallelSafe() }
+
 // Stats returns a snapshot of bee-module statistics.
 func (m *Module) Stats() Stats {
 	m.mu.RLock()

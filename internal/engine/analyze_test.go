@@ -25,7 +25,9 @@ var (
 func analyzeDB(t *testing.T) *engine.DB {
 	t.Helper()
 	tpchOnce.Do(func() {
-		db, err := tpch.NewDatabase(engine.Config{Routines: core.AllRoutines}, 0.002)
+		// Workers is pinned (not GOMAXPROCS) so the golden Gather plans
+		// below are machine-independent.
+		db, err := tpch.NewDatabase(engine.Config{Routines: core.AllRoutines, Workers: 2}, 0.002)
 		if err != nil {
 			panic(err)
 		}
@@ -49,9 +51,11 @@ func TestExplainAnalyzeQ1Aggregate(t *testing.T) {
 	}
 	want := `Sort [{0 false} {1 false}] (actual rows=4 loops=1 time=X)
   Project l_returnflag, l_linestatus, sum_qty, sum_base_price, sum_disc_price, sum_charge, avg_qty, avg_price, avg_disc, count_order (actual rows=4 loops=1 time=X)
-    HashAgg groups=2 aggs=[sum(l_quantity), sum(l_extendedprice), sum((l_extendedprice * (1 - l_discount))), sum(((l_extendedprice * (1 - l_discount)) * (1 + l_tax))), avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)] [EVA] (actual rows=4 loops=1 time=X)
-      Filter (l_shipdate <= (1998-12-01 - interval '0m90d')) [EVP] (actual rows=11653 loops=1 time=X)
-        SeqScan lineitem (16 cols) [GCL] (actual rows=11653 loops=1 time=X)
+    Gather workers=2 (partial-agg groups=2 aggs=[sum(l_quantity), sum(l_extendedprice), sum((l_extendedprice * (1 - l_discount))), sum(((l_extendedprice * (1 - l_discount)) * (1 + l_tax))), avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)]) [EVA] (actual rows=4 loops=1 time=X)
+      Filter (l_shipdate <= (1998-12-01 - interval '0m90d')) [EVP] (actual rows=5853 loops=1 time=X)
+        SeqScan lineitem (16 cols) pages=[0,83) [GCL] (actual rows=5853 loops=1 time=X)
+      Filter (l_shipdate <= (1998-12-01 - interval '0m90d')) [EVP] (actual rows=5800 loops=1 time=X)
+        SeqScan lineitem (16 cols) pages=[83,166) [GCL] (actual rows=5800 loops=1 time=X)
 `
 	if got := normalize(out); got != want {
 		t.Fatalf("Q1 explain analyze mismatch:\ngot:\n%s\nwant:\n%s", got, want)
@@ -95,9 +99,11 @@ func TestExplainAnalyzeQ6Scan(t *testing.T) {
 		t.Fatalf("Q6 returned %d rows, want 1", len(res.Rows))
 	}
 	want := `Project revenue (actual rows=1 loops=1 time=X)
-  HashAgg groups=0 aggs=[sum((l_extendedprice * l_discount))] [EVA] (actual rows=1 loops=1 time=X)
-    Filter ((l_shipdate >= 1994-01-01) AND (l_shipdate < (1994-01-01 + interval '12m0d')) AND ((l_discount >= 0.05) AND (l_discount <= 0.07)) AND (l_quantity < 24)) [EVP] (actual rows=253 loops=1 time=X)
-      SeqScan lineitem (16 cols) [GCL] (actual rows=11653 loops=1 time=X)
+  Gather workers=2 (partial-agg groups=0 aggs=[sum((l_extendedprice * l_discount))]) [EVA] (actual rows=1 loops=1 time=X)
+    Filter ((l_shipdate >= 1994-01-01) AND (l_shipdate < (1994-01-01 + interval '12m0d')) AND ((l_discount >= 0.05) AND (l_discount <= 0.07)) AND (l_quantity < 24)) [EVP] (actual rows=99 loops=1 time=X)
+      SeqScan lineitem (16 cols) pages=[0,83) [GCL] (actual rows=5853 loops=1 time=X)
+    Filter ((l_shipdate >= 1994-01-01) AND (l_shipdate < (1994-01-01 + interval '12m0d')) AND ((l_discount >= 0.05) AND (l_discount <= 0.07)) AND (l_quantity < 24)) [EVP] (actual rows=154 loops=1 time=X)
+      SeqScan lineitem (16 cols) pages=[83,166) [GCL] (actual rows=5800 loops=1 time=X)
 `
 	if got := normalize(out); got != want {
 		t.Fatalf("Q6 explain analyze mismatch:\ngot:\n%s\nwant:\n%s", got, want)

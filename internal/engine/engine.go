@@ -8,6 +8,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -35,6 +36,10 @@ type Config struct {
 	PoolPages int
 	// Latency is the simulated disk latency model (zero = warm-only).
 	Latency disk.LatencyModel
+	// Workers is the intra-query parallelism degree: the maximum number
+	// of partition workers a Gather node runs concurrently. Zero means
+	// runtime.GOMAXPROCS(0); 1 disables parallel plans.
+	Workers int
 }
 
 // DB is one database instance.
@@ -83,6 +88,9 @@ func Open(cfg Config) *DB {
 	if cfg.PoolPages <= 0 {
 		cfg.PoolPages = 32768
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 	dm := disk.NewManager(cfg.Latency)
 	db := &DB{
 		cat:     catalog.New(),
@@ -107,8 +115,29 @@ func Open(cfg Config) *DB {
 			}
 			return h, nil
 		},
+		Workers: cfg.Workers,
 	}
 	return db
+}
+
+// SetWorkers reconfigures the intra-query parallelism degree: n ≤ 1
+// makes subsequent plans serial, n > 1 allows Gather nodes with up to n
+// partition workers. Running queries are unaffected (the degree is baked
+// into a plan when it is built).
+func (db *DB) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	db.mu.Lock()
+	db.planner.Workers = n
+	db.mu.Unlock()
+}
+
+// Workers returns the current intra-query parallelism degree.
+func (db *DB) Workers() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.planner.Workers
 }
 
 // Module exposes the bee module (for experiment configuration and stats).
@@ -197,6 +226,7 @@ func (db *DB) runSelect(text string, prof *profile.Counters, analyze bool) (*Res
 	if err != nil {
 		return nil, nil, err
 	}
+	db.obs.observeParallel(root)
 	if analyze {
 		db.obs.foldNodeStats(root)
 	}

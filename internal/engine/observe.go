@@ -47,9 +47,12 @@ type observer struct {
 	rowsReturned *metrics.Counter
 	rowsAffected *metrics.Counter
 	analyzed     *metrics.Counter
+	parallel     *metrics.Counter
 	latBee       *metrics.Histogram
 	latStock     *metrics.Histogram
 	latStmt      *metrics.Histogram
+	latParScan   *metrics.Histogram
+	latParAgg    *metrics.Histogram
 
 	mu   sync.Mutex
 	ring [slowLogSize]SlowQuery
@@ -67,9 +70,12 @@ func newObserver() *observer {
 		rowsReturned: reg.Counter("query.rows_returned"),
 		rowsAffected: reg.Counter("stmt.rows_affected"),
 		analyzed:     reg.Counter("query.analyzed"),
+		parallel:     reg.Counter("parallel_queries"),
 		latBee:       reg.Histogram("query.latency.bee"),
 		latStock:     reg.Histogram("query.latency.stock"),
 		latStmt:      reg.Histogram("stmt.latency"),
+		latParScan:   reg.Histogram("parallel.worker.scan"),
+		latParAgg:    reg.Histogram("parallel.worker.agg"),
 	}
 	o.slowNs.Store(int64(DefaultSlowQueryThreshold))
 	return o
@@ -144,6 +150,27 @@ func (o *observer) resetSlow() {
 	o.mu.Lock()
 	o.next, o.n = 0, 0
 	o.mu.Unlock()
+}
+
+// observeParallel folds a finished plan's Gather worker statistics into
+// the parallel-execution metrics: the parallel_queries counter and the
+// per-worker scan/agg latency histograms (one observation per partition
+// worker run).
+func (o *observer) observeParallel(root exec.Node) {
+	found := false
+	exec.WalkGathers(root, func(g *exec.Gather) {
+		found = true
+		for _, ws := range g.WorkerStats() {
+			if ws.Agg {
+				o.latParAgg.Observe(ws.Elapsed)
+			} else {
+				o.latParScan.Observe(ws.Elapsed)
+			}
+		}
+	})
+	if found {
+		o.parallel.Inc()
+	}
 }
 
 // foldNodeStats accumulates an analyzed plan's per-node statistics into
@@ -254,5 +281,6 @@ func (db *DB) registerCollectors() {
 		assigned, conflicts := db.mod.Placement().Stats()
 		s.SetGauge("bees.placed", int64(assigned))
 		s.SetCounter("bees.placement_conflicts", int64(conflicts))
+		s.SetCounter("bees.parallel_safe_plans", db.mod.Placement().ParallelSafePlans())
 	})
 }

@@ -105,6 +105,23 @@ func (s *aggState) add(spec *AggSpec, v types.Datum) {
 	}
 }
 
+// merge folds another partition's partial state into s — the gather-point
+// half of two-phase parallel aggregation. Counts and sums are additive;
+// min/max compare; DISTINCT states cannot be merged (cross-partition
+// duplicates are invisible to each partition), so the planner never
+// parallelizes plans with DISTINCT aggregates.
+func (s *aggState) merge(o *aggState) {
+	s.count += o.count
+	s.sumI += o.sumI
+	s.sumF += o.sumF
+	if !o.min.IsNull() && (s.min.IsNull() || o.min.Compare(s.min) < 0) {
+		s.min = o.min
+	}
+	if !o.max.IsNull() && (s.max.IsNull() || o.max.Compare(s.max) > 0) {
+		s.max = o.max
+	}
+}
+
 func (s *aggState) result(spec *AggSpec) types.Datum {
 	switch spec.Fn {
 	case AggCount:
@@ -143,8 +160,7 @@ type HashAgg struct {
 
 	evaCalls int64
 
-	groups map[uint64][]*aggGroup
-	order  []*aggGroup
+	table  *aggTable
 	pos    int
 	cols   []ColInfo
 	outBuf expr.Row
@@ -155,10 +171,41 @@ type aggGroup struct {
 	states []aggState
 }
 
+// aggTable is one hash table of aggregation groups in first-appearance
+// order. HashAgg owns one; a parallel Gather builds one per partition and
+// merges them in partition order, which reproduces the serial
+// first-appearance order exactly (partitions cover the heap in page
+// order).
+type aggTable struct {
+	groups map[uint64][]*aggGroup
+	order  []*aggGroup
+}
+
+func newAggTable() *aggTable {
+	return &aggTable{groups: make(map[uint64][]*aggGroup)}
+}
+
+// find returns the group for keys, creating it (with naggs zeroed states)
+// on first appearance.
+func (t *aggTable) find(keys expr.Row, naggs int) *aggGroup {
+	h := uint64(14695981039346656037)
+	for _, k := range keys {
+		h = (h ^ k.Hash()) * 1099511628211
+	}
+	for _, g := range t.groups[h] {
+		if rowsEqual(g.keys, keys) {
+			return g
+		}
+	}
+	g := &aggGroup{keys: CloneRow(keys), states: make([]aggState, naggs)}
+	t.groups[h] = append(t.groups[h], g)
+	t.order = append(t.order, g)
+	return g
+}
+
 // Open implements Node: it consumes the whole child.
 func (a *HashAgg) Open(ctx *Ctx) error {
-	a.groups = make(map[uint64][]*aggGroup)
-	a.order = a.order[:0]
+	a.table = newAggTable()
 	a.pos = 0
 	if a.outBuf == nil {
 		a.outBuf = make(expr.Row, len(a.GroupBy)+len(a.Aggs))
@@ -180,7 +227,7 @@ func (a *HashAgg) Open(ctx *Ctx) error {
 		for i, g := range a.GroupBy {
 			keyBuf[i] = g.Eval(row, &ctx.Expr)
 		}
-		grp := a.findGroup(keyBuf)
+		grp := a.table.find(keyBuf, len(a.Aggs))
 		for i := range a.Aggs {
 			spec := &a.Aggs[i]
 			var v types.Datum
@@ -195,26 +242,10 @@ func (a *HashAgg) Open(ctx *Ctx) error {
 		}
 	}
 	// Global aggregation over zero rows still yields one (empty) group.
-	if len(a.GroupBy) == 0 && len(a.order) == 0 {
-		a.findGroup(nil)
+	if len(a.GroupBy) == 0 && len(a.table.order) == 0 {
+		a.table.find(nil, len(a.Aggs))
 	}
 	return nil
-}
-
-func (a *HashAgg) findGroup(keys expr.Row) *aggGroup {
-	h := uint64(14695981039346656037)
-	for _, k := range keys {
-		h = (h ^ k.Hash()) * 1099511628211
-	}
-	for _, g := range a.groups[h] {
-		if rowsEqual(g.keys, keys) {
-			return g
-		}
-	}
-	g := &aggGroup{keys: CloneRow(keys), states: make([]aggState, len(a.Aggs))}
-	a.groups[h] = append(a.groups[h], g)
-	a.order = append(a.order, g)
-	return g
 }
 
 func rowsEqual(a, b expr.Row) bool {
@@ -232,10 +263,10 @@ func rowsEqual(a, b expr.Row) bool {
 
 // Next implements Node.
 func (a *HashAgg) Next(ctx *Ctx) (expr.Row, bool, error) {
-	if a.pos >= len(a.order) {
+	if a.pos >= len(a.table.order) {
 		return nil, false, nil
 	}
-	g := a.order[a.pos]
+	g := a.table.order[a.pos]
 	a.pos++
 	copy(a.outBuf, g.keys)
 	for i := range a.Aggs {
@@ -250,7 +281,7 @@ func (a *HashAgg) Close(*Ctx) {
 		a.NoteEVA(a.evaCalls)
 		a.evaCalls = 0
 	}
-	a.groups = nil
+	a.table = nil
 }
 
 // Schema implements Node.

@@ -47,6 +47,12 @@ func Instrument(n Node) Node {
 	case *NLJoin:
 		v.Outer = Instrument(v.Outer)
 		v.Inner = Instrument(v.Inner)
+	case *Gather:
+		// Each partition subplan is wrapped separately; a part is driven by
+		// exactly one worker at a time, so its counters need no locking.
+		for i := range v.Parts {
+			v.Parts[i] = Instrument(v.Parts[i])
+		}
 	}
 	return &Instrumented{Inner: n}
 }
@@ -111,6 +117,10 @@ func WalkInstrumented(n Node, fn func(*Instrumented)) {
 	case *NLJoin:
 		WalkInstrumented(v.Outer, fn)
 		WalkInstrumented(v.Inner, fn)
+	case *Gather:
+		for _, p := range v.Parts {
+			WalkInstrumented(p, fn)
+		}
 	}
 }
 

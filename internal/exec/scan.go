@@ -20,6 +20,13 @@ type SeqScan struct {
 	// NoteDeforms, when set, receives the deform (GCL) call count at
 	// Close.
 	NoteDeforms func(int64)
+	// Range restricts the scan to a page interval — one partition of a
+	// parallel scan. The zero value (Lo == Hi == 0 with Whole true left
+	// unset) means the whole heap.
+	Range heap.PageRange
+	// Partial is true when Range restricts the scan (set by
+	// NewSeqScanRange; EXPLAIN shows the page interval).
+	Partial bool
 
 	deforms int64
 	scanner *heap.Scanner
@@ -42,6 +49,17 @@ func NewSeqScan(h *heap.Heap, deform core.DeformFunc, natts int) *SeqScan {
 	}
 }
 
+// NewSeqScanRange builds a sequential scan over one page-range partition
+// of rel's heap — the per-worker leaf of a parallel (Gather) plan. Each
+// partition scan must carry its own deform closure so workers share no
+// mutable state on the hot path.
+func NewSeqScanRange(h *heap.Heap, deform core.DeformFunc, natts int, r heap.PageRange) *SeqScan {
+	s := NewSeqScan(h, deform, natts)
+	s.Range = r
+	s.Partial = true
+	return s
+}
+
 func relCols(rel *catalog.Relation, natts int) []ColInfo {
 	cols := make([]ColInfo, natts)
 	for i := 0; i < natts; i++ {
@@ -52,7 +70,11 @@ func relCols(rel *catalog.Relation, natts int) []ColInfo {
 
 // Open implements Node.
 func (s *SeqScan) Open(ctx *Ctx) error {
-	s.scanner = s.Heap.Scan(ctx.Prof())
+	if s.Partial {
+		s.scanner = s.Heap.ScanRange(s.Range, ctx.Prof())
+	} else {
+		s.scanner = s.Heap.Scan(ctx.Prof())
+	}
 	if s.buf == nil {
 		s.buf = make(expr.Row, s.NAtts)
 	}

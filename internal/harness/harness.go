@@ -31,6 +31,9 @@ type Options struct {
 	Queries []int
 	// PoolPages sizes the buffer pool.
 	PoolPages int
+	// Workers is the intra-query parallelism degree for both engines
+	// (0 = GOMAXPROCS, 1 = serial).
+	Workers int
 }
 
 // DefaultOptions returns laptop-scale settings.
@@ -50,12 +53,14 @@ func (o Options) queries() []int {
 func BuildTPCHPair(o Options) (stock, bee *engine.DB, err error) {
 	stock, err = tpch.NewDatabase(engine.Config{
 		Routines: core.Stock, PoolPages: o.PoolPages, Latency: disk.DefaultColdLatency,
+		Workers: o.Workers,
 	}, o.SF)
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: building stock DB: %w", err)
 	}
 	bee, err = tpch.NewDatabase(engine.Config{
 		Routines: core.AllRoutines, PoolPages: o.PoolPages, Latency: disk.DefaultColdLatency,
+		Workers: o.Workers,
 	}, o.SF)
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: building bee DB: %w", err)
@@ -319,6 +324,76 @@ func RunAblation(stock, bee *engine.DB, o Options) ([]Series, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// ScalingResult is one query's warm-cache run time at each worker degree.
+type ScalingResult struct {
+	Query int
+	MS    []float64 // parallel to Scaling.Workers
+}
+
+// Scaling is the intra-query parallelism sweep: run time per query at
+// worker degrees 1..N on the same database.
+type Scaling struct {
+	Workers []int
+	Results []ScalingResult
+}
+
+// RunScaling measures intra-query parallelism: each query is timed warm
+// on db at every worker degree 1..maxWorkers. The database's original
+// worker degree is restored afterwards. See EXPERIMENTS.md §"Parallel
+// scaling" for the recipe and reference numbers.
+func RunScaling(db *engine.DB, o Options, maxWorkers int) (Scaling, error) {
+	if maxWorkers < 1 {
+		maxWorkers = 1
+	}
+	if err := db.WarmUp(); err != nil {
+		return Scaling{}, err
+	}
+	prev := db.Workers()
+	defer db.SetWorkers(prev)
+	queries := tpch.Queries()
+	var sc Scaling
+	for w := 1; w <= maxWorkers; w++ {
+		sc.Workers = append(sc.Workers, w)
+	}
+	for _, qn := range o.queries() {
+		r := ScalingResult{Query: qn}
+		for _, w := range sc.Workers {
+			db.SetWorkers(w)
+			ms, err := timeQuery(db, queries[qn], o.Runs, false)
+			if err != nil {
+				return Scaling{}, fmt.Errorf("q%d workers=%d: %w", qn, w, err)
+			}
+			r.MS = append(r.MS, ms)
+		}
+		sc.Results = append(sc.Results, r)
+	}
+	return sc, nil
+}
+
+// Format renders the scaling sweep with each query's speedup of the
+// highest degree over serial.
+func (s Scaling) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Intra-query parallelism: warm-cache run time (ms) by worker count\n")
+	fmt.Fprintf(&b, "%-6s", "query")
+	for _, w := range s.Workers {
+		fmt.Fprintf(&b, " %9s", fmt.Sprintf("w=%d", w))
+	}
+	fmt.Fprintf(&b, " %9s\n", "speedup")
+	for _, r := range s.Results {
+		fmt.Fprintf(&b, "q%-5d", r.Query)
+		for _, ms := range r.MS {
+			fmt.Fprintf(&b, " %9.2f", ms)
+		}
+		speedup := 0.0
+		if last := r.MS[len(r.MS)-1]; last > 0 {
+			speedup = r.MS[0] / last
+		}
+		fmt.Fprintf(&b, " %8.2fx\n", speedup)
+	}
+	return b.String()
 }
 
 // Format renders a series as the paper's bar-chart data in table form.

@@ -22,6 +22,11 @@ type TPCCOptions struct {
 	Rounds       int
 	PoolPages    int
 	Seed         int64
+	// Workers is the intra-query parallelism degree for both engines
+	// (0 = GOMAXPROCS, 1 = serial). TPC-C relations are small, so most
+	// transactions stay serial regardless; the option exists to verify
+	// that parallel scans do not hurt a modification-heavy mix.
+	Workers int
 }
 
 // DefaultTPCCOptions returns laptop-scale settings.
@@ -67,7 +72,7 @@ func RunTPCC(o TPCCOptions) ([]TPCCScenario, error) {
 		sc := &scenarios[i]
 		var drivers [2]*tpcc.Driver
 		for j, routines := range []core.RoutineSet{core.Stock, core.AllRoutines} {
-			db, err := tpcc.NewDatabase(engine.Config{Routines: routines, PoolPages: o.PoolPages}, cfg)
+			db, err := tpcc.NewDatabase(engine.Config{Routines: routines, PoolPages: o.PoolPages, Workers: o.Workers}, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("harness: tpcc load: %w", err)
 			}

@@ -52,6 +52,10 @@ func describe(n exec.Node) (string, []exec.Node) {
 		if v.NoteDeforms != nil {
 			bee = " [GCL]"
 		}
+		if v.Partial {
+			return fmt.Sprintf("SeqScan %s (%d cols) pages=[%d,%d)%s",
+				v.Heap.Rel.Name, v.NAtts, v.Range.Lo, v.Range.Hi, bee), nil
+		}
 		return fmt.Sprintf("SeqScan %s (%d cols)%s", v.Heap.Rel.Name, v.NAtts, bee), nil
 	case *exec.IndexScan:
 		return fmt.Sprintf("IndexScan %s via %s", v.Heap.Rel.Name, v.Tree.Name), nil
@@ -111,6 +115,28 @@ func describe(n exec.Node) (string, []exec.Node) {
 			qual = " qual=" + v.Qual.String()
 		}
 		return fmt.Sprintf("NestedLoopJoin %s%s", v.Type, qual), []exec.Node{v.Outer, v.Inner}
+	case *exec.Gather:
+		mode := "stream"
+		switch {
+		case len(v.Aggs) > 0 || v.GroupBy != nil:
+			mode = "partial-agg"
+			bees := ""
+			for i := range v.Aggs {
+				if v.Aggs[i].CompiledArg != nil {
+					bees = " [EVA]"
+					break
+				}
+			}
+			names := make([]string, len(v.Aggs))
+			for i, a := range v.Aggs {
+				names[i] = a.Name
+			}
+			return fmt.Sprintf("Gather workers=%d (%s groups=%d aggs=[%s])%s",
+				v.Workers, mode, len(v.GroupBy), strings.Join(names, ", "), bees), v.Parts
+		case len(v.MergeKeys) > 0:
+			mode = "merge"
+		}
+		return fmt.Sprintf("Gather workers=%d (%s)", v.Workers, mode), v.Parts
 	default:
 		return fmt.Sprintf("%T", n), nil
 	}

@@ -364,5 +364,15 @@ func (p *Planner) planSubSelect(sel *sql.Select, s *scope) (exec.Node, *scope, e
 	if err != nil {
 		return nil, nil, err
 	}
+	// Uncorrelated subplans get the same parallelization pass as the
+	// root. This is also a correctness requirement, not just speed: a CTE
+	// aggregated both in the outer tree and inside a subquery (TPC-H Q15)
+	// must sum floats with the same partitioning on both sides, or the
+	// last-ulp difference breaks equality comparisons between them.
+	// Correlated subplans stay serial: they rerun per outer row, and
+	// their outer references are not parallel-safe.
+	if !sub.correlated {
+		node = p.parallelize(node)
+	}
 	return node, sub, nil
 }

@@ -1,3 +1,12 @@
+// Package plan turns parsed SQL statements into executable Volcano-style
+// plan trees. It owns join ordering (greedy left-deep), predicate
+// pushdown, aggregate extraction, subquery decorrelation, the EXPLAIN /
+// EXPLAIN ANALYZE renderers, and — at the end of planning — the
+// intra-query parallelization pass that rewrites eligible scan regions
+// into Gather nodes with per-worker bee closures (parallel.go). It is
+// also where bees are placed into plans: every scan, filter, join, and
+// aggregate consults the bee module (internal/core) for a specialized
+// routine and falls back to the generic evaluator when none applies.
 package plan
 
 import (
@@ -17,6 +26,9 @@ type Planner struct {
 	Mod *core.Module
 	// HeapFor resolves a relation to its heap (provided by the engine).
 	HeapFor func(rel *catalog.Relation) (*heap.Heap, error)
+	// Workers is the intra-query parallelism degree; plans stay serial
+	// when it is ≤ 1 (see parallelize).
+	Workers int
 }
 
 // Planned is a ready-to-run query plan.
@@ -31,6 +43,7 @@ func (p *Planner) PlanSelect(sel *sql.Select) (*Planned, error) {
 	if err != nil {
 		return nil, err
 	}
+	node = p.parallelize(node)
 	cols := make([]exec.ColInfo, len(sc.cols))
 	for i, c := range sc.cols {
 		cols[i] = exec.ColInfo{Name: c.name, T: c.t}

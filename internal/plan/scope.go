@@ -1,10 +1,11 @@
-// Package plan translates parsed SQL into executable plans: name
-// resolution, type derivation, predicate pushdown, greedy join-order
-// selection with hash-join key extraction, subquery decorrelation, and
-// aggregate planning. It is also where the bee module is consulted: every
-// Filter gets an EVP compilation attempt, every equi-join an EVJ
-// compilation attempt — plan time is exactly when the paper creates query
-// bees ("Individual query bees are created during query plan generation").
+// Scopes: name resolution and type derivation for the planner. A scope
+// maps column references to (depth, index) positions; references that
+// resolve in an ancestor scope mark the subquery correlated. Plan time is
+// also when the bee module is consulted — every Filter gets an EVP
+// compilation attempt, every equi-join an EVJ compilation attempt (the
+// paper: "Individual query bees are created during query plan
+// generation").
+
 package plan
 
 import (

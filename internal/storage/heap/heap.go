@@ -230,6 +230,58 @@ func (h *Heap) Scan(prof *profile.Counters) *Scanner {
 	return &Scanner{h: h, numPages: n, pageNo: -1, prof: prof}
 }
 
+// PageRange is a half-open page interval [Lo, Hi) of a heap — the unit of
+// work a parallel scan hands to one worker.
+type PageRange struct {
+	Lo, Hi int
+}
+
+// Partitions splits the heap's current pages into at most n contiguous
+// page ranges of near-equal size for parallel scans. Fewer than n ranges
+// are returned when the heap has fewer than n pages; an empty heap yields
+// nil. The page count is a snapshot: like Scan, concurrently appended
+// pages are not covered.
+func (h *Heap) Partitions(n int) []PageRange {
+	h.mu.Lock()
+	pages := h.numPages
+	h.mu.Unlock()
+	if pages == 0 || n <= 0 {
+		return nil
+	}
+	if n > pages {
+		n = pages
+	}
+	out := make([]PageRange, 0, n)
+	per, extra := pages/n, pages%n
+	lo := 0
+	for i := 0; i < n; i++ {
+		hi := lo + per
+		if i < extra {
+			hi++
+		}
+		out = append(out, PageRange{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// ScanRange returns a scanner over the pages [lo, hi) only, for one
+// partition of a parallel scan. Each worker drives its own scanner, so
+// concurrent partitions never share mutable state; the buffer pool
+// underneath is already concurrency-safe.
+func (h *Heap) ScanRange(r PageRange, prof *profile.Counters) *Scanner {
+	h.mu.Lock()
+	n := h.numPages
+	h.mu.Unlock()
+	if r.Hi > n {
+		r.Hi = n
+	}
+	if r.Lo < 0 {
+		r.Lo = 0
+	}
+	return &Scanner{h: h, numPages: r.Hi, pageNo: r.Lo - 1, prof: prof}
+}
+
 // Scanner iterates a heap page by page, holding a pin on the current
 // page so returned tuple bytes stay valid until the next call.
 type Scanner struct {

@@ -1,0 +1,53 @@
+#!/bin/sh
+# doccheck.sh — documentation lint, run by the CI docs job.
+#
+# 1. Every intra-repo markdown link ([text](path) where path is not a
+#    URL or pure anchor) must point at a file that exists.
+# 2. Every internal/ package must carry a godoc package comment
+#    ("// Package <name> ..." immediately above a package clause).
+#
+# Exits non-zero with one line per violation.
+set -u
+cd "$(dirname "$0")/.." || exit 1
+
+fail=0
+
+# --- 1. intra-repo markdown links -----------------------------------
+# Extract (file, target) pairs for inline links, strip anchors and
+# skip absolute URLs / mailto / pure-anchor links.
+for md in $(find . -name '*.md' -not -path './.git/*'); do
+    links=$(grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null |
+        sed 's/.*](\([^)]*\))/\1/') || true
+    for target in $links; do
+        case "$target" in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        # Strip a trailing anchor and optional title.
+        path=$(printf '%s' "$target" | sed 's/#.*$//; s/ .*$//')
+        [ -z "$path" ] && continue
+        # Resolve relative to the markdown file's directory.
+        base=$(dirname "$md")
+        if [ ! -e "$base/$path" ] && [ ! -e "$path" ]; then
+            echo "doccheck: $md: broken link -> $target"
+            fail=1
+        fi
+    done
+done
+
+# --- 2. package comments --------------------------------------------
+for dir in $(find internal -type d); do
+    # Only directories that directly contain non-test Go files.
+    gofiles=$(find "$dir" -maxdepth 1 -name '*.go' ! -name '*_test.go')
+    [ -z "$gofiles" ] && continue
+    pkg=$(basename "$dir")
+    if ! grep -l "^// Package $pkg " $gofiles >/dev/null 2>&1; then
+        echo "doccheck: $dir: no '// Package $pkg ...' comment in any file"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doccheck: FAILED"
+    exit 1
+fi
+echo "doccheck: OK"
