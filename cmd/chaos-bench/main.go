@@ -1,0 +1,79 @@
+// Command chaos-bench runs the fault-injection experiment (E11): the full
+// TPC-H query set plus a TPC-C transaction stream on a bee-enabled
+// database whose page store injects transient read errors, bit flips,
+// torn writes, and latency spikes from a seeded schedule. Every query
+// round must either match the fault-free baseline or fail with a typed
+// error; the command exits nonzero if any round mismatched, returned an
+// untyped error, or let a panic escape.
+//
+// Usage:
+//
+//	chaos-bench [-seed 42] [-sf 0.01] [-pool 256] [-rounds 2] [-q 1,6,14]
+//	            [-workers 0] [-read-err 0.02] [-bit-flip 0.01] [-torn 0.002]
+//	            [-spike 0.01] [-bee-panics] [-timeout 0] [-tpcc-txns 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"microspec/internal/harness"
+)
+
+func main() {
+	o := harness.DefaultChaosOptions()
+	seed := flag.Int64("seed", o.Seed, "fault-schedule seed (same seed replays the same run)")
+	sf := flag.Float64("sf", o.SF, "TPC-H scale factor")
+	pool := flag.Int("pool", o.PoolPages, "buffer-pool pages (small pool keeps reads flowing through the faulty device)")
+	rounds := flag.Int("rounds", o.Rounds, "fault-injected executions per query")
+	qlist := flag.String("q", "", "comma-separated query subset, e.g. 1,6,14")
+	workers := flag.Int("workers", 0, "intra-query parallelism degree (0 = GOMAXPROCS, 1 = serial)")
+	readErr := flag.Float64("read-err", o.Faults.ReadErr, "probability of a transient read error")
+	bitFlip := flag.Float64("bit-flip", o.Faults.BitFlip, "probability of a bit flip in a read page copy")
+	torn := flag.Float64("torn", o.Faults.TornWrite, "probability of a torn (half-persisted) write")
+	spike := flag.Float64("spike", o.Faults.LatencySpike, "probability of a latency spike on an I/O")
+	beePanics := flag.Bool("bee-panics", o.BeePanics, "also inject bee panics (quarantine fallback) on every third round")
+	timeout := flag.Duration("timeout", 0, "statement timeout during fault rounds (0 = none), e.g. 500ms")
+	tpccTxns := flag.Int("tpcc-txns", o.TPCCTxns, "TPC-C transactions to run under faults (0 = skip)")
+	flag.Parse()
+
+	o.Seed = *seed
+	o.SF = *sf
+	o.PoolPages = *pool
+	o.Rounds = *rounds
+	o.Workers = *workers
+	o.Faults.ReadErr = *readErr
+	o.Faults.BitFlip = *bitFlip
+	o.Faults.TornWrite = *torn
+	o.Faults.LatencySpike = *spike
+	o.BeePanics = *beePanics
+	o.Timeout = *timeout
+	o.TPCCTxns = *tpccTxns
+	if *qlist != "" {
+		for _, part := range strings.Split(*qlist, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 || n > 22 {
+				fatalf("bad query number %q", part)
+			}
+			o.Queries = append(o.Queries, n)
+		}
+	}
+
+	fmt.Printf("loading TPC-H at SF %g, then injecting faults with seed %d...\n", o.SF, o.Seed)
+	report, err := harness.RunChaos(o)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Print(report.Format())
+	if report.Bad() > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "chaos-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

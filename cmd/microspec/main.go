@@ -189,8 +189,12 @@ func meta(db *engine.DB, cmd string) bool {
 		fmt.Printf("calls: GCL=%d SCL=%d EVP=%d EVJ=%d EVA=%d\n", st.GCLCalls, st.SCLCalls, st.EVPCalls, st.EVJCalls, st.EVACalls)
 		fmt.Println(db.Module().Placement().Report())
 	case "\\cache":
-		for _, e := range db.Module().Cache().Entries() {
-			fmt.Printf("%-10s %-40s %5dB onDisk=%v\n", e.Kind, e.Name, e.Bytes, e.OnDisk)
+		for _, e := range db.Module().CacheEntries() {
+			marker := ""
+			if e.Quarantined {
+				marker = " QUARANTINED"
+			}
+			fmt.Printf("%-10s %-40s %5dB onDisk=%v%s\n", e.Kind, e.Name, e.Bytes, e.OnDisk, marker)
 		}
 		cs := db.Module().Cache().Stats()
 		fmt.Printf("entries: mem=%d (%dB) disk=%d (%dB)\n", cs.MemEntries, cs.MemBytes, cs.DiskEntries, cs.DiskBytes)
@@ -217,6 +221,26 @@ func meta(db *engine.DB, cmd string) bool {
 			fmt.Printf("%s %8s %8d rows [%s] %s\n",
 				e.When.Format("15:04:05"), e.Duration.Round(time.Microsecond), e.Rows, e.Mode,
 				strings.Join(strings.Fields(e.SQL), " "))
+		}
+	case "\\timeout":
+		if len(fields) > 1 {
+			var ms int
+			if _, err := fmt.Sscanf(fields[1], "%d", &ms); err != nil || ms < 0 {
+				fmt.Println("usage: \\timeout [limit-ms]   (0 removes the limit)")
+				break
+			}
+			db.SetStatementTimeout(time.Duration(ms) * time.Millisecond)
+		}
+		if d := db.StatementTimeout(); d > 0 {
+			fmt.Printf("statement timeout: %v\n", d)
+		} else {
+			fmt.Println("statement timeout: none")
+		}
+	case "\\quarantine":
+		st := db.Module().Stats()
+		fmt.Printf("quarantined bees: %d now (%d total events)\n", st.QuarantinedNow, st.Quarantined)
+		if len(fields) > 1 && fields[1] == "clear" {
+			fmt.Printf("returned %d bees to service\n", db.Module().ClearQuarantine())
 		}
 	case "\\resetmetrics":
 		db.ResetMetrics()
@@ -255,7 +279,7 @@ func meta(db *engine.DB, cmd string) bool {
 			fmt.Println("no relation bee (stock engine)")
 		}
 	default:
-		fmt.Println("meta commands: \\bees \\cache \\source <rel> \\explain <select> \\metrics \\slow [ms] \\resetmetrics \\q")
+		fmt.Println("meta commands: \\bees \\cache \\source <rel> \\explain <select> \\metrics \\slow [ms] \\timeout [ms] \\quarantine [clear] \\resetmetrics \\q")
 	}
 	return true
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tpcc-bench [-w 1] [-txns 4000] [-rounds 3] [-workers 0] [-full]
+//	tpcc-bench [-w 1] [-txns 4000] [-rounds 3] [-workers 0] [-full] [-timeout 30s]
 package main
 
 import (
@@ -22,6 +22,7 @@ func main() {
 	rounds := flag.Int("rounds", 3, "timed rounds (interleaved between engines)")
 	workers := flag.Int("workers", 0, "intra-query parallelism degree (0 = GOMAXPROCS, 1 = serial)")
 	full := flag.Bool("full", false, "use the specification-sized population (default: laptop-scale)")
+	timeout := flag.Duration("timeout", 0, "statement timeout per query on both engines (0 = none), e.g. 30s")
 	flag.Parse()
 
 	o := harness.DefaultTPCCOptions()
@@ -30,6 +31,7 @@ func main() {
 	o.Rounds = *rounds
 	o.Small = !*full
 	o.Workers = *workers
+	o.StatementTimeout = *timeout
 	fmt.Printf("loading TPC-C (%d warehouse(s), small=%v) into stock and bee-enabled databases...\n",
 		o.Warehouses, o.Small)
 	res, err := harness.RunTPCC(o)

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	tpch-bench [-sf 0.01] [-runs 5] [-fig all|4|5|6|7|storage|scaling] [-q 1,6,9]
-//	           [-workers 0] [-scale-to 4] [-metrics out.json]
+//	           [-workers 0] [-scale-to 4] [-metrics out.json] [-timeout 30s]
 package main
 
 import (
@@ -35,12 +35,14 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-query parallelism degree for both engines (0 = GOMAXPROCS, 1 = serial)")
 	scaleTo := flag.Int("scale-to", 4, "highest worker degree for the scaling figure")
 	metricsOut := flag.String("metrics", "", "write both engines' MetricsSnapshot JSON to this file ('-' for stdout)")
+	timeout := flag.Duration("timeout", 0, "statement timeout per query on both engines (0 = none), e.g. 30s")
 	flag.Parse()
 
 	o := harness.DefaultOptions()
 	o.SF = *sf
 	o.Runs = *runs
 	o.Workers = *workers
+	o.StatementTimeout = *timeout
 	if *qlist != "" {
 		for _, part := range strings.Split(*qlist, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

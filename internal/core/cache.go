@@ -25,6 +25,9 @@ type CacheEntry struct {
 	Name   string
 	Bytes  int // size of the stored executable form
 	OnDisk bool
+	// Quarantined is set by Module.CacheEntries for bees currently out of
+	// service after a runtime panic.
+	Quarantined bool
 }
 
 // BeeCache stores every bee's executable form (here: its generated

@@ -79,6 +79,11 @@ type Stats struct {
 	EVPCalls     int64
 	EVJCalls     int64
 	EVACalls     int64
+	// Quarantined is the cumulative count of quarantine events (bees
+	// pulled from service after a panic); QuarantinedNow is how many are
+	// currently out of service.
+	Quarantined    int64
+	QuarantinedNow int
 }
 
 // callCounters holds the per-tuple invocation counts updated on hot
@@ -97,6 +102,8 @@ type Module struct {
 	place    *Placement
 	stats    Stats
 	calls    callCounters
+	quar     quarantine
+	inject   panicInjector
 }
 
 // NewModule returns a bee module with the given routine set.
@@ -311,6 +318,10 @@ func (m *Module) CompilePredicate(e expr.Expr) (CompiledPred, bool) {
 	if !enabled {
 		return nil, false
 	}
+	name := e.String()
+	if m.quar.has(beeKey{kind: "query/EVP", name: name}) {
+		return nil, false // quarantined after a panic: generic fallback
+	}
 	p, cost := compilePred(e)
 	if p == nil {
 		return nil, false
@@ -318,8 +329,9 @@ func (m *Module) CompilePredicate(e expr.Expr) (CompiledPred, bool) {
 	m.mu.Lock()
 	m.stats.QueryBees++
 	m.mu.Unlock()
-	m.cache.put(beeKey{kind: "query/EVP", name: e.String()}, "EVP "+e.String())
+	m.cache.put(beeKey{kind: "query/EVP", name: name}, "EVP "+name)
 	wrapped := func(row expr.Row, ctx *expr.Ctx) types.Datum {
+		m.maybePanic("query/EVP", name)
 		ctx.Prof.Add(profile.CompExpr, cost)
 		return p(row)
 	}
@@ -338,6 +350,10 @@ func (m *Module) CompileScalar(e expr.Expr) (CompiledPred, bool) {
 	if !enabled || e == nil {
 		return nil, false
 	}
+	name := e.String()
+	if m.quar.has(beeKey{kind: "query/EVA", name: name}) {
+		return nil, false
+	}
 	p, cost := compilePred(e)
 	if p == nil {
 		return nil, false
@@ -345,8 +361,9 @@ func (m *Module) CompileScalar(e expr.Expr) (CompiledPred, bool) {
 	m.mu.Lock()
 	m.stats.QueryBees++
 	m.mu.Unlock()
-	m.cache.put(beeKey{kind: "query/EVA", name: e.String()}, "EVA "+e.String())
+	m.cache.put(beeKey{kind: "query/EVA", name: name}, "EVA "+name)
 	wrapped := func(row expr.Row, ctx *expr.Ctx) types.Datum {
+		m.maybePanic("query/EVA", name)
 		ctx.Prof.Add(profile.CompExpr, cost)
 		return p(row)
 	}
@@ -395,11 +412,20 @@ func (m *Module) CompileJoinKeys(outerIdx, innerIdx []int, keyTypes []types.T) (
 	if !enabled || len(outerIdx) == 0 {
 		return nil, false
 	}
+	name := fmt.Sprintf("keys%v", outerIdx)
+	if m.quar.has(beeKey{kind: "query/EVJ", name: name}) {
+		return nil, false
+	}
 	jk := compileJoinKeys(outerIdx, innerIdx, keyTypes)
 	m.mu.Lock()
 	m.stats.QueryBees++
 	m.mu.Unlock()
-	m.cache.put(beeKey{kind: "query/EVJ", name: fmt.Sprintf("keys%v", outerIdx)}, "EVJ")
+	m.cache.put(beeKey{kind: "query/EVJ", name: name}, "EVJ")
+	inner := jk.Match
+	jk.Match = func(outer, innerRow expr.Row) bool {
+		m.maybePanic("query/EVJ", name)
+		return inner(outer, innerRow)
+	}
 	return jk, true
 }
 
@@ -432,6 +458,8 @@ func (m *Module) Stats() Stats {
 	s.EVPCalls = m.calls.evp.Load()
 	s.EVJCalls = m.calls.evj.Load()
 	s.EVACalls = m.calls.eva.Load()
+	s.Quarantined = m.QuarantinedBees()
+	s.QuarantinedNow = m.quar.size()
 	s.TupleBees = 0
 	for _, rb := range m.relBees {
 		if rb.DataSections != nil {

@@ -7,9 +7,12 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"microspec/internal/catalog"
@@ -40,6 +43,12 @@ type Config struct {
 	// of partition workers a Gather node runs concurrently. Zero means
 	// runtime.GOMAXPROCS(0); 1 disables parallel plans.
 	Workers int
+	// Disk overrides the page store. Nil means a plain disk.Manager with
+	// the Latency model; the chaos harness passes a *disk.Faulty here.
+	Disk disk.Device
+	// StatementTimeout bounds every query's execution; zero means no
+	// limit. Adjustable later with SetStatementTimeout.
+	StatementTimeout time.Duration
 }
 
 // DB is one database instance.
@@ -51,9 +60,13 @@ type DB struct {
 
 	cat     *catalog.Catalog
 	mod     *core.Module
-	dm      *disk.Manager
+	dm      disk.Device
 	pool    *buffer.Pool
 	planner *plan.Planner
+
+	// stmtTimeoutNs bounds query execution (0 = none); see
+	// SetStatementTimeout.
+	stmtTimeoutNs atomic.Int64
 
 	heaps   map[catalog.RelID]*heap.Heap
 	indexes map[string]*Index
@@ -91,7 +104,10 @@ func Open(cfg Config) *DB {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	dm := disk.NewManager(cfg.Latency)
+	dm := cfg.Disk
+	if dm == nil {
+		dm = disk.NewManager(cfg.Latency)
+	}
 	db := &DB{
 		cat:     catalog.New(),
 		mod:     core.NewModule(cfg.Routines),
@@ -104,6 +120,7 @@ func Open(cfg Config) *DB {
 		obs:     newObserver(),
 	}
 	db.obs.beeMode.Store(cfg.Routines != core.Stock)
+	db.stmtTimeoutNs.Store(int64(cfg.StatementTimeout))
 	db.registerCollectors()
 	db.planner = &plan.Planner{
 		Cat: db.cat,
@@ -146,8 +163,24 @@ func (db *DB) Module() *core.Module { return db.mod }
 // Catalog exposes the system catalog.
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
-// Disk exposes the simulated disk manager (for I/O stats and latency).
-func (db *DB) Disk() *disk.Manager { return db.dm }
+// Disk exposes the page store (for I/O stats and latency control). It is
+// a *disk.Manager unless Config.Disk supplied another Device.
+func (db *DB) Disk() disk.Device { return db.dm }
+
+// SetStatementTimeout bounds every subsequent query's execution time;
+// zero or negative disables the limit. A query past its deadline returns
+// context.DeadlineExceeded.
+func (db *DB) SetStatementTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	db.stmtTimeoutNs.Store(int64(d))
+}
+
+// StatementTimeout returns the current statement timeout (0 = none).
+func (db *DB) StatementTimeout() time.Duration {
+	return time.Duration(db.stmtTimeoutNs.Load())
+}
 
 // Pool exposes the buffer pool (for cold/warm cache control).
 func (db *DB) Pool() *buffer.Pool { return db.pool }
@@ -179,13 +212,21 @@ type Result struct {
 
 // Query parses, plans, and runs a SELECT.
 func (db *DB) Query(text string) (*Result, error) {
-	res, _, err := db.runSelect(text, nil, false)
+	res, _, err := db.runSelect(context.Background(), text, nil, false)
+	return res, err
+}
+
+// QueryContext runs a SELECT under ctx: cancelling ctx (or exceeding its
+// deadline, or the statement timeout) stops execution mid-scan —
+// including inside parallel Gather workers — and returns ctx.Err().
+func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
+	res, _, err := db.runSelect(ctx, text, nil, false)
 	return res, err
 }
 
 // QueryProfiled runs a SELECT charging abstract instructions to prof.
 func (db *DB) QueryProfiled(text string, prof *profile.Counters) (*Result, error) {
-	res, _, err := db.runSelect(text, prof, false)
+	res, _, err := db.runSelect(context.Background(), text, prof, false)
 	return res, err
 }
 
@@ -194,7 +235,7 @@ func (db *DB) QueryProfiled(text string, prof *profile.Counters) (*Result, error
 // actual rows, loops, and inclusive wall-clock time per node, with the
 // bee-routine markers intact — alongside the materialized result.
 func (db *DB) ExplainAnalyzeQuery(text string) (string, *Result, error) {
-	res, root, err := db.runSelect(text, nil, true)
+	res, root, err := db.runSelect(context.Background(), text, nil, true)
 	if err != nil {
 		return "", nil, err
 	}
@@ -204,24 +245,52 @@ func (db *DB) ExplainAnalyzeQuery(text string) (string, *Result, error) {
 // runSelect is the single SELECT execution path: parse, plan, optionally
 // instrument, execute, observe. Every public query entry point funnels
 // here so query-level metrics land in exactly one place.
-func (db *DB) runSelect(text string, prof *profile.Counters, analyze bool) (*Result, exec.Node, error) {
+//
+// Execution runs inside a panic-containment boundary. When a plan
+// panics, the recovered error quarantines every query bee the plan used
+// (the boundary cannot attribute the fault more precisely) and the query
+// transparently re-runs once: the replan's CompilePredicate/CompileScalar/
+// CompileJoinKeys calls find the bees quarantined and fall back to the
+// generic routines — the paper's bee-unavailable path, enforced at
+// runtime. The retry happens only when at least one bee was newly
+// quarantined, so a second panic cannot loop.
+func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counters, analyze bool) (*Result, exec.Node, error) {
 	start := time.Now()
+	if qctx == nil {
+		qctx = context.Background()
+	}
+	if d := db.StatementTimeout(); d > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(qctx, d)
+		defer cancel()
+	}
 	sel, err := sql.ParseSelect(text)
 	if err != nil {
 		return nil, nil, err
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	planned, err := db.planner.PlanSelect(sel)
-	if err != nil {
-		return nil, nil, err
+
+	var planned *plan.Planned
+	var root exec.Node
+	var rows []expr.Row
+	for attempt := 0; ; attempt++ {
+		planned, err = db.planner.PlanSelect(sel)
+		if err != nil {
+			return nil, nil, err
+		}
+		root = planned.Root
+		if analyze {
+			root = exec.Instrument(root)
+		}
+		rows, err = collectSafe(&exec.Ctx{Context: qctx, Expr: expr.Ctx{Prof: prof}}, root)
+		var pe *exec.PanicError
+		if attempt == 0 && errors.As(err, &pe) && db.quarantinePlanBees(root) > 0 {
+			db.obs.quarantineRetries.Inc()
+			continue
+		}
+		break
 	}
-	root := planned.Root
-	if analyze {
-		root = exec.Instrument(root)
-	}
-	ctx := &exec.Ctx{Expr: expr.Ctx{Prof: prof}}
-	rows, err := exec.Collect(ctx, root)
 	db.obs.observeQuery(text, time.Since(start), int64(len(rows)), err)
 	if err != nil {
 		return nil, nil, err
@@ -231,6 +300,43 @@ func (db *DB) runSelect(text string, prof *profile.Counters, analyze bool) (*Res
 		db.obs.foldNodeStats(root)
 	}
 	return &Result{Cols: planned.Cols, Rows: rows}, root, nil
+}
+
+// collectSafe is the query-goroutine containment boundary: a panic in
+// any serial plan node or bee closure becomes a *exec.PanicError.
+// (Worker-goroutine panics are contained inside Gather and arrive here
+// as ordinary errors.)
+func collectSafe(ctx *exec.Ctx, root exec.Node) (rows []expr.Row, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.NewPanicError(r)
+			// A panic that escaped a node's Open unwound before Collect
+			// registered its deferred Close, so open scans may still hold
+			// buffer pins; Close is idempotent, so closing again after a
+			// panic in Next is harmless.
+			closeQuiet(ctx, root)
+		}
+	}()
+	return exec.Collect(ctx, root)
+}
+
+// closeQuiet closes a plan tree, containing any secondary panic from
+// half-initialized nodes.
+func closeQuiet(ctx *exec.Ctx, root exec.Node) {
+	defer func() { _ = recover() }()
+	root.Close(ctx)
+}
+
+// quarantinePlanBees pulls every query bee of a panicked plan from
+// service and reports how many were newly quarantined.
+func (db *DB) quarantinePlanBees(root exec.Node) int {
+	n := 0
+	exec.WalkBees(root, func(b exec.BeeRef) {
+		if db.mod.Quarantine(b.Kind, b.Name) {
+			n++
+		}
+	})
+	return n
 }
 
 // ExplainQuery plans a SELECT and renders the plan outline, marking the
@@ -264,9 +370,22 @@ func (db *DB) Exec(text string) (int64, error) {
 // the single funnel for statement-level metrics.
 func (db *DB) ExecProfiled(text string, prof *profile.Counters) (int64, error) {
 	start := time.Now()
-	n, err := db.execStmt(text, prof)
+	n, err := db.execStmtSafe(text, prof)
 	db.obs.observeStmt(text, time.Since(start), n, err)
 	return n, err
+}
+
+// execStmtSafe is the DML/DDL containment boundary: a panic anywhere in
+// statement execution surfaces as a *exec.PanicError instead of taking
+// the process down. (DML bees — SCL — are not quarantined: specialized
+// storage has no generic form/deform fallback.)
+func (db *DB) execStmtSafe(text string, prof *profile.Counters) (n int64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.NewPanicError(r)
+		}
+	}()
+	return db.execStmt(text, prof)
 }
 
 func (db *DB) execStmt(text string, prof *profile.Counters) (int64, error) {

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -8,6 +10,7 @@ import (
 
 	"microspec/internal/exec"
 	"microspec/internal/metrics"
+	"microspec/internal/storage/disk"
 )
 
 // This file is the engine's observability layer: one metrics registry per
@@ -48,11 +51,18 @@ type observer struct {
 	rowsAffected *metrics.Counter
 	analyzed     *metrics.Counter
 	parallel     *metrics.Counter
-	latBee       *metrics.Histogram
-	latStock     *metrics.Histogram
-	latStmt      *metrics.Histogram
-	latParScan   *metrics.Histogram
-	latParAgg    *metrics.Histogram
+
+	// Fault-tolerance counters (see DESIGN.md §9).
+	queriesCancelled  *metrics.Counter
+	queriesTimedOut   *metrics.Counter
+	queryPanics       *metrics.Counter
+	quarantineRetries *metrics.Counter
+
+	latBee     *metrics.Histogram
+	latStock   *metrics.Histogram
+	latStmt    *metrics.Histogram
+	latParScan *metrics.Histogram
+	latParAgg  *metrics.Histogram
 
 	mu   sync.Mutex
 	ring [slowLogSize]SlowQuery
@@ -71,11 +81,17 @@ func newObserver() *observer {
 		rowsAffected: reg.Counter("stmt.rows_affected"),
 		analyzed:     reg.Counter("query.analyzed"),
 		parallel:     reg.Counter("parallel_queries"),
-		latBee:       reg.Histogram("query.latency.bee"),
-		latStock:     reg.Histogram("query.latency.stock"),
-		latStmt:      reg.Histogram("stmt.latency"),
-		latParScan:   reg.Histogram("parallel.worker.scan"),
-		latParAgg:    reg.Histogram("parallel.worker.agg"),
+
+		queriesCancelled:  reg.Counter("queries_cancelled"),
+		queriesTimedOut:   reg.Counter("queries_timed_out"),
+		queryPanics:       reg.Counter("query_panics"),
+		quarantineRetries: reg.Counter("quarantine_retries"),
+
+		latBee:     reg.Histogram("query.latency.bee"),
+		latStock:   reg.Histogram("query.latency.stock"),
+		latStmt:    reg.Histogram("stmt.latency"),
+		latParScan: reg.Histogram("parallel.worker.scan"),
+		latParAgg:  reg.Histogram("parallel.worker.agg"),
 	}
 	o.slowNs.Store(int64(DefaultSlowQueryThreshold))
 	return o
@@ -94,6 +110,17 @@ func (o *observer) observeQuery(sql string, d time.Duration, rows int64, err err
 	o.queries.Inc()
 	if err != nil {
 		o.queryErrors.Inc()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			o.queriesTimedOut.Inc()
+		case errors.Is(err, context.Canceled):
+			o.queriesCancelled.Inc()
+		default:
+			var pe *exec.PanicError
+			if errors.As(err, &pe) {
+				o.queryPanics.Inc()
+			}
+		}
 		return
 	}
 	o.rowsReturned.Add(rows)
@@ -233,6 +260,22 @@ func (db *DB) registerCollectors() {
 		s.SetCounter("disk.sim_io_ns", int64(simIO))
 		s.SetCounter("catalog.lookups", db.cat.Lookups())
 
+		// Fault tolerance: buffer-pool retry/corruption counters, and
+		// (when the page store is a fault-injecting wrapper) the
+		// injected-fault schedule counts.
+		readRetries, checksumFails, unpinErrs := db.pool.FaultStats()
+		s.SetCounter("disk_read_retries", readRetries)
+		s.SetCounter("checksum_failures", checksumFails)
+		s.SetCounter("buffer.unpin_errors", unpinErrs)
+		if fd, ok := db.dm.(*disk.Faulty); ok {
+			fs := fd.FaultStats()
+			s.SetCounter("disk_faults_injected", fs.Injected)
+			s.SetCounter("disk.faults.read_errs", fs.ReadErrs)
+			s.SetCounter("disk.faults.bit_flips", fs.BitFlips)
+			s.SetCounter("disk.faults.torn_writes", fs.TornWrites)
+			s.SetCounter("disk.faults.latency_spikes", fs.LatencySpikes)
+		}
+
 		// Heaps and indexes (under the engine lock: DDL mutates the maps).
 		db.mu.RLock()
 		var pages, live, inserts int64
@@ -268,6 +311,8 @@ func (db *DB) registerCollectors() {
 		s.SetCounter("bees.calls.evp", st.EVPCalls)
 		s.SetCounter("bees.calls.evj", st.EVJCalls)
 		s.SetCounter("bees.calls.eva", st.EVACalls)
+		s.SetCounter("bees_quarantined", st.Quarantined)
+		s.SetGauge("bees.quarantined_now", int64(st.QuarantinedNow))
 		s.SetCounter("bees.dict_probes", db.mod.TupleBeeProbes())
 		cs := db.mod.Cache().Stats()
 		s.SetGauge("beecache.mem_entries", int64(cs.MemEntries))

@@ -9,6 +9,8 @@
 package exec
 
 import (
+	"context"
+
 	"microspec/internal/expr"
 	"microspec/internal/profile"
 	"microspec/internal/types"
@@ -22,12 +24,39 @@ type ColInfo struct {
 
 // Ctx is the per-execution context threaded through every node.
 type Ctx struct {
+	// Context carries the query's cancellation/deadline signal; nil means
+	// not cancellable. Gather propagates it into every worker Ctx.
+	Context context.Context
+
 	// Expr carries the profiler and correlated-subquery outer rows.
 	Expr expr.Ctx
+
+	// cancelTick throttles Canceled's context polls (see cancelCheckMask).
+	cancelTick uint
 }
 
 // Prof returns the profiler (possibly nil).
 func (c *Ctx) Prof() *profile.Counters { return c.Expr.Prof }
+
+// cancelCheckMask throttles cancellation checks to one context poll per
+// 256 calls: a context load is cheap but not free, and Canceled sits on
+// per-tuple paths. At scan speed the added cancellation latency is
+// microseconds.
+const cancelCheckMask = 256 - 1
+
+// Canceled reports the query's cancellation error (context.Canceled or
+// context.DeadlineExceeded), polling the context once every 256 calls.
+// Per-tuple loops (scans, Collect) call it each iteration.
+func (c *Ctx) Canceled() error {
+	if c.Context == nil {
+		return nil
+	}
+	c.cancelTick++
+	if c.cancelTick&cancelCheckMask != 0 {
+		return nil
+	}
+	return c.Context.Err()
+}
 
 // Node is a plan operator. The iteration contract:
 //
@@ -85,11 +114,18 @@ func CloneDatum(d types.Datum) types.Datum {
 // a plan to completion.
 func Collect(ctx *Ctx, n Node) ([]expr.Row, error) {
 	if err := n.Open(ctx); err != nil {
+		// Close even though Open failed: a multi-child Open (join build,
+		// Gather) may have opened part of the subtree before the error,
+		// and open scans hold buffer pins. Close is idempotent.
+		n.Close(ctx)
 		return nil, err
 	}
 	defer n.Close(ctx)
 	var out []expr.Row
 	for {
+		if err := ctx.Canceled(); err != nil {
+			return nil, err
+		}
 		row, ok, err := n.Next(ctx)
 		if err != nil {
 			return nil, err

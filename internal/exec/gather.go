@@ -146,12 +146,12 @@ func (g *Gather) runPool(ctx *Ctx, work func(part int, wctx *Ctx) error) {
 		g.wg.Add(1)
 		go func(w int) {
 			defer g.wg.Done()
-			wctx := &Ctx{Expr: expr.Ctx{Prof: profs[w]}}
+			wctx := &Ctx{Context: ctx.Context, Expr: expr.Ctx{Prof: profs[w]}}
 			for part := range parts {
 				if g.loadErr() != nil {
 					continue // drain remaining parts after a failure
 				}
-				if err := work(part, wctx); err != nil {
+				if err := runPart(part, wctx, work); err != nil {
 					g.setErr(err)
 				}
 			}
@@ -165,6 +165,19 @@ func (g *Gather) runPool(ctx *Ctx, work func(part int, wctx *Ctx) error) {
 	for _, p := range profs {
 		ctx.Prof().Merge(p)
 	}
+}
+
+// runPart executes one partition with a panic-containment boundary: a
+// bee or executor panic on a worker goroutine would otherwise kill the
+// process (the query goroutine's recover cannot catch it), so it is
+// converted here into a *PanicError surfaced like any partition error.
+func runPart(part int, wctx *Ctx, work func(part int, wctx *Ctx) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = NewPanicError(r)
+		}
+	}()
+	return work(part, wctx)
 }
 
 // Open implements Node. In aggregation and merge modes all parallel work
@@ -212,6 +225,7 @@ func (g *Gather) openAgg(ctx *Ctx) error {
 		}
 		node := g.Parts[part]
 		if err := node.Open(wctx); err != nil {
+			node.Close(wctx) // release pins of a partially-opened subtree
 			return err
 		}
 		defer node.Close(wctx)
@@ -287,6 +301,7 @@ func (g *Gather) openMerge(ctx *Ctx) error {
 	g.runPool(ctx, func(part int, wctx *Ctx) error {
 		start := time.Now()
 		if err := g.Parts[part].Open(wctx); err != nil {
+			g.Parts[part].Close(wctx) // release pins of a partially-opened subtree
 			return err
 		}
 		g.opened[part] = true
@@ -324,6 +339,7 @@ func (g *Gather) openStream(ctx *Ctx) {
 			start := time.Now()
 			node := g.Parts[part]
 			if err := node.Open(wctx); err != nil {
+				node.Close(wctx) // release pins of a partially-opened subtree
 				return err
 			}
 			defer node.Close(wctx)

@@ -81,23 +81,9 @@ func (h *HashJoin) Open(ctx *Ctx) error {
 		h.keyTypes[i] = innerCols[k].T
 	}
 	h.table = make(map[uint64][]expr.Row)
-	if err := h.Inner.Open(ctx); err != nil {
+	if err := h.buildTable(ctx); err != nil {
 		return err
 	}
-	for {
-		row, ok, err := h.Inner.Next(ctx)
-		if err != nil {
-			h.Inner.Close(ctx)
-			return err
-		}
-		if !ok {
-			break
-		}
-		ctx.Prof().Add(profile.CompExec, profile.HashBuild)
-		key := h.hashInner(row, ctx)
-		h.table[key] = append(h.table[key], CloneRow(row))
-	}
-	h.Inner.Close(ctx)
 	h.outerRow = nil
 	h.matches = nil
 	h.matchPos = 0
@@ -105,6 +91,28 @@ func (h *HashJoin) Open(ctx *Ctx) error {
 		h.combined = make(expr.Row, len(h.Outer.Schema())+h.innerW)
 	}
 	return h.Outer.Open(ctx)
+}
+
+// buildTable drains the inner child into the hash table. The close is
+// deferred so the inner subtree (and any buffer pins its scans hold) is
+// released even when a bee panic unwinds through the drain loop.
+func (h *HashJoin) buildTable(ctx *Ctx) error {
+	if err := h.Inner.Open(ctx); err != nil {
+		return err
+	}
+	defer h.Inner.Close(ctx)
+	for {
+		row, ok, err := h.Inner.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		ctx.Prof().Add(profile.CompExec, profile.HashBuild)
+		key := h.hashInner(row, ctx)
+		h.table[key] = append(h.table[key], CloneRow(row))
+	}
 }
 
 func (h *HashJoin) hashInner(row expr.Row, ctx *Ctx) uint64 {

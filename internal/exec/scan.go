@@ -83,6 +83,11 @@ func (s *SeqScan) Open(ctx *Ctx) error {
 
 // Next implements Node.
 func (s *SeqScan) Next(ctx *Ctx) (expr.Row, bool, error) {
+	// The scan is the executor's innermost loop: checking here lets a
+	// cancelled query stop mid-partition, including inside Gather workers.
+	if err := ctx.Canceled(); err != nil {
+		return nil, false, err
+	}
 	_, tup, ok := s.scanner.Next()
 	if !ok {
 		return nil, false, s.scanner.Err()
@@ -165,6 +170,9 @@ func (s *IndexScan) Open(ctx *Ctx) error {
 
 // Next implements Node.
 func (s *IndexScan) Next(ctx *Ctx) (expr.Row, bool, error) {
+	if err := ctx.Canceled(); err != nil {
+		return nil, false, err
+	}
 	for s.pos < len(s.tids) {
 		tid := s.tids[s.pos]
 		s.pos++

@@ -1,0 +1,386 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/exec"
+	"microspec/internal/storage/buffer"
+	"microspec/internal/storage/disk"
+	"microspec/internal/tpcc"
+	"microspec/internal/tpch"
+	"microspec/internal/types"
+)
+
+// This file implements the chaos experiment (E11): the full TPC-H query
+// set and the five TPC-C transactions run on a bee-enabled database whose
+// page store injects faults from a seeded random schedule. The invariant
+// under test is the fault model of DESIGN.md §9 — under any schedule a
+// query either returns results identical to the fault-free baseline or
+// fails with a typed error; it never panics, hangs, or silently returns
+// wrong rows.
+
+// ChaosOptions configures a chaos run.
+type ChaosOptions struct {
+	// Seed drives the fault schedule, the bee-panic schedule, and the
+	// TPC-C transaction stream; the same seed replays the same run.
+	Seed int64
+	// SF is the TPC-H scale factor.
+	SF float64
+	// PoolPages sizes the buffer pool. Chaos wants a pool far smaller
+	// than the dataset so queries keep re-reading pages through the
+	// faulty device instead of hiding in cache.
+	PoolPages int
+	// Workers is the intra-query parallelism degree (0 = GOMAXPROCS).
+	Workers int
+	// Queries restricts the TPC-H portion (nil = all 22).
+	Queries []int
+	// Rounds is the number of fault-injected executions per query.
+	Rounds int
+	// Faults is the fault schedule; its Seed field is overridden with
+	// Seed. Zero probabilities mean disk faults are skipped.
+	Faults disk.FaultConfig
+	// BeePanics also injects bee panics on some rounds, exercising the
+	// quarantine fallback under disk faults.
+	BeePanics bool
+	// Timeout, when nonzero, is applied as the statement timeout during
+	// the fault-injected rounds, so deadline expiry joins the fault mix.
+	Timeout time.Duration
+	// TPCCWarehouses and TPCCTxns size the TPC-C portion; TPCCTxns = 0
+	// skips it.
+	TPCCWarehouses int
+	TPCCTxns       int
+}
+
+// DefaultChaosOptions returns the E11 recipe at laptop scale.
+func DefaultChaosOptions() ChaosOptions {
+	return ChaosOptions{
+		Seed:           42,
+		SF:             0.01,
+		PoolPages:      256,
+		Rounds:         2,
+		Faults:         disk.DefaultChaosFaults,
+		BeePanics:      true,
+		TPCCWarehouses: 1,
+		TPCCTxns:       2000,
+	}
+}
+
+// Chaos outcome classes. Everything except OutcomeMismatch and
+// OutcomeOther is acceptable behaviour under fault injection.
+const (
+	OutcomeMatch     = "match"       // rows equal the fault-free baseline
+	OutcomeTransient = "transient"   // typed: retries exhausted on transient faults
+	OutcomeCorrupt   = "corrupt"     // typed: checksum failure on a stored page
+	OutcomeTimeout   = "timeout"     // typed: statement deadline exceeded
+	OutcomeCancelled = "cancelled"   // typed: context cancelled
+	OutcomePanic     = "panic-error" // typed: contained panic surfaced as error
+	OutcomeMismatch  = "MISMATCH"    // BAD: rows differ from baseline
+	OutcomeOther     = "OTHER-ERROR" // BAD: untyped error leaked out
+)
+
+func classify(err error) string {
+	var pe *exec.PanicError
+	switch {
+	case err == nil:
+		return OutcomeMatch
+	case buffer.IsCorrupt(err):
+		return OutcomeCorrupt
+	case disk.IsTransient(err):
+		return OutcomeTransient
+	case errors.Is(err, context.DeadlineExceeded):
+		return OutcomeTimeout
+	case errors.Is(err, context.Canceled):
+		return OutcomeCancelled
+	case errors.As(err, &pe):
+		return OutcomePanic
+	default:
+		return OutcomeOther
+	}
+}
+
+// ChaosQueryResult tallies one query's rounds by outcome.
+type ChaosQueryResult struct {
+	Query    int
+	Outcomes map[string]int
+}
+
+// ChaosTPCCResult tallies the TPC-C portion.
+type ChaosTPCCResult struct {
+	Txns       int
+	Committed  int
+	RolledBack int
+	// Outcomes counts failed transactions by error class. TPC-C wraps
+	// some storage errors into business-level messages, so OTHER-ERROR
+	// here means "failed cleanly with a rolled-back transaction", not a
+	// broken invariant; the BAD signal for TPC-C is an escaped panic.
+	Outcomes map[string]int
+	Panics   int
+}
+
+// ChaosReport is one chaos run's full account.
+type ChaosReport struct {
+	Options    ChaosOptions
+	Queries    []ChaosQueryResult
+	TPCC       ChaosTPCCResult
+	FaultStats disk.FaultStats
+	// Quarantined is the cumulative bee-quarantine count over the run.
+	Quarantined int64
+}
+
+// Bad counts broken invariants: TPC-H mismatches or untyped errors, and
+// TPC-C panics. A clean chaos run has Bad() == 0.
+func (r ChaosReport) Bad() int {
+	n := 0
+	for _, q := range r.Queries {
+		n += q.Outcomes[OutcomeMismatch] + q.Outcomes[OutcomeOther]
+	}
+	return n + r.TPCC.Panics
+}
+
+// datumsMatch compares two result cells, tolerating float rounding (the
+// quarantine fallback re-runs aggregates on the generic path).
+func datumsMatch(a, b types.Datum) bool {
+	if a.IsNull() != b.IsNull() {
+		return false
+	}
+	if a.IsNull() {
+		return true
+	}
+	if a.Kind() == types.KindFloat64 && b.Kind() == types.KindFloat64 {
+		af, bf := a.Float64(), b.Float64()
+		diff := af - bf
+		if diff < 0 {
+			diff = -diff
+		}
+		scale := 1.0
+		if af > 1 || af < -1 {
+			scale = af
+			if scale < 0 {
+				scale = -scale
+			}
+		}
+		return diff/scale <= 1e-9
+	}
+	return a.Compare(b) == 0
+}
+
+func resultsMatch(a, b *engine.Result) bool {
+	if len(a.Rows) != len(b.Rows) {
+		return false
+	}
+	for i := range a.Rows {
+		if len(a.Rows[i]) != len(b.Rows[i]) {
+			return false
+		}
+		for j := range a.Rows[i] {
+			if !datumsMatch(a.Rows[i][j], b.Rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// runOneChaosQuery executes one fault-injected round, containing any
+// panic that would escape the engine (none should).
+func runOneChaosQuery(db *engine.DB, q string) (res *engine.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w", exec.NewPanicError(r))
+		}
+	}()
+	return db.Query(q)
+}
+
+// RunChaos executes the chaos experiment: load TPC-H with faults off,
+// record per-query fault-free baselines, then re-run every query Rounds
+// times with the seeded fault schedule enabled (plus optional bee panics
+// and a statement timeout) and classify each outcome. A TPC-C stream then
+// runs under the same schedule on its own database.
+func RunChaos(o ChaosOptions) (ChaosReport, error) {
+	if o.Rounds < 1 {
+		o.Rounds = 1
+	}
+	if o.PoolPages <= 0 {
+		o.PoolPages = 256
+	}
+	fc := o.Faults
+	fc.Seed = o.Seed
+	fd := disk.NewFaulty(disk.NewManager(disk.LatencyModel{}), fc)
+
+	db, err := tpch.NewDatabase(engine.Config{
+		Routines: core.AllRoutines, PoolPages: o.PoolPages,
+		Workers: o.Workers, Disk: fd,
+	}, o.SF)
+	if err != nil {
+		return ChaosReport{}, fmt.Errorf("chaos: tpch load: %w", err)
+	}
+
+	queries := tpch.Queries()
+	nums := o.Queries
+	if len(nums) == 0 {
+		nums = tpch.QueryNumbers()
+	}
+
+	// Fault-free baselines (faults start disabled).
+	baselines := make(map[int]*engine.Result, len(nums))
+	for _, qn := range nums {
+		base, err := db.Query(queries[qn])
+		if err != nil {
+			return ChaosReport{}, fmt.Errorf("chaos: q%d baseline: %w", qn, err)
+		}
+		baselines[qn] = base
+	}
+
+	report := ChaosReport{Options: o}
+	fd.SetEnabled(true)
+	if o.Timeout > 0 {
+		db.SetStatementTimeout(o.Timeout)
+	}
+	round := 0
+	for _, qn := range nums {
+		qr := ChaosQueryResult{Query: qn, Outcomes: map[string]int{}}
+		for r := 0; r < o.Rounds; r++ {
+			round++
+			// Cold-start each round so every page goes through the
+			// faulty device. DropCaches itself must survive faults.
+			if err := db.DropCaches(); err != nil && !disk.IsTransient(err) {
+				fd.SetEnabled(false)
+				return report, fmt.Errorf("chaos: drop caches: %w", err)
+			}
+			if o.BeePanics && round%3 == 0 {
+				db.Module().InjectBeePanic("", "")
+			}
+			res, err := runOneChaosQuery(db, queries[qn])
+			db.Module().ClearBeePanic()
+			// Return quarantined bees to service so later rounds
+			// exercise the specialized path again.
+			db.Module().ClearQuarantine()
+			out := classify(err)
+			if err == nil && !resultsMatch(baselines[qn], res) {
+				out = OutcomeMismatch
+			}
+			qr.Outcomes[out]++
+		}
+		report.Queries = append(report.Queries, qr)
+	}
+	fd.SetEnabled(false)
+	db.SetStatementTimeout(0)
+	report.FaultStats = fd.FaultStats()
+	report.Quarantined = db.Module().QuarantinedBees()
+
+	if o.TPCCTxns > 0 {
+		tp, err := runChaosTPCC(o)
+		if err != nil {
+			return report, err
+		}
+		report.TPCC = tp
+	}
+	return report, nil
+}
+
+// runChaosTPCC runs a seeded TPC-C stream over its own faulty device.
+// Failed transactions roll back and the stream continues; the invariant
+// is that no panic escapes and the driver keeps making progress.
+func runChaosTPCC(o ChaosOptions) (ChaosTPCCResult, error) {
+	fc := o.Faults
+	fc.Seed = o.Seed + 1
+	fd := disk.NewFaulty(disk.NewManager(disk.LatencyModel{}), fc)
+	if o.TPCCWarehouses < 1 {
+		o.TPCCWarehouses = 1
+	}
+	cfg := tpcc.SmallConfig(o.TPCCWarehouses)
+	db, err := tpcc.NewDatabase(engine.Config{
+		Routines: core.AllRoutines, PoolPages: o.PoolPages,
+		Workers: o.Workers, Disk: fd,
+	}, cfg)
+	if err != nil {
+		return ChaosTPCCResult{}, fmt.Errorf("chaos: tpcc load: %w", err)
+	}
+	drv, err := tpcc.NewDriver(db, cfg, tpcc.DefaultMix, o.Seed, nil)
+	if err != nil {
+		return ChaosTPCCResult{}, err
+	}
+	// Evict the loaded pages so transactions read through the faulty
+	// device from the first access.
+	if err := db.DropCaches(); err != nil {
+		return ChaosTPCCResult{}, err
+	}
+	res := ChaosTPCCResult{Txns: o.TPCCTxns, Outcomes: map[string]int{}}
+	fd.SetEnabled(true)
+	for i := 0; i < o.TPCCTxns; i++ {
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					res.Panics++
+					err = exec.NewPanicError(r)
+				}
+			}()
+			_, err = drv.RunOne()
+			return err
+		}()
+		switch {
+		case err == nil:
+			res.Committed++
+		case errors.Is(err, tpcc.ErrRollback):
+			res.RolledBack++
+		default:
+			res.Outcomes[classify(err)]++
+		}
+	}
+	fd.SetEnabled(false)
+	return res, nil
+}
+
+// Format renders the chaos report.
+func (r ChaosReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos run (E11): seed=%d sf=%g pool=%d rounds=%d faults={read-err %.3f, bit-flip %.3f, torn %.3f, spike %.3f}\n",
+		r.Options.Seed, r.Options.SF, r.Options.PoolPages, r.Options.Rounds,
+		r.Options.Faults.ReadErr, r.Options.Faults.BitFlip, r.Options.Faults.TornWrite, r.Options.Faults.LatencySpike)
+	fmt.Fprintf(&b, "%-6s %s\n", "query", "outcomes")
+	for _, q := range r.Queries {
+		keys := make([]string, 0, len(q.Outcomes))
+		for k := range q.Outcomes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s×%d", k, q.Outcomes[k]))
+		}
+		fmt.Fprintf(&b, "q%-5d %s\n", q.Query, strings.Join(parts, " "))
+	}
+	fs := r.FaultStats
+	fmt.Fprintf(&b, "faults injected: %d (read-errs %d, bit-flips %d, torn-writes %d, latency-spikes %d); bees quarantined: %d\n",
+		fs.Injected, fs.ReadErrs, fs.BitFlips, fs.TornWrites, fs.LatencySpikes, r.Quarantined)
+	if r.TPCC.Txns > 0 {
+		failed := 0
+		for _, n := range r.TPCC.Outcomes {
+			failed += n
+		}
+		fmt.Fprintf(&b, "tpcc: %d txns, %d committed, %d rolled back, %d failed, %d panics escaped\n",
+			r.TPCC.Txns, r.TPCC.Committed, r.TPCC.RolledBack, failed, r.TPCC.Panics)
+		keys := make([]string, 0, len(r.TPCC.Outcomes))
+		for k := range r.TPCC.Outcomes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s×%d\n", k, r.TPCC.Outcomes[k])
+		}
+	}
+	if bad := r.Bad(); bad > 0 {
+		fmt.Fprintf(&b, "RESULT: BAD — %d broken invariants\n", bad)
+	} else {
+		b.WriteString("RESULT: clean — every round matched the baseline or failed with a typed error\n")
+	}
+	return b.String()
+}

@@ -34,6 +34,8 @@ type Options struct {
 	// Workers is the intra-query parallelism degree for both engines
 	// (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// StatementTimeout bounds every query on both engines (0 = none).
+	StatementTimeout time.Duration
 }
 
 // DefaultOptions returns laptop-scale settings.
@@ -53,14 +55,14 @@ func (o Options) queries() []int {
 func BuildTPCHPair(o Options) (stock, bee *engine.DB, err error) {
 	stock, err = tpch.NewDatabase(engine.Config{
 		Routines: core.Stock, PoolPages: o.PoolPages, Latency: disk.DefaultColdLatency,
-		Workers: o.Workers,
+		Workers: o.Workers, StatementTimeout: o.StatementTimeout,
 	}, o.SF)
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: building stock DB: %w", err)
 	}
 	bee, err = tpch.NewDatabase(engine.Config{
 		Routines: core.AllRoutines, PoolPages: o.PoolPages, Latency: disk.DefaultColdLatency,
-		Workers: o.Workers,
+		Workers: o.Workers, StatementTimeout: o.StatementTimeout,
 	}, o.SF)
 	if err != nil {
 		return nil, nil, fmt.Errorf("harness: building bee DB: %w", err)

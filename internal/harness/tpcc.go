@@ -27,6 +27,8 @@ type TPCCOptions struct {
 	// transactions stay serial regardless; the option exists to verify
 	// that parallel scans do not hurt a modification-heavy mix.
 	Workers int
+	// StatementTimeout bounds every query on both engines (0 = none).
+	StatementTimeout time.Duration
 }
 
 // DefaultTPCCOptions returns laptop-scale settings.
@@ -72,7 +74,7 @@ func RunTPCC(o TPCCOptions) ([]TPCCScenario, error) {
 		sc := &scenarios[i]
 		var drivers [2]*tpcc.Driver
 		for j, routines := range []core.RoutineSet{core.Stock, core.AllRoutines} {
-			db, err := tpcc.NewDatabase(engine.Config{Routines: routines, PoolPages: o.PoolPages, Workers: o.Workers}, cfg)
+			db, err := tpcc.NewDatabase(engine.Config{Routines: routines, PoolPages: o.PoolPages, Workers: o.Workers, StatementTimeout: o.StatementTimeout}, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("harness: tpcc load: %w", err)
 			}

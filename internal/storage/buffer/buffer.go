@@ -3,13 +3,23 @@
 // rely on: a warm run pre-faults every page ("keeping the data in memory
 // effectively eliminated the disk I/O requests"); a cold run starts from
 // an empty pool so every first touch pays the simulated disk latency.
+//
+// The pool is also the storage layer's integrity boundary: every page it
+// writes back is stamped with a checksum (see internal/storage/page) and
+// every page it reads from disk is verified. Transient read faults and
+// transient corruption (a bit flip in the returned copy) are retried with
+// bounded backoff; persistent corruption (a torn write) surfaces as a
+// typed *CorruptPageError — never silent garbage.
 package buffer
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"microspec/internal/storage/disk"
+	"microspec/internal/storage/page"
 )
 
 type pageKey struct {
@@ -26,22 +36,60 @@ type frame struct {
 	valid bool
 }
 
+// Read-retry policy: a transient disk error or a failed checksum is
+// retried up to maxReadRetries times with doubling backoff starting at
+// retryBackoff. The worst-case stall per read is well under a
+// millisecond, matching the simulated-disk scale.
+const (
+	maxReadRetries = 3
+	retryBackoff   = 50 * time.Microsecond
+)
+
+// ErrCorrupt is the match target for persistent page corruption:
+// errors.Is(err, buffer.ErrCorrupt).
+var ErrCorrupt = errors.New("corrupt page")
+
+// CorruptPageError reports a page whose checksum failed on every read
+// attempt — persistent corruption such as a torn write.
+type CorruptPageError struct {
+	File           disk.FileID
+	Page           int
+	Stored, Actual uint16
+}
+
+// Error implements error.
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("buffer: corrupt page %d/%d: checksum stored=%#04x computed=%#04x",
+		e.File, e.Page, e.Stored, e.Actual)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) match.
+func (e *CorruptPageError) Is(target error) bool { return target == ErrCorrupt }
+
+// IsCorrupt reports whether err is a page-corruption error.
+func IsCorrupt(err error) bool { return errors.Is(err, ErrCorrupt) }
+
 // Pool is a fixed-capacity page cache. All methods are safe for
 // concurrent use. Page contents are handed out as aliases of the frame
 // buffer; callers must hold the pin while reading or writing them.
 type Pool struct {
 	mu       sync.Mutex
-	disk     *disk.Manager
+	disk     disk.Device
 	frames   []frame
 	table    map[pageKey]int
 	hand     int
 	hits     int64
 	misses   int64
 	writeOut int64
+
+	// Fault-tolerance counters (see FaultStats).
+	readRetries   int64
+	checksumFails int64
+	unpinErrors   int64
 }
 
 // New returns a pool with capacity pages backed by d.
-func New(d *disk.Manager, capacity int) *Pool {
+func New(d disk.Device, capacity int) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -60,6 +108,41 @@ type Handle struct {
 	pool  *Pool
 	idx   int
 	Bytes []byte
+}
+
+// readVerified reads a page from disk into buf, verifying its checksum.
+// Transient faults (injected read errors, bit flips in the returned copy)
+// are retried with bounded backoff; a checksum that fails on every
+// attempt is persistent corruption and returns *CorruptPageError.
+// Called with p.mu held; the backoff sleeps are bounded (< 400µs total).
+func (p *Pool) readVerified(key pageKey, buf []byte) error {
+	var corrupt *CorruptPageError
+	var lastErr error
+	for attempt := 0; attempt <= maxReadRetries; attempt++ {
+		if attempt > 0 {
+			p.readRetries++
+			time.Sleep(retryBackoff << (attempt - 1))
+		}
+		if err := p.disk.ReadPage(key.file, key.page, buf); err != nil {
+			if disk.IsTransient(err) {
+				lastErr = err
+				continue
+			}
+			return err
+		}
+		stored, computed, ok := page.VerifyChecksum(page.Page(buf))
+		if ok {
+			return nil
+		}
+		p.checksumFails++
+		corrupt = &CorruptPageError{File: key.file, Page: key.page, Stored: stored, Actual: computed}
+		lastErr = corrupt
+	}
+	if corrupt != nil && corrupt == lastErr {
+		return corrupt
+	}
+	return fmt.Errorf("buffer: page %d/%d unreadable after %d retries: %w",
+		key.file, key.page, maxReadRetries, lastErr)
 }
 
 // Get pins the page, reading it from disk on a miss. The returned handle's
@@ -83,7 +166,7 @@ func (p *Pool) Get(file disk.FileID, pageNo int) (*Handle, error) {
 	if f.buf == nil {
 		f.buf = make([]byte, disk.PageSize)
 	}
-	if err := p.disk.ReadPage(file, pageNo, f.buf); err != nil {
+	if err := p.readVerified(key, f.buf); err != nil {
 		f.valid = false
 		return nil, err
 	}
@@ -127,6 +210,16 @@ func (p *Pool) GetNew(file disk.FileID, pageNo int) (*Handle, error) {
 	return &Handle{pool: p, idx: idx, Bytes: f.buf}, nil
 }
 
+// flushLocked stamps the frame's checksum and writes it back.
+func (p *Pool) flushLocked(f *frame) error {
+	page.StampChecksum(page.Page(f.buf))
+	if err := p.disk.WritePage(f.key.file, f.key.page, f.buf); err != nil {
+		return err
+	}
+	p.writeOut++
+	return nil
+}
+
 // evictLocked finds a free or evictable frame, flushing it if dirty.
 func (p *Pool) evictLocked() (int, error) {
 	n := len(p.frames)
@@ -145,10 +238,9 @@ func (p *Pool) evictLocked() (int, error) {
 			continue
 		}
 		if f.dirty {
-			if err := p.disk.WritePage(f.key.file, f.key.page, f.buf); err != nil {
+			if err := p.flushLocked(f); err != nil {
 				return 0, err
 			}
-			p.writeOut++
 		}
 		delete(p.table, f.key)
 		f.valid = false
@@ -157,19 +249,24 @@ func (p *Pool) evictLocked() (int, error) {
 	return 0, fmt.Errorf("buffer: all %d frames pinned", n)
 }
 
-// Unpin releases the pin; dirty records that the caller modified the page.
-func (h *Handle) Unpin(dirty bool) {
+// Unpin releases the pin; dirty records that the caller modified the
+// page. Unpinning an unpinned page is a caller bug reported as an error
+// (the pool also counts it), consistent with the engine's
+// panic-containment policy of never taking the process down.
+func (h *Handle) Unpin(dirty bool) error {
 	p := h.pool
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	f := &p.frames[h.idx]
-	if f.pins <= 0 {
-		panic("buffer: unpin of unpinned page")
+	if f.pins <= 0 || !f.valid {
+		p.unpinErrors++
+		return fmt.Errorf("buffer: unpin of unpinned page %d/%d", f.key.file, f.key.page)
 	}
 	f.pins--
 	if dirty {
 		f.dirty = true
 	}
+	return nil
 }
 
 // FlushAll writes every dirty page back to disk (checkpoint).
@@ -179,11 +276,10 @@ func (p *Pool) FlushAll() error {
 	for i := range p.frames {
 		f := &p.frames[i]
 		if f.valid && f.dirty {
-			if err := p.disk.WritePage(f.key.file, f.key.page, f.buf); err != nil {
+			if err := p.flushLocked(f); err != nil {
 				return err
 			}
 			f.dirty = false
-			p.writeOut++
 		}
 	}
 	return nil
@@ -216,11 +312,21 @@ func (p *Pool) Stats() (hits, misses, writeOut int64) {
 	return p.hits, p.misses, p.writeOut
 }
 
+// FaultStats returns the fault-tolerance counters: read retries (after
+// transient faults or checksum failures), checksum verification
+// failures, and unpin-of-unpinned errors.
+func (p *Pool) FaultStats() (readRetries, checksumFails, unpinErrors int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readRetries, p.checksumFails, p.unpinErrors
+}
+
 // ResetStats zeroes the counters.
 func (p *Pool) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.hits, p.misses, p.writeOut = 0, 0, 0
+	p.readRetries, p.checksumFails, p.unpinErrors = 0, 0, 0
 }
 
 // Capacity returns the number of frames.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"microspec/internal/storage/disk"
+	"microspec/internal/storage/page"
 )
 
 func setup(t *testing.T, capacity, pages int) (*disk.Manager, *Pool, disk.FileID) {
@@ -14,6 +15,7 @@ func setup(t *testing.T, capacity, pages int) (*disk.Manager, *Pool, disk.FileID
 	for i := 0; i < pages; i++ {
 		m.ExtendFile(f)
 		buf[0] = byte(i + 1) // tag each page
+		page.StampChecksum(page.Page(buf))
 		if err := m.WritePage(f, i, buf); err != nil {
 			t.Fatal(err)
 		}
@@ -124,14 +126,16 @@ func TestDropCache(t *testing.T) {
 	h3.Unpin(false)
 }
 
-func TestUnpinPanicsWhenUnpinned(t *testing.T) {
+func TestDoubleUnpinReturnsError(t *testing.T) {
 	_, p, f := setup(t, 2, 1)
 	h, _ := p.Get(f, 0)
-	h.Unpin(false)
-	defer func() {
-		if recover() == nil {
-			t.Error("double unpin must panic")
-		}
-	}()
-	h.Unpin(false)
+	if err := h.Unpin(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Unpin(false); err == nil {
+		t.Error("double unpin must return an error")
+	}
+	if _, _, unpinErrs := p.FaultStats(); unpinErrs != 1 {
+		t.Errorf("unpinErrors = %d, want 1", unpinErrs)
+	}
 }

@@ -1,0 +1,140 @@
+package buffer
+
+import (
+	"errors"
+	"testing"
+
+	"microspec/internal/storage/disk"
+	"microspec/internal/storage/page"
+)
+
+// faultySetup builds a Faulty-wrapped disk with `pages` checksummed pages
+// and a pool on top. Faults start disabled.
+func faultySetup(t *testing.T, capacity, pages int) (*disk.Manager, *disk.Faulty, *Pool, disk.FileID) {
+	t.Helper()
+	m := disk.NewManager(disk.LatencyModel{})
+	fd := disk.NewFaulty(m, disk.FaultConfig{Seed: 7})
+	f := fd.CreateFile()
+	buf := make([]byte, disk.PageSize)
+	for i := 0; i < pages; i++ {
+		if _, err := fd.ExtendFile(f); err != nil {
+			t.Fatal(err)
+		}
+		page.Init(page.Page(buf))
+		if _, ok := page.AddTuple(page.Page(buf), []byte{byte(i + 1)}); !ok {
+			t.Fatal("AddTuple failed")
+		}
+		page.StampChecksum(page.Page(buf))
+		if err := fd.WritePage(f, i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, fd, New(fd, capacity), f
+}
+
+func TestReadRetriesTransientFault(t *testing.T) {
+	_, fd, p, f := faultySetup(t, 4, 1)
+	fd.SetEnabled(true)
+	fd.FailNextReads(2) // fewer than maxReadRetries
+	h, err := p.Get(f, 0)
+	if err != nil {
+		t.Fatalf("Get after transient faults: %v", err)
+	}
+	if err := h.Unpin(false); err != nil {
+		t.Fatal(err)
+	}
+	retries, checksum, _ := p.FaultStats()
+	if retries != 2 {
+		t.Errorf("readRetries = %d, want 2", retries)
+	}
+	if checksum != 0 {
+		t.Errorf("checksumFails = %d, want 0", checksum)
+	}
+}
+
+func TestReadExhaustsRetries(t *testing.T) {
+	_, fd, p, f := faultySetup(t, 4, 1)
+	fd.SetEnabled(true)
+	fd.FailNextReads(100) // more than maxReadRetries
+	_, err := p.Get(f, 0)
+	if err == nil {
+		t.Fatal("Get must fail when every retry faults")
+	}
+	if !disk.IsTransient(err) {
+		t.Errorf("exhausted-retry error should wrap the transient fault: %v", err)
+	}
+}
+
+func TestBitFlipRetriedCleanly(t *testing.T) {
+	_, fd, p, f := faultySetup(t, 4, 1)
+	fd.SetEnabled(true)
+	fd.SetConfig(disk.FaultConfig{BitFlip: 1.0})
+	// Every read's copy is corrupted; the checksum rejects each attempt.
+	_, err := p.Get(f, 0)
+	if err == nil {
+		t.Fatal("Get with permanent bit flips must fail")
+	}
+	if !IsCorrupt(err) {
+		t.Errorf("err = %v, want corrupt-page error", err)
+	}
+	// With the flip disarmed, a retry inside one Get clears a single flip:
+	// simulate by disabling faults and re-reading.
+	fd.SetEnabled(false)
+	h, err := p.Get(f, 0)
+	if err != nil {
+		t.Fatalf("clean re-read failed: %v", err)
+	}
+	if err := h.Unpin(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistentCorruptionIsTypedError(t *testing.T) {
+	m, _, p, f := faultySetup(t, 4, 1)
+	// Corrupt the stored page body directly (as a torn write would).
+	if err := m.CorruptPage(f, 0, 100, 0x55); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Get(f, 0)
+	if err == nil {
+		t.Fatal("read of corrupt page must fail")
+	}
+	var cpe *CorruptPageError
+	if !errors.As(err, &cpe) {
+		t.Fatalf("err = %T %v, want *CorruptPageError", err, err)
+	}
+	if !errors.Is(err, ErrCorrupt) || !IsCorrupt(err) {
+		t.Error("corrupt-page error must match ErrCorrupt")
+	}
+	if cpe.File != f || cpe.Page != 0 {
+		t.Errorf("error names page %d/%d, want %d/0", cpe.File, cpe.Page, f)
+	}
+	_, checksumFails, _ := p.FaultStats()
+	if checksumFails == 0 {
+		t.Error("checksumFails counter not incremented")
+	}
+}
+
+func TestFlushStampsChecksum(t *testing.T) {
+	m, _, p, f := faultySetup(t, 2, 1)
+	h, err := p.Get(f, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := page.AddTuple(page.Page(h.Bytes), []byte("dirty")); !ok {
+		t.Fatal("AddTuple failed")
+	}
+	if err := h.Unpin(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, disk.PageSize)
+	if err := m.ReadPage(f, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if stored, computed, ok := page.VerifyChecksum(page.Page(buf)); !ok {
+		t.Errorf("flushed page fails verify: stored=%#04x computed=%#04x", stored, computed)
+	}
+}

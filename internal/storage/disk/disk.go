@@ -19,6 +19,22 @@ const PageSize = 8192
 // FileID names one relation's page file within a Manager.
 type FileID uint32
 
+// Device is the page-store interface the buffer pool and heaps sit on.
+// Manager is the plain implementation; Faulty wraps any Device with
+// fault injection (see faults.go). Implementations must be safe for
+// concurrent use.
+type Device interface {
+	CreateFile() FileID
+	DropFile(id FileID)
+	NumPages(id FileID) (int, error)
+	ExtendFile(id FileID) (int, error)
+	ReadPage(id FileID, pageNo int, dst []byte) error
+	WritePage(id FileID, pageNo int, src []byte) error
+	SetLatency(lat LatencyModel)
+	Stats() (reads, writes int64, simIO time.Duration)
+	ResetStats()
+}
+
 // LatencyModel charges simulated time per page transferred. Zero values
 // disable the charge (the warm-cache configuration).
 type LatencyModel struct {
@@ -132,6 +148,26 @@ func (m *Manager) WritePage(id FileID, pageNo int, src []byte) error {
 	copy(f.pages[pageNo], src)
 	m.writes++
 	m.simIO += m.latency.WritePerPage
+	return nil
+}
+
+// CorruptPage flips bits in the stored copy of a page by XOR-ing xor into
+// the byte at off — the chaos/test hook for simulating at-rest corruption
+// without going through the I/O accounting.
+func (m *Manager) CorruptPage(id FileID, pageNo, off int, xor byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[id]
+	if !ok {
+		return fmt.Errorf("disk: no such file %d", id)
+	}
+	if pageNo < 0 || pageNo >= len(f.pages) {
+		return fmt.Errorf("disk: file %d has no page %d", id, pageNo)
+	}
+	if off < 0 || off >= PageSize {
+		return fmt.Errorf("disk: offset %d outside page", off)
+	}
+	f.pages[pageNo][off] ^= xor
 	return nil
 }
 

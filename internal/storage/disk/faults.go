@@ -1,0 +1,246 @@
+package disk
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file implements fault injection beneath the buffer pool: Faulty
+// wraps any Device and perturbs its reads and writes according to a
+// seeded schedule. The failpoints model the disk failures real DBMSes
+// harden against:
+//
+//   - transient read errors: ReadPage fails with a retryable error
+//     (IsTransient reports true); the buffer pool retries with backoff;
+//   - bit flips: the copy returned by ReadPage has one bit flipped while
+//     the stored page stays intact — the page checksum catches it and a
+//     re-read succeeds (transient corruption);
+//   - torn writes: WritePage persists only the first half of the page and
+//     reports success — the stored page is corrupt until rewritten, so
+//     later reads fail their checksum persistently;
+//   - latency spikes: a read occasionally charges extra simulated I/O
+//     time, surfaced through Stats like the ordinary latency model.
+//
+// Injection draws from one seeded PRNG, so a fixed seed yields a
+// reproducible fault schedule on a serial workload (concurrent workers
+// interleave draws nondeterministically; the chaos harness asserts
+// schedule-independent invariants, not exact fault placement).
+
+// ErrTransient marks an injected fault that a bounded retry is expected
+// to clear. Match with errors.Is or IsTransient.
+var ErrTransient = errors.New("transient I/O fault")
+
+// IsTransient reports whether err is a retryable injected fault.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// FaultConfig sets the per-operation probabilities of each failpoint
+// (all in [0,1]) and the seed of the schedule.
+type FaultConfig struct {
+	Seed int64
+	// ReadErr is the probability a ReadPage fails transiently.
+	ReadErr float64
+	// BitFlip is the probability a ReadPage's returned copy has one bit
+	// flipped (the stored page is untouched).
+	BitFlip float64
+	// TornWrite is the probability a WritePage persists only the first
+	// half of the page yet reports success.
+	TornWrite float64
+	// LatencySpike is the probability a ReadPage charges Spike extra
+	// simulated I/O time.
+	LatencySpike float64
+	// Spike is the extra simulated latency per spike (default 2ms).
+	Spike time.Duration
+}
+
+// DefaultChaosFaults is the chaos harness's standard schedule: frequent
+// transient faults, rare persistent ones.
+var DefaultChaosFaults = FaultConfig{
+	ReadErr:      0.02,
+	BitFlip:      0.01,
+	TornWrite:    0.002,
+	LatencySpike: 0.01,
+	Spike:        2 * time.Millisecond,
+}
+
+// FaultStats counts injected faults by kind.
+type FaultStats struct {
+	Injected      int64         `json:"injected"`
+	ReadErrs      int64         `json:"read_errs"`
+	BitFlips      int64         `json:"bit_flips"`
+	TornWrites    int64         `json:"torn_writes"`
+	LatencySpikes int64         `json:"latency_spikes"`
+	SpikeTime     time.Duration `json:"spike_time_ns"`
+}
+
+// Faulty is a fault-injecting Device wrapper. Faults are injected only
+// while enabled, so data can be loaded cleanly and the failpoints armed
+// afterwards.
+type Faulty struct {
+	inner Device
+
+	mu        sync.Mutex
+	cfg       FaultConfig
+	rng       *rand.Rand
+	enabled   bool
+	failReads int // deterministic failpoint: next n reads fail transiently
+	stats     FaultStats
+}
+
+// NewFaulty wraps inner with the given fault schedule, initially
+// disabled.
+func NewFaulty(inner Device, cfg FaultConfig) *Faulty {
+	if cfg.Spike <= 0 {
+		cfg.Spike = 2 * time.Millisecond
+	}
+	return &Faulty{inner: inner, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Inner returns the wrapped device.
+func (f *Faulty) Inner() Device { return f.inner }
+
+// SetConfig swaps the fault schedule. The PRNG is not reseeded, so the
+// schedule continues from the current draw position.
+func (f *Faulty) SetConfig(cfg FaultConfig) {
+	if cfg.Spike <= 0 {
+		cfg.Spike = 2 * time.Millisecond
+	}
+	f.mu.Lock()
+	f.cfg = cfg
+	f.mu.Unlock()
+}
+
+// SetEnabled arms or disarms every failpoint.
+func (f *Faulty) SetEnabled(on bool) {
+	f.mu.Lock()
+	f.enabled = on
+	f.mu.Unlock()
+}
+
+// Enabled reports whether faults are being injected.
+func (f *Faulty) Enabled() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.enabled
+}
+
+// FailNextReads arms a deterministic failpoint: the next n reads fail
+// transiently regardless of probabilities (tests of the retry path).
+func (f *Faulty) FailNextReads(n int) {
+	f.mu.Lock()
+	f.failReads = n
+	f.mu.Unlock()
+}
+
+// FaultStats returns cumulative injected-fault counts.
+func (f *Faulty) FaultStats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// CreateFile implements Device.
+func (f *Faulty) CreateFile() FileID { return f.inner.CreateFile() }
+
+// DropFile implements Device.
+func (f *Faulty) DropFile(id FileID) { f.inner.DropFile(id) }
+
+// NumPages implements Device.
+func (f *Faulty) NumPages(id FileID) (int, error) { return f.inner.NumPages(id) }
+
+// ExtendFile implements Device.
+func (f *Faulty) ExtendFile(id FileID) (int, error) { return f.inner.ExtendFile(id) }
+
+// SetLatency implements Device.
+func (f *Faulty) SetLatency(lat LatencyModel) { f.inner.SetLatency(lat) }
+
+// Stats implements Device; injected latency spikes are folded into the
+// simulated I/O time.
+func (f *Faulty) Stats() (reads, writes int64, simIO time.Duration) {
+	reads, writes, simIO = f.inner.Stats()
+	f.mu.Lock()
+	simIO += f.stats.SpikeTime
+	f.mu.Unlock()
+	return reads, writes, simIO
+}
+
+// ResetStats implements Device. Fault counts are kept (they describe the
+// schedule, not the workload phase); spike time is folded into simIO and
+// resets with it.
+func (f *Faulty) ResetStats() {
+	f.inner.ResetStats()
+	f.mu.Lock()
+	f.stats.SpikeTime = 0
+	f.mu.Unlock()
+}
+
+// readFault draws this read's faults: a transient error, or a bit-flip
+// position (-1 = none) plus any latency spike.
+func (f *Faulty) readFault() (fail bool, flipByte int, flipBit byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	flipByte = -1
+	if !f.enabled {
+		return false, -1, 0
+	}
+	if f.failReads > 0 {
+		f.failReads--
+		f.stats.Injected++
+		f.stats.ReadErrs++
+		return true, -1, 0
+	}
+	if f.cfg.ReadErr > 0 && f.rng.Float64() < f.cfg.ReadErr {
+		f.stats.Injected++
+		f.stats.ReadErrs++
+		return true, -1, 0
+	}
+	if f.cfg.LatencySpike > 0 && f.rng.Float64() < f.cfg.LatencySpike {
+		f.stats.Injected++
+		f.stats.LatencySpikes++
+		f.stats.SpikeTime += f.cfg.Spike
+	}
+	if f.cfg.BitFlip > 0 && f.rng.Float64() < f.cfg.BitFlip {
+		f.stats.Injected++
+		f.stats.BitFlips++
+		return false, f.rng.Intn(PageSize), 1 << f.rng.Intn(8)
+	}
+	return false, -1, 0
+}
+
+// ReadPage implements Device with the read failpoints applied.
+func (f *Faulty) ReadPage(id FileID, pageNo int, dst []byte) error {
+	fail, flipByte, flipBit := f.readFault()
+	if fail {
+		return fmt.Errorf("disk: read of page %d/%d: %w (injected)", id, pageNo, ErrTransient)
+	}
+	if err := f.inner.ReadPage(id, pageNo, dst); err != nil {
+		return err
+	}
+	if flipByte >= 0 && flipByte < len(dst) {
+		dst[flipByte] ^= flipBit
+	}
+	return nil
+}
+
+// WritePage implements Device with the torn-write failpoint applied: a
+// torn write persists the first half of the page, zeroes the rest, and
+// reports success — exactly the silent corruption page checksums exist
+// to catch.
+func (f *Faulty) WritePage(id FileID, pageNo int, src []byte) error {
+	torn := false
+	f.mu.Lock()
+	if f.enabled && f.cfg.TornWrite > 0 && f.rng.Float64() < f.cfg.TornWrite {
+		torn = true
+		f.stats.Injected++
+		f.stats.TornWrites++
+	}
+	f.mu.Unlock()
+	if torn {
+		half := make([]byte, PageSize)
+		copy(half, src[:PageSize/2])
+		return f.inner.WritePage(id, pageNo, half)
+	}
+	return f.inner.WritePage(id, pageNo, src)
+}

@@ -1,0 +1,138 @@
+package disk
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func newFaultyFile(t *testing.T) (*Faulty, FileID, []byte) {
+	t.Helper()
+	m := NewManager(LatencyModel{})
+	fd := NewFaulty(m, FaultConfig{Seed: 1})
+	id := fd.CreateFile()
+	if _, err := fd.ExtendFile(id); err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, PageSize)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	if err := fd.WritePage(id, 0, src); err != nil {
+		t.Fatal(err)
+	}
+	return fd, id, src
+}
+
+func TestFaultyDisabledIsTransparent(t *testing.T) {
+	fd, id, src := newFaultyFile(t)
+	dst := make([]byte, PageSize)
+	if err := fd.ReadPage(id, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Error("disabled Faulty altered page content")
+	}
+	if s := fd.FaultStats(); s.Injected != 0 {
+		t.Errorf("disabled Faulty injected %d faults", s.Injected)
+	}
+}
+
+func TestFailNextReads(t *testing.T) {
+	fd, id, _ := newFaultyFile(t)
+	fd.SetEnabled(true)
+	fd.FailNextReads(2)
+	dst := make([]byte, PageSize)
+	for i := 0; i < 2; i++ {
+		err := fd.ReadPage(id, 0, dst)
+		if !IsTransient(err) {
+			t.Fatalf("read %d: err=%v, want transient", i, err)
+		}
+	}
+	if err := fd.ReadPage(id, 0, dst); err != nil {
+		t.Fatalf("read after failpoint drained: %v", err)
+	}
+	if s := fd.FaultStats(); s.ReadErrs != 2 {
+		t.Errorf("ReadErrs = %d, want 2", s.ReadErrs)
+	}
+}
+
+func TestBitFlipOnlyCorruptsCopy(t *testing.T) {
+	fd, id, src := newFaultyFile(t)
+	fd.SetEnabled(true)
+	// Force a bit flip on (nearly) every read; no other failpoints.
+	fd.SetConfig(FaultConfig{BitFlip: 1.0})
+	dst := make([]byte, PageSize)
+	if err := fd.ReadPage(id, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(dst, src) {
+		t.Fatal("bit flip did not alter the returned copy")
+	}
+	// The stored page is intact: a clean re-read matches.
+	fd.SetEnabled(false)
+	if err := fd.ReadPage(id, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Error("bit flip corrupted the stored page")
+	}
+}
+
+func TestTornWriteCorruptsStoredPage(t *testing.T) {
+	fd, id, src := newFaultyFile(t)
+	fd.SetEnabled(true)
+	fd.SetConfig(FaultConfig{TornWrite: 1.0})
+	if err := fd.WritePage(id, 0, src); err != nil {
+		t.Fatalf("torn write must report success, got %v", err)
+	}
+	fd.SetEnabled(false)
+	dst := make([]byte, PageSize)
+	if err := fd.ReadPage(id, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst[:PageSize/2], src[:PageSize/2]) {
+		t.Error("torn write lost the first half")
+	}
+	for i := PageSize / 2; i < PageSize; i++ {
+		if dst[i] != 0 {
+			t.Fatalf("torn write kept byte %d of the second half", i)
+		}
+	}
+}
+
+func TestLatencySpikeChargesSimIO(t *testing.T) {
+	fd, id, _ := newFaultyFile(t)
+	fd.SetEnabled(true)
+	fd.SetConfig(FaultConfig{LatencySpike: 1.0, Spike: time.Millisecond})
+	dst := make([]byte, PageSize)
+	if err := fd.ReadPage(id, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, simIO := fd.Stats(); simIO < time.Millisecond {
+		t.Errorf("simIO = %v, want >= 1ms spike", simIO)
+	}
+}
+
+func TestCorruptPageHook(t *testing.T) {
+	m := NewManager(LatencyModel{})
+	id := m.CreateFile()
+	if _, err := m.ExtendFile(id); err != nil {
+		t.Fatal(err)
+	}
+	r0, w0, _ := m.Stats()
+	if err := m.CorruptPage(id, 0, 17, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	r1, w1, _ := m.Stats()
+	if r1 != r0 || w1 != w0 {
+		t.Error("CorruptPage must not touch I/O stats")
+	}
+	dst := make([]byte, PageSize)
+	if err := m.ReadPage(id, 0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[17] != 0xFF {
+		t.Errorf("byte 17 = %#x, want 0xFF", dst[17])
+	}
+}

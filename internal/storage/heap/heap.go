@@ -29,7 +29,7 @@ func (t TID) String() string { return fmt.Sprintf("(%d,%d)", t.Page, t.Slot) }
 type Heap struct {
 	Rel  *catalog.Relation
 	file disk.FileID
-	dm   *disk.Manager
+	dm   disk.Device
 	pool *buffer.Pool
 
 	mu         sync.Mutex
@@ -40,7 +40,7 @@ type Heap struct {
 }
 
 // Create allocates a new empty heap for rel.
-func Create(dm *disk.Manager, pool *buffer.Pool, rel *catalog.Relation) *Heap {
+func Create(dm disk.Device, pool *buffer.Pool, rel *catalog.Relation) *Heap {
 	return &Heap{
 		Rel:        rel,
 		file:       dm.CreateFile(),
@@ -52,6 +52,10 @@ func Create(dm *disk.Manager, pool *buffer.Pool, rel *catalog.Relation) *Heap {
 
 // Drop releases the heap's disk file.
 func (h *Heap) Drop() { h.dm.DropFile(h.file) }
+
+// File returns the heap's page-file ID (tests and the chaos harness use
+// it to target at-rest corruption).
+func (h *Heap) File() disk.FileID { return h.file }
 
 // NumPages returns the current page count.
 func (h *Heap) NumPages() int {

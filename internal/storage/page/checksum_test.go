@@ -1,0 +1,75 @@
+package page
+
+import (
+	"testing"
+
+	"microspec/internal/storage/disk"
+)
+
+func checksummedPage(t *testing.T) Page {
+	t.Helper()
+	p := Page(make([]byte, disk.PageSize))
+	Init(p)
+	if _, ok := AddTuple(p, []byte("hello checksums")); !ok {
+		t.Fatal("AddTuple failed on empty page")
+	}
+	StampChecksum(p)
+	return p
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	p := checksummedPage(t)
+	if got := StoredChecksum(p); got == 0 {
+		t.Fatal("stamped checksum is 0")
+	}
+	if stored, computed, ok := VerifyChecksum(p); !ok {
+		t.Fatalf("fresh stamp fails verify: stored=%#04x computed=%#04x", stored, computed)
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	p := checksummedPage(t)
+	// Flip one bit anywhere outside the checksum field itself.
+	for _, off := range []int{0, 5, headerSize, disk.PageSize - 1} {
+		q := Page(append([]byte(nil), p...))
+		q[off] ^= 0x40
+		if _, _, ok := VerifyChecksum(q); ok {
+			t.Errorf("bit flip at offset %d not detected", off)
+		}
+	}
+}
+
+func TestChecksumZeroMeansNeverChecksummed(t *testing.T) {
+	// An all-zero page (freshly extended, never flushed) verifies.
+	zero := Page(make([]byte, disk.PageSize))
+	if _, _, ok := VerifyChecksum(zero); !ok {
+		t.Error("all-zero page must verify")
+	}
+	// Non-zero content under a zero checksum is corruption.
+	dirty := Page(make([]byte, disk.PageSize))
+	dirty[100] = 1
+	if _, _, ok := VerifyChecksum(dirty); ok {
+		t.Error("non-zero page with zero checksum must fail verify")
+	}
+}
+
+func TestChecksumNeverZero(t *testing.T) {
+	// The 0 sentinel must be unreachable from Checksum even if the fold
+	// lands on 0 — spot-check a few page contents.
+	for i := 0; i < 64; i++ {
+		p := Page(make([]byte, disk.PageSize))
+		p[8] = byte(i)
+		if Checksum(p) == 0 {
+			t.Fatalf("Checksum returned reserved value 0 for content %d", i)
+		}
+	}
+}
+
+func TestChecksumExcludesItself(t *testing.T) {
+	p := checksummedPage(t)
+	want := Checksum(p)
+	StampChecksum(p)
+	if got := Checksum(p); got != want {
+		t.Errorf("checksum depends on its own stored value: %#04x != %#04x", got, want)
+	}
+}
