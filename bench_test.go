@@ -80,6 +80,41 @@ func BenchmarkTPCHWarm(b *testing.B) {
 	}
 }
 
+// benchBatchVariants is E12 (DESIGN.md §10): one scan-heavy query under
+// the three executor configurations — generic tuple-at-a-time (stock
+// engine, batching off), bee tuple-at-a-time (bee engine, batching off),
+// and bee batch-at-a-time (bee engine, the default). The batch/tuple
+// contrast on the same bee engine isolates the executor model from the
+// bee routines themselves.
+func benchBatchVariants(b *testing.B, q string) {
+	stock, bee := tpchPair(b)
+	variants := []struct {
+		name  string
+		db    *engine.DB
+		batch bool
+	}{
+		{"generic", stock, false},
+		{"bee-tuple", bee, false},
+		{"bee-batch", bee, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			prev := v.db.BatchEnabled()
+			v.db.SetBatch(v.batch)
+			defer v.db.SetBatch(prev)
+			benchQuery(b, v.db, q)
+		})
+	}
+}
+
+// BenchmarkQ1 is the batch-execution showcase on the aggregation-heavy
+// pricing summary report (one wide scan, eight aggregates).
+func BenchmarkQ1(b *testing.B) { benchBatchVariants(b, tpch.Queries()[1]) }
+
+// BenchmarkQ6 is the batch-execution showcase on the filter-heavy
+// forecasting revenue query (selective predicate, two aggregates).
+func BenchmarkQ6(b *testing.B) { benchBatchVariants(b, tpch.Queries()[6]) }
+
 // BenchmarkTPCHCold is E3 (Figure 5): representative queries with the
 // buffer pool dropped before every execution (the reported ns/op excludes
 // the simulated disk latency, which the tpch-bench tool adds; the page

@@ -11,8 +11,13 @@
 //
 // Usage:
 //
-//	tpch-bench [-sf 0.01] [-runs 5] [-fig all|4|5|6|7|storage|scaling] [-q 1,6,9]
+//	tpch-bench [-sf 0.01] [-runs 5] [-fig all|4|5|6|7|storage|scaling|bench] [-q 1,6,9]
 //	           [-workers 0] [-scale-to 4] [-metrics out.json] [-timeout 30s]
+//	           [-bench-json BENCH_tpch.json]
+//
+// The bench step writes BENCH_tpch.json: per-query wall-clock ns,
+// result-row throughput, and steady-state allocation counts for both
+// engines (see EXPERIMENTS.md E12).
 package main
 
 import (
@@ -35,6 +40,7 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-query parallelism degree for both engines (0 = GOMAXPROCS, 1 = serial)")
 	scaleTo := flag.Int("scale-to", 4, "highest worker degree for the scaling figure")
 	metricsOut := flag.String("metrics", "", "write both engines' MetricsSnapshot JSON to this file ('-' for stdout)")
+	benchOut := flag.String("bench-json", "BENCH_tpch.json", "write per-query ns/rows-per-sec/allocs JSON to this file ('' to skip, '-' for stdout)")
 	timeout := flag.Duration("timeout", 0, "statement timeout per query on both engines (0 = none), e.g. 30s")
 	flag.Parse()
 
@@ -112,6 +118,25 @@ func main() {
 		fmt.Print(harness.FormatStorage(rows))
 		fmt.Println()
 		fmt.Println(bee.Module().Placement().Report())
+	}
+
+	if *benchOut != "" && (*fig == "all" || *fig == "bench") {
+		report, err := harness.RunTPCHBenchJSON(stock, bee, o)
+		if err != nil {
+			fatalf("bench-json: %v", err)
+		}
+		data, err := harness.MarshalBench(report)
+		if err != nil {
+			fatalf("bench-json: %v", err)
+		}
+		if *benchOut == "-" {
+			os.Stdout.Write(data)
+		} else {
+			if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+				fatalf("bench-json: %v", err)
+			}
+			fmt.Printf("\nwrote per-query benchmark JSON to %s\n", *benchOut)
+		}
 	}
 
 	if *metricsOut != "" {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"microspec/internal/catalog"
+	"microspec/internal/expr"
 	"microspec/internal/storage/tuple"
 	"microspec/internal/types"
 )
@@ -69,6 +70,61 @@ func BenchmarkGCLDeformOrdersNoTupleBees(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rb.GCL(tup, values, 9, nil)
+	}
+}
+
+// BenchmarkDeformBatch compares per-tuple deform dispatch against the
+// DeformBatch bee form over a page-sized run of tuples (the batch
+// executor's unit of work): generic loop, per-tuple GCL calls, and one
+// batch-GCL call.
+func benchBatchTuples(b *testing.B, m *Module, rel *catalog.Relation, n int) ([][]byte, []expr.Row) {
+	b.Helper()
+	tups := make([][]byte, n)
+	rows := make([]expr.Row, n)
+	for i := range tups {
+		tup, err := m.FormTuple(rel, ordersValues("O", "2-HIGH", int32(i)), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tups[i] = tup
+		rows[i] = make(expr.Row, 9)
+	}
+	return tups, rows
+}
+
+func BenchmarkDeformBatchGeneric(b *testing.B) {
+	m := NewModule(Stock)
+	rel := benchRelStock(b)
+	m.OnCreateRelation(rel)
+	tups, rows := benchBatchTuples(b, m, rel, 256)
+	deform := genericBatchDeform(rel)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deform(tups, rows, 9, nil)
+	}
+}
+
+func BenchmarkDeformBatchPerTupleGCL(b *testing.B) {
+	m := NewModule(RoutineSet{GCL: true, SCL: true})
+	rel := benchRelStock(b)
+	rb := m.OnCreateRelation(rel)
+	tups, rows := benchBatchTuples(b, m, rel, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, tup := range tups {
+			rb.GCL(tup, rows[j], 9, nil)
+		}
+	}
+}
+
+func BenchmarkDeformBatchGCL(b *testing.B) {
+	m := NewModule(RoutineSet{GCL: true, SCL: true})
+	rel := benchRelStock(b)
+	rb := m.OnCreateRelation(rel)
+	tups, rows := benchBatchTuples(b, m, rel, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rb.DeformBatch(tups, rows, 9, nil)
 	}
 }
 

@@ -2,7 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 )
 
@@ -148,11 +149,11 @@ func (c *BeeCache) Entries() []CacheEntry {
 		_, onDisk := c.disk[k]
 		out = append(out, CacheEntry{Kind: k.kind, Name: k.name, Bytes: len(v), OnDisk: onDisk})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Kind != out[j].Kind {
-			return out[i].Kind < out[j].Kind
+	slices.SortFunc(out, func(a, b CacheEntry) int {
+		if c := strings.Compare(a.Kind, b.Kind); c != 0 {
+			return c
 		}
-		return out[i].Name < out[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
 	return out
 }

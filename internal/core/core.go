@@ -244,6 +244,41 @@ func (m *Module) Deformer(rel *catalog.Relation) (DeformFunc, error) {
 	}, nil
 }
 
+// BatchDeformFunc is the batch form of DeformFunc: it extracts the first
+// natts attributes of every tuple in tups into the corresponding rows of
+// out (len(out) ≥ len(tups), each row at least natts wide). The batch
+// executor hands it a whole pinned heap page at a time, so the deform
+// loop — specialized or generic — runs without re-entering the caller
+// per tuple.
+type BatchDeformFunc func(tups [][]byte, out []expr.Row, natts int, prof *profile.Counters)
+
+// genericBatchDeform wraps the generic interpreted deform loop in the
+// batch signature (the stock engine's page-at-a-time path).
+func genericBatchDeform(rel *catalog.Relation) BatchDeformFunc {
+	return func(tups [][]byte, out []expr.Row, natts int, prof *profile.Counters) {
+		for i, tup := range tups {
+			tuple.SlotDeform(rel, tup, out[i], natts, prof)
+		}
+	}
+}
+
+// BatchDeformer returns the page-wise deform routine for rel: the
+// relation bee's DeformBatch form when GCL is enabled, otherwise the
+// generic loop wrapped in the batch signature. Mirrors Deformer.
+func (m *Module) BatchDeformer(rel *catalog.Relation) (BatchDeformFunc, error) {
+	m.mu.RLock()
+	rb := m.relBees[rel.ID]
+	useGCL := m.routines.GCL
+	m.mu.RUnlock()
+	if useGCL && rb != nil {
+		return rb.DeformBatch, nil
+	}
+	if rel.Spec != nil {
+		return nil, fmt.Errorf("core: relation %s has specialized storage but GCL is disabled", rel.Name)
+	}
+	return genericBatchDeform(rel), nil
+}
+
 // FormFunc forms the stored bytes of a tuple from its values.
 type FormFunc func(values []types.Datum, prof *profile.Counters) ([]byte, error)
 
@@ -338,6 +373,59 @@ func (m *Module) CompilePredicate(e expr.Expr) (CompiledPred, bool) {
 	return wrapped, true
 }
 
+// CompiledBatchPred is the batch form of an EVP bee: it evaluates the
+// predicate over rows — restricted to the cand selection vector when
+// cand is non-nil — and appends the ordinals of passing rows to out,
+// returning the extended slice. One invocation filters a whole batch, so
+// the bee-call wrapper and cost accounting run once per page instead of
+// once per tuple.
+type CompiledBatchPred func(rows []expr.Row, cand []int32, out []int32, ctx *expr.Ctx) []int32
+
+// CompileBatchPredicate attempts to create the batch form of an EVP
+// query bee for e. Coverage, quarantine, and fallback behaviour match
+// CompilePredicate: (nil, false) means the executor keeps the generic
+// interpreter, evaluated per row over the batch.
+func (m *Module) CompileBatchPredicate(e expr.Expr) (CompiledBatchPred, bool) {
+	m.mu.RLock()
+	enabled := m.routines.EVP
+	m.mu.RUnlock()
+	if !enabled {
+		return nil, false
+	}
+	name := e.String()
+	if m.quar.has(beeKey{kind: "query/EVP", name: name}) {
+		return nil, false // quarantined after a panic: generic fallback
+	}
+	p, cost := compilePred(e)
+	if p == nil {
+		return nil, false
+	}
+	m.mu.Lock()
+	m.stats.QueryBees++
+	m.mu.Unlock()
+	m.cache.put(beeKey{kind: "query/EVP", name: name}, "EVP "+name)
+	wrapped := func(rows []expr.Row, cand []int32, out []int32, ctx *expr.Ctx) []int32 {
+		m.maybePanic("query/EVP", name)
+		if cand != nil {
+			ctx.Prof.Add(profile.CompExpr, cost*int64(len(cand)))
+			for _, i := range cand {
+				if v := p(rows[i]); !v.IsNull() && v.Bool() {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		ctx.Prof.Add(profile.CompExpr, cost*int64(len(rows)))
+		for i := range rows {
+			if v := p(rows[i]); !v.IsNull() && v.Bool() {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	return wrapped, true
+}
+
 // CompileScalar attempts to create an EVA query bee: a specialized
 // evaluator for an aggregate's input expression, with the same snippet
 // coverage as EVP (the paper's §VIII names aggregation as the next
@@ -366,6 +454,73 @@ func (m *Module) CompileScalar(e expr.Expr) (CompiledPred, bool) {
 		m.maybePanic("query/EVA", name)
 		ctx.Prof.Add(profile.CompExpr, cost)
 		return p(row)
+	}
+	return wrapped, true
+}
+
+// CompiledBatchScalar is the batch form of an EVA bee: one invocation
+// evaluates the aggregate's input expression for every live row of a
+// batch (cand nil means all of rows), appending the results to out in
+// live-row order. As with CompiledBatchPred, the bee-call wrapper and
+// cost accounting run once per page instead of once per tuple.
+type CompiledBatchScalar func(rows []expr.Row, cand []int32, out []types.Datum, ctx *expr.Ctx) []types.Datum
+
+// CompileBatchScalar attempts to create the batch form of an EVA query
+// bee for e. Coverage, quarantine, and fallback behaviour match
+// CompileScalar; it shares the EVA cache key, so quarantining the
+// expression disables both forms.
+func (m *Module) CompileBatchScalar(e expr.Expr) (CompiledBatchScalar, bool) {
+	m.mu.RLock()
+	enabled := m.routines.EVA
+	m.mu.RUnlock()
+	if !enabled || e == nil {
+		return nil, false
+	}
+	name := e.String()
+	if m.quar.has(beeKey{kind: "query/EVA", name: name}) {
+		return nil, false
+	}
+	p, cost := compilePred(e)
+	if p == nil {
+		return nil, false
+	}
+	m.cache.put(beeKey{kind: "query/EVA", name: name}, "EVA "+name)
+	// Bare column references skip the evaluator closure entirely: the
+	// batch loop copies the column straight out of the rows. Cost and
+	// quarantine accounting are unchanged.
+	if v, ok := e.(*expr.Var); ok {
+		idx := v.Idx
+		wrapped := func(rows []expr.Row, cand []int32, out []types.Datum, ctx *expr.Ctx) []types.Datum {
+			m.maybePanic("query/EVA", name)
+			if cand != nil {
+				ctx.Prof.Add(profile.CompExpr, cost*int64(len(cand)))
+				for _, i := range cand {
+					out = append(out, rows[i][idx])
+				}
+				return out
+			}
+			ctx.Prof.Add(profile.CompExpr, cost*int64(len(rows)))
+			for i := range rows {
+				out = append(out, rows[i][idx])
+			}
+			return out
+		}
+		return wrapped, true
+	}
+	wrapped := func(rows []expr.Row, cand []int32, out []types.Datum, ctx *expr.Ctx) []types.Datum {
+		m.maybePanic("query/EVA", name)
+		if cand != nil {
+			ctx.Prof.Add(profile.CompExpr, cost*int64(len(cand)))
+			for _, i := range cand {
+				out = append(out, p(rows[i]))
+			}
+			return out
+		}
+		ctx.Prof.Add(profile.CompExpr, cost*int64(len(rows)))
+		for i := range rows {
+			out = append(out, p(rows[i]))
+		}
+		return out
 	}
 	return wrapped, true
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"microspec/internal/catalog"
+	"microspec/internal/expr"
 	"microspec/internal/profile"
 	"microspec/internal/storage/tuple"
 	"microspec/internal/types"
@@ -21,6 +22,11 @@ type RelationBee struct {
 
 	// GCL extracts the first natts attributes of a stored tuple.
 	GCL DeformFunc
+	// DeformBatch is the GCL routine's batch form: it runs the specialized
+	// per-attribute loop across every tuple of a page in one call, so the
+	// batch executor re-enters neither the caller nor the bee-dispatch
+	// wrapper per tuple.
+	DeformBatch BatchDeformFunc
 	// SCL forms the stored bytes of a tuple for the given beeID.
 	SCL func(values []types.Datum, beeID uint16, prof *profile.Counters) ([]byte, error)
 
@@ -58,6 +64,7 @@ func makeRelationBee(rel *catalog.Relation) *RelationBee {
 		rb.GCL = func(tup []byte, values []types.Datum, natts int, prof *profile.Counters) {
 			tuple.SlotDeform(rel, tup, values, natts, prof)
 		}
+		rb.DeformBatch = genericBatchDeform(rel)
 		rb.SCL = func(values []types.Datum, beeID uint16, prof *profile.Counters) ([]byte, error) {
 			return tuple.Form(rel, values, beeID, prof)
 		}
@@ -100,6 +107,15 @@ func (rb *RelationBee) buildGCL() {
 	rb.GCL = func(tup []byte, values []types.Datum, natts int, prof *profile.Counters) {
 		prof.Add(profile.CompDeform, cost[natts])
 		runDeformProgram(ops, tup[tuple.HOff(tup):], tuple.BeeID(tup), combos, values, natts)
+	}
+	// The batch form hoists the bee call, the cost accounting, and the op
+	// program out of the per-tuple loop: one invocation deforms a whole
+	// page of tuples through the same specialized snippets.
+	rb.DeformBatch = func(tups [][]byte, out []expr.Row, natts int, prof *profile.Counters) {
+		prof.Add(profile.CompDeform, cost[natts]*int64(len(tups)))
+		for i, tup := range tups {
+			runDeformProgram(ops, tup[tuple.HOff(tup):], tuple.BeeID(tup), combos, out[i], natts)
+		}
 	}
 }
 

@@ -225,8 +225,15 @@ func buildDeformProgram(rel *catalog.Relation) []deformOp {
 
 // runDeformProgram executes the first natts steps of the program.
 func runDeformProgram(ops []deformOp, data []byte, beeID uint16, combos *comboTable, values []types.Datum, natts int) {
-	off := 0
-	for s := 0; s < natts; s++ {
+	runDeformSegment(ops, data, beeID, combos, values, 0, natts, 0)
+}
+
+// runDeformSegment executes steps [from, to) of the program, taking and
+// returning the running dynamic offset so a caller can interleave other
+// work between segments — the fused scan-filter bee evaluates predicate
+// conjuncts as soon as the attributes they read have been deformed.
+func runDeformSegment(ops []deformOp, data []byte, beeID uint16, combos *comboTable, values []types.Datum, from, to, off int) int {
+	for s := from; s < to; s++ {
 		op := &ops[s]
 		switch op.op {
 		case deformOpWord4Const:
@@ -281,4 +288,5 @@ func runDeformProgram(ops []deformOp, data []byte, beeID uint16, combos *comboTa
 			values[op.idx] = combos.get(beeID)[op.specPos]
 		}
 	}
+	return off
 }

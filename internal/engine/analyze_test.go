@@ -52,10 +52,10 @@ func TestExplainAnalyzeQ1Aggregate(t *testing.T) {
 	want := `Sort [{0 false} {1 false}] (actual rows=4 loops=1 time=X)
   Project l_returnflag, l_linestatus, sum_qty, sum_base_price, sum_disc_price, sum_charge, avg_qty, avg_price, avg_disc, count_order (actual rows=4 loops=1 time=X)
     Gather workers=2 (partial-agg groups=2 aggs=[sum(l_quantity), sum(l_extendedprice), sum((l_extendedprice * (1 - l_discount))), sum(((l_extendedprice * (1 - l_discount)) * (1 + l_tax))), avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)]) [EVA] (actual rows=4 loops=1 time=X)
-      Filter (l_shipdate <= (1998-12-01 - interval '0m90d')) [EVP] (actual rows=5853 loops=1 time=X)
-        SeqScan lineitem (16 cols) pages=[0,83) [GCL] (actual rows=5853 loops=1 time=X)
-      Filter (l_shipdate <= (1998-12-01 - interval '0m90d')) [EVP] (actual rows=5800 loops=1 time=X)
-        SeqScan lineitem (16 cols) pages=[83,166) [GCL] (actual rows=5800 loops=1 time=X)
+      Rebatch (actual rows=5853 loops=1 time=X)
+        BatchSeqScan lineitem (16 cols) batch=1024 pages=[0,83) filter=(l_shipdate <= (1998-12-01 - interval '0m90d')) [GCL+EVP] (actual rows=5853 batches=83 rows/batch=70.5 loops=1 time=X)
+      Rebatch (actual rows=5800 loops=1 time=X)
+        BatchSeqScan lineitem (16 cols) batch=1024 pages=[83,166) filter=(l_shipdate <= (1998-12-01 - interval '0m90d')) [GCL+EVP] (actual rows=5800 batches=83 rows/batch=69.9 loops=1 time=X)
 `
 	if got := normalize(out); got != want {
 		t.Fatalf("Q1 explain analyze mismatch:\ngot:\n%s\nwant:\n%s", got, want)
@@ -77,12 +77,12 @@ func TestExplainAnalyzeQ3Joins(t *testing.T) {
       HashAgg groups=3 aggs=[sum((l_extendedprice * (1 - l_discount)))] [EVA] (actual rows=24 loops=1 time=X)
         HashJoin inner keys=[17]/[0] [EVJ] (actual rows=65 loops=1 time=X)
           HashJoin inner keys=[0]/[0] [EVJ] (actual rows=329 loops=1 time=X)
-            Filter (l_shipdate > 1995-03-15) [EVP] (actual rows=5752 loops=1 time=X)
-              SeqScan lineitem (16 cols) [GCL] (actual rows=11653 loops=1 time=X)
-            Filter (o_orderdate < 1995-03-15) [EVP] (actual rows=1583 loops=1 time=X)
-              SeqScan orders (9 cols) [GCL] (actual rows=3000 loops=1 time=X)
-          Filter (c_mktsegment = 'BUILDING') [EVP] (actual rows=59 loops=1 time=X)
-            SeqScan customer (8 cols) [GCL] (actual rows=300 loops=1 time=X)
+            Rebatch (actual rows=5752 loops=1 time=X)
+              BatchSeqScan lineitem (16 cols) batch=1024 filter=(l_shipdate > 1995-03-15) [GCL+EVP] (actual rows=5752 batches=166 rows/batch=34.7 loops=1 time=X)
+            Rebatch (actual rows=1583 loops=1 time=X)
+              BatchSeqScan orders (9 cols) batch=1024 filter=(o_orderdate < 1995-03-15) [GCL+EVP] (actual rows=1583 batches=37 rows/batch=42.8 loops=1 time=X)
+          Rebatch (actual rows=59 loops=1 time=X)
+            BatchSeqScan customer (8 cols) batch=1024 filter=(c_mktsegment = 'BUILDING') [GCL+EVP] (actual rows=59 batches=6 rows/batch=9.8 loops=1 time=X)
 `
 	if got := normalize(out); got != want {
 		t.Fatalf("Q3 explain analyze mismatch:\ngot:\n%s\nwant:\n%s", got, want)
@@ -100,10 +100,10 @@ func TestExplainAnalyzeQ6Scan(t *testing.T) {
 	}
 	want := `Project revenue (actual rows=1 loops=1 time=X)
   Gather workers=2 (partial-agg groups=0 aggs=[sum((l_extendedprice * l_discount))]) [EVA] (actual rows=1 loops=1 time=X)
-    Filter ((l_shipdate >= 1994-01-01) AND (l_shipdate < (1994-01-01 + interval '12m0d')) AND ((l_discount >= 0.05) AND (l_discount <= 0.07)) AND (l_quantity < 24)) [EVP] (actual rows=99 loops=1 time=X)
-      SeqScan lineitem (16 cols) pages=[0,83) [GCL] (actual rows=5853 loops=1 time=X)
-    Filter ((l_shipdate >= 1994-01-01) AND (l_shipdate < (1994-01-01 + interval '12m0d')) AND ((l_discount >= 0.05) AND (l_discount <= 0.07)) AND (l_quantity < 24)) [EVP] (actual rows=154 loops=1 time=X)
-      SeqScan lineitem (16 cols) pages=[83,166) [GCL] (actual rows=5800 loops=1 time=X)
+    Rebatch (actual rows=99 loops=1 time=X)
+      BatchSeqScan lineitem (16 cols) batch=1024 pages=[0,83) filter=((l_shipdate >= 1994-01-01) AND (l_shipdate < (1994-01-01 + interval '12m0d')) AND ((l_discount >= 0.05) AND (l_discount <= 0.07)) AND (l_quantity < 24)) [GCL+EVP] (actual rows=99 batches=56 rows/batch=1.8 loops=1 time=X)
+    Rebatch (actual rows=154 loops=1 time=X)
+      BatchSeqScan lineitem (16 cols) batch=1024 pages=[83,166) filter=((l_shipdate >= 1994-01-01) AND (l_shipdate < (1994-01-01 + interval '12m0d')) AND ((l_discount >= 0.05) AND (l_discount <= 0.07)) AND (l_quantity < 24)) [GCL+EVP] (actual rows=154 batches=60 rows/batch=2.6 loops=1 time=X)
 `
 	if got := normalize(out); got != want {
 		t.Fatalf("Q6 explain analyze mismatch:\ngot:\n%s\nwant:\n%s", got, want)
@@ -133,8 +133,15 @@ func TestMetricsSnapshotAndExecNodeCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := db.MetricsSnapshot()
-	if s.Counters["exec.node.SeqScan.rows"] < 11653 {
-		t.Fatalf("exec.node.SeqScan.rows = %d, want ≥ 11653", s.Counters["exec.node.SeqScan.rows"])
+	if s.Counters["exec.node.BatchSeqScan.rows"] < 11653 {
+		t.Fatalf("exec.node.BatchSeqScan.rows = %d, want ≥ 11653", s.Counters["exec.node.BatchSeqScan.rows"])
+	}
+	if s.Counters["exec.node.BatchSeqScan.batches"] == 0 {
+		t.Fatal("exec.node.BatchSeqScan.batches = 0, want > 0 on the batch path")
+	}
+	if s.Counters["batch_queries"] == 0 || s.Counters["batch.rows"] == 0 {
+		t.Fatalf("batch counters empty: queries=%d rows=%d",
+			s.Counters["batch_queries"], s.Counters["batch.rows"])
 	}
 	if s.Counters["bees.calls.gcl"] == 0 {
 		t.Fatal("bees.calls.gcl = 0, want > 0 on a bee-enabled engine")

@@ -49,6 +49,9 @@ type Config struct {
 	// StatementTimeout bounds every query's execution; zero means no
 	// limit. Adjustable later with SetStatementTimeout.
 	StatementTimeout time.Duration
+	// NoBatch disables the batch-at-a-time executor path (on by default;
+	// see internal/plan/batch.go). Adjustable later with SetBatch.
+	NoBatch bool
 }
 
 // DB is one database instance.
@@ -133,6 +136,7 @@ func Open(cfg Config) *DB {
 			return h, nil
 		},
 		Workers: cfg.Workers,
+		Batch:   !cfg.NoBatch,
 	}
 	return db
 }
@@ -155,6 +159,22 @@ func (db *DB) Workers() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.planner.Workers
+}
+
+// SetBatch toggles the batch-at-a-time executor path for subsequent
+// plans; running queries are unaffected (the choice is baked into a plan
+// when it is built).
+func (db *DB) SetBatch(on bool) {
+	db.mu.Lock()
+	db.planner.Batch = on
+	db.mu.Unlock()
+}
+
+// BatchEnabled reports whether new plans use the batch executor path.
+func (db *DB) BatchEnabled() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.planner.Batch
 }
 
 // Module exposes the bee module (for experiment configuration and stats).
@@ -296,6 +316,7 @@ func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counter
 		return nil, nil, err
 	}
 	db.obs.observeParallel(root)
+	db.obs.observeBatch(root)
 	if analyze {
 		db.obs.foldNodeStats(root)
 	}

@@ -52,6 +52,11 @@ type observer struct {
 	analyzed     *metrics.Counter
 	parallel     *metrics.Counter
 
+	// Batch-execution counters (see DESIGN.md §10).
+	batchQueries *metrics.Counter
+	batchBatches *metrics.Counter
+	batchRows    *metrics.Counter
+
 	// Fault-tolerance counters (see DESIGN.md §9).
 	queriesCancelled  *metrics.Counter
 	queriesTimedOut   *metrics.Counter
@@ -81,6 +86,10 @@ func newObserver() *observer {
 		rowsAffected: reg.Counter("stmt.rows_affected"),
 		analyzed:     reg.Counter("query.analyzed"),
 		parallel:     reg.Counter("parallel_queries"),
+
+		batchQueries: reg.Counter("batch_queries"),
+		batchBatches: reg.Counter("batch.batches"),
+		batchRows:    reg.Counter("batch.rows"),
 
 		queriesCancelled:  reg.Counter("queries_cancelled"),
 		queriesTimedOut:   reg.Counter("queries_timed_out"),
@@ -202,15 +211,47 @@ func (o *observer) observeParallel(root exec.Node) {
 
 // foldNodeStats accumulates an analyzed plan's per-node statistics into
 // per-node-type registry counters, so EXPLAIN ANALYZE runs feed the
-// unified executor metrics (exec.node.<Type>.rows / .time_ns / .loops).
+// unified executor metrics (exec.node.<Type>.rows / .time_ns / .loops,
+// plus .batches for batch-path nodes).
 func (o *observer) foldNodeStats(root exec.Node) {
 	o.analyzed.Inc()
-	exec.WalkInstrumented(root, func(in *exec.Instrumented) {
-		name := "exec.node." + exec.NodeTypeName(in.Inner)
-		o.reg.Counter(name + ".rows").Add(in.Rows)
-		o.reg.Counter(name + ".loops").Add(in.Loops)
-		o.reg.Counter(name + ".time_ns").Add(int64(in.Elapsed))
+	exec.WalkNodes(root, func(n exec.Node) {
+		switch in := n.(type) {
+		case *exec.Instrumented:
+			name := "exec.node." + exec.NodeTypeName(in.Inner)
+			o.reg.Counter(name + ".rows").Add(in.Rows)
+			o.reg.Counter(name + ".loops").Add(in.Loops)
+			o.reg.Counter(name + ".time_ns").Add(int64(in.Elapsed))
+		case *exec.InstrumentedBatch:
+			name := "exec.node." + exec.NodeTypeName(in.Inner)
+			o.reg.Counter(name + ".rows").Add(in.Rows)
+			o.reg.Counter(name + ".batches").Add(in.Batches)
+			o.reg.Counter(name + ".loops").Add(in.Loops)
+			o.reg.Counter(name + ".time_ns").Add(int64(in.Elapsed))
+		}
 	})
+}
+
+// observeBatch folds a finished plan's batch-scan statistics into the
+// batch-execution counters: how many queries took the batch path and how
+// many batches/rows moved through it.
+func (o *observer) observeBatch(root exec.Node) {
+	var batches, rows int64
+	found := false
+	exec.WalkNodes(root, func(n exec.Node) {
+		if bs, ok := n.(*exec.BatchSeqScan); ok {
+			found = true
+			b, r := bs.BatchStats()
+			batches += b
+			rows += r
+		}
+	})
+	if !found {
+		return
+	}
+	o.batchQueries.Inc()
+	o.batchBatches.Add(batches)
+	o.batchRows.Add(rows)
 }
 
 // --- public DB surface ---

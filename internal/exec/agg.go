@@ -2,7 +2,7 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"microspec/internal/core"
 
@@ -38,6 +38,9 @@ type AggSpec struct {
 	// compiled it: the aggregate's per-tuple input evaluated without a
 	// tree walk.
 	CompiledArg core.CompiledPred
+	// CompiledBatchArg is CompiledArg's batch form: one invocation
+	// evaluates Arg for every live row of a batch (batch path only).
+	CompiledBatchArg core.CompiledBatchScalar
 }
 
 // ResultType reports the aggregate's output type.
@@ -102,6 +105,20 @@ func (s *aggState) add(spec *AggSpec, v types.Datum) {
 		if s.max.IsNull() || v.Compare(s.max) > 0 {
 			s.max = CloneDatum(v)
 		}
+	}
+}
+
+// addSum is the non-DISTINCT sum/avg transition with the spec checks
+// hoisted out: the batch drain calls it in a per-spec loop after skipping
+// NULL inputs, so it stays small enough to inline.
+func (s *aggState) addSum(v types.Datum) {
+	s.count++
+	if v.Kind() == types.KindFloat64 {
+		s.sumF += v.Float64()
+	} else {
+		i := v.Int64()
+		s.sumI += i
+		s.sumF += float64(i)
 	}
 }
 
@@ -389,8 +406,10 @@ func (s *Sort) Open(ctx *Ctx) error {
 		s.rows = append(s.rows, CloneRow(row))
 	}
 	ctx.Prof().Add(profile.CompExec, sortCost(len(s.rows)))
-	sort.SliceStable(s.rows, func(i, j int) bool {
-		return compareRows(s.rows[i], s.rows[j], s.Keys) < 0
+	// slices.SortStableFunc, not sort.SliceStable: the generic comparator
+	// avoids the reflection-based swapper on this hot path.
+	slices.SortStableFunc(s.rows, func(a, b expr.Row) int {
+		return compareRows(a, b, s.Keys)
 	})
 	return nil
 }

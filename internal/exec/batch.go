@@ -1,0 +1,565 @@
+package exec
+
+import (
+	"microspec/internal/core"
+	"microspec/internal/expr"
+	"microspec/internal/profile"
+	"microspec/internal/storage/heap"
+	"microspec/internal/types"
+)
+
+// This file is the batch-at-a-time execution path. The tuple-at-a-time
+// Volcano iterator pays one virtual Next call and one per-node bookkeeping
+// charge per tuple, diluting what the specialized bee routines buy on the
+// scan hot path. The batch path instead moves a whole pinned heap page of
+// rows per call: BatchSeqScan deforms the page in one DeformBatch bee
+// invocation, BatchFilter narrows a selection vector in one batch-EVP
+// invocation, and BatchHashAgg consumes batches directly. A Rebatch
+// adapter bridges batch-producing subtrees into unchanged tuple-at-a-time
+// consumers (joins, sorts). Row visit order is identical to the tuple
+// path, so results are bit-identical.
+
+// BatchCap is the row capacity of a Batch. Page-wise batches can never
+// exceed a page's maximum slot count (~680 at 8 KiB pages), so the target
+// capacity of 1024 covers any single page without reallocation.
+const BatchCap = 1024
+
+// Batch is a reusable set of rows with an optional selection vector.
+// Rows[:N] are filled by the producer; when Sel is non-nil only the row
+// ordinals it lists (ascending) are live. The batch — including the row
+// datums, which may alias the producer's pinned page — is valid until the
+// next NextBatch or Close call on the producing subtree. Consumers may
+// set Sel (filters do) but must not reorder Rows.
+type Batch struct {
+	Rows []expr.Row
+	N    int
+	Sel  []int32
+}
+
+// Count returns the number of live rows.
+func (b *Batch) Count() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// RowAt returns the i-th live row, i in [0, Count()).
+func (b *Batch) RowAt(i int) expr.Row {
+	if b.Sel != nil {
+		return b.Rows[b.Sel[i]]
+	}
+	return b.Rows[i]
+}
+
+// BatchNode is a plan node that produces whole batches. Every BatchNode
+// is also a full Node — its Next iterates the current batch row by row —
+// so generic plan machinery (walkers, EXPLAIN, Collect) treats batch
+// subtrees uniformly; batch-aware consumers call NextBatch instead.
+type BatchNode interface {
+	Node
+	// NextBatch returns the next batch, ok=false at end of input. The
+	// previous batch (and every row in it) is invalidated by the call.
+	NextBatch(ctx *Ctx) (*Batch, bool, error)
+}
+
+// growBatchScratch picks a new scratch capacity covering n rows:
+// geometric growth with headroom, capped at BatchCap.
+func growBatchScratch(have, n int) int {
+	c := 2 * have
+	if c < n+n/2 {
+		c = n + n/2
+	}
+	if c > BatchCap {
+		c = BatchCap
+	}
+	return c
+}
+
+// rebatcher adapts NextBatch to the row-at-a-time Next contract; batch
+// nodes embed it to satisfy Node.
+type rebatcher struct {
+	cur *Batch
+	pos int
+}
+
+func (r *rebatcher) reset() { r.cur, r.pos = nil, 0 }
+
+func (r *rebatcher) next(ctx *Ctx, src BatchNode) (expr.Row, bool, error) {
+	for {
+		if r.cur != nil && r.pos < r.cur.Count() {
+			// Poll cancellation per row like the tuple-path scans: consumers
+			// (joins, sorts) may loop here far more often than the source
+			// fetches pages.
+			if err := ctx.Canceled(); err != nil {
+				return nil, false, err
+			}
+			row := r.cur.RowAt(r.pos)
+			r.pos++
+			ctx.Prof().Add(profile.CompExec, profile.ExecNodeTuple)
+			return row, true, nil
+		}
+		b, ok, err := src.NextBatch(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		r.cur, r.pos = b, 0
+	}
+}
+
+// BatchSeqScan reads a heap relation page by page, deforming every live
+// tuple of the pinned page in one DeformBatch invocation. The batch's
+// rows alias the page; the scan holds the pin until the next NextBatch.
+type BatchSeqScan struct {
+	Heap   *heap.Heap
+	Deform core.BatchDeformFunc
+	NAtts  int
+	// NoteDeforms receives the deform (GCL) call count at Close.
+	NoteDeforms func(int64)
+	// Fused, when set, replaces the separate Deform + BatchFilter pair with
+	// the composed GCL∘EVP routine: each tuple is deformed only as far as
+	// the predicate's conjuncts need, rejected tuples are abandoned early,
+	// and the scan emits batches whose selection vector lists the passing
+	// rows. FusedPred is the predicate the routine implements (EXPLAIN and
+	// bee walking); NoteFused receives its row-evaluation count at Close.
+	Fused     core.FusedScanFilterFunc
+	FusedPred expr.Expr
+	NoteFused func(int64)
+	// Range and Partial mirror SeqScan: a page interval for one partition
+	// of a parallel scan.
+	Range   heap.PageRange
+	Partial bool
+
+	deforms int64
+	fused   int64
+	batches int64
+	rowsOut int64
+	scanner *heap.Scanner
+	tupBuf  [][]byte
+	rows    []expr.Row
+	sel     []int32
+	batch   Batch
+	cols    []ColInfo
+	rb      rebatcher
+}
+
+// NewBatchSeqScan builds a page-wise batch scan over rel's heap. natts ≤ 0
+// scans all attributes.
+func NewBatchSeqScan(h *heap.Heap, deform core.BatchDeformFunc, natts int) *BatchSeqScan {
+	rel := h.Rel
+	if natts <= 0 || natts > len(rel.Attrs) {
+		natts = len(rel.Attrs)
+	}
+	return &BatchSeqScan{
+		Heap:   h,
+		Deform: deform,
+		NAtts:  natts,
+		cols:   relCols(rel, natts),
+	}
+}
+
+// ensureRows guarantees capacity for n deformed rows, slicing every row
+// out of one flat datum arena (no per-row allocation on refill). The
+// arena is sized to the observed page occupancy with headroom, not to
+// BatchCap: a typical 8 KiB page holds well under 100 wide rows, and a
+// BatchCap-sized pointer-bearing arena per scan costs more in allocation,
+// zeroing barriers, and cold-cache traffic than the batch path saves.
+// The arena survives Close/Open, so rescans never reallocate.
+func (s *BatchSeqScan) ensureRows(n int) {
+	if n <= len(s.rows) {
+		return
+	}
+	c := growBatchScratch(len(s.rows), n)
+	arena := make([]types.Datum, c*s.NAtts)
+	s.rows = make([]expr.Row, c)
+	for i := range s.rows {
+		s.rows[i] = arena[i*s.NAtts : (i+1)*s.NAtts : (i+1)*s.NAtts]
+	}
+}
+
+// Open implements Node.
+func (s *BatchSeqScan) Open(ctx *Ctx) error {
+	if s.Partial {
+		s.scanner = s.Heap.ScanRange(s.Range, ctx.Prof())
+	} else {
+		s.scanner = s.Heap.Scan(ctx.Prof())
+	}
+	s.batches, s.rowsOut = 0, 0
+	s.rb.reset()
+	return nil
+}
+
+// NextBatch implements BatchNode: one pinned page per call. With a fused
+// scan-filter routine, pages whose every tuple is rejected are skipped,
+// so consumers never see an empty batch.
+func (s *BatchSeqScan) NextBatch(ctx *Ctx) (*Batch, bool, error) {
+	for {
+		// One unthrottled cancellation poll per page (the tuple path polls
+		// throttled per row; per-page frequency is too low to throttle).
+		if err := ctx.CanceledNow(); err != nil {
+			return nil, false, err
+		}
+		tups, _, ok := s.scanner.NextPage(s.tupBuf)
+		s.tupBuf = tups
+		if !ok {
+			return nil, false, s.scanner.Err()
+		}
+		s.ensureRows(len(tups))
+		ctx.Prof().Add(profile.CompExec, profile.ExecNodeBatch)
+		s.deforms += int64(len(tups))
+		s.batches++
+		s.rowsOut += int64(len(tups))
+		if s.Fused != nil {
+			s.fused += int64(len(tups))
+			s.sel = s.Fused(tups, s.rows, s.NAtts, s.sel[:0], ctx.Prof())
+			if len(s.sel) == 0 {
+				continue
+			}
+			s.batch = Batch{Rows: s.rows, N: len(tups), Sel: s.sel}
+			return &s.batch, true, nil
+		}
+		s.Deform(tups, s.rows, s.NAtts, ctx.Prof())
+		s.batch = Batch{Rows: s.rows, N: len(tups)}
+		return &s.batch, true, nil
+	}
+}
+
+// Next implements Node via the embedded rebatcher.
+func (s *BatchSeqScan) Next(ctx *Ctx) (expr.Row, bool, error) {
+	return s.rb.next(ctx, s)
+}
+
+// Close implements Node.
+func (s *BatchSeqScan) Close(*Ctx) {
+	if s.NoteDeforms != nil && s.deforms > 0 {
+		s.NoteDeforms(s.deforms)
+		s.deforms = 0
+	}
+	if s.NoteFused != nil && s.fused > 0 {
+		s.NoteFused(s.fused)
+		s.fused = 0
+	}
+	if s.scanner != nil {
+		s.scanner.Close()
+		s.scanner = nil
+	}
+}
+
+// Schema implements Node.
+func (s *BatchSeqScan) Schema() []ColInfo { return s.cols }
+
+// BatchStats reports how many batches and rows the last run produced
+// (valid after the plan is drained or closed).
+func (s *BatchSeqScan) BatchStats() (batches, rows int64) { return s.batches, s.rowsOut }
+
+// BatchFilter narrows a batch's selection vector to the rows satisfying
+// the predicate: the batch-EVP bee form when compiled, otherwise the
+// generic interpreter per row. Batches that filter down to zero rows are
+// skipped, so consumers never see an empty batch.
+type BatchFilter struct {
+	Child    BatchNode
+	Pred     expr.Expr
+	Compiled core.CompiledBatchPred
+	// NoteCalls receives the number of compiled (EVP) row evaluations at
+	// Close, like Filter.NoteCalls.
+	NoteCalls func(int64)
+
+	calls int64
+	sel   []int32
+	rb    rebatcher
+}
+
+// Open implements Node.
+func (f *BatchFilter) Open(ctx *Ctx) error {
+	f.rb.reset()
+	return f.Child.Open(ctx)
+}
+
+// NextBatch implements BatchNode.
+func (f *BatchFilter) NextBatch(ctx *Ctx) (*Batch, bool, error) {
+	for {
+		b, ok, err := f.Child.NextBatch(ctx)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx.Prof().Add(profile.CompExec, profile.ExecNodeBatch)
+		out := f.sel[:0]
+		if f.Compiled != nil {
+			f.calls += int64(b.Count())
+			out = f.Compiled(b.Rows[:b.N], b.Sel, out, &ctx.Expr)
+		} else if b.Sel != nil {
+			for _, i := range b.Sel {
+				if v := f.Pred.Eval(b.Rows[i], &ctx.Expr); !v.IsNull() && v.Bool() {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				if v := f.Pred.Eval(b.Rows[i], &ctx.Expr); !v.IsNull() && v.Bool() {
+					out = append(out, int32(i))
+				}
+			}
+		}
+		f.sel = out
+		if len(out) == 0 {
+			continue
+		}
+		b.Sel = out
+		return b, true, nil
+	}
+}
+
+// Next implements Node via the embedded rebatcher.
+func (f *BatchFilter) Next(ctx *Ctx) (expr.Row, bool, error) {
+	return f.rb.next(ctx, f)
+}
+
+// Close implements Node.
+func (f *BatchFilter) Close(ctx *Ctx) {
+	if f.NoteCalls != nil && f.calls > 0 {
+		f.NoteCalls(f.calls)
+		f.calls = 0
+	}
+	f.Child.Close(ctx)
+}
+
+// Schema implements Node.
+func (f *BatchFilter) Schema() []ColInfo { return f.Child.Schema() }
+
+// Rebatch bridges a batch-producing subtree into a tuple-at-a-time
+// consumer: its Next hands out the current batch's selected rows one by
+// one, fetching the next batch on demand. The planner roots every batch
+// subtree that feeds a non-batch consumer in a Rebatch, so joins, sorts,
+// and projections work unchanged. Returned rows satisfy the usual Node
+// contract (valid until the following Next).
+type Rebatch struct {
+	Child BatchNode
+
+	rb rebatcher
+}
+
+// Open implements Node.
+func (r *Rebatch) Open(ctx *Ctx) error {
+	r.rb.reset()
+	return r.Child.Open(ctx)
+}
+
+// Next implements Node.
+func (r *Rebatch) Next(ctx *Ctx) (expr.Row, bool, error) {
+	return r.rb.next(ctx, r.Child)
+}
+
+// Close implements Node.
+func (r *Rebatch) Close(ctx *Ctx) { r.Child.Close(ctx) }
+
+// Schema implements Node.
+func (r *Rebatch) Schema() []ColInfo { return r.Child.Schema() }
+
+// drainBatchesIntoAgg consumes src's batches into an aggregation table —
+// the shared inner loop of BatchHashAgg and Gather's batch-aware partial
+// aggregation. evalSpecs supplies the evaluation closures (a partition
+// worker passes its private EVA bees); addSpecs the accumulation specs.
+// Group first-appearance order equals the tuple path's: batches cover the
+// heap in page order and rows within a batch stay in slot order.
+// The drain is batch-shaped, not row-shaped. Each batch goes through
+// three column-style passes:
+//
+//  1. Group resolution — once per batch for a global aggregate, once per
+//     row otherwise, in row order (preserving the tuple path's group
+//     first-appearance order). A row whose key equals the previous row's
+//     reuses its group without re-probing the table.
+//  2. Argument evaluation — per spec, the batch-EVA bee (or the per-row
+//     closure/interpreter) fills a reusable value column.
+//  3. Transition — per spec, a tight loop folds the value column into the
+//     group states, with the spec checks (NULL skip, DISTINCT, kind)
+//     hoisted out of the per-row switch for the count/sum/avg shapes.
+//
+// Each state sees its inputs in row order, so float accumulation is
+// bit-identical to the tuple path.
+func drainBatchesIntoAgg(ctx *Ctx, src BatchNode, groupBy []expr.Expr, evalSpecs, addSpecs []AggSpec, table *aggTable, keyBuf expr.Row) (rows, eva int64, err error) {
+	var (
+		groups []*aggGroup
+		vbuf   []types.Datum
+	)
+	naggs := len(addSpecs)
+	for {
+		b, ok, err := src.NextBatch(ctx)
+		if err != nil {
+			return rows, eva, err
+		}
+		if !ok {
+			return rows, eva, nil
+		}
+		n := b.Count()
+		if n == 0 {
+			continue
+		}
+		rows += int64(n)
+		ctx.Prof().Add(profile.CompExec, profile.ExecNodeBatch+int64(n)*int64(naggs)*profile.AggTransition)
+		// Scratch is sized to the observed live-row count, not BatchCap: a
+		// selective filter passes a handful of rows per page, and oversized
+		// pointer-bearing scratch costs more in zeroing than it saves.
+		if len(groups) < n {
+			groups = make([]*aggGroup, growBatchScratch(len(groups), n))
+		}
+		if len(groupBy) == 0 {
+			g := table.find(nil, naggs)
+			for bi := 0; bi < n; bi++ {
+				groups[bi] = g
+			}
+		} else {
+			// prev is per-batch: keyBuf datums may alias the batch's row
+			// storage, which the next NextBatch overwrites.
+			var prev *aggGroup
+			for bi := 0; bi < n; bi++ {
+				row := b.RowAt(bi)
+				same := prev != nil
+				for i, gexp := range groupBy {
+					k := gexp.Eval(row, &ctx.Expr)
+					if same {
+						if k.IsNull() != keyBuf[i].IsNull() ||
+							(!k.IsNull() && k.Compare(keyBuf[i]) != 0) {
+							same = false
+						}
+					}
+					keyBuf[i] = k
+				}
+				if !same {
+					prev = table.find(keyBuf, naggs)
+				}
+				groups[bi] = prev
+			}
+		}
+		for i := range evalSpecs {
+			spec := &evalSpecs[i]
+			ad := &addSpecs[i]
+			var vals []types.Datum
+			if spec.Arg != nil && len(vbuf) < n {
+				vbuf = make([]types.Datum, growBatchScratch(len(vbuf), n))
+			}
+			switch {
+			case spec.CompiledBatchArg != nil:
+				eva += int64(n)
+				vals = spec.CompiledBatchArg(b.Rows[:b.N], b.Sel, vbuf[:0], &ctx.Expr)
+			case spec.CompiledArg != nil:
+				eva += int64(n)
+				vals = vbuf[:n]
+				for bi := 0; bi < n; bi++ {
+					vals[bi] = spec.CompiledArg(b.RowAt(bi), &ctx.Expr)
+				}
+			case spec.Arg != nil:
+				vals = vbuf[:n]
+				for bi := 0; bi < n; bi++ {
+					vals[bi] = spec.Arg.Eval(b.RowAt(bi), &ctx.Expr)
+				}
+			}
+			switch {
+			case vals == nil: // COUNT(*)
+				if ad.Fn == AggCount && !ad.Distinct {
+					if len(groupBy) == 0 {
+						groups[0].states[i].count += int64(n)
+					} else {
+						for bi := 0; bi < n; bi++ {
+							groups[bi].states[i].count++
+						}
+					}
+					break
+				}
+				for bi := 0; bi < n; bi++ {
+					groups[bi].states[i].add(ad, types.Datum{})
+				}
+			case ad.Distinct || ad.Fn == AggMin || ad.Fn == AggMax:
+				for bi := 0; bi < n; bi++ {
+					groups[bi].states[i].add(ad, vals[bi])
+				}
+			case ad.Fn == AggCount:
+				for bi := 0; bi < n; bi++ {
+					if !vals[bi].IsNull() {
+						groups[bi].states[i].count++
+					}
+				}
+			default: // sum/avg
+				for bi := 0; bi < n; bi++ {
+					if v := vals[bi]; !v.IsNull() {
+						groups[bi].states[i].addSum(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// BatchHashAgg is HashAgg's batch-consuming form: it drains its child
+// batch by batch (the no-GROUP-BY and few-group shapes of TPC-H Q1/Q6
+// are its target), with the same group table, transition functions, and
+// output order as HashAgg.
+type BatchHashAgg struct {
+	Child   BatchNode
+	GroupBy []expr.Expr
+	Aggs    []AggSpec
+	// NoteEVA receives the number of EVA invocations at Close.
+	NoteEVA func(int64)
+
+	evaCalls int64
+	table    *aggTable
+	pos      int
+	cols     []ColInfo
+	outBuf   expr.Row
+}
+
+// Open implements Node: it consumes the whole child.
+func (a *BatchHashAgg) Open(ctx *Ctx) error {
+	a.table = newAggTable()
+	a.pos = 0
+	if a.outBuf == nil {
+		a.outBuf = make(expr.Row, len(a.GroupBy)+len(a.Aggs))
+	}
+	if err := a.Child.Open(ctx); err != nil {
+		return err
+	}
+	defer a.Child.Close(ctx)
+	keyBuf := make(expr.Row, len(a.GroupBy))
+	_, eva, err := drainBatchesIntoAgg(ctx, a.Child, a.GroupBy, a.Aggs, a.Aggs, a.table, keyBuf)
+	a.evaCalls += eva
+	if err != nil {
+		return err
+	}
+	// Global aggregation over zero rows still yields one (empty) group.
+	if len(a.GroupBy) == 0 && len(a.table.order) == 0 {
+		a.table.find(nil, len(a.Aggs))
+	}
+	return nil
+}
+
+// Next implements Node.
+func (a *BatchHashAgg) Next(ctx *Ctx) (expr.Row, bool, error) {
+	if a.pos >= len(a.table.order) {
+		return nil, false, nil
+	}
+	g := a.table.order[a.pos]
+	a.pos++
+	copy(a.outBuf, g.keys)
+	for i := range a.Aggs {
+		a.outBuf[len(a.GroupBy)+i] = g.states[i].result(&a.Aggs[i])
+	}
+	return a.outBuf, true, nil
+}
+
+// Close implements Node.
+func (a *BatchHashAgg) Close(*Ctx) {
+	if a.NoteEVA != nil && a.evaCalls > 0 {
+		a.NoteEVA(a.evaCalls)
+		a.evaCalls = 0
+	}
+	a.table = nil
+}
+
+// Schema implements Node (group keys then aggregates, like HashAgg).
+func (a *BatchHashAgg) Schema() []ColInfo {
+	if a.cols != nil {
+		return a.cols
+	}
+	tmp := HashAgg{GroupBy: a.GroupBy, Aggs: a.Aggs}
+	a.cols = tmp.Schema()
+	return a.cols
+}

@@ -58,6 +58,16 @@ func (c *Ctx) Canceled() error {
 	return c.Context.Err()
 }
 
+// CanceledNow polls the context unconditionally. Per-batch loops call it
+// once per batch: at page granularity the poll is already amortized over
+// hundreds of rows, so throttling would only add cancellation latency.
+func (c *Ctx) CanceledNow() error {
+	if c.Context == nil {
+		return nil
+	}
+	return c.Context.Err()
+}
+
 // Node is a plan operator. The iteration contract:
 //
 //   - Open initializes (or re-initializes, for rescans) the node's state;

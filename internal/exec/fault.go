@@ -42,7 +42,10 @@ type BeeRef struct {
 // panic's recover boundary cannot attribute the fault to one closure, so
 // the policy is to quarantine all of them (see DESIGN.md §9).
 func WalkBees(n Node, fn func(BeeRef)) {
-	if in, ok := n.(*Instrumented); ok {
+	switch in := n.(type) {
+	case *Instrumented:
+		n = in.Inner
+	case *InstrumentedBatch:
 		n = in.Inner
 	}
 	aggRefs := func(specs []AggSpec) {
@@ -56,6 +59,27 @@ func WalkBees(n Node, fn func(BeeRef)) {
 	switch v := n.(type) {
 	case *SeqScan, *IndexScan, *ValuesNode:
 		// Leaves; GCL excluded by policy.
+	case *BatchSeqScan:
+		// A fused scan-filter carries the predicate's EVP bee (same cache
+		// key as the standalone forms), so quarantining it disables all
+		// three; the GCL half is excluded by the policy above.
+		if v.Fused != nil && v.FusedPred != nil {
+			fn(BeeRef{Kind: "query/EVP", Name: v.FusedPred.String()})
+			walkExprBees(v.FusedPred, fn)
+		}
+	case *Rebatch:
+		WalkBees(v.Child, fn)
+	case *BatchFilter:
+		// The batch EVP form shares the tuple form's cache key, so
+		// quarantining it disables both.
+		if v.Compiled != nil && v.Pred != nil {
+			fn(BeeRef{Kind: "query/EVP", Name: v.Pred.String()})
+		}
+		walkExprBees(v.Pred, fn)
+		WalkBees(v.Child, fn)
+	case *BatchHashAgg:
+		aggRefs(v.Aggs)
+		WalkBees(v.Child, fn)
 	case *Filter:
 		if v.Compiled != nil && v.Pred != nil {
 			fn(BeeRef{Kind: "query/EVP", Name: v.Pred.String()})

@@ -61,6 +61,9 @@ type Gather struct {
 	pos      int
 	outBuf   expr.Row
 	rowCh    chan expr.Row
+	batchCh  chan *Batch
+	curBatch *Batch
+	batchPos int
 	done     chan struct{}
 	wg       sync.WaitGroup
 	finish   sync.Once
@@ -187,6 +190,9 @@ func (g *Gather) Open(ctx *Ctx) error {
 	g.pos = 0
 	g.table = nil
 	g.rowCh = nil
+	g.batchCh = nil
+	g.curBatch = nil
+	g.batchPos = 0
 	g.heads = nil
 	g.opened = nil
 	g.err = nil
@@ -232,6 +238,22 @@ func (g *Gather) openAgg(ctx *Ctx) error {
 		table := newAggTable()
 		keyBuf := make(expr.Row, len(g.GroupBy))
 		var rows, eva int64
+		// Batch fast path: a Rebatch-rooted partition is driven batch by
+		// batch, skipping the per-tuple iterator boundary entirely.
+		// (Analyzed runs wrap parts in Instrumented and take the tuple
+		// loop below; Rebatch still moves batches underneath it.)
+		if rb, ok := node.(*Rebatch); ok {
+			rows, eva, err := drainBatchesIntoAgg(wctx, rb.Child, g.GroupBy, specs, g.Aggs, table, keyBuf)
+			if err != nil {
+				return err
+			}
+			partTables[part] = table
+			evaMu.Lock()
+			evaTotal += eva
+			evaMu.Unlock()
+			g.noteStat(WorkerStat{Part: part, Rows: rows, Elapsed: time.Since(start), Agg: true})
+			return nil
+		}
 		for {
 			row, ok, err := node.Next(wctx)
 			if err != nil {
@@ -329,8 +351,21 @@ func (g *Gather) openMerge(ctx *Ctx) error {
 }
 
 // openStream starts workers that push cloned rows into a channel; Next
-// consumes until the pool drains.
+// consumes until the pool drains. When every partition is Rebatch-rooted,
+// workers exchange whole cloned batches instead of single rows, cutting
+// channel operations by the batch size.
 func (g *Gather) openStream(ctx *Ctx) {
+	allBatch := len(g.Parts) > 0
+	for _, p := range g.Parts {
+		if _, ok := p.(*Rebatch); !ok {
+			allBatch = false
+			break
+		}
+	}
+	if allBatch {
+		g.openBatchStream(ctx)
+		return
+	}
 	g.rowCh = make(chan expr.Row, 64)
 	g.done = make(chan struct{})
 	ch, done := g.rowCh, g.done
@@ -355,6 +390,51 @@ func (g *Gather) openStream(ctx *Ctx) {
 				rows++
 				select {
 				case ch <- CloneRow(row):
+				case <-done:
+					g.noteStat(WorkerStat{Part: part, Rows: rows, Elapsed: time.Since(start)})
+					return nil
+				}
+			}
+			g.noteStat(WorkerStat{Part: part, Rows: rows, Elapsed: time.Since(start)})
+			return nil
+		})
+		close(ch)
+	}()
+}
+
+// openBatchStream is openStream's batch form: each worker drives its
+// partition's batch subtree directly and ships compacted, deep-copied
+// batches (the originals alias worker-pinned pages) over a batch channel.
+func (g *Gather) openBatchStream(ctx *Ctx) {
+	g.batchCh = make(chan *Batch, 8)
+	g.done = make(chan struct{})
+	ch, done := g.batchCh, g.done
+	go func() {
+		g.runPool(ctx, func(part int, wctx *Ctx) error {
+			start := time.Now()
+			node := g.Parts[part].(*Rebatch)
+			if err := node.Open(wctx); err != nil {
+				node.Close(wctx) // release pins of a partially-opened subtree
+				return err
+			}
+			defer node.Close(wctx)
+			var rows int64
+			for {
+				b, ok, err := node.Child.NextBatch(wctx)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				n := b.Count()
+				rows += int64(n)
+				out := &Batch{Rows: make([]expr.Row, n), N: n}
+				for i := 0; i < n; i++ {
+					out.Rows[i] = CloneRow(b.RowAt(i))
+				}
+				select {
+				case ch <- out:
 				case <-done:
 					g.noteStat(WorkerStat{Part: part, Rows: rows, Elapsed: time.Since(start)})
 					return nil
@@ -408,6 +488,21 @@ func (g *Gather) Next(ctx *Ctx) (expr.Row, bool, error) {
 		return row, true, nil
 
 	default:
+		if g.batchCh != nil {
+			for {
+				if g.curBatch != nil && g.batchPos < g.curBatch.Count() {
+					row := g.curBatch.RowAt(g.batchPos)
+					g.batchPos++
+					return row, true, nil
+				}
+				b, ok := <-g.batchCh
+				if !ok {
+					// Pool drained: surface any worker error.
+					return nil, false, g.loadErr()
+				}
+				g.curBatch, g.batchPos = b, 0
+			}
+		}
 		row, ok := <-g.rowCh
 		if !ok {
 			// Pool drained: surface any worker error.
@@ -424,10 +519,18 @@ func (g *Gather) Close(ctx *Ctx) {
 		if g.done != nil {
 			close(g.done)
 			// Unblock workers parked on a full channel, then wait.
-			go func() {
-				for range g.rowCh {
-				}
-			}()
+			if g.rowCh != nil {
+				go func() {
+					for range g.rowCh {
+					}
+				}()
+			}
+			if g.batchCh != nil {
+				go func() {
+					for range g.batchCh {
+					}
+				}()
+			}
 			g.wg.Wait()
 		}
 		if g.mergeMode() {
@@ -477,7 +580,10 @@ func (g *Gather) Schema() []ColInfo {
 // runs' Instrumented decorators) so the engine can fold worker statistics
 // into the metrics registry.
 func WalkGathers(n Node, fn func(*Gather)) {
-	if in, ok := n.(*Instrumented); ok {
+	switch in := n.(type) {
+	case *Instrumented:
+		n = in.Inner
+	case *InstrumentedBatch:
 		n = in.Inner
 	}
 	switch v := n.(type) {
@@ -506,6 +612,12 @@ func WalkGathers(n Node, fn func(*Gather)) {
 	case *NLJoin:
 		WalkGathers(v.Outer, fn)
 		WalkGathers(v.Inner, fn)
+	case *Rebatch:
+		WalkGathers(v.Child, fn)
+	case *BatchFilter:
+		WalkGathers(v.Child, fn)
+	case *BatchHashAgg:
+		WalkGathers(v.Child, fn)
 	}
 }
 

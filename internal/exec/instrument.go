@@ -53,9 +53,78 @@ func Instrument(n Node) Node {
 		for i := range v.Parts {
 			v.Parts[i] = Instrument(v.Parts[i])
 		}
+	case *Rebatch:
+		v.Child = InstrumentBatch(v.Child)
+	case *BatchHashAgg:
+		v.Child = InstrumentBatch(v.Child)
 	}
 	return &Instrumented{Inner: n}
 }
+
+// InstrumentBatch wraps a batch subtree in InstrumentedBatch decorators,
+// mirroring Instrument for the batch-at-a-time path.
+func InstrumentBatch(n BatchNode) BatchNode {
+	if f, ok := n.(*BatchFilter); ok {
+		f.Child = InstrumentBatch(f.Child)
+	}
+	return &InstrumentedBatch{Inner: n}
+}
+
+// InstrumentedBatch decorates a BatchNode with EXPLAIN ANALYZE statistics:
+// batches and (selected) rows produced, loops, and inclusive wall-clock
+// time. One timing sample per batch instead of per row keeps the analyze
+// overhead on the batch path negligible.
+type InstrumentedBatch struct {
+	Inner BatchNode
+
+	Rows    int64
+	Batches int64
+	Loops   int64
+	Elapsed time.Duration
+}
+
+// Open implements Node.
+func (in *InstrumentedBatch) Open(ctx *Ctx) error {
+	in.Loops++
+	start := time.Now()
+	err := in.Inner.Open(ctx)
+	in.Elapsed += time.Since(start)
+	return err
+}
+
+// NextBatch implements BatchNode.
+func (in *InstrumentedBatch) NextBatch(ctx *Ctx) (*Batch, bool, error) {
+	start := time.Now()
+	b, ok, err := in.Inner.NextBatch(ctx)
+	in.Elapsed += time.Since(start)
+	if ok {
+		in.Batches++
+		in.Rows += int64(b.Count())
+	}
+	return b, ok, err
+}
+
+// Next implements Node (tuple-wise fallback; batch-aware parents use
+// NextBatch, so the two counting modes never mix in one run).
+func (in *InstrumentedBatch) Next(ctx *Ctx) (expr.Row, bool, error) {
+	start := time.Now()
+	row, ok, err := in.Inner.Next(ctx)
+	in.Elapsed += time.Since(start)
+	if ok {
+		in.Rows++
+	}
+	return row, ok, err
+}
+
+// Close implements Node.
+func (in *InstrumentedBatch) Close(ctx *Ctx) {
+	start := time.Now()
+	in.Inner.Close(ctx)
+	in.Elapsed += time.Since(start)
+}
+
+// Schema implements Node.
+func (in *InstrumentedBatch) Schema() []ColInfo { return in.Inner.Schema() }
 
 // Open implements Node.
 func (in *Instrumented) Open(ctx *Ctx) error {
@@ -124,10 +193,61 @@ func WalkInstrumented(n Node, fn func(*Instrumented)) {
 	}
 }
 
+// WalkNodes visits every node of a plan tree in pre-order, descending
+// through instrumentation wrappers, child links, batch subtrees, and
+// Gather partition subplans (but not subquery plans embedded in
+// expressions). It is the generic structural walker the engine uses to
+// collect per-node and batch statistics.
+func WalkNodes(n Node, fn func(Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	switch v := n.(type) {
+	case *Instrumented:
+		WalkNodes(v.Inner, fn)
+	case *InstrumentedBatch:
+		WalkNodes(v.Inner, fn)
+	case *Filter:
+		WalkNodes(v.Child, fn)
+	case *Project:
+		WalkNodes(v.Child, fn)
+	case *Limit:
+		WalkNodes(v.Child, fn)
+	case *Sort:
+		WalkNodes(v.Child, fn)
+	case *Distinct:
+		WalkNodes(v.Child, fn)
+	case *Materialize:
+		WalkNodes(v.Child, fn)
+	case *HashAgg:
+		WalkNodes(v.Child, fn)
+	case *HashJoin:
+		WalkNodes(v.Outer, fn)
+		WalkNodes(v.Inner, fn)
+	case *NLJoin:
+		WalkNodes(v.Outer, fn)
+		WalkNodes(v.Inner, fn)
+	case *Gather:
+		for _, p := range v.Parts {
+			WalkNodes(p, fn)
+		}
+	case *Rebatch:
+		WalkNodes(v.Child, fn)
+	case *BatchFilter:
+		WalkNodes(v.Child, fn)
+	case *BatchHashAgg:
+		WalkNodes(v.Child, fn)
+	}
+}
+
 // NodeTypeName returns the bare operator name of a plan node ("SeqScan",
 // "HashJoin", ...), unwrapping instrumentation.
 func NodeTypeName(n Node) string {
-	if in, ok := n.(*Instrumented); ok {
+	switch in := n.(type) {
+	case *Instrumented:
+		n = in.Inner
+	case *InstrumentedBatch:
 		n = in.Inner
 	}
 	s := fmt.Sprintf("%T", n)

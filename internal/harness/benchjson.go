@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"microspec/internal/engine"
+	"microspec/internal/tpch"
+)
+
+// This file produces the machine-readable benchmark artifact
+// (BENCH_tpch.json): per-query wall-clock, result-row throughput, and
+// heap allocation counts for the stock and bee-enabled engines, both on
+// the default batch executor path. Timing follows the paper's protocol
+// (interleaved runs, best/worst dropped); allocation counts take the
+// minimum across runs, which is the steady-state per-query figure once
+// caches and scratch buffers are warm.
+
+// BenchEngine is one engine's measurements for one query.
+type BenchEngine struct {
+	// NS is the aggregated wall-clock time in nanoseconds.
+	NS int64 `json:"ns"`
+	// RowsPerSec is result-row throughput: rows returned / NS.
+	RowsPerSec float64 `json:"rows_per_sec"`
+	// Allocs is the steady-state heap allocation count of one run.
+	Allocs uint64 `json:"allocs"`
+}
+
+// BenchRecord is one query's measurements.
+type BenchRecord struct {
+	Query   int         `json:"query"`
+	Rows    int         `json:"rows"`
+	Stock   BenchEngine `json:"stock"`
+	Bee     BenchEngine `json:"bee"`
+	Speedup float64     `json:"speedup"`
+}
+
+// BenchReport is the BENCH_tpch.json document.
+type BenchReport struct {
+	SF      float64       `json:"sf"`
+	Workers int           `json:"workers"`
+	Runs    int           `json:"runs"`
+	Queries []BenchRecord `json:"queries"`
+}
+
+// benchOnce times one warm run and its heap allocation count.
+func benchOnce(db *engine.DB, q string) (ns int64, allocs uint64, rows int, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := db.Query(q)
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return elapsed.Nanoseconds(), after.Mallocs - before.Mallocs, len(res.Rows), nil
+}
+
+// RunTPCHBenchJSON measures every selected query on both engines and
+// returns the benchmark report. Runs are interleaved like RunTPCHRuntime
+// so scheduler noise hits both streams alike.
+func RunTPCHBenchJSON(stock, bee *engine.DB, o Options) (BenchReport, error) {
+	if err := stock.WarmUp(); err != nil {
+		return BenchReport{}, err
+	}
+	if err := bee.WarmUp(); err != nil {
+		return BenchReport{}, err
+	}
+	runs := o.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	queries := tpch.Queries()
+	report := BenchReport{SF: o.SF, Workers: o.Workers, Runs: runs}
+	for _, qn := range o.queries() {
+		q := queries[qn]
+		var (
+			sNS, bNS         []float64
+			sAllocs, bAllocs uint64
+			rows             int
+		)
+		for r := 0; r < runs; r++ {
+			ns, al, n, err := benchOnce(stock, q)
+			if err != nil {
+				return BenchReport{}, fmt.Errorf("q%d stock: %w", qn, err)
+			}
+			sNS = append(sNS, float64(ns))
+			if r == 0 || al < sAllocs {
+				sAllocs = al
+			}
+			rows = n
+			ns, al, _, err = benchOnce(bee, q)
+			if err != nil {
+				return BenchReport{}, fmt.Errorf("q%d bee: %w", qn, err)
+			}
+			bNS = append(bNS, float64(ns))
+			if r == 0 || al < bAllocs {
+				bAllocs = al
+			}
+		}
+		rec := BenchRecord{
+			Query: qn,
+			Rows:  rows,
+			Stock: benchEngine(aggregate(sNS), sAllocs, rows),
+			Bee:   benchEngine(aggregate(bNS), bAllocs, rows),
+		}
+		if rec.Bee.NS > 0 {
+			rec.Speedup = float64(rec.Stock.NS) / float64(rec.Bee.NS)
+		}
+		report.Queries = append(report.Queries, rec)
+	}
+	return report, nil
+}
+
+func benchEngine(ns float64, allocs uint64, rows int) BenchEngine {
+	e := BenchEngine{NS: int64(ns), Allocs: allocs}
+	if ns > 0 {
+		e.RowsPerSec = float64(rows) / (ns / 1e9)
+	}
+	return e
+}
+
+// MarshalBench renders the report as indented JSON with a trailing
+// newline.
+func MarshalBench(r BenchReport) ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -27,14 +27,27 @@ func ExplainAnalyze(n exec.Node) string {
 
 func explainNode(b *strings.Builder, n exec.Node, depth int, analyze bool) {
 	var in *exec.Instrumented
-	if wrapped, ok := n.(*exec.Instrumented); ok {
+	var inb *exec.InstrumentedBatch
+	switch wrapped := n.(type) {
+	case *exec.Instrumented:
 		in = wrapped
+		n = wrapped.Inner
+	case *exec.InstrumentedBatch:
+		inb = wrapped
 		n = wrapped.Inner
 	}
 	line, kids := describe(n)
 	if analyze && in != nil {
 		line += fmt.Sprintf(" (actual rows=%d loops=%d time=%.3fms)",
 			in.Rows, in.Loops, in.Elapsed.Seconds()*1000)
+	}
+	if analyze && inb != nil {
+		rpb := 0.0
+		if inb.Batches > 0 {
+			rpb = float64(inb.Rows) / float64(inb.Batches)
+		}
+		line += fmt.Sprintf(" (actual rows=%d batches=%d rows/batch=%.1f loops=%d time=%.3fms)",
+			inb.Rows, inb.Batches, rpb, inb.Loops, inb.Elapsed.Seconds()*1000)
 	}
 	fmt.Fprintf(b, "%s%s\n", strings.Repeat("  ", depth), line)
 	for _, kid := range kids {
@@ -57,6 +70,44 @@ func describe(n exec.Node) (string, []exec.Node) {
 				v.Heap.Rel.Name, v.NAtts, v.Range.Lo, v.Range.Hi, bee), nil
 		}
 		return fmt.Sprintf("SeqScan %s (%d cols)%s", v.Heap.Rel.Name, v.NAtts, bee), nil
+	case *exec.BatchSeqScan:
+		bee := ""
+		if v.NoteDeforms != nil {
+			bee = " [GCL]"
+		}
+		fused := ""
+		if v.Fused != nil {
+			fused = fmt.Sprintf(" filter=%s", v.FusedPred)
+			bee = " [GCL+EVP]"
+		}
+		if v.Partial {
+			return fmt.Sprintf("BatchSeqScan %s (%d cols) batch=%d pages=[%d,%d)%s%s",
+				v.Heap.Rel.Name, v.NAtts, exec.BatchCap, v.Range.Lo, v.Range.Hi, fused, bee), nil
+		}
+		return fmt.Sprintf("BatchSeqScan %s (%d cols) batch=%d%s%s",
+			v.Heap.Rel.Name, v.NAtts, exec.BatchCap, fused, bee), nil
+	case *exec.BatchFilter:
+		bee := ""
+		if v.Compiled != nil {
+			bee = " [EVP]"
+		}
+		return fmt.Sprintf("BatchFilter %s%s", v.Pred, bee), []exec.Node{v.Child}
+	case *exec.Rebatch:
+		return "Rebatch", []exec.Node{v.Child}
+	case *exec.BatchHashAgg:
+		bees := ""
+		for i := range v.Aggs {
+			if v.Aggs[i].CompiledArg != nil {
+				bees = " [EVA]"
+				break
+			}
+		}
+		names := make([]string, len(v.Aggs))
+		for i, a := range v.Aggs {
+			names[i] = a.Name
+		}
+		return fmt.Sprintf("BatchHashAgg groups=%d aggs=[%s]%s", len(v.GroupBy), strings.Join(names, ", "), bees),
+			[]exec.Node{v.Child}
 	case *exec.IndexScan:
 		return fmt.Sprintf("IndexScan %s via %s", v.Heap.Rel.Name, v.Tree.Name), nil
 	case *exec.ValuesNode:

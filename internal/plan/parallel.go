@@ -178,6 +178,9 @@ func (p *Planner) tryGatherAgg(agg *exec.HashAgg) exec.Node {
 					if ca, ok := p.Mod.CompileScalar(specs[si].Arg); ok {
 						specs[si].CompiledArg = ca
 					}
+					if cba, ok := p.Mod.CompileBatchScalar(specs[si].Arg); ok {
+						specs[si].CompiledBatchArg = cba
+					}
 				}
 				partAggs[pi] = specs
 			}

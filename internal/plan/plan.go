@@ -29,6 +29,10 @@ type Planner struct {
 	// Workers is the intra-query parallelism degree; plans stay serial
 	// when it is ≤ 1 (see parallelize).
 	Workers int
+	// Batch enables the batch-at-a-time rewrite of eligible scan spines
+	// (see batch.go); it runs after parallelize so partition subplans
+	// batch too.
+	Batch bool
 }
 
 // Planned is a ready-to-run query plan.
@@ -44,6 +48,7 @@ func (p *Planner) PlanSelect(sel *sql.Select) (*Planned, error) {
 		return nil, err
 	}
 	node = p.parallelize(node)
+	node = p.batchify(node)
 	cols := make([]exec.ColInfo, len(sc.cols))
 	for i, c := range sc.cols {
 		cols[i] = exec.ColInfo{Name: c.name, T: c.t}

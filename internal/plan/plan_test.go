@@ -47,31 +47,10 @@ func mustExec(t testing.TB, db *engine.DB, stmt string) {
 	}
 }
 
-// walk collects every node in a plan tree.
+// walk collects every node in a plan tree, batch subtrees included.
 func walk(n exec.Node) []exec.Node {
-	out := []exec.Node{n}
-	switch v := n.(type) {
-	case *exec.Filter:
-		out = append(out, walk(v.Child)...)
-	case *exec.Project:
-		out = append(out, walk(v.Child)...)
-	case *exec.Limit:
-		out = append(out, walk(v.Child)...)
-	case *exec.Sort:
-		out = append(out, walk(v.Child)...)
-	case *exec.Distinct:
-		out = append(out, walk(v.Child)...)
-	case *exec.HashAgg:
-		out = append(out, walk(v.Child)...)
-	case *exec.Materialize:
-		out = append(out, walk(v.Child)...)
-	case *exec.HashJoin:
-		out = append(out, walk(v.Outer)...)
-		out = append(out, walk(v.Inner)...)
-	case *exec.NLJoin:
-		out = append(out, walk(v.Outer)...)
-		out = append(out, walk(v.Inner)...)
-	}
+	var out []exec.Node
+	exec.WalkNodes(n, func(m exec.Node) { out = append(out, m) })
 	return out
 }
 
@@ -97,12 +76,13 @@ func TestJoinUsesHashJoinWithLargestAsProbe(t *testing.T) {
 		t.Fatalf("hash joins = %d", len(joins))
 	}
 	// The probe (outer) side should reach the big table's scan; the build
-	// (inner) side the small one.
-	outerScans := nodesOf[*exec.SeqScan](walk(joins[0].Outer))
+	// (inner) side the small one. Scans feeding joins sit behind Rebatch
+	// adapters on the (default-on) batch path.
+	outerScans := nodesOf[*exec.BatchSeqScan](walk(joins[0].Outer))
 	if len(outerScans) != 1 || outerScans[0].Heap.Rel.Name != "big" {
 		t.Errorf("probe side should be big, got %v", outerScans)
 	}
-	innerScans := nodesOf[*exec.SeqScan](walk(joins[0].Inner))
+	innerScans := nodesOf[*exec.BatchSeqScan](walk(joins[0].Inner))
 	if len(innerScans) != 1 || innerScans[0].Heap.Rel.Name != "small" {
 		t.Errorf("build side should be small, got %v", innerScans)
 	}
@@ -123,18 +103,23 @@ func TestFilterPushdownBelowJoin(t *testing.T) {
 	if len(joins) != 1 {
 		t.Fatalf("hash joins = %d", len(joins))
 	}
-	// Both single-table predicates must sit below the join.
-	if len(nodesOf[*exec.Filter](walk(joins[0].Outer))) != 1 {
+	// Both single-table predicates must sit below the join. The batchify
+	// pass converts pushed Filter→SeqScan spines, and on a bee-enabled
+	// database each filter fuses into its scan (scan.Fused non-nil).
+	sideFused := func(n exec.Node) int {
+		fused := 0
+		for _, s := range nodesOf[*exec.BatchSeqScan](walk(n)) {
+			if s.Fused != nil {
+				fused++
+			}
+		}
+		return fused + len(nodesOf[*exec.BatchFilter](walk(n)))
+	}
+	if sideFused(joins[0].Outer) != 1 {
 		t.Error("big-side filter not pushed below join")
 	}
-	if len(nodesOf[*exec.Filter](walk(joins[0].Inner))) != 1 {
+	if sideFused(joins[0].Inner) != 1 {
 		t.Error("small-side filter not pushed below join")
-	}
-	// The pushed filters are EVP-compiled on a bee-enabled database.
-	for _, f := range nodesOf[*exec.Filter](nodes) {
-		if f.Compiled == nil {
-			t.Errorf("filter %v not EVP-compiled", f.Pred)
-		}
 	}
 }
 
@@ -207,8 +192,9 @@ func TestCorrelatedScalarDecorrelatesToLeftJoin(t *testing.T) {
 	if len(joins) != 1 || joins[0].Type != exec.LeftJoin {
 		t.Fatalf("want one left join, got %d joins", len(joins))
 	}
-	// The aggregate subplan is grouped on the correlation key.
-	aggs := nodesOf[*exec.HashAgg](walk(joins[0].Inner))
+	// The aggregate subplan is grouped on the correlation key (a
+	// BatchHashAgg: its scan spine is batch-eligible).
+	aggs := nodesOf[*exec.BatchHashAgg](walk(joins[0].Inner))
 	if len(aggs) != 1 || len(aggs[0].GroupBy) != 1 {
 		t.Fatalf("decorrelated subplan must group by the key, got %v", aggs)
 	}
@@ -322,7 +308,9 @@ func TestExplainMarksBeeRoutines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"[GCL]", "[EVP]", "[EVJ]", "[EVA]", "HashJoin", "HashAgg", "SeqScan big"} {
+	// The pushed b_id filter fuses into its scan, so the predicate's EVP
+	// marker appears as the composed [GCL+EVP] routine.
+	for _, want := range []string{"[GCL]", "[GCL+EVP]", "[EVJ]", "[EVA]", "HashJoin", "HashAgg", "SeqScan big"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain missing %q:\n%s", want, out)
 		}

@@ -839,9 +839,13 @@ func (sp *selectPlan) planAggregation(sel *sql.Select, ts *treeState, outASTs []
 					return err
 				}
 				spec.Arg = arg
-				// EVA: specialize the aggregate's input evaluation.
+				// EVA: specialize the aggregate's input evaluation, in both
+				// the per-tuple and the per-batch form.
 				if ca, ok := p.Mod.CompileScalar(arg); ok {
 					spec.CompiledArg = ca
+				}
+				if cba, ok := p.Mod.CompileBatchScalar(arg); ok {
+					spec.CompiledBatchArg = cba
 				}
 			}
 			idx := len(sel.GroupBy) + len(aggs)

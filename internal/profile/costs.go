@@ -113,6 +113,10 @@ const (
 	HeapNextTuple = 380
 	// ExecNodeTuple: per-tuple per-executor-node iterator overhead.
 	ExecNodeTuple = 260
+	// ExecNodeBatch: per-batch executor-node overhead on the batch path —
+	// the iterator bookkeeping is paid once per page-sized batch instead
+	// of once per tuple.
+	ExecNodeBatch = 320
 	// ProjectCol: projecting one output column.
 	ProjectCol = 45
 	// EmitRow: materializing one result row to the client sink.

@@ -337,6 +337,55 @@ func (s *Scanner) Next() (TID, []byte, bool) {
 	}
 }
 
+// NextPage advances to the next page holding at least one live tuple and
+// returns all of that page's live tuples at once, appended to buf (pass
+// the previous return value to reuse its backing array). The returned
+// byte slices alias the pinned page and stay valid until the next
+// NextPage/Next/Close call — the batch executor deforms the whole page
+// while the pin is held, amortizing one pin/unpin over every tuple on the
+// page. ok=false signals the end of the heap or an error (check Err).
+func (s *Scanner) NextPage(buf [][]byte) (tups [][]byte, pageNo int, ok bool) {
+	if s.cur != nil {
+		s.cur.Unpin(false)
+		s.cur = nil
+	}
+	buf = buf[:0]
+	for {
+		s.pageNo++
+		if s.pageNo >= s.numPages {
+			return buf, 0, false
+		}
+		hd, err := s.h.pool.Get(s.h.file, s.pageNo)
+		if err != nil {
+			s.err = err
+			return buf, 0, false
+		}
+		s.prof.Add(profile.CompStorage, profile.PageAccess)
+		p := page.Page(hd.Bytes)
+		n := page.NumSlots(p)
+		for slot := 0; slot < n; slot++ {
+			if !page.IsLive(p, slot) {
+				continue
+			}
+			b, err := page.GetTuple(p, slot)
+			if err != nil {
+				s.err = err
+				hd.Unpin(false)
+				return buf[:0], 0, false
+			}
+			s.prof.Add(profile.CompStorage, profile.HeapNextTuple)
+			buf = append(buf, b)
+		}
+		if len(buf) == 0 {
+			hd.Unpin(false) // every slot dead: skip the page
+			continue
+		}
+		s.cur = hd
+		s.slot = n // Next after NextPage resumes on the following page
+		return buf, s.pageNo, true
+	}
+}
+
 // Close releases the scanner's pin; safe to call multiple times.
 func (s *Scanner) Close() {
 	if s.cur != nil {
