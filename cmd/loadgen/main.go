@@ -1,0 +1,517 @@
+// Command loadgen drives the network server with N concurrent client
+// connections running a mixed workload — TPC-H point and range queries
+// plus a TPC-C-Payment-shaped read/modify/write transaction — and
+// reports throughput and latency percentiles per connection count,
+// writing the results to BENCH_server.json.
+//
+// By default it starts an in-process server on loopback over a TPC-H
+// database; -addr points it at an external microspec-server instead.
+// The TPC-C tables are created as bench_* over the wire (TPC-H and
+// TPC-C both own tables named "orders" and "customer", so the two
+// schemas cannot coexist verbatim in one database).
+//
+// Every point read against the seeded bench_kv table is verified
+// against its known value; -check makes any mismatch (or an in-process
+// drain failure) a non-zero exit, which is how the CI smoke job asserts
+// "zero mismatches, clean shutdown" — typically combined with -faults,
+// which arms a seeded fault-injecting page store once setup finishes.
+//
+// Usage:
+//
+//	loadgen [-addr host:port] [-conns 1,4,16] [-dur 2s] [-tpch 0.01]
+//	        [-faults] [-faultseed 1] [-check] [-out BENCH_server.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"microspec/internal/client"
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/server"
+	"microspec/internal/storage/disk"
+	"microspec/internal/tpch"
+	"microspec/internal/types"
+)
+
+const (
+	kvRows      = 2000
+	warehouses  = 2
+	districts   = 10
+	custPerDist = 30
+)
+
+// Round is one measured workload burst at a fixed connection count.
+type Round struct {
+	Name       string  `json:"name"`
+	Conns      int     `json:"conns"`
+	Ops        int64   `json:"ops"`
+	Errors     int64   `json:"errors"`
+	Mismatches int64   `json:"mismatches"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50us      float64 `json:"p50_us"`
+	P95us      float64 `json:"p95_us"`
+	P99us      float64 `json:"p99_us"`
+}
+
+// Report is the BENCH_server.json document.
+type Report struct {
+	Bench           string           `json:"bench"`
+	When            string           `json:"when"`
+	ScaleFactor     float64          `json:"scale_factor"`
+	Faults          bool             `json:"faults"`
+	Rounds          []Round          `json:"rounds"`
+	PreparedVsAdhoc *PreparedVsAdhoc `json:"prepared_vs_adhoc,omitempty"`
+	FaultStats      *disk.FaultStats `json:"fault_stats,omitempty"`
+}
+
+// PreparedVsAdhoc compares point-query throughput with and without
+// server-side prepared statements.
+type PreparedVsAdhoc struct {
+	Conns         int     `json:"conns"`
+	AdhocOpsSec   float64 `json:"adhoc_ops_per_sec"`
+	PrepareOpsSec float64 `json:"prepared_ops_per_sec"`
+	Speedup       float64 `json:"speedup"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "server address; empty starts an in-process loopback server")
+	connsFlag := flag.String("conns", "1,4,16", "comma-separated connection counts to sweep")
+	dur := flag.Duration("dur", 2*time.Second, "duration of each measured round")
+	sf := flag.Float64("tpch", 0.01, "TPC-H scale factor for the in-process server")
+	secret := flag.String("secret", "", "Hello secret for -addr servers")
+	seed := flag.Int64("seed", 42, "workload RNG seed")
+	faults := flag.Bool("faults", false, "arm seeded disk faults on the in-process server after setup")
+	faultSeed := flag.Int64("faultseed", 1, "fault schedule seed (with -faults)")
+	check := flag.Bool("check", false, "exit non-zero on any mismatch or unclean shutdown")
+	poolPages := flag.Int("poolpages", 0, "in-process buffer pool size in pages (0 = engine default; -faults defaults to 512 so the fault-injecting device sees real I/O)")
+	out := flag.String("out", "BENCH_server.json", "output report path (empty disables)")
+	flag.Parse()
+
+	connCounts, err := parseConns(*connsFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// In-process server unless pointed elsewhere.
+	var srv *server.Server
+	var fd *disk.Faulty
+	target := *addr
+	if target == "" {
+		cfg := engine.Config{Routines: core.AllRoutines, PoolPages: *poolPages}
+		if *faults && *poolPages == 0 {
+			cfg.PoolPages = 512
+		}
+		if *faults {
+			fc := disk.DefaultChaosFaults
+			fc.Seed = *faultSeed
+			fd = disk.NewFaulty(disk.NewManager(disk.LatencyModel{}), fc)
+			cfg.Disk = fd
+		}
+		db := engine.Open(cfg)
+		fmt.Printf("loading TPC-H at SF %g...\n", *sf)
+		if err := tpch.CreateSchema(db); err != nil {
+			fatalf("tpch schema: %v", err)
+		}
+		if _, err := tpch.Load(db, tpch.NewGenerator(*sf), nil); err != nil {
+			fatalf("tpch load: %v", err)
+		}
+		srv, err = server.Listen(server.Config{Addr: "127.0.0.1:0", DB: db, MaxConns: 64})
+		if err != nil {
+			fatalf("listen: %v", err)
+		}
+		target = srv.Addr().String()
+		fmt.Printf("in-process server on %s\n", target)
+	}
+
+	if err := setupBenchTables(target, *secret); err != nil {
+		fatalf("setup: %v", err)
+	}
+	if fd != nil {
+		fd.SetEnabled(true)
+		fmt.Printf("disk faults armed (seed %d)\n", *faultSeed)
+	}
+
+	rep := &Report{
+		Bench:       "server",
+		When:        time.Now().UTC().Format(time.RFC3339),
+		ScaleFactor: *sf,
+		Faults:      *faults,
+	}
+	nParts := tpch.NewGenerator(*sf).NumPart()
+	var mismatches int64
+	for _, n := range connCounts {
+		r := runMixed(target, *secret, n, *dur, *seed, nParts)
+		mismatches += r.Mismatches
+		rep.Rounds = append(rep.Rounds, r)
+		fmt.Printf("mixed  conns=%-3d %8.0f ops/s  p50=%6.0fµs p95=%6.0fµs p99=%6.0fµs  errors=%d mismatches=%d\n",
+			n, r.OpsPerSec, r.P50us, r.P95us, r.P99us, r.Errors, r.Mismatches)
+	}
+
+	pva := runPreparedVsAdhoc(target, *secret, 4, *dur, *seed, nParts)
+	rep.PreparedVsAdhoc = pva
+	fmt.Printf("point queries: prepared %.0f ops/s vs ad-hoc %.0f ops/s (%.2fx)\n",
+		pva.PrepareOpsSec, pva.AdhocOpsSec, pva.Speedup)
+
+	cleanShutdown := true
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := srv.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			cleanShutdown = false
+			fmt.Fprintf(os.Stderr, "loadgen: shutdown: %v\n", err)
+		} else {
+			fmt.Println("server drained cleanly")
+		}
+	}
+	if fd != nil {
+		fs := fd.FaultStats()
+		rep.FaultStats = &fs
+		fmt.Printf("injected faults: %d (read errs %d, bit flips %d, torn writes %d)\n",
+			fs.Injected, fs.ReadErrs, fs.BitFlips, fs.TornWrites)
+	}
+
+	if *out != "" {
+		buf, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *check {
+		if mismatches > 0 {
+			fatalf("check failed: %d mismatches", mismatches)
+		}
+		if !cleanShutdown {
+			fatalf("check failed: unclean shutdown")
+		}
+		fmt.Println("check passed: zero mismatches, clean shutdown")
+	}
+}
+
+// setupBenchTables creates and seeds the bench_* tables over the wire,
+// using prepared DML for the bulk inserts.
+func setupBenchTables(addr, secret string) error {
+	c, err := client.DialConfig(client.Config{Addr: addr, Secret: secret})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for _, tbl := range []string{"bench_history", "bench_customer", "bench_district", "bench_kv"} {
+		c.Exec("drop table " + tbl) // best-effort: fresh server has none
+	}
+	ddl := []string{
+		`create table bench_kv (
+			k integer not null,
+			v varchar(32) not null,
+			primary key (k))`,
+		`create table bench_district (
+			d_w_id integer not null,
+			d_id integer not null,
+			d_ytd double not null,
+			primary key (d_w_id, d_id))`,
+		`create table bench_customer (
+			c_w_id integer not null,
+			c_d_id integer not null,
+			c_id integer not null,
+			c_balance double not null,
+			c_payment_cnt integer not null,
+			primary key (c_w_id, c_d_id, c_id))`,
+		`create table bench_history (
+			h_c_id integer not null,
+			h_d_id integer not null,
+			h_w_id integer not null,
+			h_amount double not null,
+			h_data varchar(24) not null)`,
+	}
+	for _, s := range ddl {
+		if _, err := c.Exec(s); err != nil {
+			return fmt.Errorf("%q: %w", s, err)
+		}
+	}
+	ins, err := c.Prepare("insert into bench_kv values ($1, $2)")
+	if err != nil {
+		return err
+	}
+	for k := 0; k < kvRows; k++ {
+		if _, err := ins.Exec(types.NewInt64(int64(k)), types.NewString(kvVal(k))); err != nil {
+			return fmt.Errorf("seed bench_kv %d: %w", k, err)
+		}
+	}
+	ins.Close()
+	for w := 1; w <= warehouses; w++ {
+		for d := 1; d <= districts; d++ {
+			if _, err := c.Exec(fmt.Sprintf(
+				"insert into bench_district values (%d, %d, 0.0)", w, d)); err != nil {
+				return err
+			}
+		}
+	}
+	insC, err := c.Prepare("insert into bench_customer values ($1, $2, $3, 1000.0, 0)")
+	if err != nil {
+		return err
+	}
+	defer insC.Close()
+	for w := 1; w <= warehouses; w++ {
+		for d := 1; d <= districts; d++ {
+			for cid := 1; cid <= custPerDist; cid++ {
+				if _, err := insC.Exec(types.NewInt64(int64(w)), types.NewInt64(int64(d)),
+					types.NewInt64(int64(cid))); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func kvVal(k int) string { return fmt.Sprintf("val-%d", k) }
+
+// worker is one connection's prepared workload.
+type worker struct {
+	c       *client.Conn
+	rng     *rand.Rand
+	nParts  int
+	kvGet   *client.Stmt
+	partGet *client.Stmt
+	liRange *client.Stmt
+	payDist *client.Stmt
+	payGet  *client.Stmt
+	payUpd  *client.Stmt
+	payHist *client.Stmt
+	ops     int64
+	errs    int64
+	misses  int64
+	lats    []time.Duration
+}
+
+func newWorker(addr, secret string, seed int64, nParts int) (*worker, error) {
+	c, err := client.DialConfig(client.Config{Addr: addr, Secret: secret})
+	if err != nil {
+		return nil, err
+	}
+	w := &worker{c: c, rng: rand.New(rand.NewSource(seed)), nParts: nParts}
+	prepare := func(sql string) (*client.Stmt, error) { return c.Prepare(sql) }
+	if w.kvGet, err = prepare("select v from bench_kv where k = $1"); err != nil {
+		return nil, err
+	}
+	if w.partGet, err = prepare("select p_name, p_retailprice from part where p_partkey = $1"); err != nil {
+		return nil, err
+	}
+	if w.liRange, err = prepare(
+		"select count(*), sum(l_extendedprice) from lineitem where l_orderkey >= $1 and l_orderkey < $2"); err != nil {
+		return nil, err
+	}
+	if w.payDist, err = prepare(
+		"update bench_district set d_ytd = d_ytd + $1 where d_w_id = $2 and d_id = $3"); err != nil {
+		return nil, err
+	}
+	if w.payGet, err = prepare(
+		"select c_balance from bench_customer where c_w_id = $1 and c_d_id = $2 and c_id = $3"); err != nil {
+		return nil, err
+	}
+	if w.payUpd, err = prepare(
+		"update bench_customer set c_balance = c_balance - $1, c_payment_cnt = c_payment_cnt + 1 " +
+			"where c_w_id = $2 and c_d_id = $3 and c_id = $4"); err != nil {
+		return nil, err
+	}
+	if w.payHist, err = prepare(
+		"insert into bench_history values ($1, $2, $3, $4, 'payment')"); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *worker) close() { w.c.Close() }
+
+// step runs one operation of the mixed workload and records its latency.
+func (w *worker) step() {
+	var err error
+	start := time.Now()
+	switch p := w.rng.Intn(100); {
+	case p < 35: // verified point read on the seeded kv table
+		k := w.rng.Intn(kvRows)
+		var res *client.Result
+		res, err = w.kvGet.Query(types.NewInt64(int64(k)))
+		if err == nil && (len(res.Rows) != 1 || res.Rows[0][0].Str() != kvVal(k)) {
+			w.misses++
+		}
+	case p < 55: // TPC-H point query
+		k := 1 + w.rng.Intn(w.nParts)
+		_, err = w.partGet.Query(types.NewInt64(int64(k)))
+	case p < 70: // TPC-H range aggregate
+		lo := 1 + w.rng.Intn(1000)
+		_, err = w.liRange.Query(types.NewInt64(int64(lo)), types.NewInt64(int64(lo+64)))
+	default: // TPC-C-Payment-shaped transaction
+		err = w.payment()
+	}
+	w.lats = append(w.lats, time.Since(start))
+	w.ops++
+	if err != nil {
+		w.errs++
+	}
+}
+
+func (w *worker) payment() error {
+	wid := int64(1 + w.rng.Intn(warehouses))
+	did := int64(1 + w.rng.Intn(districts))
+	cid := int64(1 + w.rng.Intn(custPerDist))
+	amount := 1.0 + float64(w.rng.Intn(500))/100
+	if _, err := w.payDist.Exec(types.NewFloat64(amount),
+		types.NewInt64(wid), types.NewInt64(did)); err != nil {
+		return err
+	}
+	res, err := w.payGet.Query(types.NewInt64(wid), types.NewInt64(did), types.NewInt64(cid))
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) != 1 {
+		w.misses++
+		return fmt.Errorf("payment: customer (%d,%d,%d) missing", wid, did, cid)
+	}
+	if _, err := w.payUpd.Exec(types.NewFloat64(amount),
+		types.NewInt64(wid), types.NewInt64(did), types.NewInt64(cid)); err != nil {
+		return err
+	}
+	_, err = w.payHist.Exec(types.NewInt64(cid), types.NewInt64(did), types.NewInt64(wid),
+		types.NewFloat64(amount))
+	return err
+}
+
+// runMixed drives n connections for dur and aggregates their counters.
+func runMixed(addr, secret string, n int, dur time.Duration, seed int64, nParts int) Round {
+	workers := make([]*worker, n)
+	for i := range workers {
+		w, err := newWorker(addr, secret, seed+int64(i), nParts)
+		if err != nil {
+			fatalf("worker %d: %v", i, err)
+		}
+		workers[i] = w
+	}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	start := time.Now()
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for !stop.Load() {
+				w.step()
+			}
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := Round{Name: "mixed", Conns: n, Seconds: elapsed.Seconds()}
+	var all []time.Duration
+	for _, w := range workers {
+		r.Ops += w.ops
+		r.Errors += w.errs
+		r.Mismatches += w.misses
+		all = append(all, w.lats...)
+		w.close()
+	}
+	r.OpsPerSec = float64(r.Ops) / elapsed.Seconds()
+	r.P50us, r.P95us, r.P99us = percentiles(all)
+	return r
+}
+
+// runPreparedVsAdhoc measures point-query throughput twice at the same
+// connection count: once through prepared statements, once as ad-hoc SQL
+// text the server must parse and plan on every request.
+func runPreparedVsAdhoc(addr, secret string, n int, dur time.Duration, seed int64, nParts int) *PreparedVsAdhoc {
+	run := func(prepared bool) float64 {
+		var wg sync.WaitGroup
+		var stop atomic.Bool
+		var total atomic.Int64
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c, err := client.DialConfig(client.Config{Addr: addr, Secret: secret})
+				if err != nil {
+					fatalf("dial: %v", err)
+				}
+				defer c.Close()
+				rng := rand.New(rand.NewSource(seed + int64(i)))
+				var st *client.Stmt
+				if prepared {
+					if st, err = c.Prepare("select p_name, p_retailprice from part where p_partkey = $1"); err != nil {
+						fatalf("prepare: %v", err)
+					}
+				}
+				var ops int64
+				for !stop.Load() {
+					k := 1 + rng.Intn(nParts)
+					if prepared {
+						_, err = st.Query(types.NewInt64(int64(k)))
+					} else {
+						_, err = c.Query(fmt.Sprintf(
+							"select p_name, p_retailprice from part where p_partkey = %d", k))
+					}
+					if err == nil {
+						ops++
+					}
+				}
+				total.Add(ops)
+			}(i)
+		}
+		start := time.Now()
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+		return float64(total.Load()) / time.Since(start).Seconds()
+	}
+	adhoc := run(false)
+	prep := run(true)
+	return &PreparedVsAdhoc{Conns: n, AdhocOpsSec: adhoc, PrepareOpsSec: prep,
+		Speedup: prep / adhoc}
+}
+
+func percentiles(lats []time.Duration) (p50, p95, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Microsecond)
+	}
+	return at(0.50), at(0.95), at(0.99)
+}
+
+func parseConns(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -conns element %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-conns is empty")
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+// Command microspec-server serves a bee-enabled database over TCP using
+// the internal/wire protocol. It creates an in-memory database
+// (optionally preloaded with TPC-H data), listens for client sessions,
+// and shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// finish, new connections get a typed "shutting_down" error, and the
+// final metrics snapshot is printed.
+//
+// With -faults the page store is wrapped in a seeded fault-injecting
+// device (armed only after loading finishes), so clients exercise the
+// engine's transient-fault retry and checksum paths — the CI server
+// smoke test runs a loadgen burst against exactly this configuration.
+//
+// Usage:
+//
+//	microspec-server [-addr 127.0.0.1:5433] [-tpch 0.01] [-stock]
+//	                 [-secret tok] [-maxconns 64] [-backlog 16]
+//	                 [-faults] [-faultseed 1]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/server"
+	"microspec/internal/storage/disk"
+	"microspec/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5433", "TCP listen address")
+	sf := flag.Float64("tpch", 0, "preload TPC-H data at this scale factor (0 = empty database)")
+	stock := flag.Bool("stock", false, "disable all micro-specialization (stock engine)")
+	secret := flag.String("secret", "", "require this shared secret in the Hello handshake")
+	maxConns := flag.Int("maxconns", 64, "maximum concurrent sessions")
+	backlog := flag.Int("backlog", 16, "accepted connections allowed to wait for a session slot")
+	helloTimeout := flag.Duration("hello-timeout", 5*time.Second, "accept-to-first-byte deadline")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "per-session idle deadline between requests")
+	faults := flag.Bool("faults", false, "inject seeded disk faults (armed after data loading)")
+	faultSeed := flag.Int64("faultseed", 1, "fault schedule seed (with -faults)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	flag.Parse()
+
+	routines := core.AllRoutines
+	if *stock {
+		routines = core.Stock
+	}
+	var fd *disk.Faulty
+	cfg := engine.Config{Routines: routines}
+	if *faults {
+		fc := disk.DefaultChaosFaults
+		fc.Seed = *faultSeed
+		fd = disk.NewFaulty(disk.NewManager(disk.LatencyModel{}), fc)
+		cfg.Disk = fd
+	}
+	db := engine.Open(cfg)
+	if *sf > 0 {
+		fmt.Printf("loading TPC-H at SF %g...\n", *sf)
+		if err := tpch.CreateSchema(db); err != nil {
+			fatalf("tpch schema: %v", err)
+		}
+		if _, err := tpch.Load(db, tpch.NewGenerator(*sf), nil); err != nil {
+			fatalf("tpch load: %v", err)
+		}
+	}
+	if fd != nil {
+		fd.SetEnabled(true)
+		fmt.Printf("disk faults armed (seed %d)\n", *faultSeed)
+	}
+
+	srv, err := server.Listen(server.Config{
+		Addr:          *addr,
+		DB:            db,
+		Secret:        *secret,
+		MaxConns:      *maxConns,
+		AcceptBacklog: *backlog,
+		HelloTimeout:  *helloTimeout,
+		IdleTimeout:   *idleTimeout,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	mode := "bee-enabled"
+	if *stock {
+		mode = "stock"
+	}
+	fmt.Printf("microspec-server (%s engine) listening on %s\n", mode, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down (draining sessions)...")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "microspec-server: drain incomplete: %v\n", err)
+	}
+	if fd != nil {
+		fs := fd.FaultStats()
+		fmt.Printf("injected faults: %d (read errs %d, bit flips %d, torn writes %d)\n",
+			fs.Injected, fs.ReadErrs, fs.BitFlips, fs.TornWrites)
+	}
+	fmt.Print(db.MetricsSnapshot().Format())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "microspec-server: "+format+"\n", args...)
+	os.Exit(1)
+}

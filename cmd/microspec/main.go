@@ -8,9 +8,18 @@
 // \metrics (unified metrics snapshot), \slow [ms] (slow-query log /
 // threshold), \resetmetrics, \q.
 //
+// With -connect host:port the shell runs against a remote
+// microspec-server over the wire protocol instead of an in-process
+// database: statements execute remotely, EXPLAIN ANALYZE is served by
+// the remote engine, and \set name value changes session-scoped
+// settings (timeout_ms, workers, batch). Engine-introspection meta
+// commands (\bees, \cache, ...) need the in-process engine and are
+// unavailable remotely.
+//
 // Usage:
 //
 //	microspec [-tpch 0.01] [-stock] [-slowms 100]
+//	microspec -connect host:port [-secret tok]
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"microspec/internal/client"
 	"microspec/internal/core"
 	"microspec/internal/engine"
 	"microspec/internal/tpch"
@@ -30,7 +40,21 @@ func main() {
 	sf := flag.Float64("tpch", 0, "preload TPC-H data at this scale factor (0 = empty database)")
 	stock := flag.Bool("stock", false, "disable all micro-specialization (stock engine)")
 	slowMS := flag.Int("slowms", 100, "slow-query log threshold in milliseconds (0 disables)")
+	connect := flag.String("connect", "", "run against a remote microspec-server at host:port")
+	secret := flag.String("secret", "", "Hello secret for -connect")
 	flag.Parse()
+
+	if *connect != "" {
+		conn, err := client.DialConfig(client.Config{Addr: *connect, Secret: *secret})
+		if err != nil {
+			fatalf("connect %s: %v", *connect, err)
+		}
+		defer conn.Close()
+		fmt.Printf("microspec connected to %s (session %d) — end statements with ';', \\q to quit\n",
+			*connect, conn.SessionID)
+		repl(func(stmt string) { runRemote(conn, stmt) }, func(cmd string) bool { return metaRemote(conn, cmd) })
+		return
+	}
 
 	routines := core.AllRoutines
 	if *stock {
@@ -46,7 +70,12 @@ func main() {
 		mode = "stock"
 	}
 	fmt.Printf("microspec (%s engine) — end statements with ';', \\q to quit\n", mode)
+	repl(func(stmt string) { run(db, stmt) }, func(cmd string) bool { return meta(db, cmd) })
+}
 
+// repl reads semicolon-terminated statements from stdin, dispatching
+// statements to runFn and backslash commands to metaFn (false = quit).
+func repl(runFn func(string), metaFn func(string) bool) {
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -62,7 +91,7 @@ func main() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if !meta(db, trimmed) {
+			if !metaFn(trimmed) {
 				return
 			}
 			prompt()
@@ -71,11 +100,89 @@ func main() {
 		buf.WriteString(line)
 		buf.WriteString("\n")
 		if strings.HasSuffix(trimmed, ";") {
-			run(db, buf.String())
+			runFn(buf.String())
 			buf.Reset()
 		}
 		prompt()
 	}
+}
+
+// runRemote executes one statement over the wire. EXPLAIN ANALYZE runs
+// remotely; plain EXPLAIN needs the in-process planner.
+func runRemote(conn *client.Conn, stmt string) {
+	trimmed := strings.TrimSuffix(strings.TrimSpace(stmt), ";")
+	lower := strings.ToLower(trimmed)
+	start := time.Now()
+	if rest, analyze, ok := stripExplain(trimmed, lower); ok {
+		if !analyze {
+			fmt.Println("error: plain EXPLAIN is not available remotely (use EXPLAIN ANALYZE)")
+			return
+		}
+		res, err := conn.QueryAnalyze(rest)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Print(res.Analyze)
+		fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+		return
+	}
+	res, err := conn.Query(trimmed)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if len(res.Cols) > 0 {
+		printRemoteResult(res)
+		fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(start).Round(time.Microsecond))
+		return
+	}
+	fmt.Printf("ok (%d rows affected, %v)\n", res.Affected, time.Since(start).Round(time.Microsecond))
+}
+
+func printRemoteResult(res *client.Result) {
+	names := make([]string, len(res.Cols))
+	for i, c := range res.Cols {
+		names[i] = c.Name
+	}
+	fmt.Println(strings.Join(names, " | "))
+	limit := len(res.Rows)
+	if limit > 50 {
+		limit = 50
+	}
+	for _, row := range res.Rows[:limit] {
+		parts := make([]string, len(row))
+		for i, d := range row {
+			parts[i] = d.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if limit < len(res.Rows) {
+		fmt.Printf("... (%d more rows)\n", len(res.Rows)-limit)
+	}
+}
+
+// metaRemote handles the backslash commands that make sense over the
+// wire: \set changes session settings, \q quits.
+func metaRemote(conn *client.Conn, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\set":
+		if len(fields) != 3 {
+			fmt.Println("usage: \\set <timeout_ms|workers|batch> <value>")
+			break
+		}
+		if err := conn.Set(fields[1], fields[2]); err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		fmt.Printf("%s = %s\n", fields[1], fields[2])
+	default:
+		fmt.Println("remote meta commands: \\set <name> <value> \\q  (engine introspection needs a local session)")
+	}
+	return true
 }
 
 func buildDB(routines core.RoutineSet, sf float64) (*engine.DB, error) {

@@ -1,0 +1,248 @@
+// Package client is the Go driver for the microspec network server: it
+// dials, authenticates, and exposes Query/Prepare/Execute over the
+// internal/wire protocol. A Conn is one session and is not safe for
+// concurrent use — the protocol is strictly request/response — so
+// concurrent workloads open one Conn per goroutine (as cmd/loadgen
+// does).
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"microspec/internal/types"
+	"microspec/internal/wire"
+)
+
+// Config controls a connection.
+type Config struct {
+	// Addr is the server's host:port.
+	Addr string
+	// User and Secret are the Hello credentials.
+	User   string
+	Secret string
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request round-trip, as a client-side
+	// read deadline (default none: trust the server's timeouts).
+	RequestTimeout time.Duration
+}
+
+// Conn is one client session.
+type Conn struct {
+	cfg       Config
+	conn      net.Conn
+	r         *bufio.Reader
+	SessionID uint64
+	stmtSeq   int
+}
+
+// Result is one statement's fully read response.
+type Result struct {
+	Cols     []wire.Col
+	Rows     [][]types.Datum
+	Affected int64  // Done.Rows: returned rows for SELECT, affected for DML
+	Analyze  string // EXPLAIN ANALYZE outline when requested
+}
+
+// Dial connects with default credentials and no secret.
+func Dial(addr string) (*Conn, error) {
+	return DialConfig(Config{Addr: addr})
+}
+
+// DialConfig connects and runs the Hello handshake.
+func DialConfig(cfg Config) (*Conn, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.User == "" {
+		cfg.User = "microspec"
+	}
+	nc, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{cfg: cfg, conn: nc, r: bufio.NewReader(nc)}
+	hello := wire.Hello{Version: wire.ProtocolVersion, User: cfg.User, Secret: cfg.Secret}
+	if err := wire.WriteFrame(nc, wire.THello, wire.EncodeHello(hello)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetReadDeadline(time.Now().Add(cfg.DialTimeout))
+	f, err := wire.ReadFrame(c.r)
+	nc.SetReadDeadline(time.Time{})
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	switch f.Type {
+	case wire.THelloOK:
+		ok, err := wire.DecodeHelloOK(f.Payload)
+		if err != nil {
+			nc.Close()
+			return nil, err
+		}
+		c.SessionID = ok.SessionID
+		return c, nil
+	case wire.TError:
+		nc.Close()
+		return nil, wire.DecodeError(f.Payload)
+	default:
+		nc.Close()
+		return nil, &wire.Error{Code: wire.CodeMalformed,
+			Msg: fmt.Sprintf("expected HelloOK, got %v", f.Type)}
+	}
+}
+
+// Close sends Terminate and closes the connection.
+func (c *Conn) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	wire.WriteFrame(c.conn, wire.TTerminate, nil)
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// roundTrip sends one request frame and reads frames until Done or Error.
+func (c *Conn) roundTrip(t wire.Type, payload []byte) (*Result, error) {
+	if c.conn == nil {
+		return nil, &wire.Error{Code: wire.CodeInternal, Msg: "connection closed"}
+	}
+	if err := wire.WriteFrame(c.conn, t, payload); err != nil {
+		return nil, err
+	}
+	if d := c.cfg.RequestTimeout; d > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(d))
+		defer c.conn.SetReadDeadline(time.Time{})
+	}
+	res := &Result{}
+	for {
+		f, err := wire.ReadFrame(c.r)
+		if err != nil {
+			return nil, err
+		}
+		switch f.Type {
+		case wire.TRowDesc:
+			rd, err := wire.DecodeRowDesc(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			res.Cols = rd.Cols
+		case wire.TRow:
+			row, err := wire.DecodeRow(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row.Vals)
+		case wire.TDone:
+			dn, err := wire.DecodeDone(f.Payload)
+			if err != nil {
+				return nil, err
+			}
+			res.Affected = dn.Rows
+			res.Analyze = dn.Analyze
+			return res, nil
+		case wire.TError:
+			return nil, wire.DecodeError(f.Payload)
+		default:
+			return nil, &wire.Error{Code: wire.CodeMalformed,
+				Msg: fmt.Sprintf("unexpected response frame %v", f.Type)}
+		}
+	}
+}
+
+// Query runs one ad-hoc SQL statement (SELECT, DML, or DDL).
+func (c *Conn) Query(sql string) (*Result, error) {
+	return c.roundTrip(wire.TQuery, wire.EncodeQuery(wire.Query{SQL: sql}))
+}
+
+// QueryAnalyze runs a SELECT under EXPLAIN ANALYZE; Result.Analyze holds
+// the annotated plan outline.
+func (c *Conn) QueryAnalyze(sql string) (*Result, error) {
+	return c.roundTrip(wire.TQuery, wire.EncodeQuery(wire.Query{SQL: sql, Analyze: true}))
+}
+
+// Exec runs DML/DDL and returns the affected row count.
+func (c *Conn) Exec(sql string) (int64, error) {
+	res, err := c.Query(sql)
+	if err != nil {
+		return 0, err
+	}
+	return res.Affected, nil
+}
+
+// Set changes one session-scoped setting ("timeout_ms", "workers",
+// "batch").
+func (c *Conn) Set(name, value string) error {
+	_, err := c.roundTrip(wire.TSet, wire.EncodeSet(wire.Set{Name: name, Value: value}))
+	return err
+}
+
+// Stmt is a server-side prepared statement bound to its Conn.
+type Stmt struct {
+	c         *Conn
+	name      string
+	NumParams int
+	Cols      []wire.Col
+}
+
+// Prepare creates a named server-side prepared statement with $n
+// placeholders.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	c.stmtSeq++
+	name := fmt.Sprintf("s%d", c.stmtSeq)
+	if err := wire.WriteFrame(c.conn, wire.TPrepare,
+		wire.EncodePrepare(wire.Prepare{Name: name, SQL: sql})); err != nil {
+		return nil, err
+	}
+	f, err := wire.ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Type {
+	case wire.TPrepareOK:
+		ok, err := wire.DecodePrepareOK(f.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{c: c, name: name, NumParams: int(ok.NumParams), Cols: ok.Cols}, nil
+	case wire.TError:
+		return nil, wire.DecodeError(f.Payload)
+	default:
+		return nil, &wire.Error{Code: wire.CodeMalformed,
+			Msg: fmt.Sprintf("expected PrepareOK, got %v", f.Type)}
+	}
+}
+
+// Query executes a prepared SELECT with the given parameters.
+func (s *Stmt) Query(params ...types.Datum) (*Result, error) {
+	return s.c.roundTrip(wire.TExecute,
+		wire.EncodeExecute(wire.Execute{Name: s.name, Params: params}))
+}
+
+// QueryAnalyze executes under EXPLAIN ANALYZE.
+func (s *Stmt) QueryAnalyze(params ...types.Datum) (*Result, error) {
+	return s.c.roundTrip(wire.TExecute,
+		wire.EncodeExecute(wire.Execute{Name: s.name, Analyze: true, Params: params}))
+}
+
+// Exec executes prepared DML.
+func (s *Stmt) Exec(params ...types.Datum) (int64, error) {
+	res, err := s.Query(params...)
+	if err != nil {
+		return 0, err
+	}
+	return res.Affected, nil
+}
+
+// Close drops the statement on the server.
+func (s *Stmt) Close() error {
+	_, err := s.c.roundTrip(wire.TCloseStmt,
+		wire.EncodeCloseStmt(wire.CloseStmt{Name: s.name}))
+	return err
+}

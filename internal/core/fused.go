@@ -142,6 +142,8 @@ func maxVarIdx(e expr.Expr) (int, bool) {
 		return -1, true
 	case *expr.Var:
 		return n.Idx, true
+	case *expr.Param:
+		return -1, true
 	case *expr.Cmp:
 		return maxVar2(n.L, n.R)
 	case *expr.Arith:

@@ -53,6 +53,13 @@ func compileNode(e expr.Expr) (predFunc, int) {
 		idx := n.Idx
 		return func(row expr.Row) types.Datum { return row[idx] }, 0
 
+	case *expr.Param:
+		// Prepared-statement parameter: the closure reads the slot at call
+		// time, so one compiled bee serves every EXECUTE — re-binding the
+		// parameters never recompiles.
+		slot, idx := n.Slot, n.Idx
+		return func(expr.Row) types.Datum { return slot.Vals[idx] }, 0
+
 	case *expr.Cmp:
 		return compileCmp(n)
 

@@ -33,6 +33,7 @@ func (db *DB) insertRowLocked(rel relHandle, values []types.Datum, prof *profile
 	if err != nil {
 		return heap.TID{}, nil, err
 	}
+	db.dataGen.Add(1)
 	var insertedKeys []struct {
 		ix  *Index
 		key []types.Datum
@@ -86,8 +87,9 @@ func (db *DB) handleFor(name string) (relHandle, error) {
 	return relHandle{rel: rel, heap: h}, nil
 }
 
-// execInsert handles INSERT INTO ... VALUES.
-func (db *DB) execInsert(s *sql.Insert, prof *profile.Counters, txn *Txn) (int64, error) {
+// execInsert handles INSERT INTO ... VALUES. slots carries bound
+// prepared-statement parameters (nil for ad-hoc statements).
+func (db *DB) execInsert(s *sql.Insert, prof *profile.Counters, txn *Txn, slots *expr.ParamSlots) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	rel, err := db.handleFor(s.Table)
@@ -108,7 +110,7 @@ func (db *DB) execInsert(s *sql.Insert, prof *profile.Counters, txn *Txn) (int64
 			values[i] = types.Null
 		}
 		for i, e := range rowExprs {
-			d, err := evalConstAST(e)
+			d, err := evalConstAST(e, slots)
 			if err != nil {
 				return n, err
 			}
@@ -146,7 +148,9 @@ func insertColumnMap(rel *catalog.Relation, cols []string) ([]int, error) {
 }
 
 // evalConstAST evaluates a constant-only AST expression (INSERT values).
-func evalConstAST(e sql.Expr) (types.Datum, error) {
+// slots supplies $n parameter values for prepared statements; with slots
+// nil a placeholder is an error.
+func evalConstAST(e sql.Expr, slots *expr.ParamSlots) (types.Datum, error) {
 	switch n := e.(type) {
 	case *sql.NumLit:
 		c, err := parseNum(n)
@@ -163,9 +167,17 @@ func evalConstAST(e sql.Expr) (types.Datum, error) {
 			return types.Null, err
 		}
 		return types.NewDate(d), nil
+	case *sql.Placeholder:
+		if slots == nil {
+			return types.Null, fmt.Errorf("engine: parameter $%d outside a prepared statement", n.Idx)
+		}
+		if n.Idx < 1 || n.Idx > len(slots.Vals) {
+			return types.Null, fmt.Errorf("engine: parameter $%d out of range (statement has %d)", n.Idx, len(slots.Vals))
+		}
+		return slots.Vals[n.Idx-1], nil
 	case *sql.UnOp:
 		if n.Op == "-" {
-			d, err := evalConstAST(n.Kid)
+			d, err := evalConstAST(n.Kid, slots)
 			if err != nil {
 				return types.Null, err
 			}
@@ -175,11 +187,11 @@ func evalConstAST(e sql.Expr) (types.Datum, error) {
 			return types.NewInt64(-d.Int64()), nil
 		}
 	case *sql.BinOp:
-		l, err := evalConstAST(n.L)
+		l, err := evalConstAST(n.L, slots)
 		if err != nil {
 			return types.Null, err
 		}
-		r, err := evalConstAST(n.R)
+		r, err := evalConstAST(n.R, slots)
 		if err != nil {
 			return types.Null, err
 		}
@@ -213,14 +225,14 @@ func parseNum(n *sql.NumLit) (types.Datum, error) {
 }
 
 // execUpdate handles UPDATE ... SET ... WHERE by scanning the relation.
-func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, txn *Txn) (int64, error) {
+func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, txn *Txn, slots *expr.ParamSlots) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	rel, err := db.handleFor(s.Table)
 	if err != nil {
 		return 0, err
 	}
-	where, setExprs, setCols, err := db.compileUpdate(rel.rel, s)
+	where, setExprs, setCols, err := db.compileUpdate(rel.rel, s, slots)
 	if err != nil {
 		return 0, err
 	}
@@ -277,8 +289,8 @@ func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, txn *Txn) (int64
 	return int64(len(todo)), nil
 }
 
-func (db *DB) compileUpdate(rel *catalog.Relation, s *sql.Update) (expr.Expr, []expr.Expr, []int, error) {
-	conv := db.astConverterFor(rel)
+func (db *DB) compileUpdate(rel *catalog.Relation, s *sql.Update, slots *expr.ParamSlots) (expr.Expr, []expr.Expr, []int, error) {
+	conv := db.astConverter(rel, slots)
 	var where expr.Expr
 	var err error
 	if s.Where != nil {
@@ -319,6 +331,7 @@ func (db *DB) applyUpdateLocked(rel relHandle, tid heap.TID, oldVal, newVal []ty
 	if err != nil {
 		return nil, err
 	}
+	db.dataGen.Add(1)
 	// Index maintenance: remove old keys, add new ones (also when only
 	// the TID moved).
 	var undoIdx []func()
@@ -359,14 +372,14 @@ func btreeCompare(a, b []types.Datum) int {
 }
 
 // execDelete handles DELETE FROM ... WHERE by scanning the relation.
-func (db *DB) execDelete(s *sql.Delete, prof *profile.Counters, txn *Txn) (int64, error) {
+func (db *DB) execDelete(s *sql.Delete, prof *profile.Counters, txn *Txn, slots *expr.ParamSlots) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	rel, err := db.handleFor(s.Table)
 	if err != nil {
 		return 0, err
 	}
-	conv := db.astConverterFor(rel.rel)
+	conv := db.astConverter(rel.rel, slots)
 	var where expr.Expr
 	if s.Where != nil {
 		where, err = conv(s.Where)
@@ -422,6 +435,7 @@ func (db *DB) deleteRowLocked(rel relHandle, tid heap.TID, values []types.Datum,
 	if err != nil {
 		return nil, err
 	}
+	db.dataGen.Add(1)
 	for _, ix := range db.byRel[rel.rel.ID] {
 		ix.Tree.Delete(indexKey(values, ix.Cols), tid, prof)
 	}
@@ -440,11 +454,18 @@ func (db *DB) deleteRowLocked(rel relHandle, tid heap.TID, values []types.Datum,
 	return undo, nil
 }
 
-// astConverterFor builds a converter that resolves identifiers against a
-// single relation's attributes (for UPDATE/DELETE WHERE clauses).
-func (db *DB) astConverterFor(rel *catalog.Relation) func(sql.Expr) (expr.Expr, error) {
+// astConverter builds a converter that resolves identifiers against a
+// single relation's attributes (for UPDATE/DELETE WHERE clauses). slots,
+// when non-nil, lets the converted expression read $n prepared-statement
+// parameters; the planner copy keeps the shared planner untouched.
+func (db *DB) astConverter(rel *catalog.Relation, slots *expr.ParamSlots) func(sql.Expr) (expr.Expr, error) {
+	pl := *db.planner
+	if slots != nil {
+		pl.Params = slots
+		pl.ParamTypes = make([]types.T, len(slots.Vals))
+	}
 	return func(e sql.Expr) (expr.Expr, error) {
-		planned, err := db.planner.ConvertForRelation(e, rel)
+		planned, err := pl.ConvertForRelation(e, rel)
 		return planned, err
 	}
 }

@@ -71,6 +71,14 @@ type DB struct {
 	// SetStatementTimeout.
 	stmtTimeoutNs atomic.Int64
 
+	// ddlGen counts schema/routine changes; a prepared statement replans
+	// when its generation falls behind (its plan may hold dropped heaps
+	// or stale bee routines). dataGen counts row modifications; a
+	// prepared statement drops its plan's cross-run caches (Materialize,
+	// uncorrelated subqueries) when behind. See prepare.go.
+	ddlGen  atomic.Uint64
+	dataGen atomic.Uint64
+
 	heaps   map[catalog.RelID]*heap.Heap
 	indexes map[string]*Index
 	byRel   map[catalog.RelID][]*Index
@@ -137,6 +145,15 @@ func Open(cfg Config) *DB {
 		},
 		Workers: cfg.Workers,
 		Batch:   !cfg.NoBatch,
+		IndexesFor: func(rel *catalog.Relation) []plan.IndexMeta {
+			// Called during planning, which always runs under db.mu.
+			ixs := db.byRel[rel.ID]
+			metas := make([]plan.IndexMeta, len(ixs))
+			for i, ix := range ixs {
+				metas[i] = plan.IndexMeta{Name: ix.Name, Cols: ix.Cols, Tree: ix.Tree}
+			}
+			return metas
+		},
 	}
 	return db
 }
@@ -230,9 +247,25 @@ type Result struct {
 	Rows []expr.Row
 }
 
+// QueryOpts overrides per-call execution settings — the server maps each
+// session's SET commands onto these, so sessions tune timeout,
+// parallelism, and batching independently over one shared DB. Zero
+// values mean "use the database default".
+type QueryOpts struct {
+	// Timeout bounds this call's execution; 0 falls back to the
+	// database-wide statement timeout.
+	Timeout time.Duration
+	// Workers overrides the intra-query parallelism degree; 0 keeps the
+	// database default, 1 forces a serial plan.
+	Workers int
+	// Batch overrides the batch-at-a-time executor choice; nil keeps the
+	// database default.
+	Batch *bool
+}
+
 // Query parses, plans, and runs a SELECT.
 func (db *DB) Query(text string) (*Result, error) {
-	res, _, err := db.runSelect(context.Background(), text, nil, false)
+	res, _, err := db.runSelect(context.Background(), text, nil, false, nil)
 	return res, err
 }
 
@@ -240,13 +273,20 @@ func (db *DB) Query(text string) (*Result, error) {
 // deadline, or the statement timeout) stops execution mid-scan —
 // including inside parallel Gather workers — and returns ctx.Err().
 func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
-	res, _, err := db.runSelect(ctx, text, nil, false)
+	res, _, err := db.runSelect(ctx, text, nil, false, nil)
+	return res, err
+}
+
+// QueryWith runs a SELECT with per-call setting overrides (session-scoped
+// settings on the network server).
+func (db *DB) QueryWith(ctx context.Context, text string, opts QueryOpts) (*Result, error) {
+	res, _, err := db.runSelect(ctx, text, nil, false, &opts)
 	return res, err
 }
 
 // QueryProfiled runs a SELECT charging abstract instructions to prof.
 func (db *DB) QueryProfiled(text string, prof *profile.Counters) (*Result, error) {
-	res, _, err := db.runSelect(context.Background(), text, prof, false)
+	res, _, err := db.runSelect(context.Background(), text, prof, false, nil)
 	return res, err
 }
 
@@ -255,7 +295,7 @@ func (db *DB) QueryProfiled(text string, prof *profile.Counters) (*Result, error
 // actual rows, loops, and inclusive wall-clock time per node, with the
 // bee-routine markers intact — alongside the materialized result.
 func (db *DB) ExplainAnalyzeQuery(text string) (string, *Result, error) {
-	res, root, err := db.runSelect(context.Background(), text, nil, true)
+	res, root, err := db.runSelect(context.Background(), text, nil, true, nil)
 	if err != nil {
 		return "", nil, err
 	}
@@ -274,12 +314,16 @@ func (db *DB) ExplainAnalyzeQuery(text string) (string, *Result, error) {
 // generic routines — the paper's bee-unavailable path, enforced at
 // runtime. The retry happens only when at least one bee was newly
 // quarantined, so a second panic cannot loop.
-func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counters, analyze bool) (*Result, exec.Node, error) {
+func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counters, analyze bool, opts *QueryOpts) (*Result, exec.Node, error) {
 	start := time.Now()
 	if qctx == nil {
 		qctx = context.Background()
 	}
-	if d := db.StatementTimeout(); d > 0 {
+	d := db.StatementTimeout()
+	if opts != nil && opts.Timeout > 0 {
+		d = opts.Timeout
+	}
+	if d > 0 {
 		var cancel context.CancelFunc
 		qctx, cancel = context.WithTimeout(qctx, d)
 		defer cancel()
@@ -291,11 +335,23 @@ func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counter
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 
+	pl := db.planner
+	if opts != nil && (opts.Workers > 0 || opts.Batch != nil) {
+		cp := *db.planner
+		if opts.Workers > 0 {
+			cp.Workers = opts.Workers
+		}
+		if opts.Batch != nil {
+			cp.Batch = *opts.Batch
+		}
+		pl = &cp
+	}
+
 	var planned *plan.Planned
 	var root exec.Node
 	var rows []expr.Row
 	for attempt := 0; ; attempt++ {
-		planned, err = db.planner.PlanSelect(sel)
+		planned, err = pl.PlanSelect(sel)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -422,11 +478,11 @@ func (db *DB) execStmt(text string, prof *profile.Counters) (int64, error) {
 	case *sql.DropTable:
 		return 0, db.dropTable(s.Name)
 	case *sql.Insert:
-		return db.execInsert(s, prof, nil)
+		return db.execInsert(s, prof, nil, nil)
 	case *sql.Update:
-		return db.execUpdate(s, prof, nil)
+		return db.execUpdate(s, prof, nil, nil)
 	case *sql.Delete:
-		return db.execDelete(s, prof, nil)
+		return db.execDelete(s, prof, nil, nil)
 	case *sql.Select:
 		return 0, fmt.Errorf("engine: use Query for SELECT")
 	default:
@@ -480,6 +536,7 @@ func (db *DB) createTable(s *sql.CreateTable) error {
 			Tree: tree,
 		})
 	}
+	db.ddlGen.Add(1)
 	return nil
 }
 
@@ -539,6 +596,7 @@ func (db *DB) createIndex(s *sql.CreateIndex) error {
 		return err
 	}
 	db.addIndexLocked(ix)
+	db.ddlGen.Add(1)
 	return nil
 }
 
@@ -565,6 +623,7 @@ func (db *DB) dropTable(name string) error {
 	delete(db.access, rel.ID)
 	// The Bee Collector reclaims the relation's bees.
 	db.mod.OnDropRelation(rel)
+	db.ddlGen.Add(1)
 	return nil
 }
 
@@ -592,6 +651,7 @@ func (db *DB) SetRoutines(rs core.RoutineSet) error {
 		}
 	}
 	db.obs.beeMode.Store(rs != core.Stock)
+	db.ddlGen.Add(1)
 	return nil
 }
 

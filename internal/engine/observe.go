@@ -63,9 +63,16 @@ type observer struct {
 	queryPanics       *metrics.Counter
 	quarantineRetries *metrics.Counter
 
+	// Prepared-statement counters (see prepare.go and DESIGN.md §11).
+	prepares        *metrics.Counter
+	preparedExecs   *metrics.Counter
+	preparedReplans *metrics.Counter
+	preparedResets  *metrics.Counter
+
 	latBee     *metrics.Histogram
 	latStock   *metrics.Histogram
 	latStmt    *metrics.Histogram
+	latExecute *metrics.Histogram
 	latParScan *metrics.Histogram
 	latParAgg  *metrics.Histogram
 
@@ -96,9 +103,15 @@ func newObserver() *observer {
 		queryPanics:       reg.Counter("query_panics"),
 		quarantineRetries: reg.Counter("quarantine_retries"),
 
+		prepares:        reg.Counter("prepared.count"),
+		preparedExecs:   reg.Counter("prepared.executions"),
+		preparedReplans: reg.Counter("prepared.replans"),
+		preparedResets:  reg.Counter("prepared.cache_resets"),
+
 		latBee:     reg.Histogram("query.latency.bee"),
 		latStock:   reg.Histogram("query.latency.stock"),
 		latStmt:    reg.Histogram("stmt.latency"),
+		latExecute: reg.Histogram("query.latency.execute"),
 		latParScan: reg.Histogram("parallel.worker.scan"),
 		latParAgg:  reg.Histogram("parallel.worker.agg"),
 	}
@@ -151,6 +164,27 @@ func (o *observer) observeStmt(sql string, d time.Duration, rows int64, err erro
 	o.rowsAffected.Add(rows)
 	o.latStmt.Observe(d)
 	o.noteSlow(sql, d, rows, "dml")
+}
+
+// observeExecute records one EXECUTE of a prepared SELECT: the shared
+// query counters/histograms plus the execute-path latency histogram
+// (EXECUTE skips parse and usually plan, so its latency distribution is
+// the headline number for the prepared-statement experiment, E13).
+func (o *observer) observeExecute(sql string, d time.Duration, rows int64, err error) {
+	o.preparedExecs.Inc()
+	o.observeQuery(sql, d, rows, err)
+	if err == nil {
+		o.latExecute.Observe(d)
+	}
+}
+
+// observeExecuteStmt records one EXECUTE of a prepared DML statement.
+func (o *observer) observeExecuteStmt(sql string, d time.Duration, rows int64, err error) {
+	o.preparedExecs.Inc()
+	o.observeStmt(sql, d, rows, err)
+	if err == nil {
+		o.latExecute.Observe(d)
+	}
 }
 
 func (o *observer) noteSlow(sql string, d time.Duration, rows int64, mode string) {

@@ -56,6 +56,9 @@ func (t *Txn) Rollback() error {
 			firstErr = err
 		}
 	}
+	if len(t.undo) > 0 {
+		t.db.dataGen.Add(1)
+	}
 	t.undo = nil
 	t.db.mu.Unlock()
 	return firstErr
@@ -243,5 +246,8 @@ func (db *DB) BulkLoad(relName string, prof *profile.Counters, next func() ([]ty
 	}
 	rel.rel.Stats.RowCount = rel.heap.LiveTuples()
 	rel.rel.Stats.Pages = int64(rel.heap.NumPages())
+	if n > 0 {
+		db.dataGen.Add(1)
+	}
 	return n, nil
 }

@@ -634,6 +634,10 @@ func ParallelSafeExpr(e expr.Expr) bool {
 		return true
 	case *expr.Var, *expr.Const, *expr.InList:
 		return true
+	case *expr.Param:
+		// Workers only read the bound slot values; binding happens before
+		// the plan runs.
+		return true
 	case *expr.Like:
 		return ParallelSafeExpr(n.Kid)
 	case *expr.Cmp:

@@ -122,6 +122,12 @@ type IndexScan struct {
 	// Lo and Hi bound the scan (inclusive, prefix semantics); with Hi nil
 	// the scan uses prefix-equality on Lo.
 	Lo, Hi btree.Key
+	// KeyExprs, when set, are evaluated at every Open to rebuild Lo — the
+	// equality prefix key of a parameterized point lookup, re-bound per
+	// prepared-statement EXECUTE. The expressions must be row-independent
+	// (constants and parameters). A NULL key value makes the scan empty:
+	// SQL equality never matches NULL.
+	KeyExprs []expr.Expr
 	// Reverse returns rows in descending key order (materialized).
 	Reverse bool
 
@@ -148,6 +154,21 @@ func NewIndexScan(h *heap.Heap, tree *btree.Tree, deform core.DeformFunc, natts 
 func (s *IndexScan) Open(ctx *Ctx) error {
 	s.tids = s.tids[:0]
 	s.pos = 0
+	if len(s.KeyExprs) > 0 {
+		if s.Lo == nil {
+			s.Lo = make(btree.Key, len(s.KeyExprs))
+		}
+		for i, e := range s.KeyExprs {
+			d := e.Eval(nil, &ctx.Expr)
+			if d.IsNull() {
+				if s.buf == nil {
+					s.buf = make(expr.Row, s.NAtts)
+				}
+				return nil // = NULL matches nothing
+			}
+			s.Lo[i] = d
+		}
+	}
 	collect := func(_ btree.Key, tid heap.TID) bool {
 		s.tids = append(s.tids, tid)
 		return true

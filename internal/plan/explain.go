@@ -109,6 +109,13 @@ func describe(n exec.Node) (string, []exec.Node) {
 		return fmt.Sprintf("BatchHashAgg groups=%d aggs=[%s]%s", len(v.GroupBy), strings.Join(names, ", "), bees),
 			[]exec.Node{v.Child}
 	case *exec.IndexScan:
+		if len(v.KeyExprs) > 0 {
+			keys := make([]string, len(v.KeyExprs))
+			for i, e := range v.KeyExprs {
+				keys[i] = e.String()
+			}
+			return fmt.Sprintf("IndexScan %s via %s key=(%s)", v.Heap.Rel.Name, v.Tree.Name, strings.Join(keys, ", ")), nil
+		}
 		return fmt.Sprintf("IndexScan %s via %s", v.Heap.Rel.Name, v.Tree.Name), nil
 	case *exec.ValuesNode:
 		return fmt.Sprintf("Values (%d rows)", len(v.Rows)), nil

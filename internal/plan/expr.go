@@ -60,6 +60,9 @@ func (p *Planner) convertExpr(e sql.Expr, s *scope) (expr.Expr, error) {
 	case *sql.BinOp:
 		return p.convertBinOp(n, s)
 
+	case *sql.Placeholder:
+		return p.convertPlaceholder(n, types.T{})
+
 	case *sql.UnOp:
 		kid, err := p.convertExpr(n.Kid, s)
 		if err != nil {
@@ -105,11 +108,11 @@ func (p *Planner) convertExpr(e sql.Expr, s *scope) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		lo, err := p.convertExpr(n.Lo, s)
+		lo, err := p.convertMaybeParam(n.Lo, s, x.Type())
 		if err != nil {
 			return nil, err
 		}
-		hi, err := p.convertExpr(n.Hi, s)
+		hi, err := p.convertMaybeParam(n.Hi, s, x.Type())
 		if err != nil {
 			return nil, err
 		}
@@ -235,11 +238,7 @@ func (p *Planner) convertBinOp(n *sql.BinOp, s *scope) (expr.Expr, error) {
 		}
 		return &expr.Or{Kids: flattenOr(l, r)}, nil
 	case "=", "<>", "<", "<=", ">", ">=":
-		l, err := p.convertExpr(n.L, s)
-		if err != nil {
-			return nil, err
-		}
-		r, err := p.convertExpr(n.R, s)
+		l, r, err := p.convertPair(n.L, n.R, s)
 		if err != nil {
 			return nil, err
 		}
@@ -255,11 +254,7 @@ func (p *Planner) convertBinOp(n *sql.BinOp, s *scope) (expr.Expr, error) {
 		}
 		fallthrough
 	case "*", "/":
-		l, err := p.convertExpr(n.L, s)
-		if err != nil {
-			return nil, err
-		}
-		r, err := p.convertExpr(n.R, s)
+		l, r, err := p.convertPair(n.L, n.R, s)
 		if err != nil {
 			return nil, err
 		}
@@ -338,6 +333,59 @@ func flattenOr(l, r expr.Expr) []expr.Expr {
 		kids = append(kids, r)
 	}
 	return kids
+}
+
+// convertPair converts a binary node's two operands, typing a
+// placeholder operand from its sibling (c_custkey = $1 gives $1 the key
+// column's type).
+func (p *Planner) convertPair(le, re sql.Expr, s *scope) (expr.Expr, expr.Expr, error) {
+	if _, ok := le.(*sql.Placeholder); ok {
+		r, err := p.convertExpr(re, s)
+		if err != nil {
+			return nil, nil, err
+		}
+		l, err := p.convertMaybeParam(le, s, r.Type())
+		return l, r, err
+	}
+	l, err := p.convertExpr(le, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := p.convertMaybeParam(re, s, l.Type())
+	return l, r, err
+}
+
+// convertMaybeParam converts e, giving it hint as its type when it is a
+// placeholder.
+func (p *Planner) convertMaybeParam(e sql.Expr, s *scope, hint types.T) (expr.Expr, error) {
+	if ph, ok := e.(*sql.Placeholder); ok {
+		return p.convertPlaceholder(ph, hint)
+	}
+	return p.convertExpr(e, s)
+}
+
+// convertPlaceholder lowers a $n placeholder to an expr.Param bound to
+// the planner's slot array. The first conversion with a usable hint
+// fixes the parameter's type; reuse of the same $n keeps it.
+func (p *Planner) convertPlaceholder(n *sql.Placeholder, hint types.T) (expr.Expr, error) {
+	if p.Params == nil {
+		return nil, fmt.Errorf("plan: parameter $%d outside a prepared statement", n.Idx)
+	}
+	idx := n.Idx - 1
+	if idx < 0 || idx >= len(p.Params.Vals) {
+		return nil, fmt.Errorf("plan: parameter $%d out of range (statement has %d)", n.Idx, len(p.Params.Vals))
+	}
+	t := hint
+	if idx < len(p.ParamTypes) && p.ParamTypes[idx].Kind != types.KindInvalid {
+		t = p.ParamTypes[idx]
+	}
+	if t.Kind == types.KindInvalid {
+		t = types.Int64
+	}
+	if idx < len(p.ParamTypes) {
+		p.ParamTypes[idx] = t
+	}
+	return &expr.Param{Idx: idx, T: t, Slot: p.Params}, nil
 }
 
 // planInSubquery plans x IN (SELECT ...) as an expression node.

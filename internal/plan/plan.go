@@ -16,8 +16,10 @@ import (
 	"microspec/internal/core"
 	"microspec/internal/exec"
 	"microspec/internal/expr"
+	"microspec/internal/index/btree"
 	"microspec/internal/sql"
 	"microspec/internal/storage/heap"
+	"microspec/internal/types"
 )
 
 // Planner turns parsed statements into executable plans for one database.
@@ -33,6 +35,28 @@ type Planner struct {
 	// (see batch.go); it runs after parallelize so partition subplans
 	// batch too.
 	Batch bool
+	// Params is the prepared-statement slot array $n placeholders bind
+	// to. Nil outside a prepared statement, in which case placeholders
+	// are a planning error. The engine copies the Planner per prepare, so
+	// setting this never races with other sessions.
+	Params *expr.ParamSlots
+	// ParamTypes records the type inferred for each placeholder during
+	// conversion (indexed by 0-based slot). The prepare path sizes it;
+	// EXECUTE uses it to coerce bound values.
+	ParamTypes []types.T
+	// IndexesFor lists the secondary/primary indexes available on a
+	// relation as (column-ordinal prefix, lookup) pairs; the engine
+	// provides it so attachFilters can plan equality index scans. Nil
+	// disables index scan selection.
+	IndexesFor func(rel *catalog.Relation) []IndexMeta
+}
+
+// IndexMeta describes one index usable for planning: the indexed column
+// ordinals (in key order) and the open handle the executor probes.
+type IndexMeta struct {
+	Name string
+	Cols []int
+	Tree *btree.Tree
 }
 
 // Planned is a ready-to-run query plan.

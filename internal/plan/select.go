@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"microspec/internal/catalog"
 	"microspec/internal/exec"
 	"microspec/internal/expr"
 	"microspec/internal/sql"
@@ -42,6 +43,9 @@ type fromItem struct {
 	cols    []column
 	est     float64
 	filters []sql.Expr // pushed-down single-item conjuncts
+	// rel is set for base-table items; attachFilters uses it to consider
+	// equality index scans.
+	rel *catalog.Relation
 }
 
 // joinEdge is an equi-join conjunct between two from items.
@@ -208,6 +212,7 @@ func (sp *selectPlan) attachFilters(it *fromItem) error {
 	} else {
 		pred = &expr.And{Kids: kids}
 	}
+	sp.p.tryIndexScan(it, kids)
 	f := &exec.Filter{Child: it.node, Pred: pred}
 	if cp, ok := sp.p.Mod.CompilePredicate(pred); ok {
 		f.Compiled = cp
@@ -216,6 +221,93 @@ func (sp *selectPlan) attachFilters(it *fromItem) error {
 	it.node = f
 	it.est = it.est / float64(1+len(it.filters))
 	return nil
+}
+
+// tryIndexScan replaces a base-table sequential scan with an equality
+// index scan when the pushed conjuncts pin a prefix of some index's key
+// to row-independent values (constants or prepared-statement
+// parameters). The full filter stays on top as a recheck, so the
+// rewrite is always safe; the win is skipping the heap scan for point
+// and small-prefix lookups. Longest matched prefix wins.
+func (p *Planner) tryIndexScan(it *fromItem, conjuncts []expr.Expr) {
+	if it.rel == nil || p.IndexesFor == nil {
+		return
+	}
+	if _, ok := it.node.(*exec.SeqScan); !ok {
+		return
+	}
+	// Equality bindings: column ordinal → key expression. The scan emits
+	// the relation's attributes in order, so Var ordinals are attribute
+	// ordinals.
+	eq := map[int]expr.Expr{}
+	for _, c := range conjuncts {
+		cmp, ok := c.(*expr.Cmp)
+		if !ok || cmp.Op != expr.EQ {
+			continue
+		}
+		if v, ok := cmp.L.(*expr.Var); ok && rowIndependent(cmp.R) {
+			eq[v.Idx] = cmp.R
+		} else if v, ok := cmp.R.(*expr.Var); ok && rowIndependent(cmp.L) {
+			eq[v.Idx] = cmp.L
+		}
+	}
+	if len(eq) == 0 {
+		return
+	}
+	var (
+		best     IndexMeta
+		bestCols int
+	)
+	for _, im := range p.IndexesFor(it.rel) {
+		n := 0
+		for _, col := range im.Cols {
+			if _, ok := eq[col]; !ok {
+				break
+			}
+			n++
+		}
+		if n > bestCols {
+			best, bestCols = im, n
+		}
+	}
+	if bestCols == 0 {
+		return
+	}
+	h, err := p.HeapFor(it.rel)
+	if err != nil {
+		return
+	}
+	deform, err := p.Mod.Deformer(it.rel)
+	if err != nil {
+		return
+	}
+	keyExprs := make([]expr.Expr, bestCols)
+	for i := 0; i < bestCols; i++ {
+		keyExprs[i] = eq[best.Cols[i]]
+	}
+	scan := exec.NewIndexScan(h, best.Tree, deform, 0, nil, nil, false)
+	scan.KeyExprs = keyExprs
+	it.node = scan
+	if it.est > 100 {
+		it.est = 100
+	}
+}
+
+// rowIndependent reports whether e reads nothing from the input row —
+// only constants, parameters, and arithmetic over them.
+func rowIndependent(e expr.Expr) bool {
+	switch n := e.(type) {
+	case *expr.Const, *expr.Param:
+		return true
+	case *expr.DateArith:
+		return rowIndependent(n.L)
+	case *expr.Arith:
+		return rowIndependent(n.L) && rowIndependent(n.R)
+	case *expr.Neg:
+		return rowIndependent(n.Kid)
+	default:
+		return false
+	}
 }
 
 // identEqEdge recognizes a two-item equi-join conjunct col_a = col_b.
@@ -465,7 +557,7 @@ func (sp *selectPlan) planTableRef(ref sql.TableRef) (*fromItem, error) {
 		for i, a := range rel.Attrs {
 			cols[i] = column{tbl: alias, name: a.Name, t: a.Type}
 		}
-		return &fromItem{node: node, cols: cols, est: p.estRows(rel)}, nil
+		return &fromItem{node: node, cols: cols, est: p.estRows(rel), rel: rel}, nil
 
 	case *sql.SubqueryRef:
 		node, sub, err := p.planSelect(r.Sel, sp.parent)

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"microspec/internal/engine"
+	"microspec/internal/exec"
+	"microspec/internal/sql"
+	"microspec/internal/wire"
+)
+
+// session is one authenticated connection: its settings, its named
+// prepared statements, and its request loop. A session serves one
+// request at a time (the protocol is strictly request/response), so none
+// of the per-session state needs locking except the busy flag Shutdown
+// reads from another goroutine.
+type session struct {
+	srv   *Server
+	conn  net.Conn
+	id    uint64
+	opts  engine.QueryOpts
+	stmts map[string]*engine.Stmt
+	busy  atomic.Bool
+}
+
+// interruptIfIdle closes the connection unless a request is in flight —
+// the shutdown path's way of waking sessions parked in ReadFrame.
+func (s *session) interruptIfIdle() {
+	if !s.busy.Load() {
+		s.conn.Close()
+	}
+}
+
+func (s *session) closeStmts() {
+	for _, st := range s.stmts {
+		st.Close()
+	}
+}
+
+// loop reads one frame at a time and answers it. Malformed frames get a
+// typed error and close the session (framing is unrecoverable);
+// statement errors get a typed error and the session continues.
+func (s *session) loop() {
+	srv := s.srv
+	for {
+		if srv.closing.Load() {
+			srv.reject(s.conn, wire.CodeShutdown, "server is shutting down")
+			return
+		}
+		s.conn.SetReadDeadline(time.Now().Add(srv.cfg.IdleTimeout))
+		f, err := wire.ReadFrame(s.conn)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				srv.mIdleTimeouts.Inc()
+				srv.reject(s.conn, wire.CodeTimeout, "idle timeout")
+				return
+			}
+			var we *wire.Error
+			if errors.As(err, &we) {
+				srv.mBadFrames.Inc()
+				srv.writeError(s.conn, err)
+			}
+			return
+		}
+		s.busy.Store(true)
+		start := time.Now()
+		srv.mRequests.Inc()
+		done := s.handle(f)
+		srv.mLatency.Observe(time.Since(start))
+		s.busy.Store(false)
+		if done {
+			return
+		}
+	}
+}
+
+// handle answers one frame; true means the session should end.
+func (s *session) handle(f wire.Frame) bool {
+	srv := s.srv
+	switch f.Type {
+	case wire.TTerminate:
+		return true
+
+	case wire.TQuery:
+		q, err := wire.DecodeQuery(f.Payload)
+		if err != nil {
+			srv.mBadFrames.Inc()
+			srv.writeError(s.conn, err)
+			return true
+		}
+		return s.runQuery(q) != nil
+
+	case wire.TPrepare:
+		p, err := wire.DecodePrepare(f.Payload)
+		if err != nil {
+			srv.mBadFrames.Inc()
+			srv.writeError(s.conn, err)
+			return true
+		}
+		st, err := srv.db.PrepareWith(p.SQL, s.opts)
+		if err != nil {
+			return srv.writeError(s.conn, err) != nil
+		}
+		if old, ok := s.stmts[p.Name]; ok {
+			old.Close()
+		}
+		s.stmts[p.Name] = st
+		ok := wire.PrepareOK{NumParams: uint16(st.NumParams()), Cols: colsOf(st.Columns())}
+		return wire.WriteFrame(s.conn, wire.TPrepareOK, wire.EncodePrepareOK(ok)) != nil
+
+	case wire.TExecute:
+		e, err := wire.DecodeExecute(f.Payload)
+		if err != nil {
+			srv.mBadFrames.Inc()
+			srv.writeError(s.conn, err)
+			return true
+		}
+		st, ok := s.stmts[e.Name]
+		if !ok {
+			return srv.writeError(s.conn, &wire.Error{
+				Code: wire.CodeUnknownStmt, Msg: fmt.Sprintf("no prepared statement %q", e.Name)}) != nil
+		}
+		return s.runExecute(st, e) != nil
+
+	case wire.TCloseStmt:
+		c, err := wire.DecodeCloseStmt(f.Payload)
+		if err != nil {
+			srv.mBadFrames.Inc()
+			srv.writeError(s.conn, err)
+			return true
+		}
+		if st, ok := s.stmts[c.Name]; ok {
+			st.Close()
+			delete(s.stmts, c.Name)
+		}
+		return wire.WriteFrame(s.conn, wire.TDone, wire.EncodeDone(wire.Done{})) != nil
+
+	case wire.TSet:
+		m, err := wire.DecodeSet(f.Payload)
+		if err != nil {
+			srv.mBadFrames.Inc()
+			srv.writeError(s.conn, err)
+			return true
+		}
+		if err := s.applySet(m); err != nil {
+			return srv.writeError(s.conn, err) != nil
+		}
+		return wire.WriteFrame(s.conn, wire.TDone, wire.EncodeDone(wire.Done{})) != nil
+
+	default:
+		srv.mBadFrames.Inc()
+		srv.writeError(s.conn, &wire.Error{
+			Code: wire.CodeMalformed, Msg: fmt.Sprintf("unexpected frame %v", f.Type)})
+		return true
+	}
+}
+
+// runQuery executes one ad-hoc statement. The SQL is parsed once here to
+// route SELECTs to the query path and everything else to Exec. A non-nil
+// return means the transport failed; statement errors are reported
+// in-band and return nil.
+func (s *session) runQuery(q wire.Query) error {
+	srv := s.srv
+	stmt, err := sql.Parse(q.SQL)
+	if err != nil {
+		return srv.writeError(s.conn, err)
+	}
+	if _, isSel := stmt.(*sql.Select); !isSel {
+		n, err := srv.db.Exec(q.SQL)
+		if err != nil {
+			return srv.writeError(s.conn, err)
+		}
+		return wire.WriteFrame(s.conn, wire.TDone, wire.EncodeDone(wire.Done{Rows: n}))
+	}
+	var res *engine.Result
+	var analyze string
+	if q.Analyze {
+		analyze, res, err = srv.db.ExplainAnalyzeQuery(q.SQL)
+	} else {
+		res, err = srv.db.QueryWith(nil, q.SQL, s.opts)
+	}
+	if err != nil {
+		return srv.writeError(s.conn, err)
+	}
+	return s.sendResult(res, analyze)
+}
+
+// runExecute binds and runs a prepared statement.
+func (s *session) runExecute(st *engine.Stmt, e wire.Execute) error {
+	srv := s.srv
+	if !st.IsSelect() {
+		n, err := st.Exec(e.Params...)
+		if err != nil {
+			return srv.writeError(s.conn, err)
+		}
+		return wire.WriteFrame(s.conn, wire.TDone, wire.EncodeDone(wire.Done{Rows: n}))
+	}
+	var res *engine.Result
+	var analyze string
+	var err error
+	if e.Analyze {
+		analyze, res, err = st.ExplainAnalyze(e.Params...)
+	} else {
+		res, err = st.Query(e.Params...)
+	}
+	if err != nil {
+		return srv.writeError(s.conn, err)
+	}
+	return s.sendResult(res, analyze)
+}
+
+// sendResult streams RowDesc, the rows, and Done.
+func (s *session) sendResult(res *engine.Result, analyze string) error {
+	if err := wire.WriteFrame(s.conn, wire.TRowDesc,
+		wire.EncodeRowDesc(wire.RowDesc{Cols: colsOf(res.Cols)})); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		if err := wire.WriteFrame(s.conn, wire.TRow,
+			wire.EncodeRow(wire.Row{Vals: row})); err != nil {
+			return err
+		}
+	}
+	return wire.WriteFrame(s.conn, wire.TDone,
+		wire.EncodeDone(wire.Done{Rows: int64(len(res.Rows)), Analyze: analyze}))
+}
+
+// applySet maps a SET request onto the session's QueryOpts. Settings
+// affect subsequent ad-hoc queries immediately and prepared statements
+// from their next PREPARE (plans bake the degree in).
+func (s *session) applySet(m wire.Set) error {
+	switch strings.ToLower(m.Name) {
+	case "timeout_ms":
+		n, err := strconv.Atoi(m.Value)
+		if err != nil || n < 0 {
+			return &wire.Error{Code: wire.CodeQuery, Msg: fmt.Sprintf("bad timeout_ms %q", m.Value)}
+		}
+		s.opts.Timeout = time.Duration(n) * time.Millisecond
+	case "workers":
+		n, err := strconv.Atoi(m.Value)
+		if err != nil || n < 0 {
+			return &wire.Error{Code: wire.CodeQuery, Msg: fmt.Sprintf("bad workers %q", m.Value)}
+		}
+		s.opts.Workers = n
+	case "batch":
+		switch strings.ToLower(m.Value) {
+		case "on", "true", "1":
+			on := true
+			s.opts.Batch = &on
+		case "off", "false", "0":
+			off := false
+			s.opts.Batch = &off
+		default:
+			return &wire.Error{Code: wire.CodeQuery, Msg: fmt.Sprintf("bad batch %q", m.Value)}
+		}
+	default:
+		return &wire.Error{Code: wire.CodeQuery, Msg: fmt.Sprintf("unknown setting %q", m.Name)}
+	}
+	return nil
+}
+
+func colsOf(cols []exec.ColInfo) []wire.Col {
+	out := make([]wire.Col, len(cols))
+	for i, c := range cols {
+		out[i] = wire.Col{Name: c.Name, Tag: wire.KindTag(c.T.Kind)}
+	}
+	return out
+}

@@ -244,6 +244,10 @@ type SubstringExpr struct {
 	X, From, For Expr
 }
 
+// Placeholder is a $n positional parameter in a prepared statement.
+// Idx is 1-based, matching the SQL text.
+type Placeholder struct{ Idx int }
+
 func (*Ident) expr()         {}
 func (*NumLit) expr()        {}
 func (*StrLit) expr()        {}
@@ -263,3 +267,4 @@ func (*LikeExpr) expr()      {}
 func (*IsNullExpr) expr()    {}
 func (*ExtractExpr) expr()   {}
 func (*SubstringExpr) expr() {}
+func (*Placeholder) expr()   {}

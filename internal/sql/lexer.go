@@ -21,7 +21,8 @@ const (
 	tokKeyword
 	tokNumber
 	tokString
-	tokOp // operators and punctuation
+	tokOp    // operators and punctuation
+	tokParam // $n positional parameter; text is the digits
 )
 
 type token struct {
@@ -117,6 +118,14 @@ func lex(src string) ([]token, error) {
 				l.pos++
 			}
 			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '$' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			// Positional parameter ($1, $2, ...) for prepared statements.
+			l.pos++
+			numStart := l.pos
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokParam, text: l.src[numStart:l.pos], pos: start})
 		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
 			// Line comment.
 			for l.pos < len(l.src) && l.src[l.pos] != '\n' {

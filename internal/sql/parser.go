@@ -846,6 +846,13 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case t.kind == tokString:
 		p.pos++
 		return &StrLit{Val: t.text}, nil
+	case t.kind == tokParam:
+		p.pos++
+		idx, err := strconv.Atoi(t.text)
+		if err != nil || idx < 1 {
+			return nil, p.errf("bad parameter $%s", t.text)
+		}
+		return &Placeholder{Idx: idx}, nil
 	case t.kind == tokKeyword:
 		return p.parseKeywordPrimary()
 	case t.kind == tokIdent:

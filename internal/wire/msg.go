@@ -1,0 +1,305 @@
+package wire
+
+import (
+	"fmt"
+
+	"microspec/internal/types"
+)
+
+// This file defines the typed messages carried in frame payloads, with
+// symmetric Encode*/Decode* pairs. Decoders reject truncation, trailing
+// garbage, and implausible element counts with *Error (CodeMalformed) —
+// they are safe on arbitrary bytes.
+
+// maxElems bounds decoded element counts (columns, parameters) before
+// allocation; real statements are far smaller, and a corrupt count should
+// not drive a huge make().
+const maxElems = 1 << 16
+
+// Hello opens a session: protocol version plus credentials. The secret
+// is a shared token (the server is a benchmark harness, not a vault);
+// the point is exercising the auth round-trip and its error path.
+type Hello struct {
+	Version uint32
+	User    string
+	Secret  string
+}
+
+func EncodeHello(m Hello) []byte {
+	var e enc
+	e.u32(m.Version)
+	e.str(m.User)
+	e.str(m.Secret)
+	return e.b
+}
+
+func DecodeHello(p []byte) (Hello, error) {
+	d := dec{b: p}
+	m := Hello{Version: d.u32(), User: d.str(), Secret: d.str()}
+	return m, d.done(THello)
+}
+
+// HelloOK acknowledges a session.
+type HelloOK struct {
+	ServerVersion string
+	SessionID     uint64
+}
+
+func EncodeHelloOK(m HelloOK) []byte {
+	var e enc
+	e.str(m.ServerVersion)
+	e.u64(m.SessionID)
+	return e.b
+}
+
+func DecodeHelloOK(p []byte) (HelloOK, error) {
+	d := dec{b: p}
+	m := HelloOK{ServerVersion: d.str(), SessionID: d.u64()}
+	return m, d.done(THelloOK)
+}
+
+// Query runs one ad-hoc SQL statement (SELECT, DML, or DDL). Analyze
+// asks for the EXPLAIN ANALYZE outline in Done.Analyze.
+type Query struct {
+	SQL     string
+	Analyze bool
+}
+
+func EncodeQuery(m Query) []byte {
+	var e enc
+	e.u8(boolByte(m.Analyze))
+	e.str(m.SQL)
+	return e.b
+}
+
+func DecodeQuery(p []byte) (Query, error) {
+	d := dec{b: p}
+	m := Query{Analyze: d.u8() != 0, SQL: d.str()}
+	return m, d.done(TQuery)
+}
+
+// Prepare creates a named prepared statement with $n placeholders.
+type Prepare struct {
+	Name string
+	SQL  string
+}
+
+func EncodePrepare(m Prepare) []byte {
+	var e enc
+	e.str(m.Name)
+	e.str(m.SQL)
+	return e.b
+}
+
+func DecodePrepare(p []byte) (Prepare, error) {
+	d := dec{b: p}
+	m := Prepare{Name: d.str(), SQL: d.str()}
+	return m, d.done(TPrepare)
+}
+
+// PrepareOK describes a prepared statement: its parameter count and, for
+// SELECTs, its result columns.
+type PrepareOK struct {
+	NumParams uint16
+	Cols      []Col
+}
+
+func EncodePrepareOK(m PrepareOK) []byte {
+	var e enc
+	e.u16(m.NumParams)
+	encodeCols(&e, m.Cols)
+	return e.b
+}
+
+func DecodePrepareOK(p []byte) (PrepareOK, error) {
+	d := dec{b: p}
+	m := PrepareOK{NumParams: d.u16(), Cols: decodeCols(&d)}
+	return m, d.done(TPrepareOK)
+}
+
+// Execute binds parameters and runs a prepared statement (BIND and
+// EXECUTE fused into one round trip).
+type Execute struct {
+	Name    string
+	Analyze bool
+	Params  []types.Datum
+}
+
+func EncodeExecute(m Execute) []byte {
+	var e enc
+	e.str(m.Name)
+	e.u8(boolByte(m.Analyze))
+	e.u16(uint16(len(m.Params)))
+	for _, v := range m.Params {
+		e.datum(v)
+	}
+	return e.b
+}
+
+func DecodeExecute(p []byte) (Execute, error) {
+	d := dec{b: p}
+	m := Execute{Name: d.str(), Analyze: d.u8() != 0}
+	n := int(d.u16())
+	if d.err == nil && n > 0 {
+		m.Params = make([]types.Datum, 0, min(n, maxElems))
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Params = append(m.Params, d.datum())
+		}
+	}
+	return m, d.done(TExecute)
+}
+
+// CloseStmt drops a named prepared statement.
+type CloseStmt struct {
+	Name string
+}
+
+func EncodeCloseStmt(m CloseStmt) []byte {
+	var e enc
+	e.str(m.Name)
+	return e.b
+}
+
+func DecodeCloseStmt(p []byte) (CloseStmt, error) {
+	d := dec{b: p}
+	m := CloseStmt{Name: d.str()}
+	return m, d.done(TCloseStmt)
+}
+
+// Set changes one session-scoped setting (timeout, workers, batch).
+type Set struct {
+	Name  string
+	Value string
+}
+
+func EncodeSet(m Set) []byte {
+	var e enc
+	e.str(m.Name)
+	e.str(m.Value)
+	return e.b
+}
+
+func DecodeSet(p []byte) (Set, error) {
+	d := dec{b: p}
+	m := Set{Name: d.str(), Value: d.str()}
+	return m, d.done(TSet)
+}
+
+// Col is one result column: name plus wire datum tag.
+type Col struct {
+	Name string
+	Tag  byte
+}
+
+func encodeCols(e *enc, cols []Col) {
+	e.u16(uint16(len(cols)))
+	for _, c := range cols {
+		e.str(c.Name)
+		e.u8(c.Tag)
+	}
+}
+
+func decodeCols(d *dec) []Col {
+	n := int(d.u16())
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	cols := make([]Col, 0, min(n, maxElems))
+	for i := 0; i < n && d.err == nil; i++ {
+		cols = append(cols, Col{Name: d.str(), Tag: d.u8()})
+	}
+	return cols
+}
+
+// RowDesc announces a result's columns before its Row frames.
+type RowDesc struct {
+	Cols []Col
+}
+
+func EncodeRowDesc(m RowDesc) []byte {
+	var e enc
+	encodeCols(&e, m.Cols)
+	return e.b
+}
+
+func DecodeRowDesc(p []byte) (RowDesc, error) {
+	d := dec{b: p}
+	m := RowDesc{Cols: decodeCols(&d)}
+	return m, d.done(TRowDesc)
+}
+
+// Row is one data row.
+type Row struct {
+	Vals []types.Datum
+}
+
+func EncodeRow(m Row) []byte {
+	var e enc
+	e.u16(uint16(len(m.Vals)))
+	for _, v := range m.Vals {
+		e.datum(v)
+	}
+	return e.b
+}
+
+func DecodeRow(p []byte) (Row, error) {
+	d := dec{b: p}
+	n := int(d.u16())
+	var m Row
+	if d.err == nil && n > 0 {
+		m.Vals = make([]types.Datum, 0, min(n, maxElems))
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Vals = append(m.Vals, d.datum())
+		}
+	}
+	return m, d.done(TRow)
+}
+
+// Done ends a statement's response: the row count (affected rows for
+// DML, returned rows for SELECT) and the EXPLAIN ANALYZE outline when it
+// was requested.
+type Done struct {
+	Rows    int64
+	Analyze string
+}
+
+func EncodeDone(m Done) []byte {
+	var e enc
+	e.u64(uint64(m.Rows))
+	e.str(m.Analyze)
+	return e.b
+}
+
+func DecodeDone(p []byte) (Done, error) {
+	d := dec{b: p}
+	m := Done{Rows: int64(d.u64()), Analyze: d.str()}
+	return m, d.done(TDone)
+}
+
+// EncodeError renders a typed error frame payload.
+func EncodeError(code ErrCode, msg string) []byte {
+	var e enc
+	e.str(string(code))
+	e.str(msg)
+	return e.b
+}
+
+// DecodeError parses a TError payload back into *Error. A payload too
+// damaged to decode still comes back as an *Error (CodeMalformed), so
+// the caller always has a typed error in hand.
+func DecodeError(p []byte) *Error {
+	d := dec{b: p}
+	code := d.str()
+	msg := d.str()
+	if err := d.done(TError); err != nil {
+		return &Error{Code: CodeMalformed, Msg: fmt.Sprintf("undecodable error frame: %v", err)}
+	}
+	return &Error{Code: ErrCode(code), Msg: msg}
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,351 @@
+// Package wire defines the microspec client/server protocol: a small
+// length-prefixed binary framing with typed messages for session setup,
+// ad-hoc queries, and the PREPARE/EXECUTE cycle that carries the
+// prepared-statement work in internal/engine across the network.
+//
+// Every frame is [1-byte type][4-byte big-endian payload length][payload].
+// Payloads are bounds-checked on decode: malformed input of any shape
+// yields a typed *Error (never a panic and never an over-allocation), so
+// a server can hand the decoder hostile bytes directly off the socket.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"microspec/internal/types"
+)
+
+// ProtocolVersion is negotiated in Hello; the server rejects mismatches.
+const ProtocolVersion = 1
+
+// MaxFrame bounds a frame payload (16 MiB). ReadFrame rejects larger
+// lengths before allocating, so a corrupt length prefix cannot OOM the
+// server.
+const MaxFrame = 16 << 20
+
+// Type identifies a frame. Client-to-server types have the high bit
+// clear; server-to-client types have it set.
+type Type byte
+
+const (
+	// Client → server.
+	THello     Type = 0x01 // Hello: version + credentials
+	TQuery     Type = 0x02 // Query: one ad-hoc SQL statement
+	TPrepare   Type = 0x03 // Prepare: name + SQL with $n placeholders
+	TExecute   Type = 0x04 // Execute: name + bound parameter values
+	TCloseStmt Type = 0x05 // CloseStmt: drop a prepared statement
+	TSet       Type = 0x06 // Set: session-scoped setting
+	TTerminate Type = 0x07 // Terminate: clean goodbye
+
+	// Server → client.
+	THelloOK   Type = 0x81 // HelloOK: server accepted the session
+	TRowDesc   Type = 0x82 // RowDesc: result column names/kinds
+	TRow       Type = 0x83 // Row: one data row
+	TDone      Type = 0x84 // Done: statement finished + row count
+	TError     Type = 0x85 // Error: typed failure, session continues
+	TPrepareOK Type = 0x86 // PrepareOK: statement description
+)
+
+func (t Type) String() string {
+	switch t {
+	case THello:
+		return "Hello"
+	case TQuery:
+		return "Query"
+	case TPrepare:
+		return "Prepare"
+	case TExecute:
+		return "Execute"
+	case TCloseStmt:
+		return "CloseStmt"
+	case TSet:
+		return "Set"
+	case TTerminate:
+		return "Terminate"
+	case THelloOK:
+		return "HelloOK"
+	case TRowDesc:
+		return "RowDesc"
+	case TRow:
+		return "Row"
+	case TDone:
+		return "Done"
+	case TError:
+		return "Error"
+	case TPrepareOK:
+		return "PrepareOK"
+	default:
+		return fmt.Sprintf("Type(0x%02x)", byte(t))
+	}
+}
+
+// validType reports whether t is a defined frame type.
+func validType(t Type) bool {
+	switch t {
+	case THello, TQuery, TPrepare, TExecute, TCloseStmt, TSet, TTerminate,
+		THelloOK, TRowDesc, TRow, TDone, TError, TPrepareOK:
+		return true
+	}
+	return false
+}
+
+// ErrCode classifies protocol and server errors so clients can react
+// without parsing message text.
+type ErrCode string
+
+const (
+	CodeAuth        ErrCode = "auth"          // bad credentials or version
+	CodeBusy        ErrCode = "server_busy"   // admission control rejected
+	CodeShutdown    ErrCode = "shutting_down" // server is draining
+	CodeTimeout     ErrCode = "timeout"       // statement or idle deadline
+	CodeMalformed   ErrCode = "malformed"     // undecodable frame
+	CodeTooLarge    ErrCode = "too_large"     // frame over MaxFrame
+	CodeUnknownStmt ErrCode = "unknown_stmt"  // EXECUTE of unknown name
+	CodeQuery       ErrCode = "query_error"   // parse/plan/execute failure
+	CodeInternal    ErrCode = "internal"      // anything else
+)
+
+// Error is the typed protocol error. It is both the decode-failure error
+// returned by this package and the payload of a TError frame.
+type Error struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("wire: %s: %s", e.Code, e.Msg) }
+
+func errMalformed(format string, args ...any) *Error {
+	return &Error{Code: CodeMalformed, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Frame is one decoded frame.
+type Frame struct {
+	Type    Type
+	Payload []byte
+}
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, t Type, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return &Error{Code: CodeTooLarge, Msg: fmt.Sprintf("payload %d bytes exceeds %d", len(payload), MaxFrame)}
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	// One Write call per frame keeps frames atomic under concurrent
+	// writers sharing a net.Conn.
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadFrame reads one frame, enforcing MaxFrame before allocation and
+// rejecting unknown frame types. io.EOF is returned verbatim on a clean
+// boundary so callers can distinguish hangup from protocol damage.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, err
+	}
+	t := Type(hdr[0])
+	if !validType(t) {
+		return Frame{}, errMalformed("unknown frame type 0x%02x", hdr[0])
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return Frame{}, &Error{Code: CodeTooLarge, Msg: fmt.Sprintf("frame length %d exceeds %d", n, MaxFrame)}
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("wire: short frame body: %w", err)
+	}
+	return Frame{Type: t, Payload: payload}, nil
+}
+
+// --- encoding primitives ---
+
+// enc is an append-based payload builder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)      { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16)   { e.b = binary.BigEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32)   { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64)   { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+func (e *enc) str(s string)   { e.u32(uint32(len(s))); e.b = append(e.b, s...) }
+func (e *enc) bytes(p []byte) { e.u32(uint32(len(p))); e.b = append(e.b, p...) }
+
+// dec is a bounds-checked payload reader: the first short read latches
+// err and every later read returns zero values, so decoders are written
+// straight-line and check dec.err once at the end.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(what string) {
+	if d.err == nil {
+		d.err = errMalformed("truncated %s at offset %d", what, d.off)
+	}
+}
+
+func (d *dec) u8() byte {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail("u8")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.b) {
+		d.fail("u16")
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail("u32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail("u64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail("string")
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// done returns the latched decode error, also rejecting trailing garbage
+// (a well-formed prefix followed by junk is still a malformed frame).
+func (d *dec) done(msg Type) error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return errMalformed("%s: %d trailing bytes", msg, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// --- datum encoding ---
+
+// Datum tags on the wire. The tag is the value's kind, not the column's
+// declared type: NULL is one tag regardless of type.
+const (
+	tagNull    = 0
+	tagInt32   = 1
+	tagInt64   = 2
+	tagFloat64 = 3
+	tagBool    = 4
+	tagDate    = 5
+	tagVarchar = 6
+	tagChar    = 7
+)
+
+func (e *enc) datum(v types.Datum) {
+	switch v.Kind() {
+	case types.KindInvalid:
+		e.u8(tagNull)
+	case types.KindInt32:
+		e.u8(tagInt32)
+		e.u32(uint32(v.Int32()))
+	case types.KindInt64:
+		e.u8(tagInt64)
+		e.u64(uint64(v.Int64()))
+	case types.KindFloat64:
+		e.u8(tagFloat64)
+		e.u64(math.Float64bits(v.Float64()))
+	case types.KindBool:
+		e.u8(tagBool)
+		if v.Bool() {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	case types.KindDate:
+		e.u8(tagDate)
+		e.u32(uint32(v.DateDays()))
+	case types.KindChar:
+		e.u8(tagChar)
+		e.bytes(v.Bytes())
+	default: // Varchar and anything stringly
+		e.u8(tagVarchar)
+		e.bytes(v.Bytes())
+	}
+}
+
+func (d *dec) datum() types.Datum {
+	switch tag := d.u8(); tag {
+	case tagNull:
+		return types.Null
+	case tagInt32:
+		return types.NewInt32(int32(d.u32()))
+	case tagInt64:
+		return types.NewInt64(int64(d.u64()))
+	case tagFloat64:
+		return types.NewFloat64(math.Float64frombits(d.u64()))
+	case tagBool:
+		return types.NewBool(d.u8() != 0)
+	case tagDate:
+		return types.NewDate(int32(d.u32()))
+	case tagVarchar:
+		return types.NewString(d.str())
+	case tagChar:
+		return types.NewChar(d.str())
+	default:
+		if d.err == nil {
+			d.err = errMalformed("unknown datum tag 0x%02x at offset %d", tag, d.off-1)
+		}
+		return types.Null
+	}
+}
+
+// KindTag maps a schema type kind to its wire tag (RowDesc column kinds).
+func KindTag(k types.Kind) byte {
+	switch k {
+	case types.KindInt32:
+		return tagInt32
+	case types.KindInt64:
+		return tagInt64
+	case types.KindFloat64:
+		return tagFloat64
+	case types.KindBool:
+		return tagBool
+	case types.KindDate:
+		return tagDate
+	case types.KindChar:
+		return tagChar
+	default:
+		return tagVarchar
+	}
+}
