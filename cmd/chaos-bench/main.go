@@ -68,6 +68,9 @@ func main() {
 		fatalf("%v", err)
 	}
 	fmt.Print(report.Format())
+	if report.BeeBenefits != "" {
+		fmt.Printf("\n%s", report.BeeBenefits)
+	}
 	if report.Bad() > 0 {
 		os.Exit(1)
 	}

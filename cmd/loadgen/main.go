@@ -20,6 +20,13 @@
 //
 //	loadgen [-addr host:port] [-conns 1,4,16] [-dur 2s] [-tpch 0.01]
 //	        [-faults] [-faultseed 1] [-check] [-out BENCH_server.json]
+//	        [-admin 127.0.0.1:0] [-trace 1]
+//
+// With -trace N the in-process server samples 1-in-N requests into its
+// trace ring and loadgen fires a few client-traced probe queries, printing
+// "client trace <id>" lines whose IDs match the server-side span trees at
+// the admin plane's /traces endpoint (started with -admin; against an
+// external server, start it with its own -admin/-trace flags instead).
 package main
 
 import (
@@ -39,6 +46,7 @@ import (
 	"microspec/internal/client"
 	"microspec/internal/core"
 	"microspec/internal/engine"
+	"microspec/internal/harness"
 	"microspec/internal/server"
 	"microspec/internal/storage/disk"
 	"microspec/internal/tpch"
@@ -98,6 +106,8 @@ func main() {
 	check := flag.Bool("check", false, "exit non-zero on any mismatch or unclean shutdown")
 	poolPages := flag.Int("poolpages", 0, "in-process buffer pool size in pages (0 = engine default; -faults defaults to 512 so the fault-injecting device sees real I/O)")
 	out := flag.String("out", "BENCH_server.json", "output report path (empty disables)")
+	adminAddr := flag.String("admin", "", "HTTP admin/telemetry address for the in-process server (empty = disabled)")
+	traceN := flag.Int("trace", 0, "sample 1-in-N requests on the in-process server and fire client-traced probes (0 = off)")
 	flag.Parse()
 
 	connCounts, err := parseConns(*connsFlag)
@@ -107,6 +117,8 @@ func main() {
 
 	// In-process server unless pointed elsewhere.
 	var srv *server.Server
+	var admin *server.Admin
+	var db *engine.DB
 	var fd *disk.Faulty
 	target := *addr
 	if target == "" {
@@ -120,7 +132,7 @@ func main() {
 			fd = disk.NewFaulty(disk.NewManager(disk.LatencyModel{}), fc)
 			cfg.Disk = fd
 		}
-		db := engine.Open(cfg)
+		db = engine.Open(cfg)
 		fmt.Printf("loading TPC-H at SF %g...\n", *sf)
 		if err := tpch.CreateSchema(db); err != nil {
 			fatalf("tpch schema: %v", err)
@@ -134,6 +146,17 @@ func main() {
 		}
 		target = srv.Addr().String()
 		fmt.Printf("in-process server on %s\n", target)
+		if *traceN > 0 {
+			db.Tracer().Enable(*traceN)
+			fmt.Printf("tracing enabled (1 in %d requests)\n", *traceN)
+		}
+		if *adminAddr != "" {
+			admin, err = server.StartAdmin(*adminAddr, db)
+			if err != nil {
+				fatalf("admin: %v", err)
+			}
+			fmt.Printf("admin telemetry on http://%s (/metrics /traces /bees)\n", admin.Addr())
+		}
 	}
 
 	if err := setupBenchTables(target, *secret); err != nil {
@@ -165,6 +188,15 @@ func main() {
 	fmt.Printf("point queries: prepared %.0f ops/s vs ad-hoc %.0f ops/s (%.2fx)\n",
 		pva.PrepareOpsSec, pva.AdhocOpsSec, pva.Speedup)
 
+	// Client-traced probes: the printed IDs are findable verbatim at the
+	// admin plane's /traces?id= endpoint as full server-side span trees.
+	if *traceN > 0 {
+		runTracedProbes(target, *secret, *seed)
+	}
+
+	if db != nil {
+		fmt.Print(harness.FormatBeeBenefits(db, 10))
+	}
 	cleanShutdown := true
 	if srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -176,6 +208,11 @@ func main() {
 		} else {
 			fmt.Println("server drained cleanly")
 		}
+	}
+	if admin != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		admin.Shutdown(ctx)
+		cancel()
 	}
 	if fd != nil {
 		fs := fd.FaultStats()
@@ -279,6 +316,41 @@ func setupBenchTables(addr, secret string) error {
 }
 
 func kvVal(k int) string { return fmt.Sprintf("val-%d", k) }
+
+// runTracedProbes fires a few queries under client-minted trace IDs and
+// prints one log line per probe; each ID is the handle that joins this
+// line with the server-side span tree at /traces?id=<id>.
+func runTracedProbes(addr, secret string, seed int64) {
+	c, err := client.DialConfig(client.Config{Addr: addr, Secret: secret})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: traced probe dial: %v\n", err)
+		return
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(seed ^ 0x7ace))
+	probes := []string{
+		"select count(*), sum(l_extendedprice) from lineitem where l_quantity < 24",
+		"select p_name, p_retailprice from part where p_partkey = 1",
+		"select v from bench_kv where k = 7",
+	}
+	for _, q := range probes {
+		id := rng.Uint64() | 1 // nonzero: a zero ID would fall back to sampling
+		c.TraceNext(id)
+		start := time.Now()
+		res, err := c.Query(q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: traced probe: %v\n", err)
+			continue
+		}
+		echo := "echo=missing"
+		if res.TraceID == id {
+			echo = "echo=ok"
+		}
+		fmt.Printf("client trace %016x latency=%v rows=%d %s sql=%q\n",
+			id, time.Since(start).Round(time.Microsecond), len(res.Rows), echo, q)
+	}
+}
+
 
 // worker is one connection's prepared workload.
 type worker struct {

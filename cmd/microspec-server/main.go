@@ -15,6 +15,12 @@
 //	microspec-server [-addr 127.0.0.1:5433] [-tpch 0.01] [-stock]
 //	                 [-secret tok] [-maxconns 64] [-backlog 16]
 //	                 [-faults] [-faultseed 1]
+//	                 [-admin 127.0.0.1:6060] [-trace 1]
+//
+// With -admin the server also exposes the HTTP telemetry plane
+// (/metrics, /traces, /bees, /slow, /debug/pprof). With -trace N the
+// span recorder samples one request in N (client-supplied trace IDs are
+// always recorded).
 package main
 
 import (
@@ -45,6 +51,8 @@ func main() {
 	faults := flag.Bool("faults", false, "inject seeded disk faults (armed after data loading)")
 	faultSeed := flag.Int64("faultseed", 1, "fault schedule seed (with -faults)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	adminAddr := flag.String("admin", "", "HTTP admin/telemetry listen address (empty = disabled)")
+	traceN := flag.Int("trace", 0, "sample 1-in-N requests into the trace ring (0 = tracing off)")
 	flag.Parse()
 
 	routines := core.AllRoutines
@@ -92,6 +100,19 @@ func main() {
 	}
 	fmt.Printf("microspec-server (%s engine) listening on %s\n", mode, srv.Addr())
 
+	if *traceN > 0 {
+		db.Tracer().Enable(*traceN)
+		fmt.Printf("tracing enabled (1 in %d requests)\n", *traceN)
+	}
+	var admin *server.Admin
+	if *adminAddr != "" {
+		admin, err = server.StartAdmin(*adminAddr, db)
+		if err != nil {
+			fatalf("admin: %v", err)
+		}
+		fmt.Printf("admin telemetry on http://%s (/metrics /traces /bees /slow /debug/pprof)\n", admin.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
@@ -100,6 +121,9 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "microspec-server: drain incomplete: %v\n", err)
+	}
+	if admin != nil {
+		admin.Shutdown(ctx)
 	}
 	if fd != nil {
 		fs := fd.FaultStats()

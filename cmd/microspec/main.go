@@ -34,6 +34,7 @@ import (
 	"microspec/internal/core"
 	"microspec/internal/engine"
 	"microspec/internal/tpch"
+	"microspec/internal/trace"
 )
 
 func main() {
@@ -296,10 +297,19 @@ func meta(db *engine.DB, cmd string) bool {
 		fmt.Printf("calls: GCL=%d SCL=%d EVP=%d EVJ=%d EVA=%d\n", st.GCLCalls, st.SCLCalls, st.EVPCalls, st.EVJCalls, st.EVACalls)
 		fmt.Println(db.Module().Placement().Report())
 	case "\\cache":
+		// Estimated time saved per bee (observed bee time scaled by the
+		// stock-vs-bee cost ratio), joined onto the cache listing.
+		saved := map[string]int64{}
+		for _, b := range db.Module().BeeBenefits() {
+			saved[b.Kind+"\x00"+b.Name] = b.EstSavedNs
+		}
 		for _, e := range db.Module().CacheEntries() {
 			marker := ""
 			if e.Quarantined {
 				marker = " QUARANTINED"
+			}
+			if ns := saved[e.Kind+"\x00"+e.Name]; ns > 0 {
+				marker += fmt.Sprintf(" saved≈%v", time.Duration(ns).Round(time.Microsecond))
 			}
 			fmt.Printf("%-10s %-40s %5dB onDisk=%v%s\n", e.Kind, e.Name, e.Bytes, e.OnDisk, marker)
 		}
@@ -325,8 +335,12 @@ func meta(db *engine.DB, cmd string) bool {
 			break
 		}
 		for _, e := range entries {
-			fmt.Printf("%s %8s %8d rows [%s] %s\n",
-				e.When.Format("15:04:05"), e.Duration.Round(time.Microsecond), e.Rows, e.Mode,
+			tid := ""
+			if e.TraceID != 0 {
+				tid = " trace=" + trace.IDString(e.TraceID)
+			}
+			fmt.Printf("%s %8s %8d rows [%s]%s %s\n",
+				e.When.Format("15:04:05"), e.Duration.Round(time.Microsecond), e.Rows, e.Mode, tid,
 				strings.Join(strings.Fields(e.SQL), " "))
 		}
 	case "\\timeout":

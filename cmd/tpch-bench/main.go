@@ -140,6 +140,12 @@ func main() {
 	}
 
 	if *metricsOut != "" {
+		// The bee engine's per-bee benefit attribution rides along so the
+		// metrics dump answers "which bee paid for itself" directly.
+		if tbl := harness.FormatBeeBenefits(bee, 10); tbl != "" {
+			fmt.Println()
+			fmt.Print(tbl)
+		}
 		dump := map[string]metrics.Snapshot{
 			"stock": stock.MetricsSnapshot(),
 			"bee":   bee.MetricsSnapshot(),

@@ -37,6 +37,7 @@ type Conn struct {
 	r         *bufio.Reader
 	SessionID uint64
 	stmtSeq   int
+	nextTrace uint64
 }
 
 // Result is one statement's fully read response.
@@ -45,6 +46,21 @@ type Result struct {
 	Rows     [][]types.Datum
 	Affected int64  // Done.Rows: returned rows for SELECT, affected for DML
 	Analyze  string // EXPLAIN ANALYZE outline when requested
+	TraceID  uint64 // server-echoed trace ID; 0 when the request wasn't traced
+}
+
+// TraceNext asks the server to trace the next Query or Execute on this
+// connection under the given nonzero ID (a client-supplied ID always
+// samples). The ID is consumed by the next request; the server echoes it
+// on Done, so Result.TraceID correlates the client's log line with the
+// server-side span tree at /traces?id=.
+func (c *Conn) TraceNext(id uint64) { c.nextTrace = id }
+
+// takeTrace consumes the pending trace ID, if any.
+func (c *Conn) takeTrace() uint64 {
+	id := c.nextTrace
+	c.nextTrace = 0
+	return id
 }
 
 // Dial connects with default credentials and no secret.
@@ -146,6 +162,7 @@ func (c *Conn) roundTrip(t wire.Type, payload []byte) (*Result, error) {
 			}
 			res.Affected = dn.Rows
 			res.Analyze = dn.Analyze
+			res.TraceID = dn.TraceID
 			return res, nil
 		case wire.TError:
 			return nil, wire.DecodeError(f.Payload)
@@ -158,13 +175,15 @@ func (c *Conn) roundTrip(t wire.Type, payload []byte) (*Result, error) {
 
 // Query runs one ad-hoc SQL statement (SELECT, DML, or DDL).
 func (c *Conn) Query(sql string) (*Result, error) {
-	return c.roundTrip(wire.TQuery, wire.EncodeQuery(wire.Query{SQL: sql}))
+	return c.roundTrip(wire.TQuery,
+		wire.EncodeQuery(wire.Query{SQL: sql, TraceID: c.takeTrace()}))
 }
 
 // QueryAnalyze runs a SELECT under EXPLAIN ANALYZE; Result.Analyze holds
 // the annotated plan outline.
 func (c *Conn) QueryAnalyze(sql string) (*Result, error) {
-	return c.roundTrip(wire.TQuery, wire.EncodeQuery(wire.Query{SQL: sql, Analyze: true}))
+	return c.roundTrip(wire.TQuery,
+		wire.EncodeQuery(wire.Query{SQL: sql, Analyze: true, TraceID: c.takeTrace()}))
 }
 
 // Exec runs DML/DDL and returns the affected row count.
@@ -222,13 +241,13 @@ func (c *Conn) Prepare(sql string) (*Stmt, error) {
 // Query executes a prepared SELECT with the given parameters.
 func (s *Stmt) Query(params ...types.Datum) (*Result, error) {
 	return s.c.roundTrip(wire.TExecute,
-		wire.EncodeExecute(wire.Execute{Name: s.name, Params: params}))
+		wire.EncodeExecute(wire.Execute{Name: s.name, Params: params, TraceID: s.c.takeTrace()}))
 }
 
 // QueryAnalyze executes under EXPLAIN ANALYZE.
 func (s *Stmt) QueryAnalyze(params ...types.Datum) (*Result, error) {
 	return s.c.roundTrip(wire.TExecute,
-		wire.EncodeExecute(wire.Execute{Name: s.name, Analyze: true, Params: params}))
+		wire.EncodeExecute(wire.Execute{Name: s.name, Analyze: true, Params: params, TraceID: s.c.takeTrace()}))
 }
 
 // Exec executes prepared DML.

@@ -104,6 +104,7 @@ type Module struct {
 	calls    callCounters
 	quar     quarantine
 	inject   panicInjector
+	usage    usageTable
 }
 
 // NewModule returns a bee module with the given routine set.
@@ -183,6 +184,12 @@ func (m *Module) OnCreateRelation(rel *catalog.Relation) *RelationBee {
 	m.stats.RelationBees++
 	m.cache.put(beeKey{kind: "relation", name: rel.Name}, rb.Source)
 	m.place.assign(rb.Source)
+	// Nullable relations have no specialized deform program (gclCost nil)
+	// and thus no deform benefit to attribute.
+	if natts := len(rel.Attrs); rb.gclCost != nil {
+		m.usage.register(beeKey{kind: "relation", name: rel.Name},
+			rb.gclCost[natts], genericDeformCost(rel, natts))
+	}
 	return rb
 }
 
@@ -365,6 +372,7 @@ func (m *Module) CompilePredicate(e expr.Expr) (CompiledPred, bool) {
 	m.stats.QueryBees++
 	m.mu.Unlock()
 	m.cache.put(beeKey{kind: "query/EVP", name: name}, "EVP "+name)
+	m.usage.register(beeKey{kind: "query/EVP", name: name}, cost, stockExprCost(e))
 	wrapped := func(row expr.Row, ctx *expr.Ctx) types.Datum {
 		m.maybePanic("query/EVP", name)
 		ctx.Prof.Add(profile.CompExpr, cost)
@@ -404,6 +412,7 @@ func (m *Module) CompileBatchPredicate(e expr.Expr) (CompiledBatchPred, bool) {
 	m.stats.QueryBees++
 	m.mu.Unlock()
 	m.cache.put(beeKey{kind: "query/EVP", name: name}, "EVP "+name)
+	m.usage.register(beeKey{kind: "query/EVP", name: name}, cost, stockExprCost(e))
 	wrapped := func(rows []expr.Row, cand []int32, out []int32, ctx *expr.Ctx) []int32 {
 		m.maybePanic("query/EVP", name)
 		if cand != nil {
@@ -450,6 +459,7 @@ func (m *Module) CompileScalar(e expr.Expr) (CompiledPred, bool) {
 	m.stats.QueryBees++
 	m.mu.Unlock()
 	m.cache.put(beeKey{kind: "query/EVA", name: name}, "EVA "+name)
+	m.usage.register(beeKey{kind: "query/EVA", name: name}, cost, stockExprCost(e))
 	wrapped := func(row expr.Row, ctx *expr.Ctx) types.Datum {
 		m.maybePanic("query/EVA", name)
 		ctx.Prof.Add(profile.CompExpr, cost)
@@ -485,6 +495,7 @@ func (m *Module) CompileBatchScalar(e expr.Expr) (CompiledBatchScalar, bool) {
 		return nil, false
 	}
 	m.cache.put(beeKey{kind: "query/EVA", name: name}, "EVA "+name)
+	m.usage.register(beeKey{kind: "query/EVA", name: name}, cost, stockExprCost(e))
 	// Bare column references skip the evaluator closure entirely: the
 	// batch loop copies the column straight out of the rows. Cost and
 	// quarantine accounting are unchanged.
@@ -576,6 +587,7 @@ func (m *Module) CompileJoinKeys(outerIdx, innerIdx []int, keyTypes []types.T) (
 	m.stats.QueryBees++
 	m.mu.Unlock()
 	m.cache.put(beeKey{kind: "query/EVJ", name: name}, "EVJ")
+	m.usage.register(beeKey{kind: "query/EVJ", name: name}, jk.Cost, stockJoinQualCost(len(outerIdx)))
 	inner := jk.Match
 	jk.Match = func(outer, innerRow expr.Row) bool {
 		m.maybePanic("query/EVJ", name)

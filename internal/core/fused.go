@@ -85,6 +85,15 @@ func (m *Module) CompileFusedScanFilter(rel *catalog.Relation, e expr.Expr, natt
 	m.stats.QueryBees++
 	m.mu.Unlock()
 	m.cache.put(beeKey{kind: "query/EVP", name: name}, "EVP "+name+" (fused into GCL)")
+	// The fused bee replaces deform AND filter, so its benefit entry pairs
+	// the full-deform-plus-predicate bee cost (the no-abandon worst case)
+	// against the generic loop plus interpreted predicate.
+	var beeCost int64 = gclCost[natts] + evpBaseCost
+	for _, ck := range checks {
+		beeCost += ck.cost
+	}
+	m.usage.register(beeKey{kind: "query/EVP", name: name},
+		beeCost, genericDeformCost(rel, natts)+stockExprCost(e))
 	fn := func(tups [][]byte, out []expr.Row, natts int, sel []int32, prof *profile.Counters) []int32 {
 		m.maybePanic("query/EVP", name)
 		deformCost := int64(0)

@@ -26,6 +26,7 @@ import (
 	"microspec/internal/storage/buffer"
 	"microspec/internal/storage/disk"
 	"microspec/internal/storage/heap"
+	"microspec/internal/trace"
 	"microspec/internal/types"
 )
 
@@ -295,11 +296,22 @@ func (db *DB) QueryProfiled(text string, prof *profile.Counters) (*Result, error
 // actual rows, loops, and inclusive wall-clock time per node, with the
 // bee-routine markers intact — alongside the materialized result.
 func (db *DB) ExplainAnalyzeQuery(text string) (string, *Result, error) {
-	res, root, err := db.runSelect(context.Background(), text, nil, true, nil)
+	return db.ExplainAnalyzeQueryContext(context.Background(), text)
+}
+
+// ExplainAnalyzeQueryContext is ExplainAnalyzeQuery under a context; when
+// the context carries an active trace, the outline is stamped with the
+// trace ID so it can be cross-referenced with the admin plane's /traces.
+func (db *DB) ExplainAnalyzeQueryContext(ctx context.Context, text string) (string, *Result, error) {
+	res, root, err := db.runSelect(ctx, text, nil, true, nil)
 	if err != nil {
 		return "", nil, err
 	}
-	return plan.ExplainAnalyze(root), res, nil
+	out := plan.ExplainAnalyze(root)
+	if at := trace.FromContext(ctx); at != nil {
+		out += "trace: " + trace.IDString(at.ID()) + "\n"
+	}
+	return out, res, nil
 }
 
 // runSelect is the single SELECT execution path: parse, plan, optionally
@@ -319,6 +331,9 @@ func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counter
 	if qctx == nil {
 		qctx = context.Background()
 	}
+	// at is nil for untraced requests; every trace call below is a
+	// nil-receiver no-op then, so the stock path pays one pointer check.
+	at := trace.FromContext(qctx)
 	d := db.StatementTimeout()
 	if opts != nil && opts.Timeout > 0 {
 		d = opts.Timeout
@@ -328,7 +343,9 @@ func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counter
 		qctx, cancel = context.WithTimeout(qctx, d)
 		defer cancel()
 	}
+	parseSpan := at.Span("parse")
 	sel, err := sql.ParseSelect(text)
+	parseSpan.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -351,15 +368,37 @@ func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counter
 	var root exec.Node
 	var rows []expr.Row
 	for attempt := 0; ; attempt++ {
+		planSpan := at.Span("plan")
+		var hits0, writes0 int64
+		if at != nil {
+			cs := db.mod.Cache().Stats()
+			hits0, writes0 = cs.Hits, cs.Writes
+		}
 		planned, err = pl.PlanSelect(sel)
 		if err != nil {
+			planSpan.End()
 			return nil, nil, err
 		}
+		if at != nil {
+			// Bee compile vs. cache-hit attribution for this plan.
+			cs := db.mod.Cache().Stats()
+			planSpan.Note("bees compiled=%d cache_hits=%d", cs.Writes-writes0, cs.Hits-hits0)
+		}
+		planSpan.End()
 		root = planned.Root
-		if analyze {
+		// Traced requests get per-node instrumentation even without
+		// ANALYZE, so the trace carries a per-exec-node breakdown. Ad-hoc
+		// plans are built fresh per request, so this never leaks
+		// instrumentation into reused plans.
+		if analyze || at != nil {
 			root = exec.Instrument(root)
 		}
+		execSpan := at.Span("exec")
 		rows, err = collectSafe(&exec.Ctx{Context: qctx, Expr: expr.Ctx{Prof: prof}}, root)
+		execSpan.End()
+		if at != nil {
+			foldNodeSpans(execSpan, root)
+		}
 		var pe *exec.PanicError
 		if attempt == 0 && errors.As(err, &pe) && db.quarantinePlanBees(root) > 0 {
 			db.obs.quarantineRetries.Inc()
@@ -367,7 +406,7 @@ func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counter
 		}
 		break
 	}
-	db.obs.observeQuery(text, time.Since(start), int64(len(rows)), err)
+	db.obs.observeQuery(text, time.Since(start), int64(len(rows)), err, at.ID())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -377,6 +416,22 @@ func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counter
 		db.obs.foldNodeStats(root)
 	}
 	return &Result{Cols: planned.Cols, Rows: rows}, root, nil
+}
+
+// foldNodeSpans attaches one fixed-duration child span per instrumented
+// plan node under the exec span, so a trace shows where execution time
+// went node by node.
+func foldNodeSpans(execSpan *trace.Span, root exec.Node) {
+	exec.WalkNodes(root, func(n exec.Node) {
+		switch in := n.(type) {
+		case *exec.Instrumented:
+			execSpan.ChildAt("exec.node."+exec.NodeTypeName(in.Inner), in.Elapsed,
+				fmt.Sprintf("rows=%d loops=%d", in.Rows, in.Loops))
+		case *exec.InstrumentedBatch:
+			execSpan.ChildAt("exec.node."+exec.NodeTypeName(in.Inner), in.Elapsed,
+				fmt.Sprintf("rows=%d batches=%d", in.Rows, in.Batches))
+		}
+	})
 }
 
 // collectSafe is the query-goroutine containment boundary: a panic in
@@ -443,12 +498,29 @@ func (db *DB) Exec(text string) (int64, error) {
 	return db.ExecProfiled(text, nil)
 }
 
-// ExecProfiled is Exec with instruction accounting. Like runSelect it is
-// the single funnel for statement-level metrics.
+// ExecContext is Exec under a context: a trace carried by ctx gets
+// parse/exec/commit spans for the statement.
+func (db *DB) ExecContext(ctx context.Context, text string) (int64, error) {
+	return db.execCtx(ctx, text, nil)
+}
+
+// ExecProfiled is Exec with instruction accounting.
 func (db *DB) ExecProfiled(text string, prof *profile.Counters) (int64, error) {
+	return db.execCtx(context.Background(), text, prof)
+}
+
+// execCtx is the single funnel for statement-level metrics, mirroring
+// runSelect for the DML/DDL path.
+func (db *DB) execCtx(ctx context.Context, text string, prof *profile.Counters) (int64, error) {
 	start := time.Now()
-	n, err := db.execStmtSafe(text, prof)
-	db.obs.observeStmt(text, time.Since(start), n, err)
+	at := trace.FromContext(ctx)
+	n, err := db.execStmtSafe(at, text, prof)
+	// The statement auto-commits: its effects are applied and visible the
+	// moment execution returns. The commit span covers the finalize work
+	// (statement metrics, slow-log admission).
+	commitSpan := at.Span("commit")
+	db.obs.observeStmt(text, time.Since(start), n, err, at.ID())
+	commitSpan.End()
 	return n, err
 }
 
@@ -456,20 +528,24 @@ func (db *DB) ExecProfiled(text string, prof *profile.Counters) (int64, error) {
 // statement execution surfaces as a *exec.PanicError instead of taking
 // the process down. (DML bees — SCL — are not quarantined: specialized
 // storage has no generic form/deform fallback.)
-func (db *DB) execStmtSafe(text string, prof *profile.Counters) (n int64, err error) {
+func (db *DB) execStmtSafe(at *trace.Active, text string, prof *profile.Counters) (n int64, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = exec.NewPanicError(r)
 		}
 	}()
-	return db.execStmt(text, prof)
+	return db.execStmt(at, text, prof)
 }
 
-func (db *DB) execStmt(text string, prof *profile.Counters) (int64, error) {
+func (db *DB) execStmt(at *trace.Active, text string, prof *profile.Counters) (int64, error) {
+	parseSpan := at.Span("parse")
 	stmt, err := sql.Parse(text)
+	parseSpan.End()
 	if err != nil {
 		return 0, err
 	}
+	execSpan := at.Span("exec")
+	defer execSpan.End()
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		return 0, db.createTable(s)

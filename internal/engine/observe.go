@@ -11,6 +11,7 @@ import (
 	"microspec/internal/exec"
 	"microspec/internal/metrics"
 	"microspec/internal/storage/disk"
+	"microspec/internal/trace"
 )
 
 // This file is the engine's observability layer: one metrics registry per
@@ -35,12 +36,16 @@ type SlowQuery struct {
 	Rows     int64         `json:"rows"`
 	Mode     string        `json:"mode"` // "bee" or "stock"; DML is tagged "dml"
 	When     time.Time     `json:"when"`
+	// TraceID is the request's trace ID when it was traced (zero
+	// otherwise), so a slow entry can be cross-referenced with /traces.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 // observer bundles the per-database registry, the pre-resolved hot-path
 // metrics, and the slow-query log.
 type observer struct {
 	reg     *metrics.Registry
+	tracer  *trace.Tracer
 	beeMode atomic.Bool
 	slowNs  atomic.Int64
 
@@ -86,6 +91,7 @@ func newObserver() *observer {
 	reg := metrics.NewRegistry()
 	o := &observer{
 		reg:          reg,
+		tracer:       trace.NewTracer(),
 		queries:      reg.Counter("query.count"),
 		statements:   reg.Counter("stmt.count"),
 		queryErrors:  reg.Counter("query.errors"),
@@ -127,8 +133,9 @@ func (o *observer) mode() string {
 }
 
 // observeQuery records one SELECT: counters, the mode-split latency
-// histogram, and (past the threshold) a slow-query log entry.
-func (o *observer) observeQuery(sql string, d time.Duration, rows int64, err error) {
+// histogram, and (past the threshold) a slow-query log entry. traceID is
+// the request's trace ID (zero when untraced), stamped into slow entries.
+func (o *observer) observeQuery(sql string, d time.Duration, rows int64, err error, traceID uint64) {
 	o.queries.Inc()
 	if err != nil {
 		o.queryErrors.Inc()
@@ -151,11 +158,11 @@ func (o *observer) observeQuery(sql string, d time.Duration, rows int64, err err
 	} else {
 		o.latStock.Observe(d)
 	}
-	o.noteSlow(sql, d, rows, o.mode())
+	o.noteSlow(sql, d, rows, o.mode(), traceID)
 }
 
 // observeStmt records one DDL/DML statement.
-func (o *observer) observeStmt(sql string, d time.Duration, rows int64, err error) {
+func (o *observer) observeStmt(sql string, d time.Duration, rows int64, err error, traceID uint64) {
 	o.statements.Inc()
 	if err != nil {
 		o.queryErrors.Inc()
@@ -163,31 +170,31 @@ func (o *observer) observeStmt(sql string, d time.Duration, rows int64, err erro
 	}
 	o.rowsAffected.Add(rows)
 	o.latStmt.Observe(d)
-	o.noteSlow(sql, d, rows, "dml")
+	o.noteSlow(sql, d, rows, "dml", traceID)
 }
 
 // observeExecute records one EXECUTE of a prepared SELECT: the shared
 // query counters/histograms plus the execute-path latency histogram
 // (EXECUTE skips parse and usually plan, so its latency distribution is
 // the headline number for the prepared-statement experiment, E13).
-func (o *observer) observeExecute(sql string, d time.Duration, rows int64, err error) {
+func (o *observer) observeExecute(sql string, d time.Duration, rows int64, err error, traceID uint64) {
 	o.preparedExecs.Inc()
-	o.observeQuery(sql, d, rows, err)
+	o.observeQuery(sql, d, rows, err, traceID)
 	if err == nil {
 		o.latExecute.Observe(d)
 	}
 }
 
 // observeExecuteStmt records one EXECUTE of a prepared DML statement.
-func (o *observer) observeExecuteStmt(sql string, d time.Duration, rows int64, err error) {
+func (o *observer) observeExecuteStmt(sql string, d time.Duration, rows int64, err error, traceID uint64) {
 	o.preparedExecs.Inc()
-	o.observeStmt(sql, d, rows, err)
+	o.observeStmt(sql, d, rows, err, traceID)
 	if err == nil {
 		o.latExecute.Observe(d)
 	}
 }
 
-func (o *observer) noteSlow(sql string, d time.Duration, rows int64, mode string) {
+func (o *observer) noteSlow(sql string, d time.Duration, rows int64, mode string, traceID uint64) {
 	thresh := o.slowNs.Load()
 	if thresh <= 0 || int64(d) < thresh {
 		return
@@ -197,7 +204,7 @@ func (o *observer) noteSlow(sql string, d time.Duration, rows int64, mode string
 		sql = sql[:slowSQLMax] + "..."
 	}
 	o.mu.Lock()
-	o.ring[o.next] = SlowQuery{SQL: sql, Duration: d, Rows: rows, Mode: mode, When: time.Now()}
+	o.ring[o.next] = SlowQuery{SQL: sql, Duration: d, Rows: rows, Mode: mode, When: time.Now(), TraceID: traceID}
 	o.next = (o.next + 1) % slowLogSize
 	if o.n < slowLogSize {
 		o.n++
@@ -297,6 +304,11 @@ func (db *DB) Metrics() *metrics.Registry { return db.obs.reg }
 // MetricsSnapshot returns a point-in-time copy of every metric, including
 // the collector-backed subsystem statistics.
 func (db *DB) MetricsSnapshot() metrics.Snapshot { return db.obs.reg.Snapshot() }
+
+// Tracer exposes the database's request tracer. Tracing is off by
+// default; callers enable it with Tracer().Enable(sampleN) and start
+// request traces via Tracer().Start.
+func (db *DB) Tracer() *trace.Tracer { return db.obs.tracer }
 
 // SetSlowQueryThreshold sets the slow-query log threshold; zero or
 // negative disables logging.
@@ -402,5 +414,20 @@ func (db *DB) registerCollectors() {
 		s.SetGauge("bees.placed", int64(assigned))
 		s.SetCounter("bees.placement_conflicts", int64(conflicts))
 		s.SetCounter("bees.parallel_safe_plans", db.mod.Placement().ParallelSafePlans())
+
+		// Per-bee benefit attribution, rolled up (see core.BeeBenefits;
+		// the admin plane's /bees serves the per-bee breakdown).
+		var benRows, benNs, benSaved int64
+		for _, b := range db.mod.BeeBenefits() {
+			benRows += b.Rows
+			benNs += b.ObservedNs
+			benSaved += b.EstSavedNs
+		}
+		s.SetCounter("bees.benefit.rows", benRows)
+		s.SetCounter("bees.benefit.observed_ns", benNs)
+		s.SetCounter("bees.benefit.est_saved_ns", benSaved)
+
+		// Tracing plane.
+		s.SetCounter("trace.started", db.obs.tracer.Started())
 	})
 }

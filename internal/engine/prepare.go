@@ -12,6 +12,7 @@ import (
 	"microspec/internal/expr"
 	"microspec/internal/plan"
 	"microspec/internal/sql"
+	"microspec/internal/trace"
 	"microspec/internal/types"
 )
 
@@ -175,11 +176,22 @@ func (s *Stmt) QueryContext(ctx context.Context, params ...types.Datum) (*Result
 // the same plan nodes and query bees instead of recompiling
 // (loops=N after N executions, while bees.query stays flat).
 func (s *Stmt) ExplainAnalyze(params ...types.Datum) (string, *Result, error) {
-	res, root, err := s.run(context.Background(), true, params)
+	return s.ExplainAnalyzeContext(context.Background(), params...)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a context; a trace carried
+// by ctx gets the same flat bind/plan/exec spans as QueryContext, and the
+// outline is stamped with the trace ID.
+func (s *Stmt) ExplainAnalyzeContext(ctx context.Context, params ...types.Datum) (string, *Result, error) {
+	res, root, err := s.run(ctx, true, params)
 	if err != nil {
 		return "", nil, err
 	}
-	return plan.ExplainAnalyze(root), res, nil
+	out := plan.ExplainAnalyze(root)
+	if at := trace.FromContext(ctx); at != nil {
+		out += "trace: " + trace.IDString(at.ID()) + "\n"
+	}
+	return out, res, nil
 }
 
 // run is the EXECUTE path for prepared SELECTs: bind, validate the cached
@@ -188,6 +200,10 @@ func (s *Stmt) ExplainAnalyze(params ...types.Datum) (string, *Result, error) {
 func (s *Stmt) run(qctx context.Context, analyze bool, params []types.Datum) (*Result, exec.Node, error) {
 	db := s.db
 	start := time.Now()
+	// EXECUTE traces get flat bind/plan/exec spans. Per-node spans are not
+	// folded here: the cached plan is only instrumented when ANALYZE asked
+	// for it, and its node counters accumulate across executions.
+	at := trace.FromContext(qctx)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -196,8 +212,11 @@ func (s *Stmt) run(qctx context.Context, analyze bool, params []types.Datum) (*R
 	if s.sel == nil {
 		return nil, nil, fmt.Errorf("engine: prepared statement is not a SELECT; use Exec")
 	}
-	if err := s.bind(params); err != nil {
-		db.obs.observeExecute(s.text, time.Since(start), 0, err)
+	bindSpan := at.Span("bind")
+	err := s.bind(params)
+	bindSpan.End()
+	if err != nil {
+		db.obs.observeExecute(s.text, time.Since(start), 0, err, at.ID())
 		return nil, nil, err
 	}
 	if qctx == nil {
@@ -225,11 +244,13 @@ func (s *Stmt) run(qctx context.Context, analyze bool, params []types.Datum) (*R
 	}
 	var rows []expr.Row
 	var root exec.Node
-	var err error
 	for attempt := 0; ; attempt++ {
 		if s.planned == nil {
-			if err = s.replanLocked(); err != nil {
-				db.obs.observeExecute(s.text, time.Since(start), 0, err)
+			planSpan := at.Span("plan")
+			err = s.replanLocked()
+			planSpan.End()
+			if err != nil {
+				db.obs.observeExecute(s.text, time.Since(start), 0, err, at.ID())
 				return nil, nil, err
 			}
 		} else if dg := db.dataGen.Load(); dg != s.dataGen {
@@ -243,7 +264,9 @@ func (s *Stmt) run(qctx context.Context, analyze bool, params []types.Datum) (*R
 			s.planned.Root = exec.Instrument(s.planned.Root)
 		}
 		root = s.planned.Root
+		execSpan := at.Span("exec")
 		rows, err = collectSafe(&exec.Ctx{Context: qctx, Expr: expr.Ctx{}}, root)
+		execSpan.End()
 		var pe *exec.PanicError
 		if attempt == 0 && errors.As(err, &pe) && db.quarantinePlanBees(root) > 0 {
 			// Same containment as runSelect: quarantine the plan's bees and
@@ -256,7 +279,7 @@ func (s *Stmt) run(qctx context.Context, analyze bool, params []types.Datum) (*R
 		break
 	}
 	s.execs.Add(1)
-	db.obs.observeExecute(s.text, time.Since(start), int64(len(rows)), err)
+	db.obs.observeExecute(s.text, time.Since(start), int64(len(rows)), err, at.ID())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -271,11 +294,13 @@ func (s *Stmt) Exec(params ...types.Datum) (int64, error) {
 }
 
 // ExecContext is Exec under a context. DML executes under the engine
-// write lock and is not cancellable mid-statement; ctx is accepted for
+// write lock and is not cancellable mid-statement; ctx carries the
+// request trace (bind/exec spans) and is otherwise accepted for
 // call-site symmetry with QueryContext.
-func (s *Stmt) ExecContext(_ context.Context, params ...types.Datum) (int64, error) {
+func (s *Stmt) ExecContext(ctx context.Context, params ...types.Datum) (int64, error) {
 	db := s.db
 	start := time.Now()
+	at := trace.FromContext(ctx)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -284,13 +309,18 @@ func (s *Stmt) ExecContext(_ context.Context, params ...types.Datum) (int64, err
 	if s.sel != nil {
 		return 0, fmt.Errorf("engine: prepared statement is a SELECT; use Query")
 	}
-	if err := s.bind(params); err != nil {
-		db.obs.observeExecuteStmt(s.text, time.Since(start), 0, err)
+	bindSpan := at.Span("bind")
+	err := s.bind(params)
+	bindSpan.End()
+	if err != nil {
+		db.obs.observeExecuteStmt(s.text, time.Since(start), 0, err, at.ID())
 		return 0, err
 	}
+	execSpan := at.Span("exec")
 	n, err := s.execOnce()
+	execSpan.End()
 	s.execs.Add(1)
-	db.obs.observeExecuteStmt(s.text, time.Since(start), n, err)
+	db.obs.observeExecuteStmt(s.text, time.Since(start), n, err, at.ID())
 	return n, err
 }
 

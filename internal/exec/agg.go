@@ -41,6 +41,9 @@ type AggSpec struct {
 	// CompiledBatchArg is CompiledArg's batch form: one invocation
 	// evaluates Arg for every live row of a batch (batch path only).
 	CompiledBatchArg core.CompiledBatchScalar
+	// Usage, when set, receives the EVA bee's row count and observed wall
+	// time per drained batch (per-bee benefit attribution).
+	Usage *core.BeeUsage
 }
 
 // ResultType reports the aggregate's output type.

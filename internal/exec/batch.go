@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"microspec/internal/core"
 	"microspec/internal/expr"
 	"microspec/internal/profile"
@@ -125,15 +127,23 @@ type BatchSeqScan struct {
 	Fused     core.FusedScanFilterFunc
 	FusedPred expr.Expr
 	NoteFused func(int64)
+	// DeformUsage and FusedUsage, when set, receive the rows processed and
+	// observed wall time of the deform / fused bee invocations at Close —
+	// the per-bee benefit attribution feed. Timing costs two clock reads
+	// per page and only when the handle is wired.
+	DeformUsage *core.BeeUsage
+	FusedUsage  *core.BeeUsage
 	// Range and Partial mirror SeqScan: a page interval for one partition
 	// of a parallel scan.
 	Range   heap.PageRange
 	Partial bool
 
-	deforms int64
-	fused   int64
-	batches int64
-	rowsOut int64
+	deforms  int64
+	fused    int64
+	deformNs int64
+	fusedNs  int64
+	batches  int64
+	rowsOut  int64
 	scanner *heap.Scanner
 	tupBuf  [][]byte
 	rows    []expr.Row
@@ -211,14 +221,26 @@ func (s *BatchSeqScan) NextBatch(ctx *Ctx) (*Batch, bool, error) {
 		s.rowsOut += int64(len(tups))
 		if s.Fused != nil {
 			s.fused += int64(len(tups))
-			s.sel = s.Fused(tups, s.rows, s.NAtts, s.sel[:0], ctx.Prof())
+			if s.FusedUsage != nil {
+				t0 := time.Now()
+				s.sel = s.Fused(tups, s.rows, s.NAtts, s.sel[:0], ctx.Prof())
+				s.fusedNs += int64(time.Since(t0))
+			} else {
+				s.sel = s.Fused(tups, s.rows, s.NAtts, s.sel[:0], ctx.Prof())
+			}
 			if len(s.sel) == 0 {
 				continue
 			}
 			s.batch = Batch{Rows: s.rows, N: len(tups), Sel: s.sel}
 			return &s.batch, true, nil
 		}
-		s.Deform(tups, s.rows, s.NAtts, ctx.Prof())
+		if s.DeformUsage != nil {
+			t0 := time.Now()
+			s.Deform(tups, s.rows, s.NAtts, ctx.Prof())
+			s.deformNs += int64(time.Since(t0))
+		} else {
+			s.Deform(tups, s.rows, s.NAtts, ctx.Prof())
+		}
 		s.batch = Batch{Rows: s.rows, N: len(tups)}
 		return &s.batch, true, nil
 	}
@@ -231,14 +253,18 @@ func (s *BatchSeqScan) Next(ctx *Ctx) (expr.Row, bool, error) {
 
 // Close implements Node.
 func (s *BatchSeqScan) Close(*Ctx) {
+	if s.FusedUsage != nil {
+		s.FusedUsage.Note(s.fused, s.fusedNs)
+	} else {
+		s.DeformUsage.Note(s.deforms, s.deformNs)
+	}
 	if s.NoteDeforms != nil && s.deforms > 0 {
 		s.NoteDeforms(s.deforms)
-		s.deforms = 0
 	}
 	if s.NoteFused != nil && s.fused > 0 {
 		s.NoteFused(s.fused)
-		s.fused = 0
 	}
+	s.deforms, s.fused, s.deformNs, s.fusedNs = 0, 0, 0, 0
 	if s.scanner != nil {
 		s.scanner.Close()
 		s.scanner = nil
@@ -263,8 +289,12 @@ type BatchFilter struct {
 	// NoteCalls receives the number of compiled (EVP) row evaluations at
 	// Close, like Filter.NoteCalls.
 	NoteCalls func(int64)
+	// Usage, when set, receives the compiled predicate's row count and
+	// observed wall time at Close (per-bee benefit attribution).
+	Usage *core.BeeUsage
 
 	calls int64
+	beeNs int64
 	sel   []int32
 	rb    rebatcher
 }
@@ -286,7 +316,13 @@ func (f *BatchFilter) NextBatch(ctx *Ctx) (*Batch, bool, error) {
 		out := f.sel[:0]
 		if f.Compiled != nil {
 			f.calls += int64(b.Count())
-			out = f.Compiled(b.Rows[:b.N], b.Sel, out, &ctx.Expr)
+			if f.Usage != nil {
+				t0 := time.Now()
+				out = f.Compiled(b.Rows[:b.N], b.Sel, out, &ctx.Expr)
+				f.beeNs += int64(time.Since(t0))
+			} else {
+				out = f.Compiled(b.Rows[:b.N], b.Sel, out, &ctx.Expr)
+			}
 		} else if b.Sel != nil {
 			for _, i := range b.Sel {
 				if v := f.Pred.Eval(b.Rows[i], &ctx.Expr); !v.IsNull() && v.Bool() {
@@ -316,10 +352,11 @@ func (f *BatchFilter) Next(ctx *Ctx) (expr.Row, bool, error) {
 
 // Close implements Node.
 func (f *BatchFilter) Close(ctx *Ctx) {
+	f.Usage.Note(f.calls, f.beeNs)
 	if f.NoteCalls != nil && f.calls > 0 {
 		f.NoteCalls(f.calls)
-		f.calls = 0
 	}
+	f.calls, f.beeNs = 0, 0
 	f.Child.Close(ctx)
 }
 
@@ -440,7 +477,13 @@ func drainBatchesIntoAgg(ctx *Ctx, src BatchNode, groupBy []expr.Expr, evalSpecs
 			switch {
 			case spec.CompiledBatchArg != nil:
 				eva += int64(n)
-				vals = spec.CompiledBatchArg(b.Rows[:b.N], b.Sel, vbuf[:0], &ctx.Expr)
+				if spec.Usage != nil {
+					t0 := time.Now()
+					vals = spec.CompiledBatchArg(b.Rows[:b.N], b.Sel, vbuf[:0], &ctx.Expr)
+					spec.Usage.Note(int64(n), int64(time.Since(t0)))
+				} else {
+					vals = spec.CompiledBatchArg(b.Rows[:b.N], b.Sel, vbuf[:0], &ctx.Expr)
+				}
 			case spec.CompiledArg != nil:
 				eva += int64(n)
 				vals = vbuf[:n]

@@ -132,6 +132,10 @@ type ChaosReport struct {
 	FaultStats disk.FaultStats
 	// Quarantined is the cumulative bee-quarantine count over the run.
 	Quarantined int64
+	// BeeBenefits is the per-bee benefit attribution table for the TPC-H
+	// phase (FormatBeeBenefits; may be empty) — evidence that bees kept
+	// paying for themselves while faults were being injected.
+	BeeBenefits string
 }
 
 // Bad counts broken invariants: TPC-H mismatches or untyped errors, and
@@ -275,6 +279,7 @@ func RunChaos(o ChaosOptions) (ChaosReport, error) {
 	db.SetStatementTimeout(0)
 	report.FaultStats = fd.FaultStats()
 	report.Quarantined = db.Module().QuarantinedBees()
+	report.BeeBenefits = FormatBeeBenefits(db, 10)
 
 	if o.TPCCTxns > 0 {
 		tp, err := runChaosTPCC(o)

@@ -45,6 +45,9 @@ type TPCCScenario struct {
 	Improvement float64
 	// PaperImprovement is what the paper reports for the scenario.
 	PaperImprovement float64
+	// BeeBenefits is the bee engine's per-bee benefit attribution table
+	// for this scenario's run (FormatBeeBenefits; may be empty).
+	BeeBenefits string
 }
 
 // TPCCScenarios returns the paper's three mixes with its reported
@@ -73,10 +76,14 @@ func RunTPCC(o TPCCOptions) ([]TPCCScenario, error) {
 	for i := range scenarios {
 		sc := &scenarios[i]
 		var drivers [2]*tpcc.Driver
+		var beeDB *engine.DB
 		for j, routines := range []core.RoutineSet{core.Stock, core.AllRoutines} {
 			db, err := tpcc.NewDatabase(engine.Config{Routines: routines, PoolPages: o.PoolPages, Workers: o.Workers, StatementTimeout: o.StatementTimeout}, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("harness: tpcc load: %w", err)
+			}
+			if routines.EVP {
+				beeDB = db
 			}
 			drivers[j], err = tpcc.NewDriver(db, cfg, sc.Mix, o.Seed, nil)
 			if err != nil {
@@ -109,6 +116,7 @@ func RunTPCC(o TPCCOptions) ([]TPCCScenario, error) {
 		if sc.StockTPM > 0 {
 			sc.Improvement = 100 * (sc.BeeTPM - sc.StockTPM) / sc.StockTPM
 		}
+		sc.BeeBenefits = FormatBeeBenefits(beeDB, 5)
 	}
 	return scenarios, nil
 }

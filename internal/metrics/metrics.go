@@ -199,7 +199,9 @@ func (s *Snapshot) SetCounter(name string, v int64) { s.Counters[name] = v }
 func (s *Snapshot) SetGauge(name string, v int64) { s.Gauges[name] = v }
 
 // Format renders the snapshot as sorted "name value" lines; histograms
-// show count, mean, and estimated p50/p95/p99.
+// show count, mean, and estimated p50/p95/p99, followed by an indented
+// line of per-bucket counts so the text dump carries the same detail as
+// the Prometheus exposition (see WritePrometheus).
 func (s Snapshot) Format() string {
 	var b strings.Builder
 	names := make([]string, 0, len(s.Counters))
@@ -228,6 +230,17 @@ func (s Snapshot) Format() string {
 		fmt.Fprintf(&b, "%-44s count=%d mean=%v p50=%v p95=%v p99=%v\n",
 			n, h.Count, h.Mean().Round(time.Microsecond),
 			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+		if len(h.Buckets) > 0 {
+			b.WriteString("    buckets:")
+			for _, bk := range h.Buckets {
+				if bk.Le < 0 {
+					fmt.Fprintf(&b, " le=+Inf:%d", bk.N)
+				} else {
+					fmt.Fprintf(&b, " le=%v:%d", time.Duration(bk.Le), bk.N)
+				}
+			}
+			b.WriteByte('\n')
+		}
 	}
 	return b.String()
 }

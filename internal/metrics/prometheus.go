@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4), so the admin plane's /metrics endpoint can be scraped
+// by any Prometheus-compatible collector without adding a dependency.
+// Metric names are sanitized (dots become underscores) and prefixed with
+// "microspec_"; histograms render the full cumulative bucket ladder with
+// `le` labels in seconds, plus _sum and _count, per the convention.
+
+// promPrefix namespaces every exported metric.
+const promPrefix = "microspec_"
+
+// promName sanitizes a registry metric name into a legal Prometheus
+// metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name))
+	b.WriteString(promPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSeconds renders a nanosecond quantity as seconds, trimming
+// trailing zeros so bucket labels stay stable and compact.
+func promSeconds(ns int64) string {
+	s := fmt.Sprintf("%.9f", float64(ns)/1e9)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WritePrometheus renders s in the Prometheus text exposition format.
+// Output is deterministic: metric families sorted by name, histograms
+// rendering every defined bucket bound cumulatively.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		// The snapshot stores only non-empty buckets; walk the full bound
+		// ladder accumulating so the exposition is cumulative over every
+		// defined bucket.
+		var cum int64
+		bi := 0
+		for _, bound := range histBounds {
+			if bi < len(h.Buckets) && h.Buckets[bi].Le == bound {
+				cum += h.Buckets[bi].N
+				bi++
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", pn, promSeconds(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promSeconds(int64(h.Sum)), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every quantile is zero.
+	var empty HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if empty.Mean() != 0 {
+		t.Fatalf("empty Mean = %v, want 0", empty.Mean())
+	}
+
+	// Single bucket: every quantile lands in it, including the degenerate
+	// q=0 (rank clamps to the first observation).
+	var h Histogram
+	h.Observe(3 * time.Microsecond) // ≤5µs bucket
+	single := h.snapshot()
+	if len(single.Buckets) != 1 {
+		t.Fatalf("buckets = %+v, want one", single.Buckets)
+	}
+	for _, q := range []float64{0, 0.001, 0.5, 1} {
+		if got := single.Quantile(q); got != 5*time.Microsecond {
+			t.Fatalf("single-bucket Quantile(%v) = %v, want 5µs", q, got)
+		}
+	}
+
+	// q=0 vs q=1 across two buckets: q=0 clamps to the first observation's
+	// bucket, q=1 reaches the last.
+	h.Observe(30 * time.Millisecond) // ≤50ms bucket
+	two := h.snapshot()
+	if got := two.Quantile(0); got != 5*time.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want 5µs", got)
+	}
+	if got := two.Quantile(1); got != 50*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want 50ms", got)
+	}
+
+	// Overflow-only histogram: quantiles cap at the largest bound.
+	var o Histogram
+	o.Observe(time.Hour)
+	if got := o.snapshot().Quantile(0.5); got != 10*time.Second {
+		t.Fatalf("overflow Quantile = %v, want 10s", got)
+	}
+}
+
+func TestFormatIncludesBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	h.Observe(800 * time.Nanosecond)
+	h.Observe(800 * time.Nanosecond)
+	h.Observe(time.Minute)
+	out := r.Snapshot().Format()
+	if !strings.Contains(out, "buckets: le=1µs:2 le=+Inf:1") {
+		t.Fatalf("Format missing bucket counts:\n%s", out)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte for byte: any
+// accidental change to naming, ordering, bucket cumulation, or unit
+// conversion shows up as a diff here.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("query.count").Add(12)
+	r.Gauge("server.sessions_active").Set(3)
+	h := r.Histogram("query.latency.bee")
+	h.Observe(800 * time.Nanosecond)  // ≤1µs
+	h.Observe(1500 * time.Nanosecond) // ≤2µs
+	h.Observe(1500 * time.Nanosecond) // ≤2µs
+	h.Observe(7 * time.Millisecond)   // ≤10ms
+	h.Observe(time.Minute)            // +Inf
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# TYPE microspec_query_count counter
+microspec_query_count 12
+# TYPE microspec_server_sessions_active gauge
+microspec_server_sessions_active 3
+# TYPE microspec_query_latency_bee histogram
+microspec_query_latency_bee_bucket{le="0.000001"} 1
+microspec_query_latency_bee_bucket{le="0.000002"} 3
+microspec_query_latency_bee_bucket{le="0.000005"} 3
+microspec_query_latency_bee_bucket{le="0.00001"} 3
+microspec_query_latency_bee_bucket{le="0.00002"} 3
+microspec_query_latency_bee_bucket{le="0.00005"} 3
+microspec_query_latency_bee_bucket{le="0.0001"} 3
+microspec_query_latency_bee_bucket{le="0.0002"} 3
+microspec_query_latency_bee_bucket{le="0.0005"} 3
+microspec_query_latency_bee_bucket{le="0.001"} 3
+microspec_query_latency_bee_bucket{le="0.002"} 3
+microspec_query_latency_bee_bucket{le="0.005"} 3
+microspec_query_latency_bee_bucket{le="0.01"} 4
+microspec_query_latency_bee_bucket{le="0.02"} 4
+microspec_query_latency_bee_bucket{le="0.05"} 4
+microspec_query_latency_bee_bucket{le="0.1"} 4
+microspec_query_latency_bee_bucket{le="0.2"} 4
+microspec_query_latency_bee_bucket{le="0.5"} 4
+microspec_query_latency_bee_bucket{le="1"} 4
+microspec_query_latency_bee_bucket{le="2"} 4
+microspec_query_latency_bee_bucket{le="5"} 4
+microspec_query_latency_bee_bucket{le="10"} 4
+microspec_query_latency_bee_bucket{le="+Inf"} 5
+microspec_query_latency_bee_sum 60.0070038
+microspec_query_latency_bee_count 5
+`
+	if got := b.String(); got != golden {
+		t.Fatalf("prometheus exposition drifted:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"query.count":       "microspec_query_count",
+		"exec.node.Sort":    "microspec_exec_node_Sort",
+		"weird-name/1":      "microspec_weird_name_1",
+		"buffer.hit%":       "microspec_buffer_hit_",
+		"a b":               "microspec_a_b",
+		"already_sane_name": "microspec_already_sane_name",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -98,6 +98,7 @@ func (p *Planner) batchRegion(n exec.Node) exec.BatchNode {
 			}
 			bs := exec.NewBatchSeqScan(v.Heap, deform, v.NAtts)
 			bs.NoteDeforms = v.NoteDeforms
+			bs.DeformUsage = p.Mod.Usage("relation", v.Heap.Rel.Name)
 			bs.Range = v.Range
 			bs.Partial = v.Partial
 			// Fuse the innermost compiled filter into the scan when the
@@ -112,6 +113,7 @@ func (p *Planner) batchRegion(n exec.Node) exec.BatchNode {
 					bs.Fused = fp
 					bs.FusedPred = f.Pred
 					bs.NoteFused = f.NoteCalls
+					bs.FusedUsage = p.Mod.Usage("query/EVP", f.Pred.String())
 					filters = filters[:k]
 				}
 			}
@@ -123,6 +125,7 @@ func (p *Planner) batchRegion(n exec.Node) exec.BatchNode {
 					if cp, ok := p.Mod.CompileBatchPredicate(f.Pred); ok {
 						bf.Compiled = cp
 						bf.NoteCalls = f.NoteCalls
+						bf.Usage = p.Mod.Usage("query/EVP", f.Pred.String())
 					}
 				}
 				node = bf

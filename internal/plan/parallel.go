@@ -180,6 +180,7 @@ func (p *Planner) tryGatherAgg(agg *exec.HashAgg) exec.Node {
 					}
 					if cba, ok := p.Mod.CompileBatchScalar(specs[si].Arg); ok {
 						specs[si].CompiledBatchArg = cba
+						specs[si].Usage = p.Mod.Usage("query/EVA", specs[si].Arg.String())
 					}
 				}
 				partAggs[pi] = specs

@@ -938,6 +938,7 @@ func (sp *selectPlan) planAggregation(sel *sql.Select, ts *treeState, outASTs []
 				}
 				if cba, ok := p.Mod.CompileBatchScalar(arg); ok {
 					spec.CompiledBatchArg = cba
+					spec.Usage = p.Mod.Usage("query/EVA", arg.String())
 				}
 			}
 			idx := len(sel.GroupBy) + len(aggs)

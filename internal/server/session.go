@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -12,6 +13,7 @@ import (
 	"microspec/internal/engine"
 	"microspec/internal/exec"
 	"microspec/internal/sql"
+	"microspec/internal/trace"
 	"microspec/internal/wire"
 )
 
@@ -54,7 +56,12 @@ func (s *session) loop() {
 			return
 		}
 		s.conn.SetReadDeadline(time.Now().Add(srv.cfg.IdleTimeout))
+		// The read interval is timed here but only becomes a span if the
+		// decoded request turns out to be traced; it includes the wait for
+		// the client's first byte, so idle sessions show the wait honestly.
+		readStart := time.Now()
 		f, err := wire.ReadFrame(s.conn)
+		readDur := time.Since(readStart)
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
@@ -72,7 +79,7 @@ func (s *session) loop() {
 		s.busy.Store(true)
 		start := time.Now()
 		srv.mRequests.Inc()
-		done := s.handle(f)
+		done := s.handle(f, readStart, readDur)
 		srv.mLatency.Observe(time.Since(start))
 		s.busy.Store(false)
 		if done {
@@ -82,20 +89,27 @@ func (s *session) loop() {
 }
 
 // handle answers one frame; true means the session should end.
-func (s *session) handle(f wire.Frame) bool {
+func (s *session) handle(f wire.Frame, readStart time.Time, readDur time.Duration) bool {
 	srv := s.srv
 	switch f.Type {
 	case wire.TTerminate:
 		return true
 
 	case wire.TQuery:
+		decStart := time.Now()
 		q, err := wire.DecodeQuery(f.Payload)
+		decDur := time.Since(decStart)
 		if err != nil {
 			srv.mBadFrames.Inc()
 			srv.writeError(s.conn, err)
 			return true
 		}
-		return s.runQuery(q) != nil
+		// A nonzero client-supplied TraceID forces sampling, so the client
+		// log line and the server's span tree share one ID.
+		at := srv.db.Tracer().Start(q.TraceID, "query", q.SQL)
+		at.SpanAt("wire.read", readStart, readDur)
+		at.SpanAt("wire.decode", decStart, decDur)
+		return s.runQuery(q, at) != nil
 
 	case wire.TPrepare:
 		p, err := wire.DecodePrepare(f.Payload)
@@ -116,7 +130,9 @@ func (s *session) handle(f wire.Frame) bool {
 		return wire.WriteFrame(s.conn, wire.TPrepareOK, wire.EncodePrepareOK(ok)) != nil
 
 	case wire.TExecute:
+		decStart := time.Now()
 		e, err := wire.DecodeExecute(f.Payload)
+		decDur := time.Since(decStart)
 		if err != nil {
 			srv.mBadFrames.Inc()
 			srv.writeError(s.conn, err)
@@ -127,7 +143,10 @@ func (s *session) handle(f wire.Frame) bool {
 			return srv.writeError(s.conn, &wire.Error{
 				Code: wire.CodeUnknownStmt, Msg: fmt.Sprintf("no prepared statement %q", e.Name)}) != nil
 		}
-		return s.runExecute(st, e) != nil
+		at := srv.db.Tracer().Start(e.TraceID, "execute", e.Name+": "+st.Text())
+		at.SpanAt("wire.read", readStart, readDur)
+		at.SpanAt("wire.decode", decStart, decDur)
+		return s.runExecute(st, e, at) != nil
 
 	case wire.TCloseStmt:
 		c, err := wire.DecodeCloseStmt(f.Payload)
@@ -166,58 +185,71 @@ func (s *session) handle(f wire.Frame) bool {
 // route SELECTs to the query path and everything else to Exec. A non-nil
 // return means the transport failed; statement errors are reported
 // in-band and return nil.
-func (s *session) runQuery(q wire.Query) error {
+func (s *session) runQuery(q wire.Query, at *trace.Active) error {
 	srv := s.srv
 	stmt, err := sql.Parse(q.SQL)
 	if err != nil {
+		at.Finish(err)
 		return srv.writeError(s.conn, err)
 	}
+	// The trace rides the context into the engine, where parse/plan/exec
+	// spans attach to it; all Active methods are nil-safe for the common
+	// untraced request.
+	ctx := trace.NewContext(context.Background(), at)
 	if _, isSel := stmt.(*sql.Select); !isSel {
-		n, err := srv.db.Exec(q.SQL)
+		n, err := srv.db.ExecContext(ctx, q.SQL)
+		at.Finish(err)
 		if err != nil {
 			return srv.writeError(s.conn, err)
 		}
-		return wire.WriteFrame(s.conn, wire.TDone, wire.EncodeDone(wire.Done{Rows: n}))
+		return wire.WriteFrame(s.conn, wire.TDone,
+			wire.EncodeDone(wire.Done{Rows: n, TraceID: at.ID()}))
 	}
 	var res *engine.Result
 	var analyze string
 	if q.Analyze {
-		analyze, res, err = srv.db.ExplainAnalyzeQuery(q.SQL)
+		analyze, res, err = srv.db.ExplainAnalyzeQueryContext(ctx, q.SQL)
 	} else {
-		res, err = srv.db.QueryWith(nil, q.SQL, s.opts)
+		res, err = srv.db.QueryWith(ctx, q.SQL, s.opts)
 	}
+	at.Finish(err)
 	if err != nil {
 		return srv.writeError(s.conn, err)
 	}
-	return s.sendResult(res, analyze)
+	return s.sendResult(res, analyze, at.ID())
 }
 
 // runExecute binds and runs a prepared statement.
-func (s *session) runExecute(st *engine.Stmt, e wire.Execute) error {
+func (s *session) runExecute(st *engine.Stmt, e wire.Execute, at *trace.Active) error {
 	srv := s.srv
+	ctx := trace.NewContext(context.Background(), at)
 	if !st.IsSelect() {
-		n, err := st.Exec(e.Params...)
+		n, err := st.ExecContext(ctx, e.Params...)
+		at.Finish(err)
 		if err != nil {
 			return srv.writeError(s.conn, err)
 		}
-		return wire.WriteFrame(s.conn, wire.TDone, wire.EncodeDone(wire.Done{Rows: n}))
+		return wire.WriteFrame(s.conn, wire.TDone,
+			wire.EncodeDone(wire.Done{Rows: n, TraceID: at.ID()}))
 	}
 	var res *engine.Result
 	var analyze string
 	var err error
 	if e.Analyze {
-		analyze, res, err = st.ExplainAnalyze(e.Params...)
+		analyze, res, err = st.ExplainAnalyzeContext(ctx, e.Params...)
 	} else {
-		res, err = st.Query(e.Params...)
+		res, err = st.QueryContext(ctx, e.Params...)
 	}
+	at.Finish(err)
 	if err != nil {
 		return srv.writeError(s.conn, err)
 	}
-	return s.sendResult(res, analyze)
+	return s.sendResult(res, analyze, at.ID())
 }
 
-// sendResult streams RowDesc, the rows, and Done.
-func (s *session) sendResult(res *engine.Result, analyze string) error {
+// sendResult streams RowDesc, the rows, and Done; traced requests get
+// their ID echoed on the Done frame so the client can correlate.
+func (s *session) sendResult(res *engine.Result, analyze string, traceID uint64) error {
 	if err := wire.WriteFrame(s.conn, wire.TRowDesc,
 		wire.EncodeRowDesc(wire.RowDesc{Cols: colsOf(res.Cols)})); err != nil {
 		return err
@@ -229,7 +261,7 @@ func (s *session) sendResult(res *engine.Result, analyze string) error {
 		}
 	}
 	return wire.WriteFrame(s.conn, wire.TDone,
-		wire.EncodeDone(wire.Done{Rows: int64(len(res.Rows)), Analyze: analyze}))
+		wire.EncodeDone(wire.Done{Rows: int64(len(res.Rows)), Analyze: analyze, TraceID: traceID}))
 }
 
 // applySet maps a SET request onto the session's QueryOpts. Settings

@@ -1,0 +1,394 @@
+// Package trace is the engine's allocation-lean request tracer. A Tracer
+// decides per request whether to record (off by default; when on, a
+// 1-in-N sampler or an explicit client-supplied trace ID opts a request
+// in) and keeps the most recent completed traces in a fixed ring for the
+// admin plane's /traces endpoint.
+//
+// The recording API is built around nil receivers: every method on
+// *Active and *Span is safe to call on nil and does nothing, so the hot
+// path of an unsampled request pays exactly one nil check per span site —
+// no allocation, no atomics, no branches beyond the check. Only sampled
+// requests allocate (one Active, one spans slice), which is what keeps
+// the span hooks affordable inside the query path.
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RingSize is how many completed traces the Tracer retains.
+const RingSize = 256
+
+// maxSpans bounds a single trace's span count so a pathological plan
+// cannot grow one trace without bound.
+const maxSpans = 512
+
+// Tracer mints trace IDs, samples requests, and retains completed traces.
+// The zero value is a disabled tracer; NewTracer returns one ready to be
+// enabled.
+type Tracer struct {
+	enabled atomic.Bool
+	sampleN atomic.Int64
+	reqSeq  atomic.Uint64 // sampling counter
+	idSeq   atomic.Uint64 // trace-ID minting
+	idBase  uint64        // per-process salt so IDs differ across restarts
+
+	mu      sync.Mutex
+	ring    [RingSize]*Trace
+	next, n int
+	started atomic.Int64
+	dropped atomic.Int64
+}
+
+// NewTracer returns a disabled tracer.
+func NewTracer() *Tracer {
+	return &Tracer{idBase: uint64(time.Now().UnixNano()) << 20}
+}
+
+// Enable turns tracing on, sampling one request in sampleN (sampleN ≤ 1
+// traces every request). Requests carrying a client-supplied trace ID are
+// always traced while enabled, regardless of the sampler.
+func (t *Tracer) Enable(sampleN int) {
+	if sampleN < 1 {
+		sampleN = 1
+	}
+	t.sampleN.Store(int64(sampleN))
+	t.enabled.Store(true)
+}
+
+// Disable turns tracing off. In-flight traces still finish.
+func (t *Tracer) Disable() { t.enabled.Store(false) }
+
+// Enabled reports whether tracing is on.
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	return t.enabled.Load()
+}
+
+// SampleN returns the current 1-in-N sampling rate.
+func (t *Tracer) SampleN() int64 {
+	if t == nil {
+		return 0
+	}
+	if n := t.sampleN.Load(); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// NewID mints a trace ID: unique within the process and salted with the
+// process start time so IDs from successive runs don't collide in logs.
+func (t *Tracer) NewID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.idBase ^ t.idSeq.Add(1)
+}
+
+// Started returns how many traces this tracer has begun recording.
+func (t *Tracer) Started() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.started.Load()
+}
+
+// Start begins recording one request when tracing is enabled and either
+// the caller supplied a nonzero trace ID (client-driven correlation) or
+// the 1-in-N sampler picks the request. It returns nil otherwise; every
+// method on the returned *Active is nil-safe, so callers never branch.
+func (t *Tracer) Start(id uint64, kind, detail string) *Active {
+	if t == nil || !t.enabled.Load() {
+		return nil
+	}
+	if id == 0 {
+		n := t.sampleN.Load()
+		if n > 1 && t.reqSeq.Add(1)%uint64(n) != 0 {
+			return nil
+		}
+		id = t.NewID()
+	}
+	t.started.Add(1)
+	return &Active{
+		tracer: t,
+		id:     id,
+		kind:   kind,
+		detail: detail,
+		start:  time.Now(),
+		spans:  make([]SpanData, 0, 8),
+	}
+}
+
+// record pushes a completed trace into the ring.
+func (t *Tracer) record(tr *Trace) {
+	t.mu.Lock()
+	if t.n == RingSize {
+		t.dropped.Add(1)
+	}
+	t.ring[t.next] = tr
+	t.next = (t.next + 1) % RingSize
+	if t.n < RingSize {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to n completed traces, most recent first (n ≤ 0
+// returns all retained traces).
+func (t *Tracer) Recent(n int) []*Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.n {
+		n = t.n
+	}
+	out := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, t.ring[(t.next-1-i+2*RingSize)%RingSize])
+	}
+	return out
+}
+
+// Find returns the retained trace with the given ID, or nil.
+func (t *Tracer) Find(id uint64) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := 0; i < t.n; i++ {
+		if tr := t.ring[(t.next-1-i+2*RingSize)%RingSize]; tr != nil && tr.ID == id {
+			return tr
+		}
+	}
+	return nil
+}
+
+// Reset drops all retained traces.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for i := range t.ring {
+		t.ring[i] = nil
+	}
+	t.next, t.n = 0, 0
+	t.mu.Unlock()
+}
+
+// SpanData is one recorded span: a named interval inside a trace, with an
+// optional parent (index into the trace's span slice; -1 = top level) and
+// an optional free-form note.
+type SpanData struct {
+	Name   string        `json:"name"`
+	Parent int           `json:"parent"`
+	Start  time.Duration `json:"start_ns"` // offset from trace start
+	Dur    time.Duration `json:"dur_ns"`
+	Note   string        `json:"note,omitempty"`
+}
+
+// Trace is one completed, immutable request trace.
+type Trace struct {
+	ID     uint64        `json:"id"`
+	Kind   string        `json:"kind"`   // "query", "execute", "stmt", ...
+	Detail string        `json:"detail"` // SQL text or statement name
+	Start  time.Time     `json:"start"`
+	Total  time.Duration `json:"total_ns"`
+	Err    string        `json:"error,omitempty"`
+	Spans  []SpanData    `json:"spans"`
+}
+
+// IDString renders a trace ID the way logs print it.
+func IDString(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// Active is a trace being recorded. All methods are nil-safe: a nil
+// *Active is the not-sampled case and every call on it is a no-op.
+type Active struct {
+	tracer *Tracer
+	id     uint64
+	kind   string
+	detail string
+	start  time.Time
+
+	mu    sync.Mutex
+	spans []SpanData
+	done  bool
+}
+
+// ID returns the trace ID (0 on nil).
+func (a *Active) ID() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.id
+}
+
+// push appends a span record and returns its index, or -1 when full.
+func (a *Active) push(name string, parent int, start time.Duration) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.done || len(a.spans) >= maxSpans {
+		return -1
+	}
+	a.spans = append(a.spans, SpanData{Name: name, Parent: parent, Start: start, Dur: -1})
+	return len(a.spans) - 1
+}
+
+// Span opens a top-level span. End it with (*Span).End.
+func (a *Active) Span(name string) *Span {
+	if a == nil {
+		return nil
+	}
+	now := time.Now()
+	idx := a.push(name, -1, now.Sub(a.start))
+	if idx < 0 {
+		return nil
+	}
+	return &Span{a: a, idx: idx, start: now}
+}
+
+// SpanAt records an already-measured interval (e.g. the wire read that
+// completed before the trace existed) as a top-level span.
+func (a *Active) SpanAt(name string, start time.Time, d time.Duration) {
+	if a == nil {
+		return
+	}
+	off := start.Sub(a.start)
+	idx := a.push(name, -1, off)
+	if idx < 0 {
+		return
+	}
+	a.mu.Lock()
+	a.spans[idx].Dur = d
+	a.mu.Unlock()
+}
+
+// Finish completes the trace and hands it to the tracer's ring. Spans
+// still open are closed at the finish instant. Calling Finish twice is
+// a no-op.
+func (a *Active) Finish(err error) {
+	if a == nil {
+		return
+	}
+	now := time.Now()
+	a.mu.Lock()
+	if a.done {
+		a.mu.Unlock()
+		return
+	}
+	a.done = true
+	spans := make([]SpanData, len(a.spans))
+	copy(spans, a.spans)
+	for i := range spans {
+		if spans[i].Dur < 0 {
+			spans[i].Dur = now.Sub(a.start) - spans[i].Start
+		}
+	}
+	a.mu.Unlock()
+	tr := &Trace{
+		ID:     a.id,
+		Kind:   a.kind,
+		Detail: a.detail,
+		Start:  a.start,
+		Total:  now.Sub(a.start),
+		Spans:  spans,
+	}
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	a.tracer.record(tr)
+}
+
+// Span is one open interval. Nil-safe like Active.
+type Span struct {
+	a     *Active
+	idx   int
+	start time.Time
+}
+
+// Child opens a sub-span of s.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	now := time.Now()
+	idx := s.a.push(name, s.idx, now.Sub(s.a.start))
+	if idx < 0 {
+		return nil
+	}
+	return &Span{a: s.a, idx: idx, start: now}
+}
+
+// ChildAt records an already-measured interval as a sub-span of s — the
+// way per-exec-node timings gathered by the instrumentation decorators
+// are folded into a trace after the run.
+func (s *Span) ChildAt(name string, d time.Duration, note string) {
+	if s == nil {
+		return
+	}
+	idx := s.a.push(name, s.idx, s.start.Sub(s.a.start))
+	if idx < 0 {
+		return
+	}
+	s.a.mu.Lock()
+	s.a.spans[idx].Dur = d
+	s.a.spans[idx].Note = note
+	s.a.mu.Unlock()
+}
+
+// End closes the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.a.mu.Lock()
+	if s.idx < len(s.a.spans) && s.a.spans[s.idx].Dur < 0 {
+		s.a.spans[s.idx].Dur = d
+	}
+	s.a.mu.Unlock()
+}
+
+// Note attaches a formatted note to the span (replacing any prior note).
+func (s *Span) Note(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	note := fmt.Sprintf(format, args...)
+	s.a.mu.Lock()
+	if s.idx < len(s.a.spans) {
+		s.a.spans[s.idx].Note = note
+	}
+	s.a.mu.Unlock()
+}
+
+// --- context propagation ---
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying a. A nil a returns ctx unchanged, so
+// unsampled requests never allocate a context value.
+func NewContext(ctx context.Context, a *Active) context.Context {
+	if a == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, a)
+}
+
+// FromContext returns the Active carried by ctx, or nil.
+func FromContext(ctx context.Context) *Active {
+	if ctx == nil {
+		return nil
+	}
+	a, _ := ctx.Value(ctxKey{}).(*Active)
+	return a
+}

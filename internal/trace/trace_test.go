@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerIsNil(t *testing.T) {
+	tr := NewTracer()
+	if a := tr.Start(0, "query", "select 1"); a != nil {
+		t.Fatalf("disabled tracer produced an active trace")
+	}
+	// The whole nil-safe API must be callable on the not-sampled path.
+	var a *Active
+	sp := a.Span("parse")
+	sp.End()
+	sp.Note("x=%d", 1)
+	child := sp.Child("k")
+	child.End()
+	a.SpanAt("wire.read", time.Now(), time.Millisecond)
+	a.Finish(nil)
+	if got := a.ID(); got != 0 {
+		t.Fatalf("nil Active ID = %d, want 0", got)
+	}
+	var nilTracer *Tracer
+	if nilTracer.Enabled() || nilTracer.Start(1, "q", "") != nil {
+		t.Fatalf("nil tracer must behave as disabled")
+	}
+	if got := nilTracer.Recent(5); got != nil {
+		t.Fatalf("nil tracer Recent = %v", got)
+	}
+}
+
+func TestSpanTreeRecording(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(1)
+	a := tr.Start(0, "query", "select count(*) from lineitem")
+	if a == nil {
+		t.Fatal("enabled tracer did not sample")
+	}
+	id := a.ID()
+	if id == 0 {
+		t.Fatal("sampled trace has zero ID")
+	}
+	parse := a.Span("parse")
+	parse.End()
+	ex := a.Span("exec")
+	ex.Child("node").End()
+	ex.ChildAt("exec.node.BatchSeqScan", 3*time.Millisecond, "rows=100")
+	ex.Note("rows=%d", 100)
+	ex.End()
+	a.Finish(nil)
+
+	got := tr.Recent(1)
+	if len(got) != 1 {
+		t.Fatalf("Recent = %d traces, want 1", len(got))
+	}
+	c := got[0]
+	if c.ID != id || c.Kind != "query" {
+		t.Fatalf("completed trace = %+v", c)
+	}
+	if len(c.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(c.Spans), c.Spans)
+	}
+	byName := map[string]SpanData{}
+	for _, s := range c.Spans {
+		byName[s.Name] = s
+	}
+	if byName["parse"].Parent != -1 || byName["exec"].Parent != -1 {
+		t.Fatalf("top-level spans must have parent -1: %+v", c.Spans)
+	}
+	execIdx := -1
+	for i, s := range c.Spans {
+		if s.Name == "exec" {
+			execIdx = i
+		}
+	}
+	if byName["node"].Parent != execIdx || byName["exec.node.BatchSeqScan"].Parent != execIdx {
+		t.Fatalf("children must point at exec (%d): %+v", execIdx, c.Spans)
+	}
+	if byName["exec.node.BatchSeqScan"].Dur != 3*time.Millisecond {
+		t.Fatalf("ChildAt duration lost: %+v", byName["exec.node.BatchSeqScan"])
+	}
+	if byName["exec"].Note != "rows=100" {
+		t.Fatalf("span note lost: %+v", byName["exec"])
+	}
+	for _, s := range c.Spans {
+		if s.Dur < 0 {
+			t.Fatalf("span %q left unclosed duration: %+v", s.Name, s)
+		}
+	}
+	if tr.Find(id) == nil {
+		t.Fatalf("Find(%d) missed the completed trace", id)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(10)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if a := tr.Start(0, "query", ""); a != nil {
+			sampled++
+			a.Finish(nil)
+		}
+	}
+	if sampled != 10 {
+		t.Fatalf("1-in-10 sampler took %d of 100", sampled)
+	}
+	// A client-supplied ID always opts in, regardless of the sampler.
+	forced := 0
+	for i := 0; i < 20; i++ {
+		if a := tr.Start(uint64(1000+i), "query", ""); a != nil {
+			forced++
+			a.Finish(nil)
+		}
+	}
+	if forced != 20 {
+		t.Fatalf("client-supplied IDs sampled %d of 20", forced)
+	}
+}
+
+func TestRingEvictionAndErr(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(1)
+	for i := 0; i < RingSize+10; i++ {
+		a := tr.Start(uint64(i+1), "query", "q")
+		a.Finish(errors.New("boom"))
+	}
+	got := tr.Recent(0)
+	if len(got) != RingSize {
+		t.Fatalf("ring holds %d, want %d", len(got), RingSize)
+	}
+	if got[0].ID != uint64(RingSize+10) {
+		t.Fatalf("most recent first: got ID %d", got[0].ID)
+	}
+	if got[0].Err != "boom" {
+		t.Fatalf("error not recorded: %+v", got[0])
+	}
+	tr.Reset()
+	if len(tr.Recent(0)) != 0 {
+		t.Fatal("Reset left traces behind")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tr := NewTracer()
+	tr.Enable(1)
+	a := tr.Start(0, "query", "")
+	ctx := NewContext(context.Background(), a)
+	if got := FromContext(ctx); got != a {
+		t.Fatalf("FromContext = %p, want %p", got, a)
+	}
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("background context carried a trace: %p", got)
+	}
+	if got := NewContext(context.Background(), nil); got != context.Background() {
+		t.Fatal("NewContext(nil) must not allocate a new context")
+	}
+	var nilCtx context.Context
+	if got := FromContext(nilCtx); got != nil {
+		t.Fatal("FromContext(nil ctx) must be nil")
+	}
+}
+
+// BenchmarkSpanDisabled measures the not-sampled hook cost: one Start
+// returning nil plus nil-receiver span calls — the per-request price every
+// untraced query pays.
+func BenchmarkSpanDisabled(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := tr.Start(0, "query", "q")
+		sp := a.Span("parse")
+		sp.End()
+		sp = a.Span("exec")
+		sp.End()
+		a.Finish(nil)
+	}
+}

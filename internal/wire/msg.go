@@ -59,22 +59,33 @@ func DecodeHelloOK(p []byte) (HelloOK, error) {
 }
 
 // Query runs one ad-hoc SQL statement (SELECT, DML, or DDL). Analyze
-// asks for the EXPLAIN ANALYZE outline in Done.Analyze.
+// asks for the EXPLAIN ANALYZE outline in Done.Analyze. TraceID, when
+// nonzero, asks the server to record a request trace under that ID so
+// the client can correlate its observed latency with the server-side
+// breakdown; it is an optional trailing field — encoded only when set,
+// absent in frames from older clients — so both encodings stay valid.
 type Query struct {
 	SQL     string
 	Analyze bool
+	TraceID uint64
 }
 
 func EncodeQuery(m Query) []byte {
 	var e enc
 	e.u8(boolByte(m.Analyze))
 	e.str(m.SQL)
+	if m.TraceID != 0 {
+		e.u64(m.TraceID)
+	}
 	return e.b
 }
 
 func DecodeQuery(p []byte) (Query, error) {
 	d := dec{b: p}
 	m := Query{Analyze: d.u8() != 0, SQL: d.str()}
+	if d.rem() > 0 {
+		m.TraceID = d.u64()
+	}
 	return m, d.done(TQuery)
 }
 
@@ -118,11 +129,13 @@ func DecodePrepareOK(p []byte) (PrepareOK, error) {
 }
 
 // Execute binds parameters and runs a prepared statement (BIND and
-// EXECUTE fused into one round trip).
+// EXECUTE fused into one round trip). TraceID is the same optional
+// trailing trace-correlation field as Query.TraceID.
 type Execute struct {
 	Name    string
 	Analyze bool
 	Params  []types.Datum
+	TraceID uint64
 }
 
 func EncodeExecute(m Execute) []byte {
@@ -132,6 +145,9 @@ func EncodeExecute(m Execute) []byte {
 	e.u16(uint16(len(m.Params)))
 	for _, v := range m.Params {
 		e.datum(v)
+	}
+	if m.TraceID != 0 {
+		e.u64(m.TraceID)
 	}
 	return e.b
 }
@@ -145,6 +161,9 @@ func DecodeExecute(p []byte) (Execute, error) {
 		for i := 0; i < n && d.err == nil; i++ {
 			m.Params = append(m.Params, d.datum())
 		}
+	}
+	if d.rem() > 0 {
+		m.TraceID = d.u64()
 	}
 	return m, d.done(TExecute)
 }
@@ -257,22 +276,31 @@ func DecodeRow(p []byte) (Row, error) {
 
 // Done ends a statement's response: the row count (affected rows for
 // DML, returned rows for SELECT) and the EXPLAIN ANALYZE outline when it
-// was requested.
+// was requested. TraceID echoes the server-side trace ID of the request
+// (optional trailing field, present only when the request was traced) so
+// the client logs the same ID the server's /traces endpoint shows.
 type Done struct {
 	Rows    int64
 	Analyze string
+	TraceID uint64
 }
 
 func EncodeDone(m Done) []byte {
 	var e enc
 	e.u64(uint64(m.Rows))
 	e.str(m.Analyze)
+	if m.TraceID != 0 {
+		e.u64(m.TraceID)
+	}
 	return e.b
 }
 
 func DecodeDone(p []byte) (Done, error) {
 	d := dec{b: p}
 	m := Done{Rows: int64(d.u64()), Analyze: d.str()}
+	if d.rem() > 0 {
+		m.TraceID = d.u64()
+	}
 	return m, d.done(TDone)
 }
 

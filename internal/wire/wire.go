@@ -245,6 +245,16 @@ func (d *dec) str() string {
 	return s
 }
 
+// rem reports how many undecoded bytes remain — the probe optional
+// trailing fields use before reading (a field added after protocol
+// version 1 is present only when bytes remain).
+func (d *dec) rem() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.b) - d.off
+}
+
 // done returns the latched decode error, also rejecting trailing garbage
 // (a well-formed prefix followed by junk is still a malformed frame).
 func (d *dec) done(msg Type) error {

@@ -136,6 +136,48 @@ func TestMessageRoundTrips(t *testing.T) {
 	}
 }
 
+// TestTraceIDOptionalField covers the optional trailing trace-ID field on
+// Query, Execute, and Done: round-trips when set, absent bytes when zero
+// (old encodings stay byte-identical), zero on decode of old frames, and
+// malformed when the trailing field is truncated.
+func TestTraceIDOptionalField(t *testing.T) {
+	q := Query{SQL: "select 1", Analyze: true, TraceID: 0xdeadbeefcafe}
+	if got, err := DecodeQuery(EncodeQuery(q)); err != nil || got != q {
+		t.Fatalf("Query+trace: %+v %v", got, err)
+	}
+	ex := Execute{Name: "q1", TraceID: 7}
+	if got, err := DecodeExecute(EncodeExecute(ex)); err != nil || got.TraceID != 7 {
+		t.Fatalf("Execute+trace: %+v %v", got, err)
+	}
+	dn := Done{Rows: 3, Analyze: "x", TraceID: 99}
+	if got, err := DecodeDone(EncodeDone(dn)); err != nil || got != dn {
+		t.Fatalf("Done+trace: %+v %v", got, err)
+	}
+
+	// TraceID == 0 encodes to exactly the version-1 bytes: the field is
+	// genuinely optional and old peers keep interoperating.
+	plain := Query{SQL: "select 1"}
+	withZero := Query{SQL: "select 1", TraceID: 0}
+	if !bytes.Equal(EncodeQuery(plain), EncodeQuery(withZero)) {
+		t.Fatal("TraceID=0 changed the Query encoding")
+	}
+	if len(EncodeQuery(q)) != len(EncodeQuery(plain))+8 {
+		t.Fatal("TraceID field is not exactly 8 trailing bytes")
+	}
+	// An old frame (no trailing field) decodes with TraceID 0.
+	if got, err := DecodeQuery(EncodeQuery(plain)); err != nil || got.TraceID != 0 {
+		t.Fatalf("old Query frame: %+v %v", got, err)
+	}
+	// A truncated trailing field is malformed, not silently ignored.
+	enc := EncodeQuery(q)
+	for cut := len(enc) - 7; cut < len(enc); cut++ {
+		var we *Error
+		if _, err := DecodeQuery(enc[:cut]); err == nil || !errors.As(err, &we) {
+			t.Fatalf("truncated trace field at %d: err = %v", cut, err)
+		}
+	}
+}
+
 // Golden error frame: the byte-exact wire form of a typed error, pinned
 // so client and server implementations cannot drift apart silently.
 func TestGoldenErrorFrame(t *testing.T) {
