@@ -11,6 +11,7 @@
 //	chaos-bench [-seed 42] [-sf 0.01] [-pool 256] [-rounds 2] [-q 1,6,14]
 //	            [-workers 0] [-read-err 0.02] [-bit-flip 0.01] [-torn 0.002]
 //	            [-spike 0.01] [-bee-panics] [-timeout 0] [-tpcc-txns 2000]
+//	            [-dml 4]
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 	beePanics := flag.Bool("bee-panics", o.BeePanics, "also inject bee panics (quarantine fallback) on every third round")
 	timeout := flag.Duration("timeout", 0, "statement timeout during fault rounds (0 = none), e.g. 500ms")
 	tpccTxns := flag.Int("tpcc-txns", o.TPCCTxns, "TPC-C transactions to run under faults (0 = skip)")
+	dml := flag.Int("dml", o.DMLWriters, "background DML writers churning a side table during the query rounds; queries must still match their serial baselines (0 = off)")
 	flag.Parse()
 
 	o.Seed = *seed
@@ -52,6 +54,7 @@ func main() {
 	o.BeePanics = *beePanics
 	o.Timeout = *timeout
 	o.TPCCTxns = *tpccTxns
+	o.DMLWriters = *dml
 	if *qlist != "" {
 		for _, part := range strings.Split(*qlist, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

@@ -32,6 +32,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -51,6 +52,7 @@ import (
 	"microspec/internal/storage/disk"
 	"microspec/internal/tpch"
 	"microspec/internal/types"
+	"microspec/internal/wire"
 )
 
 const (
@@ -66,6 +68,7 @@ type Round struct {
 	Conns      int     `json:"conns"`
 	Ops        int64   `json:"ops"`
 	Errors     int64   `json:"errors"`
+	Conflicts  int64   `json:"conflicts,omitempty"`
 	Mismatches int64   `json:"mismatches"`
 	Seconds    float64 `json:"seconds"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
@@ -80,9 +83,22 @@ type Report struct {
 	When            string           `json:"when"`
 	ScaleFactor     float64          `json:"scale_factor"`
 	Faults          bool             `json:"faults"`
+	IOLatencyUS     float64          `json:"io_latency_us,omitempty"`
+	Scaling         *Scaling         `json:"scaling,omitempty"`
 	Rounds          []Round          `json:"rounds"`
 	PreparedVsAdhoc *PreparedVsAdhoc `json:"prepared_vs_adhoc,omitempty"`
 	FaultStats      *disk.FaultStats `json:"fault_stats,omitempty"`
+}
+
+// Scaling summarizes the connection sweep: throughput at the smallest
+// and largest connection counts and their ratio (the E15 headline
+// number).
+type Scaling struct {
+	BaseConns  int     `json:"base_conns"`
+	BaseOpsSec float64 `json:"base_ops_per_sec"`
+	TopConns   int     `json:"top_conns"`
+	TopOpsSec  float64 `json:"top_ops_per_sec"`
+	Speedup    float64 `json:"speedup"`
 }
 
 // PreparedVsAdhoc compares point-query throughput with and without
@@ -104,6 +120,8 @@ func main() {
 	faults := flag.Bool("faults", false, "arm seeded disk faults on the in-process server after setup")
 	faultSeed := flag.Int64("faultseed", 1, "fault schedule seed (with -faults)")
 	check := flag.Bool("check", false, "exit non-zero on any mismatch or unclean shutdown")
+	ioLat := flag.Duration("latency", 0, "per-page disk read latency on the in-process server, really slept so connections overlap I/O (0 = warm in-memory mode)")
+	minScale := flag.Float64("minscale", 0, "minimum (top conns ops/s) / (base conns ops/s) ratio; below it the run exits non-zero (0 = no scaling gate)")
 	poolPages := flag.Int("poolpages", 0, "in-process buffer pool size in pages (0 = engine default; -faults defaults to 512 so the fault-injecting device sees real I/O)")
 	out := flag.String("out", "BENCH_server.json", "output report path (empty disables)")
 	adminAddr := flag.String("admin", "", "HTTP admin/telemetry address for the in-process server (empty = disabled)")
@@ -120,17 +138,29 @@ func main() {
 	var admin *server.Admin
 	var db *engine.DB
 	var fd *disk.Faulty
+	var latDev disk.Device // armed with the -latency model after setup
 	target := *addr
 	if target == "" {
 		cfg := engine.Config{Routines: core.AllRoutines, PoolPages: *poolPages}
 		if *faults && *poolPages == 0 {
 			cfg.PoolPages = 512
 		}
+		if *ioLat > 0 && *poolPages == 0 && !*faults {
+			// I/O-bound mode wants a pool small enough that the workload
+			// actually misses; connections then scale by overlapping the
+			// slept page reads.
+			cfg.PoolPages = 128
+		}
 		if *faults {
 			fc := disk.DefaultChaosFaults
 			fc.Seed = *faultSeed
 			fd = disk.NewFaulty(disk.NewManager(disk.LatencyModel{}), fc)
 			cfg.Disk = fd
+			latDev = fd
+		} else if *ioLat > 0 {
+			m := disk.NewManager(disk.LatencyModel{})
+			cfg.Disk = m
+			latDev = m
 		}
 		db = engine.Open(cfg)
 		fmt.Printf("loading TPC-H at SF %g...\n", *sf)
@@ -166,12 +196,19 @@ func main() {
 		fd.SetEnabled(true)
 		fmt.Printf("disk faults armed (seed %d)\n", *faultSeed)
 	}
+	if latDev != nil && *ioLat > 0 {
+		// Setup (TPC-H load, bench seeding) ran warm; measured rounds pay
+		// real, overlappable I/O waits.
+		latDev.SetLatency(disk.LatencyModel{ReadPerPage: *ioLat, WritePerPage: *ioLat * 6 / 5, Sleep: true})
+		fmt.Printf("I/O-bound mode armed: %v per page read (slept)\n", *ioLat)
+	}
 
 	rep := &Report{
 		Bench:       "server",
 		When:        time.Now().UTC().Format(time.RFC3339),
 		ScaleFactor: *sf,
 		Faults:      *faults,
+		IOLatencyUS: float64(*ioLat) / float64(time.Microsecond),
 	}
 	nParts := tpch.NewGenerator(*sf).NumPart()
 	var mismatches int64
@@ -179,8 +216,33 @@ func main() {
 		r := runMixed(target, *secret, n, *dur, *seed, nParts)
 		mismatches += r.Mismatches
 		rep.Rounds = append(rep.Rounds, r)
-		fmt.Printf("mixed  conns=%-3d %8.0f ops/s  p50=%6.0fµs p95=%6.0fµs p99=%6.0fµs  errors=%d mismatches=%d\n",
-			n, r.OpsPerSec, r.P50us, r.P95us, r.P99us, r.Errors, r.Mismatches)
+		fmt.Printf("mixed  conns=%-3d %8.0f ops/s  p50=%6.0fµs p95=%6.0fµs p99=%6.0fµs  errors=%d conflicts=%d mismatches=%d\n",
+			n, r.OpsPerSec, r.P50us, r.P95us, r.P99us, r.Errors, r.Conflicts, r.Mismatches)
+	}
+	scaleOK := true
+	if len(rep.Rounds) >= 2 {
+		base, top := rep.Rounds[0], rep.Rounds[0]
+		for _, r := range rep.Rounds[1:] {
+			if r.Conns < base.Conns {
+				base = r
+			}
+			if r.Conns > top.Conns {
+				top = r
+			}
+		}
+		if top.Conns > base.Conns && base.OpsPerSec > 0 {
+			sc := &Scaling{BaseConns: base.Conns, BaseOpsSec: base.OpsPerSec,
+				TopConns: top.Conns, TopOpsSec: top.OpsPerSec,
+				Speedup: top.OpsPerSec / base.OpsPerSec}
+			rep.Scaling = sc
+			fmt.Printf("scaling: %d conns → %d conns = %.2fx throughput\n",
+				base.Conns, top.Conns, sc.Speedup)
+			if *minScale > 0 && sc.Speedup < *minScale {
+				scaleOK = false
+				fmt.Fprintf(os.Stderr, "loadgen: scaling %.2fx below required %.2fx\n",
+					sc.Speedup, *minScale)
+			}
+		}
 	}
 
 	pva := runPreparedVsAdhoc(target, *secret, 4, *dur, *seed, nParts)
@@ -227,6 +289,9 @@ func main() {
 			fatalf("write %s: %v", *out, err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if !scaleOK {
+		fatalf("scaling gate failed")
 	}
 	if *check {
 		if mismatches > 0 {
@@ -351,23 +416,23 @@ func runTracedProbes(addr, secret string, seed int64) {
 	}
 }
 
-
 // worker is one connection's prepared workload.
 type worker struct {
-	c       *client.Conn
-	rng     *rand.Rand
-	nParts  int
-	kvGet   *client.Stmt
-	partGet *client.Stmt
-	liRange *client.Stmt
-	payDist *client.Stmt
-	payGet  *client.Stmt
-	payUpd  *client.Stmt
-	payHist *client.Stmt
-	ops     int64
-	errs    int64
-	misses  int64
-	lats    []time.Duration
+	c         *client.Conn
+	rng       *rand.Rand
+	nParts    int
+	kvGet     *client.Stmt
+	partGet   *client.Stmt
+	liRange   *client.Stmt
+	payDist   *client.Stmt
+	payGet    *client.Stmt
+	payUpd    *client.Stmt
+	payHist   *client.Stmt
+	ops       int64
+	errs      int64
+	misses    int64
+	conflicts int64
+	lats      []time.Duration
 }
 
 func newWorker(addr, secret string, seed int64, nParts int) (*worker, error) {
@@ -410,31 +475,58 @@ func newWorker(addr, secret string, seed int64, nParts int) (*worker, error) {
 func (w *worker) close() { w.c.Close() }
 
 // step runs one operation of the mixed workload and records its latency.
+// A first-updater-wins loss (the typed "write_conflict" error code) is
+// counted and retried once — the standard client reaction to MVCC
+// conflicts — rather than reported as an error.
 func (w *worker) step() {
-	var err error
 	start := time.Now()
-	switch p := w.rng.Intn(100); {
-	case p < 35: // verified point read on the seeded kv table
-		k := w.rng.Intn(kvRows)
-		var res *client.Result
-		res, err = w.kvGet.Query(types.NewInt64(int64(k)))
-		if err == nil && (len(res.Rows) != 1 || res.Rows[0][0].Str() != kvVal(k)) {
-			w.misses++
-		}
-	case p < 55: // TPC-H point query
-		k := 1 + w.rng.Intn(w.nParts)
-		_, err = w.partGet.Query(types.NewInt64(int64(k)))
-	case p < 70: // TPC-H range aggregate
-		lo := 1 + w.rng.Intn(1000)
-		_, err = w.liRange.Query(types.NewInt64(int64(lo)), types.NewInt64(int64(lo+64)))
-	default: // TPC-C-Payment-shaped transaction
-		err = w.payment()
+	op := w.pickOp()
+	err := op()
+	if isConflictErr(err) {
+		w.conflicts++
+		err = op()
 	}
 	w.lats = append(w.lats, time.Since(start))
 	w.ops++
 	if err != nil {
 		w.errs++
 	}
+}
+
+// pickOp selects one operation of the mixed workload.
+func (w *worker) pickOp() func() error {
+	switch p := w.rng.Intn(100); {
+	case p < 35: // verified point read on the seeded kv table
+		k := w.rng.Intn(kvRows)
+		return func() error {
+			res, err := w.kvGet.Query(types.NewInt64(int64(k)))
+			if err == nil && (len(res.Rows) != 1 || res.Rows[0][0].Str() != kvVal(k)) {
+				w.misses++
+			}
+			return err
+		}
+	case p < 55: // TPC-H point query
+		k := 1 + w.rng.Intn(w.nParts)
+		return func() error {
+			_, err := w.partGet.Query(types.NewInt64(int64(k)))
+			return err
+		}
+	case p < 70: // TPC-H range aggregate
+		lo := 1 + w.rng.Intn(1000)
+		return func() error {
+			_, err := w.liRange.Query(types.NewInt64(int64(lo)), types.NewInt64(int64(lo+64)))
+			return err
+		}
+	default: // TPC-C-Payment-shaped transaction
+		return w.payment
+	}
+}
+
+// isConflictErr reports whether err is the server's typed write-conflict
+// error.
+func isConflictErr(err error) bool {
+	var we *wire.Error
+	return errors.As(err, &we) && we.Code == wire.CodeConflict
 }
 
 func (w *worker) payment() error {
@@ -495,6 +587,7 @@ func runMixed(addr, secret string, n int, dur time.Duration, seed int64, nParts 
 	for _, w := range workers {
 		r.Ops += w.ops
 		r.Errors += w.errs
+		r.Conflicts += w.conflicts
 		r.Mismatches += w.misses
 		all = append(all, w.lats...)
 		w.close()

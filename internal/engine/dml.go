@@ -1,15 +1,19 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"microspec/internal/catalog"
 
 	"microspec/internal/exec"
 	"microspec/internal/expr"
+	"microspec/internal/index/btree"
 	"microspec/internal/profile"
 	"microspec/internal/sql"
 	"microspec/internal/storage/heap"
+	"microspec/internal/txn"
 	"microspec/internal/types"
 )
 
@@ -17,10 +21,20 @@ import (
 // module's FormTuple — the SCL bee routine plus tuple-bee resolution when
 // enabled, the generic heap_fill_tuple otherwise — which is exactly the
 // code path the paper's bulk-loading experiment (Figure 8) measures.
+//
+// Concurrency: each statement runs as its own transaction under the
+// engine lock in *shared* mode plus its table's latch in exclusive mode,
+// so statements on different tables proceed in parallel and SELECTs are
+// never blocked (they read MVCC snapshots; see docs/CONCURRENCY.md).
+// On error the statement's undo log is replayed and the transaction
+// aborts — statements are atomic.
 
-// insertRowLocked forms and stores one tuple and maintains indexes.
-// Caller holds db.mu. The returned undo reverses heap and index effects.
-func (db *DB) insertRowLocked(rel relHandle, values []types.Datum, prof *profile.Counters) (heap.TID, func() error, error) {
+// insertRowLocked forms and stores one tuple version stamped with xid and
+// adds one index entry per index. Caller holds the table latch
+// exclusively. The returned undo removes the index entries and stamps the
+// version dead (rollback makes it invisible even to latest-committed
+// readers).
+func (db *DB) insertRowLocked(rel relHandle, values []types.Datum, xid uint64, prof *profile.Counters) (heap.TID, func() error, error) {
 	acc, err := db.accessFor(rel.rel)
 	if err != nil {
 		return heap.TID{}, nil, err
@@ -29,50 +43,90 @@ func (db *DB) insertRowLocked(rel relHandle, values []types.Datum, prof *profile
 	if err != nil {
 		return heap.TID{}, nil, err
 	}
-	tid, err := rel.heap.Insert(tup, prof)
+	// Visibility-aware unique checks come first, before any effect that
+	// would need undoing. The B+tree cannot enforce uniqueness itself: it
+	// keeps one entry per version, and dead versions of a key linger until
+	// vacuum.
+	for _, ix := range db.byRel[rel.rel.ID] {
+		if !ix.Tree.Unique {
+			continue
+		}
+		if err := db.uniqueConflict(rel.heap, ix, indexKey(values, ix.Cols), xid, prof); err != nil {
+			return heap.TID{}, nil, err
+		}
+	}
+	tid, err := rel.heap.Insert(tup, xid, prof)
 	if err != nil {
 		return heap.TID{}, nil, err
 	}
-	db.dataGen.Add(1)
-	var insertedKeys []struct {
-		ix  *Index
-		key []types.Datum
-	}
-	for _, ix := range db.byRel[rel.rel.ID] {
+	keys := make([]btree.Key, len(db.byRel[rel.rel.ID]))
+	for i, ix := range db.byRel[rel.rel.ID] {
 		key := indexKey(values, ix.Cols)
 		// Own the key datums: values may alias caller buffers.
-		for i := range key {
-			key[i] = exec.CloneDatum(key[i])
+		for j := range key {
+			key[j] = exec.CloneDatum(key[j])
 		}
-		if err := ix.Tree.Insert(key, tid, prof); err != nil {
-			// Roll back what we did so far.
-			for _, done := range insertedKeys {
-				done.ix.Tree.Delete(done.key, tid, nil)
-			}
-			if undoDel, derr := rel.heap.Delete(tid, nil); derr == nil {
-				_ = undoDel
-			}
-			return heap.TID{}, nil, err
-		}
-		insertedKeys = append(insertedKeys, struct {
-			ix  *Index
-			key []types.Datum
-		}{ix, key})
+		ix.Tree.InsertVersion(key, tid, prof)
+		keys[i] = key
 	}
+	ixs := db.byRel[rel.rel.ID]
 	undo := func() error {
-		for _, done := range insertedKeys {
-			done.ix.Tree.Delete(done.key, tid, nil)
+		for i, ix := range ixs {
+			ix.Tree.Delete(keys[i], tid, nil)
 		}
-		_, err := rel.heap.Delete(tid, nil)
-		return err
+		return rel.heap.MarkDeleted(tid, xid, nil)
 	}
 	return tid, undo, nil
 }
 
-// relHandle pairs a relation with its heap.
+// uniqueConflict reports whether inserting key into ix would violate
+// uniqueness from xid's point of view. The check is deliberately dirty:
+// an uncommitted insert of the same key by a concurrent transaction is a
+// write-write conflict (first-updater-wins — we cannot assume it will
+// abort), a committed live version is a duplicate, and versions that are
+// aborted, deleted-by-a-committed-transaction, or deleted by xid itself
+// do not count.
+func (db *DB) uniqueConflict(h *heap.Heap, ix *Index, key btree.Key, xid uint64, prof *profile.Counters) error {
+	for _, tid := range ix.Tree.SearchAll(key, prof) {
+		xmin, xmax, present, err := h.Stamps(tid)
+		if err != nil {
+			return err
+		}
+		if !present {
+			continue // vacuumed since the entry was collected
+		}
+		switch db.tm.Status(xmin) {
+		case txn.StatusAborted:
+			continue
+		case txn.StatusInProgress:
+			if xmin != xid {
+				return &txn.ConflictError{Mine: xid, Theirs: xmin}
+			}
+		}
+		if xmax == xid {
+			continue // deleted earlier in this transaction
+		}
+		if xmax != txn.None {
+			switch db.tm.Status(xmax) {
+			case txn.StatusCommitted:
+				continue // deleted for good
+			case txn.StatusAborted:
+				// Deleter rolled back: the version is live.
+			case txn.StatusInProgress:
+				// A concurrent deleter might abort; treat the version as
+				// live and fail — first-updater-wins keeps this rare.
+			}
+		}
+		return fmt.Errorf("index %s: duplicate key %v", ix.Name, key)
+	}
+	return nil
+}
+
+// relHandle pairs a relation with its heap and table latch.
 type relHandle struct {
-	rel  *catalog.Relation
-	heap *heap.Heap
+	rel   *catalog.Relation
+	heap  *heap.Heap
+	latch *sync.RWMutex
 }
 
 func (db *DB) handleFor(name string) (relHandle, error) {
@@ -84,14 +138,42 @@ func (db *DB) handleFor(name string) (relHandle, error) {
 	if !ok {
 		return relHandle{}, fmt.Errorf("engine: relation %s has no heap", name)
 	}
-	return relHandle{rel: rel, heap: h}, nil
+	return relHandle{rel: rel, heap: h, latch: db.latches[rel.ID]}, nil
+}
+
+// stmtCommit finishes an auto-commit DML statement: commit the statement
+// transaction, bump the data generation, and vacuum the table if its dead
+// versions passed the threshold. Caller still holds the table latch.
+func (db *DB) stmtCommit(rel relHandle, xid uint64, prof *profile.Counters) {
+	db.tm.Commit(xid)
+	db.dataGen.Add(1)
+	db.maybeVacuumLocked(rel, prof)
+}
+
+// stmtAbort rolls back an auto-commit DML statement: replay the undo log
+// newest-first, then abort the transaction. Caller still holds the table
+// latch. Conflict errors are counted here — the single funnel every
+// losing statement passes through.
+func (db *DB) stmtAbort(undos []func() error, xid uint64, cause error) {
+	for i := len(undos) - 1; i >= 0; i-- {
+		_ = undos[i]()
+	}
+	db.tm.Abort(xid)
+	if isConflict(cause) {
+		db.obs.txnConflicts.Inc()
+	}
+}
+
+// isConflict reports whether err is (or wraps) a write-write conflict.
+func isConflict(err error) bool {
+	return err != nil && errors.Is(err, txn.ErrWriteConflict)
 }
 
 // execInsert handles INSERT INTO ... VALUES. slots carries bound
 // prepared-statement parameters (nil for ad-hoc statements).
-func (db *DB) execInsert(s *sql.Insert, prof *profile.Counters, txn *Txn, slots *expr.ParamSlots) (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+func (db *DB) execInsert(s *sql.Insert, prof *profile.Counters, slots *expr.ParamSlots) (int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	rel, err := db.handleFor(s.Table)
 	if err != nil {
 		return 0, err
@@ -100,31 +182,38 @@ func (db *DB) execInsert(s *sql.Insert, prof *profile.Counters, txn *Txn, slots 
 	if err != nil {
 		return 0, err
 	}
+	rel.latch.Lock()
+	defer rel.latch.Unlock()
+	xid := db.tm.Begin()
 	var n int64
+	var undos []func() error
 	for _, rowExprs := range s.Rows {
 		if len(rowExprs) != len(colIdx) {
-			return n, fmt.Errorf("engine: INSERT has %d values for %d columns", len(rowExprs), len(colIdx))
+			err = fmt.Errorf("engine: INSERT has %d values for %d columns", len(rowExprs), len(colIdx))
+			db.stmtAbort(undos, xid, err)
+			return 0, err
 		}
 		values := make([]types.Datum, len(rel.rel.Attrs))
 		for i := range values {
 			values[i] = types.Null
 		}
 		for i, e := range rowExprs {
-			d, err := evalConstAST(e, slots)
-			if err != nil {
-				return n, err
+			d, verr := evalConstAST(e, slots)
+			if verr != nil {
+				db.stmtAbort(undos, xid, verr)
+				return 0, verr
 			}
 			values[colIdx[i]] = d
 		}
-		_, undo, err := db.insertRowLocked(rel, values, prof)
-		if err != nil {
-			return n, err
+		_, undo, ierr := db.insertRowLocked(rel, values, xid, prof)
+		if ierr != nil {
+			db.stmtAbort(undos, xid, ierr)
+			return 0, ierr
 		}
-		if txn != nil {
-			txn.undo = append(txn.undo, undo)
-		}
+		undos = append(undos, undo)
 		n++
 	}
+	db.stmtCommit(rel, xid, prof)
 	return n, nil
 }
 
@@ -224,10 +313,11 @@ func parseNum(n *sql.NumLit) (types.Datum, error) {
 	return types.NewInt64(v), nil
 }
 
-// execUpdate handles UPDATE ... SET ... WHERE by scanning the relation.
-func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, txn *Txn, slots *expr.ParamSlots) (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// execUpdate handles UPDATE ... SET ... WHERE by scanning the relation
+// under the statement's snapshot.
+func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, slots *expr.ParamSlots) (int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	rel, err := db.handleFor(s.Table)
 	if err != nil {
 		return 0, err
@@ -242,6 +332,12 @@ func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, txn *Txn, slots 
 	}
 	deform := acc.deform
 
+	rel.latch.Lock()
+	defer rel.latch.Unlock()
+	xid := db.tm.Begin()
+	snap := db.tm.Snapshot(xid)
+	defer snap.Release()
+
 	// Two phases: collect matching TIDs and new value rows, then apply
 	// (updating during the scan would revisit moved tuples).
 	type pending struct {
@@ -252,7 +348,7 @@ func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, txn *Txn, slots 
 	var todo []pending
 	ctx := &exec.Ctx{Expr: expr.Ctx{Prof: prof}}
 	values := make([]types.Datum, len(rel.rel.Attrs))
-	sc := rel.heap.Scan(prof)
+	sc := rel.heap.Scan(snap, prof)
 	for {
 		tid, tup, ok := sc.Next()
 		if !ok {
@@ -274,18 +370,20 @@ func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, txn *Txn, slots 
 	}
 	sc.Close()
 	if err := sc.Err(); err != nil {
+		db.stmtAbort(nil, xid, err)
 		return 0, err
 	}
 
+	var undos []func() error
 	for _, pd := range todo {
-		undo, err := db.applyUpdateLocked(rel, pd.tid, pd.oldVal, pd.newVal, prof)
+		undo, err := db.applyUpdateLocked(rel, pd.tid, pd.oldVal, pd.newVal, xid, prof)
 		if err != nil {
+			db.stmtAbort(undos, xid, err)
 			return 0, err
 		}
-		if txn != nil {
-			txn.undo = append(txn.undo, undo)
-		}
+		undos = append(undos, undo)
 	}
+	db.stmtCommit(rel, xid, prof)
 	return int64(len(todo)), nil
 }
 
@@ -316,9 +414,15 @@ func (db *DB) compileUpdate(rel *catalog.Relation, s *sql.Update, slots *expr.Pa
 	return where, setExprs, setCols, nil
 }
 
-// applyUpdateLocked rewrites one tuple and fixes indexes; the undo
-// restores the previous state.
-func (db *DB) applyUpdateLocked(rel relHandle, tid heap.TID, oldVal, newVal []types.Datum, prof *profile.Counters) (func() error, error) {
+// applyUpdateLocked performs one MVCC update — stamp the old version
+// deleted, insert the new version, index the new version — and returns
+// the undo that reverses all three. The old version's index entries are
+// deliberately KEPT: concurrent snapshots older than this transaction
+// still need to find the old version through the index; vacuum removes
+// the entries when it reclaims the version. A *txn.ConflictError from the
+// delete stamp means another transaction updated the row first
+// (first-updater-wins); the caller must abort.
+func (db *DB) applyUpdateLocked(rel relHandle, tid heap.TID, oldVal, newVal []types.Datum, xid uint64, prof *profile.Counters) (func() error, error) {
 	acc, err := db.accessFor(rel.rel)
 	if err != nil {
 		return nil, err
@@ -327,37 +431,46 @@ func (db *DB) applyUpdateLocked(rel relHandle, tid heap.TID, oldVal, newVal []ty
 	if err != nil {
 		return nil, err
 	}
-	newTID, undoHeap, err := rel.heap.Update(tid, tup, prof)
-	if err != nil {
+	if err := rel.heap.MarkDeleted(tid, xid, prof); err != nil {
 		return nil, err
 	}
-	db.dataGen.Add(1)
-	// Index maintenance: remove old keys, add new ones (also when only
-	// the TID moved).
-	var undoIdx []func()
+	// Unique checks on key-changing indexes, after the old version is
+	// stamped (its xmax == xid exempts it from its own check).
 	for _, ix := range db.byRel[rel.rel.ID] {
-		oldKey := indexKey(oldVal, ix.Cols)
-		newKey := indexKey(newVal, ix.Cols)
-		keyChanged := btreeCompare(oldKey, newKey) != 0
-		if !keyChanged && newTID == tid {
+		if !ix.Tree.Unique {
 			continue
 		}
-		ix.Tree.Delete(oldKey, tid, prof)
-		if err := ix.Tree.Insert(newKey, newTID, prof); err != nil {
+		oldKey := indexKey(oldVal, ix.Cols)
+		newKey := indexKey(newVal, ix.Cols)
+		if btreeCompare(oldKey, newKey) == 0 {
+			continue
+		}
+		if err := db.uniqueConflict(rel.heap, ix, newKey, xid, prof); err != nil {
+			_ = rel.heap.UnmarkDeleted(tid, xid)
 			return nil, err
 		}
-		ixc, ok, ot, nt := ix, keyChanged, tid, newTID
-		_ = ok
-		undoIdx = append(undoIdx, func() {
-			ixc.Tree.Delete(newKey, nt, nil)
-			_ = ixc.Tree.Insert(oldKey, ot, nil)
-		})
+	}
+	newTID, err := rel.heap.Insert(tup, xid, prof)
+	if err != nil {
+		_ = rel.heap.UnmarkDeleted(tid, xid)
+		return nil, err
+	}
+	ixs := db.byRel[rel.rel.ID]
+	newKeys := make([]btree.Key, len(ixs))
+	for i, ix := range ixs {
+		key := indexKey(newVal, ix.Cols)
+		for j := range key {
+			key[j] = exec.CloneDatum(key[j])
+		}
+		ix.Tree.InsertVersion(key, newTID, prof)
+		newKeys[i] = key
 	}
 	undo := func() error {
-		for _, u := range undoIdx {
-			u()
+		for i, ix := range ixs {
+			ix.Tree.Delete(newKeys[i], newTID, nil)
 		}
-		return undoHeap()
+		_ = rel.heap.MarkDeleted(newTID, xid, nil)
+		return rel.heap.UnmarkDeleted(tid, xid)
 	}
 	return undo, nil
 }
@@ -371,10 +484,11 @@ func btreeCompare(a, b []types.Datum) int {
 	return 0
 }
 
-// execDelete handles DELETE FROM ... WHERE by scanning the relation.
-func (db *DB) execDelete(s *sql.Delete, prof *profile.Counters, txn *Txn, slots *expr.ParamSlots) (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+// execDelete handles DELETE FROM ... WHERE by scanning the relation
+// under the statement's snapshot.
+func (db *DB) execDelete(s *sql.Delete, prof *profile.Counters, slots *expr.ParamSlots) (int64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	rel, err := db.handleFor(s.Table)
 	if err != nil {
 		return 0, err
@@ -392,14 +506,17 @@ func (db *DB) execDelete(s *sql.Delete, prof *profile.Counters, txn *Txn, slots 
 		return 0, err
 	}
 	deform := acc.deform
-	type victim struct {
-		tid heap.TID
-		val []types.Datum
-	}
-	var victims []victim
+
+	rel.latch.Lock()
+	defer rel.latch.Unlock()
+	xid := db.tm.Begin()
+	snap := db.tm.Snapshot(xid)
+	defer snap.Release()
+
+	var victims []heap.TID
 	ctx := &expr.Ctx{Prof: prof}
 	values := make([]types.Datum, len(rel.rel.Attrs))
-	sc := rel.heap.Scan(prof)
+	sc := rel.heap.Scan(snap, prof)
 	for {
 		tid, tup, ok := sc.Next()
 		if !ok {
@@ -412,45 +529,34 @@ func (db *DB) execDelete(s *sql.Delete, prof *profile.Counters, txn *Txn, slots 
 				continue
 			}
 		}
-		victims = append(victims, victim{tid: tid, val: exec.CloneRow(values)})
+		victims = append(victims, tid)
 	}
 	sc.Close()
 	if err := sc.Err(); err != nil {
+		db.stmtAbort(nil, xid, err)
 		return 0, err
 	}
-	for _, v := range victims {
-		undo, err := db.deleteRowLocked(rel, v.tid, v.val, prof)
+	var undos []func() error
+	for _, tid := range victims {
+		undo, err := db.deleteRowLocked(rel, tid, xid, prof)
 		if err != nil {
+			db.stmtAbort(undos, xid, err)
 			return 0, err
 		}
-		if txn != nil {
-			txn.undo = append(txn.undo, undo)
-		}
+		undos = append(undos, undo)
 	}
+	db.stmtCommit(rel, xid, prof)
 	return int64(len(victims)), nil
 }
 
-func (db *DB) deleteRowLocked(rel relHandle, tid heap.TID, values []types.Datum, prof *profile.Counters) (func() error, error) {
-	undoHeap, err := rel.heap.Delete(tid, prof)
-	if err != nil {
+// deleteRowLocked stamps one version deleted. Index entries stay: older
+// snapshots still resolve the version through them, and vacuum removes
+// them with the version itself. The undo clears the stamp.
+func (db *DB) deleteRowLocked(rel relHandle, tid heap.TID, xid uint64, prof *profile.Counters) (func() error, error) {
+	if err := rel.heap.MarkDeleted(tid, xid, prof); err != nil {
 		return nil, err
 	}
-	db.dataGen.Add(1)
-	for _, ix := range db.byRel[rel.rel.ID] {
-		ix.Tree.Delete(indexKey(values, ix.Cols), tid, prof)
-	}
-	idxs := db.byRel[rel.rel.ID]
-	undo := func() error {
-		if err := undoHeap(); err != nil {
-			return err
-		}
-		for _, ix := range idxs {
-			if err := ix.Tree.Insert(indexKey(values, ix.Cols), tid, nil); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
+	undo := func() error { return rel.heap.UnmarkDeleted(tid, xid) }
 	return undo, nil
 }
 

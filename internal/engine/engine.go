@@ -27,6 +27,7 @@ import (
 	"microspec/internal/storage/disk"
 	"microspec/internal/storage/heap"
 	"microspec/internal/trace"
+	"microspec/internal/txn"
 	"microspec/internal/types"
 )
 
@@ -53,14 +54,39 @@ type Config struct {
 	// NoBatch disables the batch-at-a-time executor path (on by default;
 	// see internal/plan/batch.go). Adjustable later with SetBatch.
 	NoBatch bool
+	// VacuumEvery is the per-table dead-version threshold above which a
+	// DML commit triggers a vacuum pass on its table. Zero selects
+	// DefaultVacuumEvery; negative disables automatic vacuum (DB.Vacuum
+	// still works).
+	VacuumEvery int
 }
 
 // DB is one database instance.
 type DB struct {
-	// mu serializes writers against readers: queries take RLock,
-	// DML/DDL take Lock. This is the coarse-grained concurrency the
-	// DESIGN.md deviations describe.
+	// mu is the engine's outermost lock, and under MVCC it is almost
+	// always held in *shared* mode: queries, DML statements, and
+	// interactive transactions all take RLock and rely on snapshots plus
+	// the per-table latches below for isolation. Exclusive mode is
+	// reserved for operations that restructure the instance itself — DDL,
+	// SetRoutines, BulkLoad, cache drops — which quiesce everything.
+	// Lock ordering: db.mu → table latch → heap page latch (leaf); never
+	// two table latches at once. See docs/CONCURRENCY.md.
 	mu sync.RWMutex
+
+	// tm issues transaction IDs, tracks commit/abort status, and builds
+	// the snapshots every read resolves tuple visibility against.
+	tm *txn.Manager
+
+	// latches holds one latch per relation: DML statements and Txn write
+	// operations take it exclusively, index readers take it shared (the
+	// B+trees are not internally synchronized). Heap scans take no table
+	// latch at all — MVCC snapshots isolate them. The map itself is
+	// guarded by mu (mutated only under Lock, in DDL).
+	latches map[catalog.RelID]*sync.RWMutex
+
+	// vacEvery is the per-table dead-version vacuum threshold (≤ 0 =
+	// automatic vacuum disabled); see vacuum.go.
+	vacEvery int64
 
 	cat     *catalog.Catalog
 	mod     *core.Module
@@ -120,16 +146,23 @@ func Open(cfg Config) *DB {
 	if dm == nil {
 		dm = disk.NewManager(cfg.Latency)
 	}
+	vacEvery := int64(cfg.VacuumEvery)
+	if cfg.VacuumEvery == 0 {
+		vacEvery = DefaultVacuumEvery
+	}
 	db := &DB{
-		cat:     catalog.New(),
-		mod:     core.NewModule(cfg.Routines),
-		dm:      dm,
-		pool:    buffer.New(dm, cfg.PoolPages),
-		heaps:   make(map[catalog.RelID]*heap.Heap),
-		indexes: make(map[string]*Index),
-		byRel:   make(map[catalog.RelID][]*Index),
-		access:  make(map[catalog.RelID]*relAccess),
-		obs:     newObserver(),
+		cat:      catalog.New(),
+		mod:      core.NewModule(cfg.Routines),
+		tm:       txn.NewManager(),
+		latches:  make(map[catalog.RelID]*sync.RWMutex),
+		vacEvery: vacEvery,
+		dm:       dm,
+		pool:     buffer.New(dm, cfg.PoolPages),
+		heaps:    make(map[catalog.RelID]*heap.Heap),
+		indexes:  make(map[string]*Index),
+		byRel:    make(map[catalog.RelID][]*Index),
+		access:   make(map[catalog.RelID]*relAccess),
+		obs:      newObserver(),
 	}
 	db.obs.beeMode.Store(cfg.Routines != core.Stock)
 	db.stmtTimeoutNs.Store(int64(cfg.StatementTimeout))
@@ -151,7 +184,10 @@ func Open(cfg Config) *DB {
 			ixs := db.byRel[rel.ID]
 			metas := make([]plan.IndexMeta, len(ixs))
 			for i, ix := range ixs {
-				metas[i] = plan.IndexMeta{Name: ix.Name, Cols: ix.Cols, Tree: ix.Tree}
+				metas[i] = plan.IndexMeta{
+					Name: ix.Name, Cols: ix.Cols, Tree: ix.Tree,
+					Latch: db.latches[rel.ID],
+				}
 			}
 			return metas
 		},
@@ -197,6 +233,9 @@ func (db *DB) BatchEnabled() bool {
 
 // Module exposes the bee module (for experiment configuration and stats).
 func (db *DB) Module() *core.Module { return db.mod }
+
+// TxnManager exposes the transaction manager (tests, admin plane).
+func (db *DB) TxnManager() *txn.Manager { return db.tm }
 
 // Catalog exposes the system catalog.
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
@@ -351,6 +390,11 @@ func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counter
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	// One MVCC snapshot covers the whole query (all attempts included):
+	// registered so vacuum cannot reclaim a version mid-execution,
+	// released when the query ends.
+	snap := db.tm.Snapshot(txn.None)
+	defer snap.Release()
 
 	pl := db.planner
 	if opts != nil && (opts.Workers > 0 || opts.Batch != nil) {
@@ -394,7 +438,7 @@ func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counter
 			root = exec.Instrument(root)
 		}
 		execSpan := at.Span("exec")
-		rows, err = collectSafe(&exec.Ctx{Context: qctx, Expr: expr.Ctx{Prof: prof}}, root)
+		rows, err = collectSafe(&exec.Ctx{Context: qctx, Expr: expr.Ctx{Prof: prof}, Snap: snap}, root)
 		execSpan.End()
 		if at != nil {
 			foldNodeSpans(execSpan, root)
@@ -554,11 +598,11 @@ func (db *DB) execStmt(at *trace.Active, text string, prof *profile.Counters) (i
 	case *sql.DropTable:
 		return 0, db.dropTable(s.Name)
 	case *sql.Insert:
-		return db.execInsert(s, prof, nil, nil)
+		return db.execInsert(s, prof, nil)
 	case *sql.Update:
-		return db.execUpdate(s, prof, nil, nil)
+		return db.execUpdate(s, prof, nil)
 	case *sql.Delete:
-		return db.execDelete(s, prof, nil, nil)
+		return db.execDelete(s, prof, nil)
 	case *sql.Select:
 		return 0, fmt.Errorf("engine: use Query for SELECT")
 	default:
@@ -599,7 +643,8 @@ func (db *DB) createTable(s *sql.CreateTable) error {
 	if err != nil {
 		return err
 	}
-	db.heaps[rel.ID] = heap.Create(db.dm, db.pool, rel)
+	db.heaps[rel.ID] = heap.Create(db.dm, db.pool, rel, db.tm)
+	db.latches[rel.ID] = &sync.RWMutex{}
 	db.mod.OnCreateRelation(rel)
 	if err := db.refreshAccessLocked(rel); err != nil {
 		return err
@@ -655,8 +700,12 @@ func (db *DB) createIndex(s *sql.CreateIndex) error {
 		return err
 	}
 	deform := acc.deform
+	// The backfill scan runs with a nil snapshot — latest committed —
+	// which is sound here because createIndex holds db.mu exclusively, so
+	// no transaction is in flight. Versions deleted-and-committed get no
+	// entry: no snapshot that could see them can exist either.
 	values := make([]types.Datum, len(rel.Attrs))
-	sc := h.Scan(nil)
+	sc := h.Scan(nil, nil)
 	defer sc.Close()
 	for {
 		tid, tup, ok := sc.Next()
@@ -697,6 +746,7 @@ func (db *DB) dropTable(name string) error {
 	}
 	delete(db.byRel, rel.ID)
 	delete(db.access, rel.ID)
+	delete(db.latches, rel.ID)
 	// The Bee Collector reclaims the relation's bees.
 	db.mod.OnDropRelation(rel)
 	db.ddlGen.Add(1)
@@ -763,7 +813,7 @@ func (db *DB) WarmUp() error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	for _, h := range db.heaps {
-		sc := h.Scan(nil)
+		sc := h.Scan(nil, nil)
 		for {
 			if _, _, ok := sc.Next(); !ok {
 				break

@@ -74,6 +74,12 @@ type observer struct {
 	preparedReplans *metrics.Counter
 	preparedResets  *metrics.Counter
 
+	// Concurrency-control counters (see docs/CONCURRENCY.md and
+	// DESIGN.md §13): first-updater-wins losses and vacuum activity.
+	txnConflicts    *metrics.Counter
+	vacuumRuns      *metrics.Counter
+	vacuumReclaimed *metrics.Counter
+
 	latBee     *metrics.Histogram
 	latStock   *metrics.Histogram
 	latStmt    *metrics.Histogram
@@ -113,6 +119,10 @@ func newObserver() *observer {
 		preparedExecs:   reg.Counter("prepared.executions"),
 		preparedReplans: reg.Counter("prepared.replans"),
 		preparedResets:  reg.Counter("prepared.cache_resets"),
+
+		txnConflicts:    reg.Counter("txn.conflicts"),
+		vacuumRuns:      reg.Counter("vacuum.runs"),
+		vacuumReclaimed: reg.Counter("vacuum.reclaimed"),
 
 		latBee:     reg.Histogram("query.latency.bee"),
 		latStock:   reg.Histogram("query.latency.stock"),
@@ -363,13 +373,22 @@ func (db *DB) registerCollectors() {
 			s.SetCounter("disk.faults.latency_spikes", fs.LatencySpikes)
 		}
 
+		// Transaction manager.
+		started, committed, aborted, snaps := db.tm.Counters()
+		s.SetCounter("txn.started", started)
+		s.SetCounter("txn.committed", committed)
+		s.SetCounter("txn.aborted", aborted)
+		s.SetGauge("txn.snapshots_active", snaps)
+		s.SetGauge("txn.horizon", int64(db.tm.Horizon()))
+
 		// Heaps and indexes (under the engine lock: DDL mutates the maps).
 		db.mu.RLock()
-		var pages, live, inserts int64
+		var pages, live, inserts, dead int64
 		for _, h := range db.heaps {
 			pages += int64(h.NumPages())
 			live += h.LiveTuples()
 			inserts += h.Inserts()
+			dead += h.DeadVersions()
 		}
 		var searches, splits int64
 		for _, ix := range db.indexes {
@@ -383,6 +402,7 @@ func (db *DB) registerCollectors() {
 		s.SetGauge("heap.relations", int64(nRels))
 		s.SetGauge("heap.pages", pages)
 		s.SetGauge("heap.live_tuples", live)
+		s.SetGauge("heap.dead_versions", dead)
 		s.SetCounter("heap.inserts", inserts)
 		s.SetGauge("index.count", int64(nIndexes))
 		s.SetCounter("index.searches", searches)

@@ -13,6 +13,7 @@ import (
 	"microspec/internal/plan"
 	"microspec/internal/sql"
 	"microspec/internal/trace"
+	"microspec/internal/txn"
 	"microspec/internal/types"
 )
 
@@ -233,6 +234,9 @@ func (s *Stmt) run(qctx context.Context, analyze bool, params []types.Datum) (*R
 	}
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	// Same snapshot discipline as ad-hoc queries (see runSelect).
+	snap := db.tm.Snapshot(txn.None)
+	defer snap.Release()
 	if analyze {
 		s.analyzed = true
 	}
@@ -265,7 +269,7 @@ func (s *Stmt) run(qctx context.Context, analyze bool, params []types.Datum) (*R
 		}
 		root = s.planned.Root
 		execSpan := at.Span("exec")
-		rows, err = collectSafe(&exec.Ctx{Context: qctx, Expr: expr.Ctx{}}, root)
+		rows, err = collectSafe(&exec.Ctx{Context: qctx, Expr: expr.Ctx{}, Snap: snap}, root)
 		execSpan.End()
 		var pe *exec.PanicError
 		if attempt == 0 && errors.As(err, &pe) && db.quarantinePlanBees(root) > 0 {
@@ -293,10 +297,10 @@ func (s *Stmt) Exec(params ...types.Datum) (int64, error) {
 	return s.ExecContext(context.Background(), params...)
 }
 
-// ExecContext is Exec under a context. DML executes under the engine
-// write lock and is not cancellable mid-statement; ctx carries the
-// request trace (bind/exec spans) and is otherwise accepted for
-// call-site symmetry with QueryContext.
+// ExecContext is Exec under a context. DML executes as its own
+// transaction under the table latch and is not cancellable
+// mid-statement; ctx carries the request trace (bind/exec spans) and is
+// otherwise accepted for call-site symmetry with QueryContext.
 func (s *Stmt) ExecContext(ctx context.Context, params ...types.Datum) (int64, error) {
 	db := s.db
 	start := time.Now()
@@ -335,11 +339,11 @@ func (s *Stmt) execOnce() (n int64, err error) {
 	db := s.db
 	switch st := s.ast.(type) {
 	case *sql.Insert:
-		return db.execInsert(st, nil, nil, s.slots)
+		return db.execInsert(st, nil, s.slots)
 	case *sql.Update:
-		return db.execUpdate(st, nil, nil, s.slots)
+		return db.execUpdate(st, nil, s.slots)
 	case *sql.Delete:
-		return db.execDelete(st, nil, nil, s.slots)
+		return db.execDelete(st, nil, s.slots)
 	case *sql.CreateTable:
 		return 0, db.createTable(st)
 	case *sql.CreateIndex:

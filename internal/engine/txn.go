@@ -3,48 +3,82 @@ package engine
 import (
 	"fmt"
 
+	"microspec/internal/catalog"
 	"microspec/internal/exec"
 	"microspec/internal/expr"
 	"microspec/internal/index/btree"
 	"microspec/internal/profile"
 	"microspec/internal/storage/heap"
+	"microspec/internal/txn"
 	"microspec/internal/types"
 )
 
-// Txn is a single-writer transaction: it holds the database write lock
-// from Begin to Commit/Rollback and records logical undo actions for
-// every modification, which Rollback replays in reverse (TPC-C's
-// New-Order transaction aborts 1% of the time by specification).
+// Txn is an interactive MVCC transaction: it takes a snapshot at Begin,
+// stamps every version it writes with its own transaction ID, and records
+// logical undo actions for every modification, which Rollback replays in
+// reverse (TPC-C's New-Order transaction aborts 1% of the time by
+// specification). Multiple Txns run concurrently — each operation takes
+// only its table's latch for its own duration — so two transactions
+// touching the same row race under first-updater-wins: the loser's
+// operation returns an error wrapping txn.ErrWriteConflict and the caller
+// must Rollback (and usually retry).
 //
 // Besides SQL DML, Txn exposes the point-access helpers the TPC-C
 // transaction implementations use — index lookup, fetch, update by TID —
 // all of which run tuple deform/fill through the bee module exactly like
 // the SQL paths (the per-tuple work is what the paper measures; the
 // statement dispatch around it is constant between stock and bee builds).
+// Reads resolve visibility against the Begin-time snapshot plus the
+// transaction's own writes.
 type Txn struct {
-	db   *DB
-	prof *profile.Counters
-	undo []func() error
-	done bool
+	db      *DB
+	prof    *profile.Counters
+	id      uint64
+	snap    *txn.Snapshot
+	undo    []func() error
+	touched map[catalog.RelID]relHandle
+	done    bool
 }
 
-// Begin starts a transaction, taking the write lock.
+// Begin starts a transaction: engine lock in shared mode (held until
+// Commit/Rollback, so DDL waits out live transactions), a fresh
+// transaction ID, and a registered snapshot.
 func (db *DB) Begin(prof *profile.Counters) *Txn {
-	db.mu.Lock()
-	return &Txn{db: db, prof: prof}
+	db.mu.RLock()
+	id := db.tm.Begin()
+	return &Txn{db: db, prof: prof, id: id, snap: db.tm.Snapshot(id)}
 }
 
-// Commit ends the transaction keeping its effects.
+// ID returns the transaction's ID (tests and diagnostics).
+func (t *Txn) ID() uint64 { return t.id }
+
+// Commit ends the transaction keeping its effects, making them visible to
+// every snapshot taken from now on.
 func (t *Txn) Commit() {
 	if t.done {
 		return
 	}
 	t.done = true
+	t.db.tm.Commit(t.id)
+	t.snap.Release()
+	if len(t.undo) > 0 {
+		t.db.dataGen.Add(1)
+	}
 	t.undo = nil
-	t.db.mu.Unlock()
+	for _, rel := range t.touched {
+		rel.latch.Lock()
+		t.db.maybeVacuumLocked(rel, t.prof)
+		rel.latch.Unlock()
+	}
+	t.touched = nil
+	t.db.mu.RUnlock()
 }
 
-// Rollback reverses every recorded modification, newest first.
+// Rollback reverses every recorded modification, newest first, then marks
+// the transaction aborted. (The order matters: clearing the stamps before
+// publishing the abort keeps concurrent first-updater-wins checks from
+// racing the undo; a stamp they do catch mid-undo is recognized as
+// aborted and taken over — see heap.MarkDeleted.)
 func (t *Txn) Rollback() error {
 	if t.done {
 		return nil
@@ -60,8 +94,34 @@ func (t *Txn) Rollback() error {
 		t.db.dataGen.Add(1)
 	}
 	t.undo = nil
-	t.db.mu.Unlock()
+	t.touched = nil
+	t.db.tm.Abort(t.id)
+	t.snap.Release()
+	t.db.mu.RUnlock()
 	return firstErr
+}
+
+// pushUndo records an undo that re-acquires rel's table latch when it
+// runs: Rollback replays undos long after the operations that logged them
+// released their latches.
+func (t *Txn) pushUndo(rel relHandle, undo func() error) {
+	t.undo = append(t.undo, func() error {
+		rel.latch.Lock()
+		defer rel.latch.Unlock()
+		return undo()
+	})
+	if t.touched == nil {
+		t.touched = make(map[catalog.RelID]relHandle)
+	}
+	t.touched[rel.rel.ID] = rel
+}
+
+// noteConflict counts a write-write conflict loss on the metrics plane.
+func (t *Txn) noteConflict(err error) error {
+	if isConflict(err) {
+		t.db.obs.txnConflicts.Inc()
+	}
+	return err
 }
 
 // Insert adds one row to a relation.
@@ -70,144 +130,202 @@ func (t *Txn) Insert(relName string, values []types.Datum) error {
 	if err != nil {
 		return err
 	}
-	_, undo, err := t.db.insertRowLocked(rel, values, t.prof)
+	rel.latch.Lock()
+	_, undo, err := t.db.insertRowLocked(rel, values, t.id, t.prof)
+	rel.latch.Unlock()
 	if err != nil {
-		return err
+		return t.noteConflict(err)
 	}
-	t.undo = append(t.undo, undo)
+	t.pushUndo(rel, undo)
 	return nil
 }
 
-// GetByIndex fetches the first row whose index key prefix equals key.
-// The returned row is owned by the caller.
+// GetByIndex fetches the visible row whose index key prefix equals key.
+// The returned row is owned by the caller. Dead or
+// invisible-to-this-snapshot versions under the same key are skipped (the
+// index keeps one entry per version until vacuum).
 func (t *Txn) GetByIndex(indexName string, key []types.Datum) (expr.Row, heap.TID, bool, error) {
-	ix, ok := t.db.indexes[indexName]
-	if !ok {
-		return nil, heap.TID{}, false, fmt.Errorf("engine: no index %q", indexName)
-	}
-	tid, found := ix.Tree.SearchEq(btree.Key(key), t.prof)
-	if !found {
-		return nil, heap.TID{}, false, nil
-	}
-	row, err := t.fetchRow(ix, tid)
+	ix, rel, err := t.indexFor(indexName)
 	if err != nil {
 		return nil, heap.TID{}, false, err
 	}
-	return row, tid, true, nil
+	tids := t.collectPrefix(ix, rel, btree.Key(key))
+	for _, tid := range tids {
+		row, ok, err := t.fetchRow(ix, tid)
+		if err != nil {
+			return nil, heap.TID{}, false, err
+		}
+		if ok {
+			return row, tid, true, nil
+		}
+	}
+	return nil, heap.TID{}, false, nil
 }
 
-// ScanIndexPrefix visits every row whose key starts with prefix, in key
-// order; fn returning false stops the scan.
+// ScanIndexPrefix visits every visible row whose key starts with prefix,
+// in key order; fn returning false stops the scan. fn may itself call
+// UpdateRow/DeleteRow: the index positions are collected before fn runs,
+// so the tree walk never holds the table latch across a callback.
 func (t *Txn) ScanIndexPrefix(indexName string, prefix []types.Datum, fn func(row expr.Row, tid heap.TID) bool) error {
-	ix, ok := t.db.indexes[indexName]
-	if !ok {
-		return fmt.Errorf("engine: no index %q", indexName)
+	ix, rel, err := t.indexFor(indexName)
+	if err != nil {
+		return err
 	}
-	var scanErr error
-	ix.Tree.AscendPrefix(btree.Key(prefix), t.prof, func(_ btree.Key, tid heap.TID) bool {
-		row, err := t.fetchRow(ix, tid)
+	for _, tid := range t.collectPrefix(ix, rel, btree.Key(prefix)) {
+		row, ok, err := t.fetchRow(ix, tid)
 		if err != nil {
-			scanErr = err
-			return false
+			return err
 		}
-		return fn(row, tid)
-	})
-	return scanErr
+		if !ok {
+			continue
+		}
+		if !fn(row, tid) {
+			return nil
+		}
+	}
+	return nil
 }
 
-// ScanIndexRange visits rows with lo <= key <= hi (prefix semantics).
+// ScanIndexRange visits visible rows with lo <= key <= hi (prefix
+// semantics).
 func (t *Txn) ScanIndexRange(indexName string, lo, hi []types.Datum, fn func(row expr.Row, tid heap.TID) bool) error {
-	ix, ok := t.db.indexes[indexName]
-	if !ok {
-		return fmt.Errorf("engine: no index %q", indexName)
+	ix, rel, err := t.indexFor(indexName)
+	if err != nil {
+		return err
 	}
-	var scanErr error
+	rel.latch.RLock()
+	var tids []heap.TID
 	ix.Tree.AscendRange(btree.Key(lo), btree.Key(hi), t.prof, func(_ btree.Key, tid heap.TID) bool {
-		row, err := t.fetchRow(ix, tid)
-		if err != nil {
-			scanErr = err
-			return false
-		}
-		return fn(row, tid)
-	})
-	return scanErr
-}
-
-// LastByIndexPrefix returns the row with the greatest key under prefix
-// (e.g. a customer's most recent order).
-func (t *Txn) LastByIndexPrefix(indexName string, prefix []types.Datum) (expr.Row, heap.TID, bool, error) {
-	ix, ok := t.db.indexes[indexName]
-	if !ok {
-		return nil, heap.TID{}, false, fmt.Errorf("engine: no index %q", indexName)
-	}
-	var lastTID heap.TID
-	found := false
-	ix.Tree.AscendPrefix(btree.Key(prefix), t.prof, func(_ btree.Key, tid heap.TID) bool {
-		lastTID = tid
-		found = true
+		tids = append(tids, tid)
 		return true
 	})
-	if !found {
-		return nil, heap.TID{}, false, nil
+	rel.latch.RUnlock()
+	for _, tid := range tids {
+		row, ok, err := t.fetchRow(ix, tid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		if !fn(row, tid) {
+			return nil
+		}
 	}
-	row, err := t.fetchRow(ix, lastTID)
+	return nil
+}
+
+// LastByIndexPrefix returns the visible row with the greatest key under
+// prefix (e.g. a customer's most recent order).
+func (t *Txn) LastByIndexPrefix(indexName string, prefix []types.Datum) (expr.Row, heap.TID, bool, error) {
+	ix, rel, err := t.indexFor(indexName)
 	if err != nil {
 		return nil, heap.TID{}, false, err
 	}
-	return row, lastTID, true, nil
+	tids := t.collectPrefix(ix, rel, btree.Key(prefix))
+	for i := len(tids) - 1; i >= 0; i-- {
+		row, ok, err := t.fetchRow(ix, tids[i])
+		if err != nil {
+			return nil, heap.TID{}, false, err
+		}
+		if ok {
+			return row, tids[i], true, nil
+		}
+	}
+	return nil, heap.TID{}, false, nil
 }
 
-// fetchRow reads and deforms one tuple through the cached deform routine
-// (the GCL bee on a bee-enabled database).
-func (t *Txn) fetchRow(ix *Index, tid heap.TID) (expr.Row, error) {
+// indexFor resolves an index and its table handle.
+func (t *Txn) indexFor(indexName string) (*Index, relHandle, error) {
+	ix, ok := t.db.indexes[indexName]
+	if !ok {
+		return nil, relHandle{}, fmt.Errorf("engine: no index %q", indexName)
+	}
+	rel, err := t.db.handleFor(ix.Rel.Name)
+	if err != nil {
+		return nil, relHandle{}, err
+	}
+	return ix, rel, nil
+}
+
+// collectPrefix gathers the TIDs of every index entry under prefix while
+// holding the table latch in shared mode — the B+tree is not internally
+// synchronized, and concurrent DML mutates it under the exclusive latch.
+func (t *Txn) collectPrefix(ix *Index, rel relHandle, prefix btree.Key) []heap.TID {
+	rel.latch.RLock()
+	var tids []heap.TID
+	ix.Tree.AscendPrefix(prefix, t.prof, func(_ btree.Key, tid heap.TID) bool {
+		tids = append(tids, tid)
+		return true
+	})
+	rel.latch.RUnlock()
+	return tids
+}
+
+// fetchRow reads and deforms one tuple version through the cached deform
+// routine (the GCL bee on a bee-enabled database), filtered through the
+// transaction's snapshot. ok=false means the version is invisible or
+// gone.
+func (t *Txn) fetchRow(ix *Index, tid heap.TID) (expr.Row, bool, error) {
 	h := t.db.heaps[ix.Rel.ID]
 	acc, err := t.db.accessFor(ix.Rel)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	tup, release, err := h.Get(tid, t.prof)
-	if err != nil {
-		return nil, err
+	tup, release, ok, err := h.Get(tid, t.snap, t.prof)
+	if err != nil || !ok {
+		return nil, false, err
 	}
 	defer release()
 	values := make([]types.Datum, len(ix.Rel.Attrs))
 	acc.deform(tup, values, len(values), t.prof)
-	return exec.CloneRow(values), nil
+	return exec.CloneRow(values), true, nil
 }
 
-// UpdateRow replaces the values of the row at tid in relName. oldValues
-// must be the row's current values (for index maintenance).
+// UpdateRow replaces the values of the row version at tid in relName.
+// oldValues must be the row's current values (for index maintenance). A
+// returned error wrapping txn.ErrWriteConflict means a concurrent
+// transaction updated the row first; Rollback and retry.
 func (t *Txn) UpdateRow(relName string, tid heap.TID, oldValues, newValues []types.Datum) error {
 	rel, err := t.db.handleFor(relName)
 	if err != nil {
 		return err
 	}
-	undo, err := t.db.applyUpdateLocked(rel, tid, oldValues, newValues, t.prof)
+	rel.latch.Lock()
+	undo, err := t.db.applyUpdateLocked(rel, tid, oldValues, newValues, t.id, t.prof)
+	rel.latch.Unlock()
 	if err != nil {
-		return err
+		return t.noteConflict(err)
 	}
-	t.undo = append(t.undo, undo)
+	t.pushUndo(rel, undo)
 	return nil
 }
 
-// DeleteRow removes the row at tid. values must be its current values.
+// DeleteRow stamps the row version at tid deleted. values is accepted for
+// call-site compatibility (index entries are no longer removed eagerly —
+// vacuum reclaims them with the version).
 func (t *Txn) DeleteRow(relName string, tid heap.TID, values []types.Datum) error {
+	_ = values
 	rel, err := t.db.handleFor(relName)
 	if err != nil {
 		return err
 	}
-	undo, err := t.db.deleteRowLocked(rel, tid, values, t.prof)
+	rel.latch.Lock()
+	undo, err := t.db.deleteRowLocked(rel, tid, t.id, t.prof)
+	rel.latch.Unlock()
 	if err != nil {
-		return err
+		return t.noteConflict(err)
 	}
-	t.undo = append(t.undo, undo)
+	t.pushUndo(rel, undo)
 	return nil
 }
 
 // BulkLoad inserts rows produced by next() until it returns false,
 // bypassing per-row undo logging (loading populates fresh relations, as
-// in the paper's Figure 8 experiment). It returns the number of rows
-// loaded.
+// in the paper's Figure 8 experiment). Rows are stamped txn.Frozen —
+// immediately visible to every snapshot — and the whole load runs under
+// the exclusive engine lock, quiescing all other activity. It returns the
+// number of rows loaded.
 func (db *DB) BulkLoad(relName string, prof *profile.Counters, next func() ([]types.Datum, bool)) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -229,7 +347,7 @@ func (db *DB) BulkLoad(relName string, prof *profile.Counters, next func() ([]ty
 		if err != nil {
 			return n, err
 		}
-		tid, err := rel.heap.Insert(tup, prof)
+		tid, err := rel.heap.Insert(tup, txn.Frozen, prof)
 		if err != nil {
 			return n, err
 		}

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"microspec/internal/profile"
+	"microspec/internal/storage/heap"
+	"microspec/internal/types"
+)
+
+// This file implements threshold-triggered vacuum: MVCC updates and
+// deletes leave dead tuple versions (and their index entries) behind for
+// the benefit of concurrent snapshots, and vacuum reclaims them once no
+// registered or future snapshot can see them — the horizon computed by
+// the transaction manager. The trigger is per table: after a DML commit,
+// the table vacuums itself when its stamped-dead count passes
+// Config.VacuumEvery. See docs/CONCURRENCY.md for the full policy.
+
+// DefaultVacuumEvery is the dead-version threshold above which a table is
+// vacuumed after a DML commit (Config.VacuumEvery = 0 selects it).
+const DefaultVacuumEvery = 256
+
+// maybeVacuumLocked vacuums rel if its dead-version count passed the
+// configured threshold. Caller holds db.mu (shared) and rel's table latch
+// exclusively.
+func (db *DB) maybeVacuumLocked(rel relHandle, prof *profile.Counters) {
+	if db.vacEvery <= 0 || rel.heap.DeadVersions() < db.vacEvery {
+		return
+	}
+	_, _ = db.vacuumTableLocked(rel, prof)
+}
+
+// vacuumTableLocked reclaims rel's dead versions up to the current
+// horizon and drops their index entries. Caller holds db.mu (shared) and
+// rel's table latch exclusively: the latch keeps DML and index readers
+// out, while snapshot scans (which take no table latch) are protected by
+// the horizon — vacuum never touches a version a registered snapshot can
+// still see — and by the per-page latches, which make vacuum skip any
+// page a scanner window is holding.
+func (db *DB) vacuumTableLocked(rel relHandle, prof *profile.Counters) (int, error) {
+	acc, err := db.accessFor(rel.rel)
+	if err != nil {
+		return 0, err
+	}
+	horizon := db.tm.Horizon()
+	ixs := db.byRel[rel.rel.ID]
+	values := make([]types.Datum, len(rel.rel.Attrs))
+	collect := func(tid heap.TID, tup []byte) {
+		acc.deform(tup, values, len(values), prof)
+		for _, ix := range ixs {
+			ix.Tree.Delete(indexKey(values, ix.Cols), tid, prof)
+		}
+	}
+	n, err := rel.heap.Vacuum(horizon, prof, collect)
+	db.obs.vacuumRuns.Inc()
+	db.obs.vacuumReclaimed.Add(int64(n))
+	return n, err
+}
+
+// Vacuum reclaims dead versions in every relation and returns the total
+// number of versions removed. Tests and the admin plane call it; normal
+// operation relies on the per-table threshold trigger.
+func (db *DB) Vacuum() (int, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	total := 0
+	for _, rel := range db.cat.Relations() {
+		h, ok := db.heaps[rel.ID]
+		if !ok {
+			continue
+		}
+		handle := relHandle{rel: rel, heap: h, latch: db.latches[rel.ID]}
+		handle.latch.Lock()
+		n, err := db.vacuumTableLocked(handle, nil)
+		handle.latch.Unlock()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -190,9 +190,9 @@ func (s *BatchSeqScan) ensureRows(n int) {
 // Open implements Node.
 func (s *BatchSeqScan) Open(ctx *Ctx) error {
 	if s.Partial {
-		s.scanner = s.Heap.ScanRange(s.Range, ctx.Prof())
+		s.scanner = s.Heap.ScanRange(ctx.Snap, s.Range, ctx.Prof())
 	} else {
-		s.scanner = s.Heap.Scan(ctx.Prof())
+		s.scanner = s.Heap.Scan(ctx.Snap, ctx.Prof())
 	}
 	s.batches, s.rowsOut = 0, 0
 	s.rb.reset()

@@ -13,6 +13,7 @@ import (
 
 	"microspec/internal/expr"
 	"microspec/internal/profile"
+	"microspec/internal/txn"
 	"microspec/internal/types"
 )
 
@@ -30,6 +31,13 @@ type Ctx struct {
 
 	// Expr carries the profiler and correlated-subquery outer rows.
 	Expr expr.Ctx
+
+	// Snap is the MVCC snapshot scans and index fetches resolve tuple
+	// visibility against; nil means latest committed (only sound when
+	// the caller has excluded concurrent writers, e.g. under the
+	// engine's exclusive lock). Gather propagates it into every worker
+	// Ctx so parallel partitions share one consistent view.
+	Snap *txn.Snapshot
 
 	// cancelTick throttles Canceled's context polls (see cancelCheckMask).
 	cancelTick uint

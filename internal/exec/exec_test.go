@@ -12,6 +12,7 @@ import (
 	"microspec/internal/storage/buffer"
 	"microspec/internal/storage/disk"
 	"microspec/internal/storage/heap"
+	"microspec/internal/txn"
 	"microspec/internal/types"
 )
 
@@ -410,13 +411,13 @@ func TestSeqScanOverHeap(t *testing.T) {
 	m.OnCreateRelation(rel)
 	dm := disk.NewManager(disk.LatencyModel{})
 	pool := buffer.New(dm, 16)
-	h := heap.Create(dm, pool, rel)
+	h := heap.Create(dm, pool, rel, nil)
 	for i := 0; i < 100; i++ {
 		tup, err := m.FormTuple(rel, []types.Datum{i32(int32(i)), str("n")}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := h.Insert(tup, nil); err != nil {
+		if _, err := h.Insert(tup, txn.Frozen, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -467,14 +468,14 @@ func TestIndexScanNode(t *testing.T) {
 	m.OnCreateRelation(rel)
 	dm := disk.NewManager(disk.LatencyModel{})
 	pool := buffer.New(dm, 16)
-	h := heap.Create(dm, pool, rel)
+	h := heap.Create(dm, pool, rel, nil)
 	tree := btree.New("kv_pkey", true)
 	for i := 0; i < 50; i++ {
 		tup, err := m.FormTuple(rel, []types.Datum{i32(int32(i)), str(fmt.Sprintf("v%d", i))}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tid, err := h.Insert(tup, nil)
+		tid, err := h.Insert(tup, txn.Frozen, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -149,7 +149,7 @@ func (g *Gather) runPool(ctx *Ctx, work func(part int, wctx *Ctx) error) {
 		g.wg.Add(1)
 		go func(w int) {
 			defer g.wg.Done()
-			wctx := &Ctx{Context: ctx.Context, Expr: expr.Ctx{Prof: profs[w]}}
+			wctx := &Ctx{Context: ctx.Context, Expr: expr.Ctx{Prof: profs[w]}, Snap: ctx.Snap}
 			for part := range parts {
 				if g.loadErr() != nil {
 					continue // drain remaining parts after a failure

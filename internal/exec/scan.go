@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"sync"
+
 	"microspec/internal/catalog"
 	"microspec/internal/core"
 	"microspec/internal/expr"
@@ -71,9 +73,9 @@ func relCols(rel *catalog.Relation, natts int) []ColInfo {
 // Open implements Node.
 func (s *SeqScan) Open(ctx *Ctx) error {
 	if s.Partial {
-		s.scanner = s.Heap.ScanRange(s.Range, ctx.Prof())
+		s.scanner = s.Heap.ScanRange(ctx.Snap, s.Range, ctx.Prof())
 	} else {
-		s.scanner = s.Heap.Scan(ctx.Prof())
+		s.scanner = s.Heap.Scan(ctx.Snap, ctx.Prof())
 	}
 	if s.buf == nil {
 		s.buf = make(expr.Row, s.NAtts)
@@ -130,6 +132,12 @@ type IndexScan struct {
 	KeyExprs []expr.Expr
 	// Reverse returns rows in descending key order (materialized).
 	Reverse bool
+	// Latch, when set, is the owning table's latch, held in shared mode
+	// while Open walks the B+tree: the tree is not internally
+	// synchronized and concurrent DML mutates it under the same latch in
+	// exclusive mode. Heap fetches in Next run latch-free against the
+	// snapshot.
+	Latch *sync.RWMutex
 
 	tids []heap.TID
 	pos  int
@@ -173,10 +181,16 @@ func (s *IndexScan) Open(ctx *Ctx) error {
 		s.tids = append(s.tids, tid)
 		return true
 	}
+	if s.Latch != nil {
+		s.Latch.RLock()
+	}
 	if s.Hi == nil {
 		s.Tree.AscendPrefix(s.Lo, ctx.Prof(), collect)
 	} else {
 		s.Tree.AscendRange(s.Lo, s.Hi, ctx.Prof(), collect)
+	}
+	if s.Latch != nil {
+		s.Latch.RUnlock()
 	}
 	if s.Reverse {
 		for i, j := 0, len(s.tids)-1; i < j; i, j = i+1, j-1 {
@@ -197,12 +211,16 @@ func (s *IndexScan) Next(ctx *Ctx) (expr.Row, bool, error) {
 	for s.pos < len(s.tids) {
 		tid := s.tids[s.pos]
 		s.pos++
-		tup, release, err := s.Heap.Get(tid, ctx.Prof())
+		tup, release, ok, err := s.Heap.Get(tid, ctx.Snap, ctx.Prof())
 		if err != nil {
-			// The tuple may have been deleted since the index snapshot;
-			// index entries are cleaned by the DML path, so an error here
-			// is a real corruption.
 			return nil, false, err
+		}
+		if !ok {
+			// The index keeps one entry per version, so a collected TID
+			// may be a version invisible to this snapshot, or one vacuum
+			// reclaimed since Open. Skip it; at most one version per key
+			// is visible.
+			continue
 		}
 		ctx.Prof().Add(profile.CompExec, profile.ExecNodeTuple)
 		s.Deform(tup, s.buf, s.NAtts, ctx.Prof())

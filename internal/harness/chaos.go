@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"microspec/internal/core"
@@ -15,6 +18,7 @@ import (
 	"microspec/internal/storage/disk"
 	"microspec/internal/tpcc"
 	"microspec/internal/tpch"
+	"microspec/internal/txn"
 	"microspec/internal/types"
 )
 
@@ -56,6 +60,14 @@ type ChaosOptions struct {
 	// skips it.
 	TPCCWarehouses int
 	TPCCTxns       int
+	// DMLWriters starts that many background writer goroutines for the
+	// TPC-H phase, hammering a side table with inserts, updates, deletes,
+	// and conflicting interactive transactions while the fault-injected
+	// query rounds run. The queries read through the same buffer pool,
+	// transaction manager, and vacuum machinery the writers churn, and
+	// must still match their serial, write-free baselines — the MVCC
+	// snapshot-isolation invariant (0 = off).
+	DMLWriters int
 }
 
 // DefaultChaosOptions returns the E11 recipe at laptop scale.
@@ -124,11 +136,21 @@ type ChaosTPCCResult struct {
 	Panics   int
 }
 
+// ChaosDMLResult tallies the background writers (DMLWriters > 0).
+type ChaosDMLResult struct {
+	Writers   int
+	Ops       int64 // DML statements / transactions that committed
+	Conflicts int64 // first-updater-wins losses, rolled back and retried
+	Errors    int64 // writer operations failed by injected faults
+	Vacuumed  int64 // dead versions reclaimed during the phase
+}
+
 // ChaosReport is one chaos run's full account.
 type ChaosReport struct {
 	Options    ChaosOptions
 	Queries    []ChaosQueryResult
 	TPCC       ChaosTPCCResult
+	DML        ChaosDMLResult
 	FaultStats disk.FaultStats
 	// Quarantined is the cumulative bee-quarantine count over the run.
 	Quarantined int64
@@ -244,6 +266,18 @@ func RunChaos(o ChaosOptions) (ChaosReport, error) {
 	}
 
 	report := ChaosReport{Options: o}
+
+	// Background writers churn a side table through the same pool,
+	// transaction manager, and vacuum the queries use; the fault-injected
+	// rounds below must still match their serial baselines.
+	var stopDML func() ChaosDMLResult
+	if o.DMLWriters > 0 {
+		stopDML, err = startChaosDML(db, o.DMLWriters, o.Seed)
+		if err != nil {
+			return report, fmt.Errorf("chaos: dml writers: %w", err)
+		}
+	}
+
 	fd.SetEnabled(true)
 	if o.Timeout > 0 {
 		db.SetStatementTimeout(o.Timeout)
@@ -277,6 +311,9 @@ func RunChaos(o ChaosOptions) (ChaosReport, error) {
 	}
 	fd.SetEnabled(false)
 	db.SetStatementTimeout(0)
+	if stopDML != nil {
+		report.DML = stopDML()
+	}
 	report.FaultStats = fd.FaultStats()
 	report.Quarantined = db.Module().QuarantinedBees()
 	report.BeeBenefits = FormatBeeBenefits(db, 10)
@@ -289,6 +326,103 @@ func RunChaos(o ChaosOptions) (ChaosReport, error) {
 		report.TPCC = tp
 	}
 	return report, nil
+}
+
+// startChaosDML creates the chaos_dml side table and starts n writer
+// goroutines mixing statement DML (insert-then-delete of fresh keys,
+// whole-row updates) with interactive read-modify-write transactions on a
+// small shared keyspace — the latter race under first-updater-wins, so
+// conflicts, rollbacks, and threshold vacuums all happen while the chaos
+// query rounds run. The returned stop function halts the writers, waits
+// them out, and reports their tallies.
+func startChaosDML(db *engine.DB, n int, seed int64) (func() ChaosDMLResult, error) {
+	const sharedKeys = 8
+	if _, err := db.Exec(`create table chaos_dml (
+		k integer not null,
+		v integer not null,
+		primary key (k))`); err != nil {
+		return nil, err
+	}
+	for k := 0; k < sharedKeys; k++ {
+		if _, err := db.Exec(fmt.Sprintf("insert into chaos_dml values (%d, 0)", k)); err != nil {
+			return nil, err
+		}
+	}
+	vacBase := db.MetricsSnapshot().Counters["vacuum.reclaimed"]
+	var ops, conflicts, errs atomic.Int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed ^ 0xd31 + int64(w)))
+			next := 1000 + w*1_000_000 // per-writer fresh-key range
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				switch rng.Intn(4) {
+				case 0: // fresh insert then delete: version churn for vacuum
+					k := next
+					next++
+					if _, err := db.Exec(fmt.Sprintf("insert into chaos_dml values (%d, %d)", k, w)); err != nil {
+						errs.Add(1)
+						continue
+					}
+					ops.Add(1)
+					if _, err := db.Exec(fmt.Sprintf("delete from chaos_dml where k = %d", k)); err != nil {
+						errs.Add(1)
+					} else {
+						ops.Add(1)
+					}
+				case 1: // statement update across the shared keyspace
+					if _, err := db.Exec(fmt.Sprintf("update chaos_dml set v = v + 1 where k = %d", rng.Intn(sharedKeys))); err != nil {
+						errs.Add(1)
+					} else {
+						ops.Add(1)
+					}
+				default: // interactive RMW transaction: the conflict path
+					t := db.Begin(nil)
+					row, tid, ok, err := t.GetByIndex("chaos_dml_pkey",
+						[]types.Datum{types.NewInt32(int32(rng.Intn(sharedKeys)))})
+					if err != nil || !ok {
+						t.Rollback()
+						if err != nil {
+							errs.Add(1)
+						}
+						continue
+					}
+					nv := append([]types.Datum(nil), row...)
+					nv[1] = types.NewInt32(int32(rng.Intn(1000)))
+					if err := t.UpdateRow("chaos_dml", tid, row, nv); err != nil {
+						t.Rollback()
+						if errors.Is(err, txn.ErrWriteConflict) {
+							conflicts.Add(1)
+						} else {
+							errs.Add(1)
+						}
+						continue
+					}
+					t.Commit()
+					ops.Add(1)
+				}
+			}
+		}(w)
+	}
+	return func() ChaosDMLResult {
+		close(done)
+		wg.Wait()
+		return ChaosDMLResult{
+			Writers:   n,
+			Ops:       ops.Load(),
+			Conflicts: conflicts.Load(),
+			Errors:    errs.Load(),
+			Vacuumed:  db.MetricsSnapshot().Counters["vacuum.reclaimed"] - vacBase,
+		}
+	}, nil
 }
 
 // runChaosTPCC runs a seeded TPC-C stream over its own faulty device.
@@ -366,6 +500,10 @@ func (r ChaosReport) Format() string {
 	fs := r.FaultStats
 	fmt.Fprintf(&b, "faults injected: %d (read-errs %d, bit-flips %d, torn-writes %d, latency-spikes %d); bees quarantined: %d\n",
 		fs.Injected, fs.ReadErrs, fs.BitFlips, fs.TornWrites, fs.LatencySpikes, r.Quarantined)
+	if r.DML.Writers > 0 {
+		fmt.Fprintf(&b, "concurrent dml: %d writers, %d ops committed, %d write-write conflicts, %d faulted ops, %d dead versions vacuumed\n",
+			r.DML.Writers, r.DML.Ops, r.DML.Conflicts, r.DML.Errors, r.DML.Vacuumed)
+	}
 	if r.TPCC.Txns > 0 {
 		failed := 0
 		for _, n := range r.TPCC.Outcomes {

@@ -159,6 +159,21 @@ func (t *Tree) Insert(key Key, tid heap.TID, prof *profile.Counters) error {
 			return fmt.Errorf("index %s: duplicate key %v", t.Name, key)
 		}
 	}
+	t.insertEntry(key, tid)
+	return nil
+}
+
+// InsertVersion adds (key, tid) without the unique check. MVCC updates
+// keep one entry per tuple version — the same key legitimately maps to
+// several TIDs until vacuum removes the dead ones — so uniqueness cannot
+// be decided from the tree alone; the engine enforces it with a
+// visibility-aware probe before calling this.
+func (t *Tree) InsertVersion(key Key, tid heap.TID, prof *profile.Counters) {
+	prof.Add(profile.CompStorage, profile.IndexDescend)
+	t.insertEntry(key, tid)
+}
+
+func (t *Tree) insertEntry(key Key, tid heap.TID) {
 	k := append(Key(nil), key...) // own the key
 	newChild, sep := t.insert(t.root, k, tid)
 	if newChild != nil {
@@ -168,7 +183,6 @@ func (t *Tree) Insert(key Key, tid heap.TID, prof *profile.Counters) error {
 		}
 	}
 	t.size++
-	return nil
 }
 
 // insert descends into n; on split it returns the new right sibling and

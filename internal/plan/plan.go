@@ -11,6 +11,7 @@ package plan
 
 import (
 	"fmt"
+	"sync"
 
 	"microspec/internal/catalog"
 	"microspec/internal/core"
@@ -52,11 +53,15 @@ type Planner struct {
 }
 
 // IndexMeta describes one index usable for planning: the indexed column
-// ordinals (in key order) and the open handle the executor probes.
+// ordinals (in key order) and the open handle the executor probes. Latch
+// is the owning table's latch; index scans walk the tree under it in
+// shared mode because the tree is not internally synchronized (see
+// exec.IndexScan.Latch).
 type IndexMeta struct {
-	Name string
-	Cols []int
-	Tree *btree.Tree
+	Name  string
+	Cols  []int
+	Tree  *btree.Tree
+	Latch *sync.RWMutex
 }
 
 // Planned is a ready-to-run query plan.

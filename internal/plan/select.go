@@ -287,6 +287,7 @@ func (p *Planner) tryIndexScan(it *fromItem, conjuncts []expr.Expr) {
 	}
 	scan := exec.NewIndexScan(h, best.Tree, deform, 0, nil, nil, false)
 	scan.KeyExprs = keyExprs
+	scan.Latch = best.Latch
 	it.node = scan
 	if it.est > 100 {
 		it.est = 100

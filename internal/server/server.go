@@ -6,6 +6,12 @@
 // prepared on one session finds the query bees another session's
 // identical statement already put in the bee cache.
 //
+// Sessions execute concurrently against the engine's MVCC storage:
+// reads run against snapshots and never block writers, and concurrent
+// writers to the same row resolve by first-updater-wins — the loser's
+// statement comes back as a typed "write_conflict" error frame the
+// client should retry (see docs/CONCURRENCY.md).
+//
 // Admission control is two-stage: up to MaxConns sessions run
 // concurrently, up to AcceptBacklog accepted connections wait in a
 // bounded queue for a slot, and everything beyond that is turned away
@@ -25,6 +31,7 @@ import (
 
 	"microspec/internal/engine"
 	"microspec/internal/metrics"
+	"microspec/internal/txn"
 	"microspec/internal/wire"
 )
 
@@ -269,6 +276,8 @@ func (s *Server) writeError(conn net.Conn, err error) error {
 		code = wire.CodeTimeout
 	case errors.Is(err, engine.ErrStmtClosed):
 		code = wire.CodeUnknownStmt
+	case errors.Is(err, txn.ErrWriteConflict):
+		code = wire.CodeConflict
 	}
 	s.mRequestErrs.Inc()
 	return wire.WriteFrame(conn, wire.TError, wire.EncodeError(code, err.Error()))

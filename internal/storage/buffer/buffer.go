@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"microspec/internal/storage/disk"
@@ -34,6 +35,12 @@ type frame struct {
 	dirty bool
 	ref   bool // clock reference bit
 	valid bool
+	// io is non-nil while the frame's page is being read in from disk
+	// with the pool lock released (so concurrent misses overlap their
+	// I/O waits). Goroutines that find the frame mid-read wait on the
+	// channel and retry the lookup; the frame is pinned for the whole
+	// read, so the clock sweep never reclaims it.
+	io chan struct{}
 }
 
 // Read-retry policy: a transient disk error or a failed checksum is
@@ -82,9 +89,11 @@ type Pool struct {
 	misses   int64
 	writeOut int64
 
-	// Fault-tolerance counters (see FaultStats).
-	readRetries   int64
-	checksumFails int64
+	// Fault-tolerance counters (see FaultStats). readRetries and
+	// checksumFails are atomics: readVerified bumps them without the
+	// pool lock, which is released across disk reads.
+	readRetries   atomic.Int64
+	checksumFails atomic.Int64
 	unpinErrors   int64
 }
 
@@ -114,13 +123,15 @@ type Handle struct {
 // Transient faults (injected read errors, bit flips in the returned copy)
 // are retried with bounded backoff; a checksum that fails on every
 // attempt is persistent corruption and returns *CorruptPageError.
-// Called with p.mu held; the backoff sleeps are bounded (< 400µs total).
+// Called WITHOUT p.mu: the caller publishes the frame with its io channel
+// set first, so the disk read (which may really sleep in the I/O-bound
+// latency mode) never blocks other pool traffic.
 func (p *Pool) readVerified(key pageKey, buf []byte) error {
 	var corrupt *CorruptPageError
 	var lastErr error
 	for attempt := 0; attempt <= maxReadRetries; attempt++ {
 		if attempt > 0 {
-			p.readRetries++
+			p.readRetries.Add(1)
 			time.Sleep(retryBackoff << (attempt - 1))
 		}
 		if err := p.disk.ReadPage(key.file, key.page, buf); err != nil {
@@ -134,7 +145,7 @@ func (p *Pool) readVerified(key pageKey, buf []byte) error {
 		if ok {
 			return nil
 		}
-		p.checksumFails++
+		p.checksumFails.Add(1)
 		corrupt = &CorruptPageError{File: key.file, Page: key.page, Stored: stored, Actual: computed}
 		lastErr = corrupt
 	}
@@ -147,37 +158,71 @@ func (p *Pool) readVerified(key pageKey, buf []byte) error {
 
 // Get pins the page, reading it from disk on a miss. The returned handle's
 // Bytes alias the frame.
+//
+// A miss claims a frame, publishes it in the table with the io channel
+// set, and drops the pool lock for the duration of the disk read: misses
+// for different pages proceed concurrently (the point of the I/O-bound
+// latency mode), and a second goroutine arriving for the same page waits
+// on the channel instead of issuing a duplicate read.
 func (p *Pool) Get(file disk.FileID, pageNo int) (*Handle, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	key := pageKey{file, pageNo}
-	if idx, ok := p.table[key]; ok {
+	p.mu.Lock()
+	for {
+		if idx, ok := p.table[key]; ok {
+			f := &p.frames[idx]
+			if f.io != nil {
+				// Another goroutine is reading this page in. Wait for it
+				// and re-check: the read may have failed (entry removed)
+				// or the frame may even have been recycled since.
+				ch := f.io
+				p.mu.Unlock()
+				<-ch
+				p.mu.Lock()
+				continue
+			}
+			f.pins++
+			f.ref = true
+			p.hits++
+			p.mu.Unlock()
+			return &Handle{pool: p, idx: idx, Bytes: f.buf}, nil
+		}
+		idx, err := p.evictLocked()
+		if err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
 		f := &p.frames[idx]
-		f.pins++
+		if f.buf == nil {
+			f.buf = make([]byte, disk.PageSize)
+		}
+		// Publish the frame pinned and valid before releasing the lock:
+		// the pin keeps the clock sweep away, valid keeps evictLocked's
+		// free-frame fast path away, and io makes same-page arrivals wait.
+		f.key = key
+		f.pins = 1
+		f.dirty = false
 		f.ref = true
-		p.hits++
+		f.valid = true
+		f.io = make(chan struct{})
+		p.table[key] = idx
+		p.mu.Unlock()
+
+		rerr := p.readVerified(key, f.buf)
+
+		p.mu.Lock()
+		close(f.io)
+		f.io = nil
+		if rerr != nil {
+			delete(p.table, key)
+			f.pins = 0
+			f.valid = false
+			p.mu.Unlock()
+			return nil, rerr
+		}
+		p.misses++
+		p.mu.Unlock()
 		return &Handle{pool: p, idx: idx, Bytes: f.buf}, nil
 	}
-	idx, err := p.evictLocked()
-	if err != nil {
-		return nil, err
-	}
-	f := &p.frames[idx]
-	if f.buf == nil {
-		f.buf = make([]byte, disk.PageSize)
-	}
-	if err := p.readVerified(key, f.buf); err != nil {
-		f.valid = false
-		return nil, err
-	}
-	f.key = key
-	f.pins = 1
-	f.dirty = false
-	f.ref = true
-	f.valid = true
-	p.table[key] = idx
-	p.misses++
-	return &Handle{pool: p, idx: idx, Bytes: f.buf}, nil
 }
 
 // GetNew pins a frame for a freshly extended page without reading from
@@ -318,7 +363,7 @@ func (p *Pool) Stats() (hits, misses, writeOut int64) {
 func (p *Pool) FaultStats() (readRetries, checksumFails, unpinErrors int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.readRetries, p.checksumFails, p.unpinErrors
+	return p.readRetries.Load(), p.checksumFails.Load(), p.unpinErrors
 }
 
 // ResetStats zeroes the counters.
@@ -326,7 +371,9 @@ func (p *Pool) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.hits, p.misses, p.writeOut = 0, 0, 0
-	p.readRetries, p.checksumFails, p.unpinErrors = 0, 0, 0
+	p.readRetries.Store(0)
+	p.checksumFails.Store(0)
+	p.unpinErrors = 0
 }
 
 // Capacity returns the number of frames.

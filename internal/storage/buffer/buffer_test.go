@@ -1,7 +1,10 @@
 package buffer
 
 import (
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"microspec/internal/storage/disk"
 	"microspec/internal/storage/page"
@@ -137,5 +140,52 @@ func TestDoubleUnpinReturnsError(t *testing.T) {
 	}
 	if _, _, unpinErrs := p.FaultStats(); unpinErrs != 1 {
 		t.Errorf("unpinErrors = %d, want 1", unpinErrs)
+	}
+}
+
+// TestConcurrentMissSingleFlight checks that simultaneous misses for the
+// same page issue one disk read (the io channel makes late arrivals wait)
+// while misses for different pages overlap their reads.
+func TestConcurrentMissSingleFlight(t *testing.T) {
+	m, p, f := setup(t, 8, 4)
+	m.SetLatency(disk.LatencyModel{ReadPerPage: 2 * time.Millisecond, Sleep: true})
+	m.ResetStats()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h, err := p.Get(f, g%4) // two goroutines per page
+			if err != nil {
+				errc <- err
+				return
+			}
+			if h.Bytes[0] != byte(g%4+1) {
+				errc <- fmt.Errorf("page %d tag = %d", g%4, h.Bytes[0])
+			}
+			h.Unpin(false)
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	reads, _, _ := m.Stats()
+	if reads != 4 {
+		t.Errorf("disk reads = %d, want 4 (one per distinct page)", reads)
+	}
+	hits, misses, _ := p.Stats()
+	if misses != 4 || hits != 4 {
+		t.Errorf("hits=%d misses=%d, want 4/4", hits, misses)
+	}
+	// Four concurrent 2ms reads overlapping should finish well under the
+	// 8ms a serial pool would take.
+	if elapsed := time.Since(start); elapsed > 7*time.Millisecond {
+		t.Errorf("misses did not overlap: %v elapsed", elapsed)
 	}
 }

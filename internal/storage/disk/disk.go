@@ -4,7 +4,10 @@
 // reduction translates into I/O-time reduction; with a simulated disk the
 // same effect is produced by charging a fixed cost per page actually read,
 // accumulated as simulated I/O time rather than slept, so experiments stay
-// fast and deterministic (see DESIGN.md §1).
+// fast and deterministic (see DESIGN.md §1). Setting LatencyModel.Sleep
+// makes the charge real — each transfer blocks its goroutine outside the
+// device lock — which is how the multi-connection scaling experiments
+// (E15) give concurrent sessions actual I/O waits to overlap.
 package disk
 
 import (
@@ -40,6 +43,13 @@ type Device interface {
 type LatencyModel struct {
 	ReadPerPage  time.Duration
 	WritePerPage time.Duration
+	// Sleep makes the charge real: each page transfer blocks the calling
+	// goroutine for the charged duration, slept outside the device lock
+	// so transfers issued by different goroutines overlap — the I/O-bound
+	// configuration the multi-connection scaling experiments use (E15).
+	// When false (the default) the charge is only accumulated as simIO,
+	// keeping single-threaded experiments fast and deterministic.
+	Sleep bool
 }
 
 // DefaultColdLatency approximates a sequential HDD/SSD mix: 100µs per 8 KiB
@@ -106,49 +116,77 @@ func (m *Manager) NumPages(id FileID) (int, error) {
 // page is charged as a write.
 func (m *Manager) ExtendFile(id FileID) (int, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	f, ok := m.files[id]
 	if !ok {
+		m.mu.Unlock()
 		return 0, fmt.Errorf("disk: no such file %d", id)
 	}
 	f.pages = append(f.pages, make([]byte, PageSize))
 	m.writes++
 	m.simIO += m.latency.WritePerPage
-	return len(f.pages) - 1, nil
+	n := len(f.pages) - 1
+	sleep := m.sleepFor(m.latency.WritePerPage)
+	m.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return n, nil
 }
 
 // ReadPage copies page pageNo of the file into dst (length PageSize).
 func (m *Manager) ReadPage(id FileID, pageNo int, dst []byte) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	f, ok := m.files[id]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("disk: no such file %d", id)
 	}
 	if pageNo < 0 || pageNo >= len(f.pages) {
+		m.mu.Unlock()
 		return fmt.Errorf("disk: file %d has no page %d", id, pageNo)
 	}
 	copy(dst, f.pages[pageNo])
 	m.reads++
 	m.simIO += m.latency.ReadPerPage
+	sleep := m.sleepFor(m.latency.ReadPerPage)
+	m.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
 	return nil
 }
 
 // WritePage copies src (length PageSize) into page pageNo of the file.
 func (m *Manager) WritePage(id FileID, pageNo int, src []byte) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	f, ok := m.files[id]
 	if !ok {
+		m.mu.Unlock()
 		return fmt.Errorf("disk: no such file %d", id)
 	}
 	if pageNo < 0 || pageNo >= len(f.pages) {
+		m.mu.Unlock()
 		return fmt.Errorf("disk: file %d has no page %d", id, pageNo)
 	}
 	copy(f.pages[pageNo], src)
 	m.writes++
 	m.simIO += m.latency.WritePerPage
+	sleep := m.sleepFor(m.latency.WritePerPage)
+	m.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
 	return nil
+}
+
+// sleepFor returns the real-sleep duration for one transfer, zero unless
+// the model's Sleep flag is set. Called with m.mu held; the sleep itself
+// happens after the caller releases the lock so transfers overlap.
+func (m *Manager) sleepFor(d time.Duration) time.Duration {
+	if !m.latency.Sleep {
+		return 0
+	}
+	return d
 }
 
 // CorruptPage flips bits in the stored copy of a page by XOR-ing xor into

@@ -1,19 +1,33 @@
 // Package heap implements heap relations: unordered tuple files over
-// slotted pages, with insert, delete, in-place and moving update, point
-// fetch by TID, and sequential scan. This is the storage substrate whose
-// per-tuple access paths (deform on scan, fill on insert) the paper
-// micro-specializes.
+// slotted pages with multi-version concurrency control. Every tuple
+// carries an (xmin, xmax) version stamp in an in-memory side table —
+// the transaction that inserted it and the transaction that deleted it
+// (txn.None while live) — and readers resolve visibility against a
+// txn.Snapshot, so scans and point fetches never block writers and
+// writers never block readers. Updates are always delete+insert (the
+// TID moves; old versions remain for concurrent snapshots until vacuum
+// reclaims them). Synchronization is per page: a read-preferring
+// spinlatch serializes page mutation (insert, vacuum) against reader
+// windows, while delete is just an atomic xmax stamp taken in shared
+// mode. This is the storage substrate whose per-tuple access paths
+// (deform on scan, fill on insert) the paper micro-specializes; the
+// MVCC checks ride inside the same page windows the batch bees already
+// amortize.
 package heap
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"microspec/internal/catalog"
 	"microspec/internal/profile"
 	"microspec/internal/storage/buffer"
 	"microspec/internal/storage/disk"
+	"microspec/internal/storage/latch"
 	"microspec/internal/storage/page"
+	"microspec/internal/txn"
 )
 
 // TID addresses a tuple: page number plus slot within the page.
@@ -25,29 +39,71 @@ type TID struct {
 // String renders the TID like PostgreSQL's ctid, e.g. "(3,14)".
 func (t TID) String() string { return fmt.Sprintf("(%d,%d)", t.Page, t.Slot) }
 
+// verSlot is one tuple's version stamp, accessed with sync/atomic
+// functions: delete stamps xmax under the page latch's *shared* mode
+// (concurrent with readers), while insert and vacuum touch the fields
+// in exclusive mode. Plain uint64 fields (not atomic.Uint64) so the
+// slice can grow by append — growth only happens under the exclusive
+// latch, when no concurrent access exists.
+type verSlot struct {
+	xmin uint64
+	xmax uint64
+}
+
+// pageMeta is the per-page concurrency state: the latch ordering pages
+// mutation against reader windows, and the version stamps for the
+// page's slots (vers[i] belongs to slot i; slots are never reused, so
+// the slice is append-only and only grows under the exclusive latch).
+// A slot beyond len(vers) is defensively treated as frozen-and-live.
+type pageMeta struct {
+	latch latch.RW
+	vers  []verSlot
+}
+
+// stamp returns slot's version pair. Callers hold the page latch in at
+// least shared mode.
+func (m *pageMeta) stamp(slot int) (xmin, xmax uint64) {
+	if slot >= len(m.vers) {
+		return txn.Frozen, txn.None
+	}
+	return atomic.LoadUint64(&m.vers[slot].xmin), atomic.LoadUint64(&m.vers[slot].xmax)
+}
+
 // Heap is one relation's tuple file.
 type Heap struct {
 	Rel  *catalog.Relation
 	file disk.FileID
 	dm   disk.Device
 	pool *buffer.Pool
+	tm   *txn.Manager
 
+	// mu serializes inserters (insert-page choice and file extension).
+	// Page content is guarded by the per-page latches, not mu.
 	mu         sync.Mutex
-	numPages   int
 	insertPage int // last page that accepted an insert; -1 if none
-	liveTuples int64
-	inserts    int64
+
+	metas      atomic.Pointer[[]*pageMeta]
+	numPages   atomic.Int64
+	liveTuples atomic.Int64
+	inserts    atomic.Int64
+	deadHint   atomic.Int64 // stamped-dead versions not yet vacuumed
 }
 
-// Create allocates a new empty heap for rel.
-func Create(dm disk.Device, pool *buffer.Pool, rel *catalog.Relation) *Heap {
-	return &Heap{
+// Create allocates a new empty heap for rel. tm resolves transaction
+// statuses during write-conflict checks and vacuum; it may be nil only
+// in single-writer tests that never delete.
+func Create(dm disk.Device, pool *buffer.Pool, rel *catalog.Relation, tm *txn.Manager) *Heap {
+	h := &Heap{
 		Rel:        rel,
 		file:       dm.CreateFile(),
 		dm:         dm,
 		pool:       pool,
+		tm:         tm,
 		insertPage: -1,
 	}
+	empty := []*pageMeta{}
+	h.metas.Store(&empty)
+	return h
 }
 
 // Drop releases the heap's disk file.
@@ -58,30 +114,52 @@ func (h *Heap) Drop() { h.dm.DropFile(h.file) }
 func (h *Heap) File() disk.FileID { return h.file }
 
 // NumPages returns the current page count.
-func (h *Heap) NumPages() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.numPages
-}
+func (h *Heap) NumPages() int { return int(h.numPages.Load()) }
 
-// LiveTuples returns the live tuple count.
-func (h *Heap) LiveTuples() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.liveTuples
-}
+// LiveTuples returns the approximate live tuple count (exact when no
+// transaction is mid-flight).
+func (h *Heap) LiveTuples() int64 { return h.liveTuples.Load() }
 
 // Inserts returns the cumulative count of tuples ever inserted
-// (updates that move a tuple count as inserts, as in PostgreSQL).
-func (h *Heap) Inserts() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.inserts
+// (updates always move the tuple under MVCC and count as inserts, as in
+// PostgreSQL).
+func (h *Heap) Inserts() int64 { return h.inserts.Load() }
+
+// DeadVersions returns the number of stamped-dead versions vacuum has
+// not yet reclaimed — the engine's vacuum trigger reads this.
+func (h *Heap) DeadVersions() int64 { return h.deadHint.Load() }
+
+// meta returns page pageNo's concurrency state, or nil if the page is
+// beyond the published table (callers treat that as tuple-not-found).
+func (h *Heap) meta(pageNo int) *pageMeta {
+	ms := *h.metas.Load()
+	if pageNo < 0 || pageNo >= len(ms) {
+		return nil
+	}
+	return ms[pageNo]
 }
 
-// Insert stores the already-formed tuple bytes and returns its TID. prof
-// is charged the per-tuple storage bookkeeping (CompStorage).
-func (h *Heap) Insert(tup []byte, prof *profile.Counters) (TID, error) {
+// insertSpin bounds how long an inserter waits for a reader window on
+// the current insert page before extending a fresh page instead.
+const insertSpin = 128
+
+// lockForInsert tries to take the page latch exclusively, yielding to
+// the scheduler between attempts so a reader mid-window can finish.
+func (m *pageMeta) lockForInsert() bool {
+	for i := 0; i < insertSpin; i++ {
+		if m.latch.TryLock() {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// Insert stores the already-formed tuple bytes stamped with inserting
+// transaction xid (txn.Frozen for bulk loads) and returns its TID. The
+// new version is invisible to concurrent snapshots until xid commits.
+// prof is charged the per-tuple storage bookkeeping (CompStorage).
+func (h *Heap) Insert(tup []byte, xid uint64, prof *profile.Counters) (TID, error) {
 	if len(tup) > disk.PageSize/2 {
 		return TID{}, fmt.Errorf("heap %s: tuple of %d bytes exceeds half a page", h.Rel.Name, len(tup))
 	}
@@ -89,17 +167,26 @@ func (h *Heap) Insert(tup []byte, prof *profile.Counters) (TID, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 
-	// Try the last insert page first, then extend.
+	// Try the last insert page first; if a reader window holds its latch
+	// too long or the page is full, extend. Readers snapshot the page
+	// count at scan start, so a freshly extended page is invisible to
+	// them — consistent with the new tuple being invisible anyway.
 	if h.insertPage >= 0 {
 		hd, err := h.pool.Get(h.file, h.insertPage)
 		if err != nil {
 			return TID{}, err
 		}
-		if slot, ok := page.AddTuple(page.Page(hd.Bytes), tup); ok {
-			hd.Unpin(true)
-			h.liveTuples++
-			h.inserts++
-			return TID{Page: int32(h.insertPage), Slot: uint16(slot)}, nil
+		m := h.meta(h.insertPage)
+		if m.lockForInsert() {
+			if slot, ok := page.AddTuple(page.Page(hd.Bytes), tup); ok {
+				m.stampInsert(slot, xid)
+				m.latch.Unlock()
+				hd.Unpin(true)
+				h.liveTuples.Add(1)
+				h.inserts.Add(1)
+				return TID{Page: int32(h.insertPage), Slot: uint16(slot)}, nil
+			}
+			m.latch.Unlock()
 		}
 		hd.Unpin(false)
 	}
@@ -107,131 +194,253 @@ func (h *Heap) Insert(tup []byte, prof *profile.Counters) (TID, error) {
 	if err != nil {
 		return TID{}, err
 	}
-	h.numPages = pageNo + 1
+	// Publish the page's meta before its page count so no reader can
+	// reach a page that has no latch yet.
+	ms := *h.metas.Load()
+	grown := make([]*pageMeta, pageNo+1)
+	copy(grown, ms)
+	for i := len(ms); i <= pageNo; i++ {
+		grown[i] = &pageMeta{}
+	}
+	h.metas.Store(&grown)
 	hd, err := h.pool.GetNew(h.file, pageNo)
 	if err != nil {
 		return TID{}, err
 	}
+	m := grown[pageNo]
+	m.latch.Lock() // uncontended: the page is not yet published
 	page.Init(page.Page(hd.Bytes))
 	slot, ok := page.AddTuple(page.Page(hd.Bytes), tup)
 	if !ok {
+		m.latch.Unlock()
 		hd.Unpin(true)
 		return TID{}, fmt.Errorf("heap %s: tuple does not fit in an empty page", h.Rel.Name)
 	}
+	m.stampInsert(slot, xid)
+	m.latch.Unlock()
 	hd.Unpin(true)
+	h.numPages.Store(int64(pageNo + 1))
 	h.insertPage = pageNo
-	h.liveTuples++
-	h.inserts++
+	h.liveTuples.Add(1)
+	h.inserts.Add(1)
 	return TID{Page: int32(pageNo), Slot: uint16(slot)}, nil
 }
 
-// Get fetches a live tuple by TID. The returned bytes alias the pinned
-// page; the caller must call release exactly once when done.
-func (h *Heap) Get(tid TID, prof *profile.Counters) (tup []byte, release func(), err error) {
-	prof.Add(profile.CompStorage, profile.PageAccess)
-	hd, err := h.pool.Get(h.file, int(tid.Page))
-	if err != nil {
-		return nil, nil, err
+// stampInsert grows vers to cover slot and records xid as its inserter.
+// Called with the page latch held exclusively. Gap slots (possible only
+// if an earlier tuple predates its stamp, which Create-time invariants
+// rule out) read as frozen.
+func (m *pageMeta) stampInsert(slot int, xid uint64) {
+	for len(m.vers) <= slot {
+		m.vers = append(m.vers, verSlot{xmin: txn.Frozen})
 	}
-	b, err := page.GetTuple(page.Page(hd.Bytes), int(tid.Slot))
-	if err != nil {
-		hd.Unpin(false)
-		return nil, nil, fmt.Errorf("heap %s: %w", h.Rel.Name, err)
-	}
-	return b, func() { hd.Unpin(false) }, nil
+	atomic.StoreUint64(&m.vers[slot].xmin, xid)
+	atomic.StoreUint64(&m.vers[slot].xmax, txn.None)
 }
 
-// Delete marks the tuple dead. It returns an undo closure that resurrects
-// the tuple (rollback support).
-func (h *Heap) Delete(tid TID, prof *profile.Counters) (undo func() error, err error) {
+// Get fetches the tuple version at tid if it is visible to snap (nil
+// snap means latest committed; see txn.Snapshot.Visible). ok=false with
+// a nil error means the version is invisible, dead, or already
+// reclaimed — index scans skip such TIDs. The returned bytes alias the
+// pinned page; the caller must call release exactly once when done, and
+// the page's reader latch is held until then.
+func (h *Heap) Get(tid TID, snap *txn.Snapshot, prof *profile.Counters) (tup []byte, release func(), ok bool, err error) {
 	prof.Add(profile.CompStorage, profile.PageAccess)
+	m := h.meta(int(tid.Page))
+	if m == nil {
+		return nil, nil, false, nil
+	}
 	hd, err := h.pool.Get(h.file, int(tid.Page))
 	if err != nil {
-		return nil, err
+		return nil, nil, false, err
 	}
-	if err := page.DeleteTuple(page.Page(hd.Bytes), int(tid.Slot)); err != nil {
+	m.latch.RLock()
+	p := page.Page(hd.Bytes)
+	if int(tid.Slot) >= page.NumSlots(p) || !page.IsLive(p, int(tid.Slot)) {
+		m.latch.RUnlock()
 		hd.Unpin(false)
-		return nil, err
+		return nil, nil, false, nil
 	}
-	hd.Unpin(true)
-	h.mu.Lock()
-	h.liveTuples--
-	h.mu.Unlock()
-	return func() error {
-		hd, err := h.pool.Get(h.file, int(tid.Page))
-		if err != nil {
-			return err
-		}
-		defer hd.Unpin(true)
-		if err := page.ResurrectTuple(page.Page(hd.Bytes), int(tid.Slot)); err != nil {
-			return err
-		}
-		h.mu.Lock()
-		h.liveTuples++
-		h.mu.Unlock()
-		return nil
-	}, nil
+	xmin, xmax := m.stamp(int(tid.Slot))
+	if !snap.Visible(xmin, xmax) {
+		m.latch.RUnlock()
+		hd.Unpin(false)
+		return nil, nil, false, nil
+	}
+	b, err := page.GetTuple(p, int(tid.Slot))
+	if err != nil {
+		m.latch.RUnlock()
+		hd.Unpin(false)
+		return nil, nil, false, fmt.Errorf("heap %s: %w", h.Rel.Name, err)
+	}
+	return b, func() {
+		m.latch.RUnlock()
+		hd.Unpin(false)
+	}, true, nil
 }
 
-// Update replaces the tuple. Same-length tuples are overwritten in place
-// and keep their TID; otherwise the old tuple is deleted and the new one
-// inserted (the TID moves). It returns the new TID and an undo closure
-// restoring the old bytes.
-func (h *Heap) Update(tid TID, newTup []byte, prof *profile.Counters) (TID, func() error, error) {
-	prof.Add(profile.CompStorage, profile.PageAccess)
+// Stamps returns the version stamp of the tuple at tid; present is false
+// when the slot no longer holds a tuple (vacuumed, or never existed).
+// The engine's visibility-aware unique-key check reads raw stamps here
+// and decides liveness against the transaction manager itself — a dirty
+// read by design, since uniqueness must consider uncommitted inserters.
+func (h *Heap) Stamps(tid TID) (xmin, xmax uint64, present bool, err error) {
+	m := h.meta(int(tid.Page))
+	if m == nil {
+		return 0, 0, false, nil
+	}
 	hd, err := h.pool.Get(h.file, int(tid.Page))
 	if err != nil {
-		return TID{}, nil, err
+		return 0, 0, false, err
 	}
-	old, err := page.GetTuple(page.Page(hd.Bytes), int(tid.Slot))
-	if err != nil {
+	m.latch.RLock()
+	p := page.Page(hd.Bytes)
+	if int(tid.Slot) >= page.NumSlots(p) || !page.IsLive(p, int(tid.Slot)) {
+		m.latch.RUnlock()
 		hd.Unpin(false)
-		return TID{}, nil, err
+		return 0, 0, false, nil
 	}
-	if len(old) == len(newTup) {
-		oldCopy := append([]byte(nil), old...)
-		if err := page.OverwriteTuple(page.Page(hd.Bytes), int(tid.Slot), newTup); err != nil {
-			hd.Unpin(false)
-			return TID{}, nil, err
-		}
-		hd.Unpin(true)
-		undo := func() error {
-			hd, err := h.pool.Get(h.file, int(tid.Page))
-			if err != nil {
-				return err
-			}
-			defer hd.Unpin(true)
-			return page.OverwriteTuple(page.Page(hd.Bytes), int(tid.Slot), oldCopy)
-		}
-		return tid, undo, nil
-	}
+	xmin, xmax = m.stamp(int(tid.Slot))
+	m.latch.RUnlock()
 	hd.Unpin(false)
-	undoDel, err := h.Delete(tid, prof)
-	if err != nil {
-		return TID{}, nil, err
-	}
-	newTID, err := h.Insert(newTup, prof)
-	if err != nil {
-		_ = undoDel()
-		return TID{}, nil, err
-	}
-	undo := func() error {
-		if u, err := h.Delete(newTID, nil); err != nil {
-			return err
-		} else {
-			_ = u // the resurrected insert slot stays dead permanently
-		}
-		return undoDel()
-	}
-	return newTID, undo, nil
+	return xmin, xmax, true, nil
 }
 
-// Scan returns a sequential scanner positioned before the first tuple.
-func (h *Heap) Scan(prof *profile.Counters) *Scanner {
-	h.mu.Lock()
-	n := h.numPages
-	h.mu.Unlock()
-	return &Scanner{h: h, numPages: n, pageNo: -1, prof: prof}
+// MarkDeleted stamps xid as the deleter of the version at tid —
+// first-updater-wins: if another transaction already stamped the
+// version and has not aborted, a *txn.ConflictError is returned and the
+// caller must abort. The stamp is an atomic CAS under the shared page
+// latch, so deletes neither block nor are blocked by reader windows.
+func (h *Heap) MarkDeleted(tid TID, xid uint64, prof *profile.Counters) error {
+	prof.Add(profile.CompStorage, profile.PageAccess)
+	m := h.meta(int(tid.Page))
+	if m == nil {
+		return fmt.Errorf("heap %s: MarkDeleted of unknown page %d", h.Rel.Name, tid.Page)
+	}
+	m.latch.RLock()
+	defer m.latch.RUnlock()
+	if int(tid.Slot) >= len(m.vers) {
+		return fmt.Errorf("heap %s: MarkDeleted of unstamped slot %s", h.Rel.Name, tid)
+	}
+	vs := &m.vers[tid.Slot]
+	for {
+		cur := atomic.LoadUint64(&vs.xmax)
+		if cur == txn.None {
+			if atomic.CompareAndSwapUint64(&vs.xmax, txn.None, xid) {
+				h.liveTuples.Add(-1)
+				h.deadHint.Add(1)
+				return nil
+			}
+			continue
+		}
+		// A stamp from an aborted transaction whose undo has not run yet
+		// (or raced us) is dead weight: take it over.
+		if h.tm != nil && h.tm.Status(cur) == txn.StatusAborted {
+			if atomic.CompareAndSwapUint64(&vs.xmax, cur, xid) {
+				h.deadHint.Add(1)
+				return nil
+			}
+			continue
+		}
+		return &txn.ConflictError{Mine: xid, Theirs: cur}
+	}
+}
+
+// UnmarkDeleted clears xid's delete stamp from the version at tid — the
+// rollback undo for MarkDeleted. A no-op if another transaction already
+// took the stamp over (possible only after xid's abort was published).
+func (h *Heap) UnmarkDeleted(tid TID, xid uint64) error {
+	m := h.meta(int(tid.Page))
+	if m == nil || int(tid.Slot) >= len(m.vers) {
+		return fmt.Errorf("heap %s: UnmarkDeleted of unknown tuple %s", h.Rel.Name, tid)
+	}
+	m.latch.RLock()
+	defer m.latch.RUnlock()
+	if atomic.CompareAndSwapUint64(&m.vers[tid.Slot].xmax, xid, txn.None) {
+		h.liveTuples.Add(1)
+		h.deadHint.Add(-1)
+	}
+	return nil
+}
+
+// Vacuum reclaims versions no current or future snapshot can see: those
+// whose deleter committed before horizon (see txn.Manager.Horizon) and
+// those inserted by aborted transactions. Reclaimed slots are marked
+// dead on the page (slots are never reused; space compaction is future
+// work) and reported to collect with a copy of the tuple bytes so the
+// caller can drop index entries. Pages whose latch is held by a reader
+// window are skipped — they keep their dead versions until the next
+// pass. The caller serializes Vacuum against writers on this heap (the
+// engine holds the table latch exclusively).
+func (h *Heap) Vacuum(horizon uint64, prof *profile.Counters, collect func(tid TID, tup []byte)) (reclaimed int, err error) {
+	if h.tm == nil {
+		return 0, nil
+	}
+	n := int(h.numPages.Load())
+	var tids []TID
+	var tups [][]byte
+	for pageNo := 0; pageNo < n; pageNo++ {
+		m := h.meta(pageNo)
+		if m == nil || !m.latch.TryLock() {
+			continue // busy page: next pass gets it
+		}
+		hd, gerr := h.pool.Get(h.file, pageNo)
+		if gerr != nil {
+			m.latch.Unlock()
+			return reclaimed, gerr
+		}
+		prof.Add(profile.CompStorage, profile.PageAccess)
+		p := page.Page(hd.Bytes)
+		tids, tups = tids[:0], tups[:0]
+		dirty := false
+		slots := page.NumSlots(p)
+		if len(m.vers) < slots {
+			slots = len(m.vers)
+		}
+		for slot := 0; slot < slots; slot++ {
+			if !page.IsLive(p, slot) {
+				continue
+			}
+			xmin, xmax := m.stamp(slot)
+			dead := h.tm.Status(xmin) == txn.StatusAborted ||
+				(xmax != txn.None && xmax < horizon && h.tm.Status(xmax) == txn.StatusCommitted)
+			if !dead {
+				continue
+			}
+			b, terr := page.GetTuple(p, slot)
+			if terr != nil {
+				m.latch.Unlock()
+				hd.Unpin(dirty)
+				return reclaimed, fmt.Errorf("heap %s: vacuum: %w", h.Rel.Name, terr)
+			}
+			if derr := page.DeleteTuple(p, slot); derr != nil {
+				m.latch.Unlock()
+				hd.Unpin(dirty)
+				return reclaimed, fmt.Errorf("heap %s: vacuum: %w", h.Rel.Name, derr)
+			}
+			dirty = true
+			tids = append(tids, TID{Page: int32(pageNo), Slot: uint16(slot)})
+			tups = append(tups, append([]byte(nil), b...))
+			reclaimed++
+			h.deadHint.Add(-1)
+		}
+		m.latch.Unlock()
+		hd.Unpin(dirty)
+		// Index cleanup runs outside the page latch: collect may descend
+		// B+trees, and page latches are leaves of the latch order.
+		if collect != nil {
+			for i, tid := range tids {
+				collect(tid, tups[i])
+			}
+		}
+	}
+	return reclaimed, nil
+}
+
+// Scan returns a sequential scanner positioned before the first tuple,
+// filtering versions through snap (nil means latest committed).
+func (h *Heap) Scan(snap *txn.Snapshot, prof *profile.Counters) *Scanner {
+	return &Scanner{h: h, snap: snap, numPages: int(h.numPages.Load()), pageNo: -1, prof: prof}
 }
 
 // PageRange is a half-open page interval [Lo, Hi) of a heap — the unit of
@@ -246,9 +455,7 @@ type PageRange struct {
 // nil. The page count is a snapshot: like Scan, concurrently appended
 // pages are not covered.
 func (h *Heap) Partitions(n int) []PageRange {
-	h.mu.Lock()
-	pages := h.numPages
-	h.mu.Unlock()
+	pages := int(h.numPages.Load())
 	if pages == 0 || n <= 0 {
 		return nil
 	}
@@ -271,35 +478,47 @@ func (h *Heap) Partitions(n int) []PageRange {
 
 // ScanRange returns a scanner over the pages [lo, hi) only, for one
 // partition of a parallel scan. Each worker drives its own scanner, so
-// concurrent partitions never share mutable state; the buffer pool
-// underneath is already concurrency-safe.
-func (h *Heap) ScanRange(r PageRange, prof *profile.Counters) *Scanner {
-	h.mu.Lock()
-	n := h.numPages
-	h.mu.Unlock()
+// concurrent partitions never share mutable state; the buffer pool and
+// page latches underneath are already concurrency-safe.
+func (h *Heap) ScanRange(snap *txn.Snapshot, r PageRange, prof *profile.Counters) *Scanner {
+	n := int(h.numPages.Load())
 	if r.Hi > n {
 		r.Hi = n
 	}
 	if r.Lo < 0 {
 		r.Lo = 0
 	}
-	return &Scanner{h: h, numPages: r.Hi, pageNo: r.Lo - 1, prof: prof}
+	return &Scanner{h: h, snap: snap, numPages: r.Hi, pageNo: r.Lo - 1, prof: prof}
 }
 
-// Scanner iterates a heap page by page, holding a pin on the current
-// page so returned tuple bytes stay valid until the next call.
+// Scanner iterates a heap page by page, holding a pin and the page's
+// shared latch on the current page so returned tuple bytes stay valid —
+// and concurrent inserts stay off the page — until the next call.
+// Versions invisible to the scanner's snapshot are skipped.
 type Scanner struct {
 	h        *Heap
+	snap     *txn.Snapshot
 	numPages int
 	pageNo   int
 	slot     int
 	cur      *buffer.Handle
+	curMeta  *pageMeta
 	prof     *profile.Counters
 	err      error
 }
 
-// Next advances to the next live tuple. It returns ok=false at the end of
-// the heap or on error (check Err).
+// releasePage drops the latch and pin on the current page, if any.
+func (s *Scanner) releasePage() {
+	if s.cur != nil {
+		s.curMeta.latch.RUnlock()
+		s.cur.Unpin(false)
+		s.cur = nil
+		s.curMeta = nil
+	}
+}
+
+// Next advances to the next visible tuple. It returns ok=false at the
+// end of the heap or on error (check Err).
 func (s *Scanner) Next() (TID, []byte, bool) {
 	for {
 		if s.cur == nil {
@@ -314,6 +533,8 @@ func (s *Scanner) Next() (TID, []byte, bool) {
 			}
 			s.prof.Add(profile.CompStorage, profile.PageAccess)
 			s.cur = hd
+			s.curMeta = s.h.meta(s.pageNo)
+			s.curMeta.latch.RLock()
 			s.slot = 0
 		}
 		p := page.Page(s.cur.Bytes)
@@ -324,6 +545,10 @@ func (s *Scanner) Next() (TID, []byte, bool) {
 			if !page.IsLive(p, slot) {
 				continue
 			}
+			xmin, xmax := s.curMeta.stamp(slot)
+			if !s.snap.Visible(xmin, xmax) {
+				continue
+			}
 			b, err := page.GetTuple(p, slot)
 			if err != nil {
 				s.err = err
@@ -332,23 +557,22 @@ func (s *Scanner) Next() (TID, []byte, bool) {
 			s.prof.Add(profile.CompStorage, profile.HeapNextTuple)
 			return TID{Page: int32(s.pageNo), Slot: uint16(slot)}, b, true
 		}
-		s.cur.Unpin(false)
-		s.cur = nil
+		s.releasePage()
 	}
 }
 
-// NextPage advances to the next page holding at least one live tuple and
-// returns all of that page's live tuples at once, appended to buf (pass
-// the previous return value to reuse its backing array). The returned
-// byte slices alias the pinned page and stay valid until the next
-// NextPage/Next/Close call — the batch executor deforms the whole page
-// while the pin is held, amortizing one pin/unpin over every tuple on the
-// page. ok=false signals the end of the heap or an error (check Err).
+// NextPage advances to the next page holding at least one visible tuple
+// and returns all of that page's visible tuples at once, appended to buf
+// (pass the previous return value to reuse its backing array). The
+// returned byte slices alias the pinned page and stay valid until the
+// next NextPage/Next/Close call — the batch executor deforms the whole
+// page while the pin and shared latch are held, amortizing one
+// pin/latch/unpin over every tuple on the page. Visibility filtering
+// happens here, inside the same page window, which is how the fused
+// scan-filter bees become snapshot-aware without any change of their
+// own. ok=false signals the end of the heap or an error (check Err).
 func (s *Scanner) NextPage(buf [][]byte) (tups [][]byte, pageNo int, ok bool) {
-	if s.cur != nil {
-		s.cur.Unpin(false)
-		s.cur = nil
-	}
+	s.releasePage()
 	buf = buf[:0]
 	for {
 		s.pageNo++
@@ -361,15 +585,22 @@ func (s *Scanner) NextPage(buf [][]byte) (tups [][]byte, pageNo int, ok bool) {
 			return buf, 0, false
 		}
 		s.prof.Add(profile.CompStorage, profile.PageAccess)
+		m := s.h.meta(s.pageNo)
+		m.latch.RLock()
 		p := page.Page(hd.Bytes)
 		n := page.NumSlots(p)
 		for slot := 0; slot < n; slot++ {
 			if !page.IsLive(p, slot) {
 				continue
 			}
+			xmin, xmax := m.stamp(slot)
+			if !s.snap.Visible(xmin, xmax) {
+				continue
+			}
 			b, err := page.GetTuple(p, slot)
 			if err != nil {
 				s.err = err
+				m.latch.RUnlock()
 				hd.Unpin(false)
 				return buf[:0], 0, false
 			}
@@ -377,21 +608,21 @@ func (s *Scanner) NextPage(buf [][]byte) (tups [][]byte, pageNo int, ok bool) {
 			buf = append(buf, b)
 		}
 		if len(buf) == 0 {
-			hd.Unpin(false) // every slot dead: skip the page
+			m.latch.RUnlock()
+			hd.Unpin(false) // every slot dead or invisible: skip the page
 			continue
 		}
 		s.cur = hd
+		s.curMeta = m
 		s.slot = n // Next after NextPage resumes on the following page
 		return buf, s.pageNo, true
 	}
 }
 
-// Close releases the scanner's pin; safe to call multiple times.
+// Close releases the scanner's pin and latch; safe to call multiple
+// times.
 func (s *Scanner) Close() {
-	if s.cur != nil {
-		s.cur.Unpin(false)
-		s.cur = nil
-	}
+	s.releasePage()
 	s.pageNo = s.numPages
 }
 

@@ -1,0 +1,85 @@
+// Package latch provides the small read-preferring reader/writer
+// spinlatch used for per-page synchronization in the heap. Two
+// properties motivate a custom latch instead of sync.RWMutex:
+//
+//   - Read-preference: a reader can always acquire the latch while other
+//     readers hold it, even if a writer is spinning. Go's sync.RWMutex is
+//     write-preferring, which deadlocks the heap's nested-read pattern (a
+//     scanner holds a page read latch across a batch window while the
+//     same statement re-reads the page through an index probe).
+//   - TryLock-first writers: heap inserts and vacuum never want to queue
+//     behind a long reader window — on contention they move to another
+//     page. TryLock is the primary writer API; Lock spins with
+//     Gosched-yielding for the rare caller that must win eventually.
+//
+// The latch is intentionally not fair to writers. That is safe here
+// because writer starvation is bounded by design: readers hold page
+// latches only for the lifetime of one page window (one batch fill or
+// one point Get), and writers that lose fall back to a different page.
+// See docs/CONCURRENCY.md for the full latch-ordering discipline.
+package latch
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// RW is a read-preferring reader/writer spinlatch. The zero value is
+// unlocked. state holds the reader count, or -1 while write-locked.
+type RW struct {
+	state atomic.Int32
+}
+
+// RLock acquires the latch in shared mode, spinning (with scheduler
+// yields) while a writer holds it.
+func (l *RW) RLock() {
+	for {
+		s := l.state.Load()
+		if s >= 0 && l.state.CompareAndSwap(s, s+1) {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// TryRLock acquires the latch in shared mode if no writer holds it.
+func (l *RW) TryRLock() bool {
+	for {
+		s := l.state.Load()
+		if s < 0 {
+			return false
+		}
+		if l.state.CompareAndSwap(s, s+1) {
+			return true
+		}
+	}
+}
+
+// RUnlock releases one shared hold.
+func (l *RW) RUnlock() {
+	if l.state.Add(-1) < 0 {
+		panic("latch: RUnlock of unlocked latch")
+	}
+}
+
+// TryLock acquires the latch exclusively if it is free.
+func (l *RW) TryLock() bool {
+	return l.state.CompareAndSwap(0, -1)
+}
+
+// Lock acquires the latch exclusively, spinning until all readers
+// drain. Because the latch is read-preferring, callers must hold it
+// only briefly and must not block while waiting (the heap uses Lock
+// only where reader windows are short by construction).
+func (l *RW) Lock() {
+	for !l.state.CompareAndSwap(0, -1) {
+		runtime.Gosched()
+	}
+}
+
+// Unlock releases the exclusive hold.
+func (l *RW) Unlock() {
+	if !l.state.CompareAndSwap(-1, 0) {
+		panic("latch: Unlock of non-write-locked latch")
+	}
+}

@@ -1,0 +1,116 @@
+package latch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestExclusion(t *testing.T) {
+	var l RW
+	var counter int
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				l.Lock()
+				counter++
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*5000 {
+		t.Fatalf("counter %d, want %d", counter, 8*5000)
+	}
+}
+
+func TestReadersShareWritersExclude(t *testing.T) {
+	var l RW
+	var readers atomic.Int32
+	var writing atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				l.RLock()
+				readers.Add(1)
+				if writing.Load() {
+					panic("reader overlapped writer")
+				}
+				readers.Add(-1)
+				l.RUnlock()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				if !l.TryLock() {
+					continue
+				}
+				writing.Store(true)
+				if readers.Load() != 0 {
+					panic("writer overlapped reader")
+				}
+				writing.Store(false)
+				l.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestTryLockContended(t *testing.T) {
+	var l RW
+	l.RLock()
+	if l.TryLock() {
+		t.Fatal("TryLock succeeded under a reader")
+	}
+	if !l.TryRLock() {
+		t.Fatal("TryRLock failed under a reader")
+	}
+	l.RUnlock()
+	l.RUnlock()
+	if !l.TryLock() {
+		t.Fatal("TryLock failed on free latch")
+	}
+	if l.TryRLock() {
+		t.Fatal("TryRLock succeeded under a writer")
+	}
+	l.Unlock()
+}
+
+func TestReadPreferring(t *testing.T) {
+	// A second reader must be able to join while a writer is waiting —
+	// this is the property sync.RWMutex does not give.
+	var l RW
+	l.RLock()
+	writerDone := make(chan struct{})
+	go func() {
+		l.Lock()
+		l.Unlock()
+		close(writerDone)
+	}()
+	// Writer is now (or will shortly be) spinning. A new reader still
+	// gets in.
+	if !l.TryRLock() {
+		t.Fatal("reader blocked by waiting writer")
+	}
+	l.RUnlock()
+	l.RUnlock()
+	<-writerDone
+}
+
+func TestUnlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unlock of unlocked latch did not panic")
+		}
+	}()
+	var l RW
+	l.Unlock()
+}

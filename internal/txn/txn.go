@@ -1,0 +1,338 @@
+// Package txn implements the transaction manager behind the engine's
+// MVCC snapshot reads: monotonically increasing transaction IDs, a
+// status table (in progress / committed / aborted), active-transaction
+// sets for snapshot construction, and the visibility rule that heap
+// readers apply to (xmin, xmax) version stamps. The design is
+// deliberately minimal — there is no WAL yet, so commit and abort are
+// pure in-memory status flips — but the interfaces are the ones a
+// durability PR will extend rather than replace.
+//
+// Concurrency notes. IDs and statuses are read lock-free on every tuple
+// visibility check, so the status table is a chunked array of atomics
+// behind an atomic pointer (grown copy-on-append under the manager
+// mutex; chunks are never moved once published). The manager mutex
+// serializes only Begin/Commit/Abort bookkeeping and snapshot
+// construction, none of which sit on the per-tuple read path. See
+// docs/CONCURRENCY.md for how this slots under the engine's latches.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Status is the lifecycle state of a transaction ID.
+type Status uint32
+
+const (
+	// StatusInProgress is the zero value so freshly grown status chunks
+	// are correct without initialization.
+	StatusInProgress Status = iota
+	StatusCommitted
+	StatusAborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusInProgress:
+		return "in-progress"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", uint32(s))
+	}
+}
+
+const (
+	// None is the null transaction ID: an xmax of None means "never
+	// deleted".
+	None uint64 = 0
+	// Frozen is a permanently committed ID stamped on bulk-loaded and
+	// pre-MVCC tuples; it is visible to every snapshot and never appears
+	// in an active set.
+	Frozen uint64 = 1
+)
+
+// ErrWriteConflict is the typed error for first-updater-wins write-write
+// conflicts: a transaction tried to delete or update a row version whose
+// xmax was already stamped by a concurrent transaction that is not known
+// to have aborted. Callers detect it with errors.Is.
+var ErrWriteConflict = errors.New("write-write conflict")
+
+// ConflictError carries the two transaction IDs involved in a
+// write-write conflict. It unwraps to ErrWriteConflict.
+type ConflictError struct {
+	Mine   uint64 // the transaction that lost
+	Theirs uint64 // the first updater, whose stamp stands
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("write-write conflict: txn %d lost to first updater %d", e.Mine, e.Theirs)
+}
+
+func (e *ConflictError) Unwrap() error { return ErrWriteConflict }
+
+// Status chunks hold 4096 entries each; chunk pointers are stable once
+// published so Status loads need no lock.
+const (
+	chunkBits = 12
+	chunkSize = 1 << chunkBits
+)
+
+type statusChunk [chunkSize]atomic.Uint32
+
+// Manager issues transaction IDs and tracks their status. One Manager
+// serves one engine.DB.
+type Manager struct {
+	mu     sync.Mutex
+	next   uint64               // last issued ID; first Begin returns Frozen+1
+	active map[uint64]struct{}  // IDs begun but neither committed nor aborted
+	snaps  map[*Snapshot]uint64 // registered read snapshots → their xmin
+	table  atomic.Pointer[[]*statusChunk]
+
+	started   atomic.Int64
+	committed atomic.Int64
+	aborted   atomic.Int64
+}
+
+// NewManager returns a Manager whose first Begin issues Frozen+1.
+func NewManager() *Manager {
+	m := &Manager{
+		next:   Frozen,
+		active: make(map[uint64]struct{}),
+		snaps:  make(map[*Snapshot]uint64),
+	}
+	empty := []*statusChunk{}
+	m.table.Store(&empty)
+	return m
+}
+
+// slot returns the status cell for id, growing the table if needed.
+// Growth happens under m.mu; reads are lock-free.
+func (m *Manager) slot(id uint64) *atomic.Uint32 {
+	idx := id - Frozen - 1 // first real ID maps to cell 0
+	ci, off := int(idx>>chunkBits), idx&(chunkSize-1)
+	chunks := *m.table.Load()
+	if ci < len(chunks) {
+		return &chunks[ci][off]
+	}
+	return nil
+}
+
+// Begin issues a new transaction ID in StatusInProgress.
+func (m *Manager) Begin() uint64 {
+	m.mu.Lock()
+	m.next++
+	id := m.next
+	idx := id - Frozen - 1
+	for chunks := *m.table.Load(); int(idx>>chunkBits) >= len(chunks); chunks = *m.table.Load() {
+		grown := make([]*statusChunk, len(chunks)+1)
+		copy(grown, chunks)
+		grown[len(chunks)] = new(statusChunk)
+		m.table.Store(&grown)
+	}
+	m.active[id] = struct{}{}
+	m.mu.Unlock()
+	m.started.Add(1)
+	return id
+}
+
+// Commit marks id committed. The status flips before the ID leaves the
+// active set, so a snapshot built mid-commit still treats the
+// transaction as concurrent (invisible) — never as committed-and-active
+// crossed the other way.
+func (m *Manager) Commit(id uint64) {
+	if id <= Frozen {
+		return
+	}
+	m.slot(id).Store(uint32(StatusCommitted))
+	m.mu.Lock()
+	delete(m.active, id)
+	m.mu.Unlock()
+	m.committed.Add(1)
+}
+
+// Abort marks id aborted. The caller must have already undone the
+// transaction's effects that other readers could observe without status
+// checks (cleared xmax stamps on rows it deleted; stamped xmax on rows
+// it inserted — see Heap.MarkAborted).
+func (m *Manager) Abort(id uint64) {
+	if id <= Frozen {
+		return
+	}
+	m.slot(id).Store(uint32(StatusAborted))
+	m.mu.Lock()
+	delete(m.active, id)
+	m.mu.Unlock()
+	m.aborted.Add(1)
+}
+
+// Status returns the lifecycle state of id. Frozen (and None, which
+// should not be queried) report committed.
+func (m *Manager) Status(id uint64) Status {
+	if id <= Frozen {
+		return StatusCommitted
+	}
+	s := m.slot(id)
+	if s == nil {
+		return StatusInProgress // not yet issued from this table's view
+	}
+	return Status(s.Load())
+}
+
+// Snapshot constructs and registers a read snapshot. self is the
+// caller's own transaction ID (None for read-only statements); a
+// transaction always sees its own effects. Registered snapshots hold
+// back the vacuum horizon until Release is called.
+func (m *Manager) Snapshot(self uint64) *Snapshot {
+	m.mu.Lock()
+	s := &Snapshot{
+		m:    m,
+		self: self,
+		xmax: m.next + 1,
+	}
+	if len(m.active) > 0 {
+		s.active = make([]uint64, 0, len(m.active))
+		for id := range m.active {
+			s.active = append(s.active, id)
+		}
+		sortIDs(s.active)
+		s.xmin = s.active[0]
+	} else {
+		s.xmin = s.xmax
+	}
+	m.snaps[s] = s.xmin
+	m.mu.Unlock()
+	return s
+}
+
+// Horizon returns the oldest transaction ID that any current or future
+// snapshot could consider in-progress or invisible-by-recency. A
+// committed deleter with xmax < Horizon() is visible as a deleter to
+// everyone, so the deleted version is reclaimable by vacuum.
+func (m *Manager) Horizon() uint64 {
+	m.mu.Lock()
+	h := m.next + 1
+	for id := range m.active {
+		if id < h {
+			h = id
+		}
+	}
+	for _, xmin := range m.snaps {
+		if xmin < h {
+			h = xmin
+		}
+	}
+	m.mu.Unlock()
+	return h
+}
+
+// Counters returns cumulative started/committed/aborted counts and the
+// number of currently registered snapshots, for the metrics plane.
+func (m *Manager) Counters() (started, committed, aborted, snapshots int64) {
+	m.mu.Lock()
+	snapshots = int64(len(m.snaps))
+	m.mu.Unlock()
+	return m.started.Load(), m.committed.Load(), m.aborted.Load(), snapshots
+}
+
+// Snapshot is a point-in-time view: transaction IDs < xmax and not in
+// the active set at construction time are decided (committed or
+// aborted); everything else is invisible. Snapshots are safe for
+// concurrent use by parallel scan workers and must be Released exactly
+// once so vacuum's horizon can advance.
+type Snapshot struct {
+	m      *Manager
+	self   uint64
+	xmin   uint64 // oldest active ID at construction (== xmax if none)
+	xmax   uint64 // first unissued ID at construction
+	active []uint64
+	done   atomic.Bool
+}
+
+// Release unregisters the snapshot from the manager. Idempotent.
+func (s *Snapshot) Release() {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	s.m.mu.Lock()
+	delete(s.m.snaps, s)
+	s.m.mu.Unlock()
+}
+
+// Self returns the transaction ID the snapshot was built for (None for
+// read-only statement snapshots).
+func (s *Snapshot) Self() uint64 {
+	if s == nil {
+		return None
+	}
+	return s.self
+}
+
+// sees reports whether transaction x's effects are included in the
+// snapshot: it is the caller itself, or it committed before the
+// snapshot was taken.
+func (s *Snapshot) sees(x uint64) bool {
+	if x == Frozen {
+		return true
+	}
+	if x == s.self && x != None {
+		return true
+	}
+	if x >= s.xmax {
+		return false
+	}
+	if s.inActive(x) {
+		return false
+	}
+	return s.m.Status(x) == StatusCommitted
+}
+
+func (s *Snapshot) inActive(x uint64) bool {
+	// The active set is small and sorted; binary search without
+	// allocation.
+	lo, hi := 0, len(s.active)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.active[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.active) && s.active[lo] == x
+}
+
+// Visible applies the MVCC visibility rule to a version stamp: the
+// inserting transaction must be seen, and the deleting transaction (if
+// any) must not be. A nil snapshot means "latest committed" and is only
+// sound when the caller has excluded in-flight writers (it reduces to
+// xmax == None; see docs/CONCURRENCY.md for why aborted inserts are
+// still filtered correctly: abort stamps xmax on them).
+func (s *Snapshot) Visible(xmin, xmax uint64) bool {
+	if s == nil {
+		return xmax == None
+	}
+	if !s.sees(xmin) {
+		return false
+	}
+	return xmax == None || !s.sees(xmax)
+}
+
+// sortIDs is an insertion sort: active sets are nearly always tiny and
+// this avoids pulling in sort for a hot-ish path.
+func sortIDs(ids []uint64) {
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		j := i - 1
+		for j >= 0 && ids[j] > v {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
+	}
+}

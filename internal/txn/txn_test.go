@@ -1,0 +1,220 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestIDsMonotonic(t *testing.T) {
+	m := NewManager()
+	prev := Frozen
+	for i := 0; i < 10000; i++ {
+		id := m.Begin()
+		if id <= prev {
+			t.Fatalf("id %d not greater than previous %d", id, prev)
+		}
+		prev = id
+		m.Commit(id)
+	}
+	if got := m.Status(prev); got != StatusCommitted {
+		t.Fatalf("status(%d) = %v, want committed", prev, got)
+	}
+}
+
+func TestVisibilityBasics(t *testing.T) {
+	m := NewManager()
+
+	// A committed insert is visible to a later snapshot.
+	w := m.Begin()
+	m.Commit(w)
+	s := m.Snapshot(None)
+	defer s.Release()
+	if !s.Visible(w, None) {
+		t.Fatal("committed insert invisible")
+	}
+	if !s.Visible(Frozen, None) {
+		t.Fatal("frozen insert invisible")
+	}
+
+	// An insert by a transaction still active at snapshot time is
+	// invisible, even after it commits.
+	w2 := m.Begin()
+	s2 := m.Snapshot(None)
+	defer s2.Release()
+	if s2.Visible(w2, None) {
+		t.Fatal("in-progress insert visible")
+	}
+	m.Commit(w2)
+	if s2.Visible(w2, None) {
+		t.Fatal("insert by txn active at snapshot time became visible after commit")
+	}
+
+	// An insert by a transaction that began after the snapshot is
+	// invisible.
+	w3 := m.Begin()
+	m.Commit(w3)
+	if s2.Visible(w3, None) {
+		t.Fatal("future insert visible")
+	}
+
+	// An aborted insert is never visible.
+	w4 := m.Begin()
+	m.Abort(w4)
+	s3 := m.Snapshot(None)
+	defer s3.Release()
+	if s3.Visible(w4, None) {
+		t.Fatal("aborted insert visible")
+	}
+}
+
+func TestVisibilityDeletes(t *testing.T) {
+	m := NewManager()
+	ins := m.Begin()
+	m.Commit(ins)
+
+	// Delete committed before the snapshot: row invisible.
+	del := m.Begin()
+	m.Commit(del)
+	s := m.Snapshot(None)
+	if s.Visible(ins, del) {
+		t.Fatal("row deleted by committed txn still visible")
+	}
+	s.Release()
+
+	// Delete still in progress at snapshot time: row visible, and stays
+	// visible to that snapshot after the deleter commits.
+	del2 := m.Begin()
+	s2 := m.Snapshot(None)
+	if !s2.Visible(ins, del2) {
+		t.Fatal("row with in-progress deleter invisible")
+	}
+	m.Commit(del2)
+	if !s2.Visible(ins, del2) {
+		t.Fatal("snapshot saw a delete that committed after it was taken")
+	}
+	s2.Release()
+
+	// Aborted delete: row visible.
+	del3 := m.Begin()
+	m.Abort(del3)
+	s3 := m.Snapshot(None)
+	if !s3.Visible(ins, del3) {
+		t.Fatal("row with aborted deleter invisible")
+	}
+	s3.Release()
+}
+
+func TestOwnWrites(t *testing.T) {
+	m := NewManager()
+	me := m.Begin()
+	s := m.Snapshot(me)
+	defer s.Release()
+	if !s.Visible(me, None) {
+		t.Fatal("own insert invisible")
+	}
+	if s.Visible(me, me) {
+		t.Fatal("own deleted row visible")
+	}
+	other := m.Begin()
+	defer m.Abort(other)
+	frozenRowDeletedByOther := s.Visible(Frozen, other)
+	if !frozenRowDeletedByOther {
+		t.Fatal("row deleted by concurrent in-progress txn should remain visible")
+	}
+}
+
+func TestNilSnapshotIsLatest(t *testing.T) {
+	var s *Snapshot
+	if !s.Visible(Frozen, None) {
+		t.Fatal("nil snapshot should see undeleted rows")
+	}
+	if s.Visible(Frozen, 42) {
+		t.Fatal("nil snapshot should not see xmax-stamped rows")
+	}
+	s.Release() // must not panic
+	if s.Self() != None {
+		t.Fatal("nil snapshot self should be None")
+	}
+}
+
+func TestHorizon(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	if h := m.Horizon(); h != a {
+		t.Fatalf("horizon %d, want oldest active %d", h, a)
+	}
+	m.Commit(a)
+	s := m.Snapshot(None) // xmin = b (still active)
+	m.Commit(b)
+	if h := m.Horizon(); h != b {
+		t.Fatalf("horizon %d, want registered snapshot xmin %d", h, b)
+	}
+	s.Release()
+	want := b + 1 // next unissued
+	if h := m.Horizon(); h != want {
+		t.Fatalf("horizon %d after release, want %d", h, want)
+	}
+}
+
+func TestConflictError(t *testing.T) {
+	err := &ConflictError{Mine: 7, Theirs: 5}
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatal("ConflictError does not unwrap to ErrWriteConflict")
+	}
+	if err.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestConcurrentBeginCommit(t *testing.T) {
+	m := NewManager()
+	const goroutines = 8
+	const each = 2000
+	var wg sync.WaitGroup
+	ids := make([][]uint64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				id := m.Begin()
+				ids[g] = append(ids[g], id)
+				s := m.Snapshot(id)
+				if !s.Visible(id, None) {
+					panic("own write invisible")
+				}
+				s.Release()
+				if i%3 == 0 {
+					m.Abort(id)
+				} else {
+					m.Commit(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for g := range ids {
+		for _, id := range ids[g] {
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+			if st := m.Status(id); st == StatusInProgress {
+				t.Fatalf("finished txn %d still in progress", id)
+			}
+		}
+	}
+	started, committed, aborted, snaps := m.Counters()
+	if started != goroutines*each {
+		t.Fatalf("started %d, want %d", started, goroutines*each)
+	}
+	if committed+aborted != started {
+		t.Fatalf("committed %d + aborted %d != started %d", committed, aborted, started)
+	}
+	if snaps != 0 {
+		t.Fatalf("%d snapshots leaked", snaps)
+	}
+}

@@ -97,15 +97,16 @@ func validType(t Type) bool {
 type ErrCode string
 
 const (
-	CodeAuth        ErrCode = "auth"          // bad credentials or version
-	CodeBusy        ErrCode = "server_busy"   // admission control rejected
-	CodeShutdown    ErrCode = "shutting_down" // server is draining
-	CodeTimeout     ErrCode = "timeout"       // statement or idle deadline
-	CodeMalformed   ErrCode = "malformed"     // undecodable frame
-	CodeTooLarge    ErrCode = "too_large"     // frame over MaxFrame
-	CodeUnknownStmt ErrCode = "unknown_stmt"  // EXECUTE of unknown name
-	CodeQuery       ErrCode = "query_error"   // parse/plan/execute failure
-	CodeInternal    ErrCode = "internal"      // anything else
+	CodeAuth        ErrCode = "auth"           // bad credentials or version
+	CodeBusy        ErrCode = "server_busy"    // admission control rejected
+	CodeShutdown    ErrCode = "shutting_down"  // server is draining
+	CodeTimeout     ErrCode = "timeout"        // statement or idle deadline
+	CodeMalformed   ErrCode = "malformed"      // undecodable frame
+	CodeTooLarge    ErrCode = "too_large"      // frame over MaxFrame
+	CodeUnknownStmt ErrCode = "unknown_stmt"   // EXECUTE of unknown name
+	CodeQuery       ErrCode = "query_error"    // parse/plan/execute failure
+	CodeConflict    ErrCode = "write_conflict" // first-updater-wins MVCC conflict; retry
+	CodeInternal    ErrCode = "internal"       // anything else
 )
 
 // Error is the typed protocol error. It is both the decode-failure error

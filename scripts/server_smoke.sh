@@ -16,6 +16,13 @@ go run ./cmd/loadgen -conns 8 -dur 2s -tpch 0.005 -faults -faultseed 42 \
 grep -q '"injected": 0' /tmp/bench_server_smoke.json \
     && { echo "fault round injected nothing"; exit 1; } || true
 
+echo "== loadgen scaling smoke (MVCC snapshot reads, I/O-bound mode) =="
+# Page reads really sleep, so concurrent connections must overlap their
+# I/O waits: 4 connections are required to beat 1 connection by >= 1.5x,
+# with every verified point read still returning its seeded value.
+go run ./cmd/loadgen -conns 1,4 -dur 2s -tpch 0.005 -latency 300us \
+    -minscale 1.5 -check -out /tmp/bench_server_scaling.json
+
 echo "== standalone server round trip =="
 go build -o /tmp/microspec-server ./cmd/microspec-server
 go build -o /tmp/microspec ./cmd/microspec
