@@ -6,12 +6,21 @@
 // error; the command exits nonzero if any round mismatched, returned an
 // untyped error, or let a panic escape.
 //
+// With -kill-recover it instead runs the kill-and-recover experiment
+// (E16): a WAL-enabled database is killed at rotating kill points — clean,
+// mid-commit, mid-checkpoint, torn log tail — and each recovery must
+// replay to the acknowledged, baseline-equal state (TPC-H answers,
+// acknowledged DML, TPC-C consistency invariants). The schedule is fully
+// seeded, so a failing run replays bit-for-bit from its seed.
+//
 // Usage:
 //
 //	chaos-bench [-seed 42] [-sf 0.01] [-pool 256] [-rounds 2] [-q 1,6,14]
 //	            [-workers 0] [-read-err 0.02] [-bit-flip 0.01] [-torn 0.002]
 //	            [-spike 0.01] [-bee-panics] [-timeout 0] [-tpcc-txns 2000]
 //	            [-dml 4]
+//	chaos-bench -kill-recover [-seed 42] [-sf 0.01] [-pool 256] [-rounds 4]
+//	            [-q 1,6,14] [-acked 50] [-warehouses 1] [-tpcc-txns 300]
 package main
 
 import (
@@ -40,6 +49,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "statement timeout during fault rounds (0 = none), e.g. 500ms")
 	tpccTxns := flag.Int("tpcc-txns", o.TPCCTxns, "TPC-C transactions to run under faults (0 = skip)")
 	dml := flag.Int("dml", o.DMLWriters, "background DML writers churning a side table during the query rounds; queries must still match their serial baselines (0 = off)")
+	killRecover := flag.Bool("kill-recover", false, "run the kill-and-recover experiment (E16) instead of fault injection")
+	acked := flag.Int("acked", 0, "kill-recover: acknowledged inserts before each kill (0 = default)")
+	warehouses := flag.Int("warehouses", 0, "kill-recover: TPC-C warehouses (0 = default)")
 	flag.Parse()
 
 	o.Seed = *seed
@@ -65,6 +77,11 @@ func main() {
 		}
 	}
 
+	if *killRecover {
+		runKillRecover(o, *acked, *warehouses)
+		return
+	}
+
 	fmt.Printf("loading TPC-H at SF %g, then injecting faults with seed %d...\n", o.SF, o.Seed)
 	report, err := harness.RunChaos(o)
 	if err != nil {
@@ -74,6 +91,37 @@ func main() {
 	if report.BeeBenefits != "" {
 		fmt.Printf("\n%s", report.BeeBenefits)
 	}
+	if report.Bad() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runKillRecover maps the shared flags onto the kill-and-recover options
+// and runs E16; exits nonzero if any recovery broke a durability
+// invariant.
+func runKillRecover(o harness.ChaosOptions, acked, warehouses int) {
+	ko := harness.DefaultKillRecoverOptions()
+	ko.Seed = o.Seed
+	ko.SF = o.SF
+	ko.PoolPages = o.PoolPages
+	ko.Workers = o.Workers
+	ko.Queries = o.Queries
+	if o.Rounds > 0 {
+		ko.Rounds = o.Rounds
+	}
+	if acked > 0 {
+		ko.AckedPerRound = acked
+	}
+	if warehouses > 0 {
+		ko.TPCCWarehouses = warehouses
+	}
+	ko.TPCCTxns = o.TPCCTxns
+	fmt.Printf("loading TPC-H at SF %g, then kill-and-recover with seed %d...\n", ko.SF, ko.Seed)
+	report, err := harness.RunKillRecover(ko)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Print(report.Format())
 	if report.Bad() > 0 {
 		os.Exit(1)
 	}

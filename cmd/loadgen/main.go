@@ -21,6 +21,18 @@
 //	loadgen [-addr host:port] [-conns 1,4,16] [-dur 2s] [-tpch 0.01]
 //	        [-faults] [-faultseed 1] [-check] [-out BENCH_server.json]
 //	        [-admin 127.0.0.1:0] [-trace 1]
+//	        [-durable] [-naivesync] [-restart]
+//
+// With -durable the in-process server runs with write-ahead logging and
+// group commit, and every round additionally reports fsyncs-per-commit
+// (run once with -naivesync for the E16 baseline: one fsync per commit).
+// With -restart (implies -durable) the run ends with the kill-and-restart
+// experiment: crash the server, recover twice from the same survivor
+// image — once with the bee-cache warm restart, once cold
+// (NoManifestReplay) — and report the first-execution p50 of a prepared
+// statement set for pre-kill, warm-restart, and cold-restart servers.
+// Under -check, warm-restart first-execution p50 must stay within 2x of
+// the pre-kill p50.
 //
 // With -trace N the in-process server samples 1-in-N requests into its
 // trace ring and loadgen fires a few client-traced probe queries, printing
@@ -75,6 +87,11 @@ type Round struct {
 	P50us      float64 `json:"p50_us"`
 	P95us      float64 `json:"p95_us"`
 	P99us      float64 `json:"p99_us"`
+	// FsyncsPerCommit is the log syncs the round cost per acknowledged
+	// commit (in-process -durable runs only): ~1.0 under -naivesync, and
+	// dropping well below 1.0 as group commit batches concurrent
+	// committers into shared syncs.
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit,omitempty"`
 }
 
 // Report is the BENCH_server.json document.
@@ -83,11 +100,29 @@ type Report struct {
 	When            string           `json:"when"`
 	ScaleFactor     float64          `json:"scale_factor"`
 	Faults          bool             `json:"faults"`
+	Durable         bool             `json:"durable,omitempty"`
+	NaiveSync       bool             `json:"naive_sync,omitempty"`
 	IOLatencyUS     float64          `json:"io_latency_us,omitempty"`
 	Scaling         *Scaling         `json:"scaling,omitempty"`
 	Rounds          []Round          `json:"rounds"`
 	PreparedVsAdhoc *PreparedVsAdhoc `json:"prepared_vs_adhoc,omitempty"`
+	Restart         *RestartReport   `json:"restart,omitempty"`
 	FaultStats      *disk.FaultStats `json:"fault_stats,omitempty"`
+}
+
+// RestartReport is the kill-and-restart experiment (E16's warm-restart
+// half): first-execution latency of a fixed prepared-statement set
+// against the pre-kill server, a recovered server with the bee-cache
+// warm restart, and a recovered server with manifest replay disabled.
+type RestartReport struct {
+	Statements     int     `json:"statements"`
+	PreKillP50us   float64 `json:"pre_kill_p50_us"`
+	WarmP50us      float64 `json:"warm_restart_p50_us"`
+	ColdP50us      float64 `json:"cold_restart_p50_us"`
+	WarmOverPre    float64 `json:"warm_over_pre"`
+	ColdOverWarm   float64 `json:"cold_over_warm"`
+	PreparedWarmed int     `json:"prepared_warmed"`
+	RecoveryMS     float64 `json:"recovery_ms"`
 }
 
 // Scaling summarizes the connection sweep: throughput at the smallest
@@ -126,7 +161,20 @@ func main() {
 	out := flag.String("out", "BENCH_server.json", "output report path (empty disables)")
 	adminAddr := flag.String("admin", "", "HTTP admin/telemetry address for the in-process server (empty = disabled)")
 	traceN := flag.Int("trace", 0, "sample 1-in-N requests on the in-process server and fire client-traced probes (0 = off)")
+	durable := flag.Bool("durable", false, "run the in-process server with write-ahead logging and group commit; rounds report fsyncs-per-commit")
+	naiveSync := flag.Bool("naivesync", false, "with -durable: one fsync per commit instead of group commit (the E16 baseline)")
+	fsyncLat := flag.Duration("fsynclat", 100*time.Microsecond, "with -durable: simulated fsync cost, really slept so group commit has something to amortize (0 = free syncs)")
+	restart := flag.Bool("restart", false, "end with the kill-and-restart experiment: warm vs cold prepared first-execution p50 (implies -durable)")
 	flag.Parse()
+	if *restart {
+		*durable = true
+	}
+	if *durable && *faults {
+		fatalf("-durable and -faults are mutually exclusive (the faulty device has no log)")
+	}
+	if (*durable || *restart) && *addr != "" {
+		fatalf("-durable/-restart need the in-process server (drop -addr)")
+	}
 
 	connCounts, err := parseConns(*connsFlag)
 	if err != nil {
@@ -138,7 +186,9 @@ func main() {
 	var admin *server.Admin
 	var db *engine.DB
 	var fd *disk.Faulty
-	var latDev disk.Device // armed with the -latency model after setup
+	var dm *disk.Manager     // the log-capable device under -durable
+	var engCfg engine.Config // kept for the -restart recovery configs
+	var latDev disk.Device   // armed with the -latency model after setup
 	target := *addr
 	if target == "" {
 		cfg := engine.Config{Routines: core.AllRoutines, PoolPages: *poolPages}
@@ -158,10 +208,19 @@ func main() {
 			cfg.Disk = fd
 			latDev = fd
 		} else if *ioLat > 0 {
-			m := disk.NewManager(disk.LatencyModel{})
-			cfg.Disk = m
-			latDev = m
+			dm = disk.NewManager(disk.LatencyModel{})
+			cfg.Disk = dm
+			latDev = dm
+		} else if *durable {
+			// Setup loads warm; the fsync cost arms after (below), so bulk
+			// load does not crawl through slept checkpoint syncs.
+			dm = disk.NewManager(disk.LatencyModel{})
+			cfg.Disk = dm
 		}
+		if *durable {
+			cfg.Durability = engine.DurabilityConfig{WAL: true, NaiveSync: *naiveSync}
+		}
+		engCfg = cfg
 		db = engine.Open(cfg)
 		fmt.Printf("loading TPC-H at SF %g...\n", *sf)
 		if err := tpch.CreateSchema(db); err != nil {
@@ -199,8 +258,16 @@ func main() {
 	if latDev != nil && *ioLat > 0 {
 		// Setup (TPC-H load, bench seeding) ran warm; measured rounds pay
 		// real, overlappable I/O waits.
-		latDev.SetLatency(disk.LatencyModel{ReadPerPage: *ioLat, WritePerPage: *ioLat * 6 / 5, Sleep: true})
+		m := disk.LatencyModel{ReadPerPage: *ioLat, WritePerPage: *ioLat * 6 / 5, Sleep: true}
+		if *durable {
+			m.LogSyncTime = *fsyncLat
+		}
+		latDev.SetLatency(m)
 		fmt.Printf("I/O-bound mode armed: %v per page read (slept)\n", *ioLat)
+	} else if dm != nil && *durable && *fsyncLat > 0 {
+		dm.SetLatency(disk.LatencyModel{LogSyncTime: *fsyncLat, Sleep: true})
+		fmt.Printf("durable mode armed: %v per log fsync (slept), %s\n", *fsyncLat,
+			map[bool]string{false: "group commit", true: "naive sync-per-commit"}[*naiveSync])
 	}
 
 	rep := &Report{
@@ -208,16 +275,36 @@ func main() {
 		When:        time.Now().UTC().Format(time.RFC3339),
 		ScaleFactor: *sf,
 		Faults:      *faults,
+		Durable:     *durable,
+		NaiveSync:   *durable && *naiveSync,
 		IOLatencyUS: float64(*ioLat) / float64(time.Microsecond),
+	}
+	// walCounters reads the cumulative commit/fsync counters so each round
+	// can report the fsyncs its commits actually cost (E16's group-commit
+	// vs naive-sync headline).
+	walCounters := func() (commits, fsyncs int64) {
+		if db == nil || !*durable {
+			return 0, 0
+		}
+		snap := db.MetricsSnapshot()
+		return snap.Counters["wal.commits"], snap.Counters["wal.fsyncs"]
 	}
 	nParts := tpch.NewGenerator(*sf).NumPart()
 	var mismatches int64
 	for _, n := range connCounts {
+		c0, f0 := walCounters()
 		r := runMixed(target, *secret, n, *dur, *seed, nParts)
+		if c1, f1 := walCounters(); c1 > c0 {
+			r.FsyncsPerCommit = float64(f1-f0) / float64(c1-c0)
+		}
 		mismatches += r.Mismatches
 		rep.Rounds = append(rep.Rounds, r)
-		fmt.Printf("mixed  conns=%-3d %8.0f ops/s  p50=%6.0fµs p95=%6.0fµs p99=%6.0fµs  errors=%d conflicts=%d mismatches=%d\n",
+		fmt.Printf("mixed  conns=%-3d %8.0f ops/s  p50=%6.0fµs p95=%6.0fµs p99=%6.0fµs  errors=%d conflicts=%d mismatches=%d",
 			n, r.OpsPerSec, r.P50us, r.P95us, r.P99us, r.Errors, r.Conflicts, r.Mismatches)
+		if r.FsyncsPerCommit > 0 {
+			fmt.Printf("  fsyncs/commit=%.3f", r.FsyncsPerCommit)
+		}
+		fmt.Println()
 	}
 	scaleOK := true
 	if len(rep.Rounds) >= 2 {
@@ -259,6 +346,17 @@ func main() {
 	if db != nil {
 		fmt.Print(harness.FormatBeeBenefits(db, 10))
 	}
+	restartOK := true
+	if *restart && srv != nil {
+		rr := runRestart(db, srv, dm, engCfg, *secret, *seed, nParts)
+		rep.Restart = rr
+		srv, db = nil, nil // runRestart crashed and drained the original pair
+		if *check && rr.WarmOverPre > 2.0 {
+			restartOK = false
+			fmt.Fprintf(os.Stderr, "loadgen: warm-restart p50 %.0fµs is %.2fx pre-kill %.0fµs (limit 2x)\n",
+				rr.WarmP50us, rr.WarmOverPre, rr.PreKillP50us)
+		}
+	}
 	cleanShutdown := true
 	if srv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -293,6 +391,9 @@ func main() {
 	if !scaleOK {
 		fatalf("scaling gate failed")
 	}
+	if !restartOK {
+		fatalf("check failed: warm restart slower than 2x pre-kill")
+	}
 	if *check {
 		if mismatches > 0 {
 			fatalf("check failed: %d mismatches", mismatches)
@@ -302,6 +403,128 @@ func main() {
 		}
 		fmt.Println("check passed: zero mismatches, clean shutdown")
 	}
+}
+
+// restartTexts is the prepared-statement set the -restart experiment
+// times: distinct texts (each is its own plan and query-bee cache entry)
+// with real planning and bee-compilation cost behind the first prepare.
+func restartTexts() []string {
+	out := make([]string, 0, 16)
+	for i := 0; i < 16; i++ {
+		out = append(out, fmt.Sprintf(
+			"select count(*), sum(l_extendedprice) from lineitem where l_partkey = $1 and l_quantity < %d", i+3))
+	}
+	return out
+}
+
+// firstExecLatencies opens one connection (retrying through a recovering
+// server) and, per text, times Prepare + first Execute — the latency a
+// returning client pays for a "hot" statement right after a restart.
+func firstExecLatencies(addr, secret string, seed int64, nParts int) ([]time.Duration, error) {
+	c, err := client.DialConfig(client.Config{Addr: addr, Secret: secret, RetryRecovering: 30 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(seed))
+	var lats []time.Duration
+	for _, text := range restartTexts() {
+		k := 1 + rng.Intn(nParts)
+		t0 := time.Now()
+		st, err := c.Prepare(text)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := st.Query(types.NewInt64(int64(k))); err != nil {
+			return nil, err
+		}
+		lats = append(lats, time.Since(t0))
+		st.Close()
+	}
+	return lats, nil
+}
+
+// recoverAndMeasure builds a server over one survivor image, opening the
+// listener before replay finishes (engine.RecoverDeferred — early dials
+// get the typed recovering error and the client driver retries), then
+// times the statement set's first executions against it.
+func recoverAndMeasure(cfg engine.Config, img *disk.Manager, secret string, seed int64, nParts int) (float64, engine.RecoveryStats, error) {
+	cfg.Disk = img
+	rdb, finish := engine.RecoverDeferred(cfg)
+	rsrv, err := server.Listen(server.Config{Addr: "127.0.0.1:0", DB: rdb, MaxConns: 64, Secret: secret})
+	if err != nil {
+		return 0, engine.RecoveryStats{}, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- finish() }()
+	lats, lerr := firstExecLatencies(rsrv.Addr().String(), secret, seed, nParts)
+	if err := <-done; err != nil {
+		return 0, engine.RecoveryStats{}, fmt.Errorf("recovery: %w", err)
+	}
+	stats := rdb.RecoveryStats()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	rsrv.Shutdown(ctx)
+	cancel()
+	rdb.Close()
+	if lerr != nil {
+		return 0, stats, lerr
+	}
+	p50, _, _ := percentiles(lats)
+	return p50, stats, nil
+}
+
+// runRestart is the kill-and-restart experiment: measure pre-kill
+// first-execution p50, checkpoint (so the manifest carries the statement
+// set), crash, then recover the same survivor state twice — warm
+// (manifest replay re-plans and re-compiles every prepared text before
+// the listener admits clients) and cold (NoManifestReplay) — measuring
+// the same statement set against each.
+func runRestart(db *engine.DB, srv *server.Server, dm *disk.Manager, cfg engine.Config, secret string, seed int64, nParts int) *RestartReport {
+	rr := &RestartReport{Statements: len(restartTexts())}
+	addr := srv.Addr().String()
+	// Populate the plan and bee caches, then measure the steady state a
+	// client sees pre-kill.
+	if _, err := firstExecLatencies(addr, secret, seed, nParts); err != nil {
+		fatalf("restart warmup: %v", err)
+	}
+	lats, err := firstExecLatencies(addr, secret, seed+1, nParts)
+	if err != nil {
+		fatalf("restart pre-kill measure: %v", err)
+	}
+	rr.PreKillP50us, _, _ = percentiles(lats)
+	if err := db.Checkpoint(); err != nil {
+		fatalf("restart checkpoint: %v", err)
+	}
+
+	db.SimulateCrash()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	srv.Shutdown(ctx)
+	cancel()
+	warmImg, coldImg := dm.Crash(0), dm.Crash(0)
+
+	var stats engine.RecoveryStats
+	rr.WarmP50us, stats, err = recoverAndMeasure(cfg, warmImg, secret, seed+2, nParts)
+	if err != nil {
+		fatalf("warm restart: %v", err)
+	}
+	rr.PreparedWarmed = stats.PreparedWarm
+	rr.RecoveryMS = float64(stats.Elapsed) / float64(time.Millisecond)
+	coldCfg := cfg
+	coldCfg.Durability.NoManifestReplay = true
+	rr.ColdP50us, _, err = recoverAndMeasure(coldCfg, coldImg, secret, seed+2, nParts)
+	if err != nil {
+		fatalf("cold restart: %v", err)
+	}
+	if rr.PreKillP50us > 0 {
+		rr.WarmOverPre = rr.WarmP50us / rr.PreKillP50us
+	}
+	if rr.WarmP50us > 0 {
+		rr.ColdOverWarm = rr.ColdP50us / rr.WarmP50us
+	}
+	fmt.Printf("restart: first-exec p50 pre-kill=%.0fµs warm=%.0fµs cold=%.0fµs (%d stmts re-warmed, recovery %.1fms)\n",
+		rr.PreKillP50us, rr.WarmP50us, rr.ColdP50us, rr.PreparedWarmed, rr.RecoveryMS)
+	fmt.Printf("restart ratios: warm/pre=%.2fx cold/warm=%.2fx\n", rr.WarmOverPre, rr.ColdOverWarm)
+	return rr
 }
 
 // setupBenchTables creates and seeds the bench_* tables over the wire,

@@ -8,6 +8,7 @@ package client
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -28,6 +29,20 @@ type Config struct {
 	// RequestTimeout bounds each request round-trip, as a client-side
 	// read deadline (default none: trust the server's timeouts).
 	RequestTimeout time.Duration
+	// RetryRecovering keeps redialing while the server answers with the
+	// typed "recovering" error (crash recovery replaying behind an
+	// already-open listener), backing off between attempts, for up to
+	// this duration. Zero fails fast on the first recovering error.
+	RetryRecovering time.Duration
+}
+
+// IsRecovering reports whether err is the server's typed "database is
+// recovering" rejection — transient by construction: the listener is up
+// and recovery is replaying, so retrying with backoff succeeds once the
+// replay finishes. Distinct from shutting_down, which is final.
+func IsRecovering(err error) bool {
+	var we *wire.Error
+	return errors.As(err, &we) && we.Code == wire.CodeRecovering
 }
 
 // Conn is one client session.
@@ -68,8 +83,34 @@ func Dial(addr string) (*Conn, error) {
 	return DialConfig(Config{Addr: addr})
 }
 
-// DialConfig connects and runs the Hello handshake.
+// DialConfig connects and runs the Hello handshake. With RetryRecovering
+// set, a handshake rejected with the typed recovering error is retried
+// with exponential backoff until it succeeds or the window closes.
 func DialConfig(cfg Config) (*Conn, error) {
+	c, err := dialOnce(cfg)
+	if err == nil || cfg.RetryRecovering <= 0 || !IsRecovering(err) {
+		return c, err
+	}
+	deadline := time.Now().Add(cfg.RetryRecovering)
+	backoff := 5 * time.Millisecond
+	for {
+		if remaining := time.Until(deadline); remaining <= 0 {
+			return nil, err
+		} else if backoff > remaining {
+			backoff = remaining
+		}
+		time.Sleep(backoff)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+		c, err = dialOnce(cfg)
+		if err == nil || !IsRecovering(err) {
+			return c, err
+		}
+	}
+}
+
+func dialOnce(cfg Config) (*Conn, error) {
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}

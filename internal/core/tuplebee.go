@@ -35,6 +35,7 @@ type DataSections struct {
 	comboIdx map[string]uint16
 	nCombos  int
 	probes   int64 // dictionary probes (one per specialized attribute per resolve)
+	onNewBee func(vals []types.Datum) error
 
 	// combos maps beeID → the specialized attribute values, indexed by
 	// specialized position. It is a two-level paged table so GCL hole
@@ -148,7 +149,67 @@ func (ds *DataSections) ResolveBee(values []types.Datum, prof *profile.Counters)
 	ds.combos.set(beeID, vals)
 	ds.comboIdx[string(key)] = beeID
 	prof.Add(profile.CompBee, profile.BeeDictInsert)
+	if ds.onNewBee != nil {
+		if err := ds.onNewBee(vals); err != nil {
+			return 0, err
+		}
+	}
 	return beeID, nil
+}
+
+// SetOnNewBee installs fn, invoked under ds.mu whenever ResolveBee
+// creates a new tuple bee, with the combo's values in specialized-position
+// order. The engine uses it to append the bee-combo WAL record before any
+// insert record can reference the new beeID (both happen in the caller's
+// statement, in order); fn failing fails the resolve, so a bee the log
+// will never know about cannot back an acknowledged tuple.
+func (ds *DataSections) SetOnNewBee(fn func(vals []types.Datum) error) {
+	ds.mu.Lock()
+	ds.onNewBee = fn
+	ds.mu.Unlock()
+}
+
+// ExportCombos returns every tuple bee's specialized-attribute values in
+// beeID order (IDs 1..NumBees). Stored tuples elide these values — the
+// beeID in the tuple header is meaningless without the dictionary — so
+// checkpoints persist the combos and recovery replays them, in this
+// order, through ReplayCombo to reassign identical IDs.
+func (ds *DataSections) ExportCombos() [][]types.Datum {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	out := make([][]types.Datum, 0, ds.nCombos-1)
+	for id := 1; id < ds.nCombos; id++ {
+		out = append(out, append([]types.Datum(nil), ds.combos.get(uint16(id))...))
+	}
+	return out
+}
+
+// ReplayCombo re-creates one tuple bee during crash recovery. Combos must
+// arrive in original creation order: the resolve path assigns sequential
+// IDs, and the assigned ID is checked against the expected next one so
+// any divergence from the crashed instance's assignment surfaces as an
+// error instead of silently mis-deforming every recovered tuple.
+func (ds *DataSections) ReplayCombo(vals []types.Datum) error {
+	if len(vals) != len(ds.specIdx) {
+		return fmt.Errorf("tuple bee: replayed combo has %d values, relation %s specializes %d attributes",
+			len(vals), ds.rel.Name, len(ds.specIdx))
+	}
+	ds.mu.Lock()
+	want := uint16(ds.nCombos)
+	ds.mu.Unlock()
+	values := make([]types.Datum, len(ds.rel.Attrs))
+	for pos, attIdx := range ds.specIdx {
+		values[attIdx] = vals[pos]
+	}
+	id, err := ds.ResolveBee(values, nil)
+	if err != nil {
+		return err
+	}
+	if id != want {
+		return fmt.Errorf("tuple bee: replayed combo for %s resolved to beeID %d, want %d",
+			ds.rel.Name, id, want)
+	}
+	return nil
 }
 
 // dictLookup probes the dictionary for specialized position pos and

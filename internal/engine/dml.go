@@ -141,13 +141,25 @@ func (db *DB) handleFor(name string) (relHandle, error) {
 	return relHandle{rel: rel, heap: h, latch: db.latches[rel.ID]}, nil
 }
 
-// stmtCommit finishes an auto-commit DML statement: commit the statement
-// transaction, bump the data generation, and vacuum the table if its dead
-// versions passed the threshold. Caller still holds the table latch.
-func (db *DB) stmtCommit(rel relHandle, xid uint64, prof *profile.Counters) {
+// stmtCommit finishes an auto-commit DML statement: append the commit
+// record (on a durable database), commit the statement transaction, bump
+// the data generation, and vacuum the table if its dead versions passed
+// the threshold. Caller still holds the table latch; the returned LSN is
+// what the caller must pass to waitDurable AFTER releasing it, so
+// concurrent committers can share one group-commit sync. If the commit
+// record cannot be appended (the log writer was killed), the transaction
+// aborts instead — its versions stay stamped with the aborted xid, which
+// keeps them invisible until vacuum reclaims them.
+func (db *DB) stmtCommit(rel relHandle, xid uint64, prof *profile.Counters) (uint64, error) {
+	lsn, err := db.logCommit(xid)
+	if err != nil {
+		db.tm.Abort(xid)
+		return 0, err
+	}
 	db.tm.Commit(xid)
 	db.dataGen.Add(1)
 	db.maybeVacuumLocked(rel, prof)
+	return lsn, nil
 }
 
 // stmtAbort rolls back an auto-commit DML statement: replay the undo log
@@ -158,6 +170,7 @@ func (db *DB) stmtAbort(undos []func() error, xid uint64, cause error) {
 	for i := len(undos) - 1; i >= 0; i-- {
 		_ = undos[i]()
 	}
+	db.logAbort(xid)
 	db.tm.Abort(xid)
 	if isConflict(cause) {
 		db.obs.txnConflicts.Inc()
@@ -170,17 +183,30 @@ func isConflict(err error) bool {
 }
 
 // execInsert handles INSERT INTO ... VALUES. slots carries bound
-// prepared-statement parameters (nil for ad-hoc statements).
+// prepared-statement parameters (nil for ad-hoc statements). Like every
+// auto-commit DML wrapper, the durability wait runs after the latched
+// body returns — once the table latch and db.mu are released — so
+// concurrent statements amortize their commit-record syncs (group
+// commit); prefix durability makes visible-before-durable safe (see
+// docs/DURABILITY.md).
 func (db *DB) execInsert(s *sql.Insert, prof *profile.Counters, slots *expr.ParamSlots) (int64, error) {
+	n, lsn, err := db.execInsertLatched(s, prof, slots)
+	if err != nil {
+		return n, err
+	}
+	return n, db.waitDurable(lsn)
+}
+
+func (db *DB) execInsertLatched(s *sql.Insert, prof *profile.Counters, slots *expr.ParamSlots) (int64, uint64, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	rel, err := db.handleFor(s.Table)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	colIdx, err := insertColumnMap(rel.rel, s.Cols)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	rel.latch.Lock()
 	defer rel.latch.Unlock()
@@ -191,7 +217,7 @@ func (db *DB) execInsert(s *sql.Insert, prof *profile.Counters, slots *expr.Para
 		if len(rowExprs) != len(colIdx) {
 			err = fmt.Errorf("engine: INSERT has %d values for %d columns", len(rowExprs), len(colIdx))
 			db.stmtAbort(undos, xid, err)
-			return 0, err
+			return 0, 0, err
 		}
 		values := make([]types.Datum, len(rel.rel.Attrs))
 		for i := range values {
@@ -201,20 +227,23 @@ func (db *DB) execInsert(s *sql.Insert, prof *profile.Counters, slots *expr.Para
 			d, verr := evalConstAST(e, slots)
 			if verr != nil {
 				db.stmtAbort(undos, xid, verr)
-				return 0, verr
+				return 0, 0, verr
 			}
 			values[colIdx[i]] = d
 		}
 		_, undo, ierr := db.insertRowLocked(rel, values, xid, prof)
 		if ierr != nil {
 			db.stmtAbort(undos, xid, ierr)
-			return 0, ierr
+			return 0, 0, ierr
 		}
 		undos = append(undos, undo)
 		n++
 	}
-	db.stmtCommit(rel, xid, prof)
-	return n, nil
+	lsn, err := db.stmtCommit(rel, xid, prof)
+	if err != nil {
+		return 0, 0, err
+	}
+	return n, lsn, nil
 }
 
 func insertColumnMap(rel *catalog.Relation, cols []string) ([]int, error) {
@@ -314,21 +343,30 @@ func parseNum(n *sql.NumLit) (types.Datum, error) {
 }
 
 // execUpdate handles UPDATE ... SET ... WHERE by scanning the relation
-// under the statement's snapshot.
+// under the statement's snapshot. The durability wait runs after the
+// latched body releases the table latch (see execInsert).
 func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, slots *expr.ParamSlots) (int64, error) {
+	n, lsn, err := db.execUpdateLatched(s, prof, slots)
+	if err != nil {
+		return n, err
+	}
+	return n, db.waitDurable(lsn)
+}
+
+func (db *DB) execUpdateLatched(s *sql.Update, prof *profile.Counters, slots *expr.ParamSlots) (int64, uint64, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	rel, err := db.handleFor(s.Table)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	where, setExprs, setCols, err := db.compileUpdate(rel.rel, s, slots)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	acc, err := db.accessFor(rel.rel)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	deform := acc.deform
 
@@ -371,7 +409,7 @@ func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, slots *expr.Para
 	sc.Close()
 	if err := sc.Err(); err != nil {
 		db.stmtAbort(nil, xid, err)
-		return 0, err
+		return 0, 0, err
 	}
 
 	var undos []func() error
@@ -379,12 +417,15 @@ func (db *DB) execUpdate(s *sql.Update, prof *profile.Counters, slots *expr.Para
 		undo, err := db.applyUpdateLocked(rel, pd.tid, pd.oldVal, pd.newVal, xid, prof)
 		if err != nil {
 			db.stmtAbort(undos, xid, err)
-			return 0, err
+			return 0, 0, err
 		}
 		undos = append(undos, undo)
 	}
-	db.stmtCommit(rel, xid, prof)
-	return int64(len(todo)), nil
+	lsn, err := db.stmtCommit(rel, xid, prof)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(len(todo)), lsn, nil
 }
 
 func (db *DB) compileUpdate(rel *catalog.Relation, s *sql.Update, slots *expr.ParamSlots) (expr.Expr, []expr.Expr, []int, error) {
@@ -485,25 +526,34 @@ func btreeCompare(a, b []types.Datum) int {
 }
 
 // execDelete handles DELETE FROM ... WHERE by scanning the relation
-// under the statement's snapshot.
+// under the statement's snapshot. The durability wait runs after the
+// latched body releases the table latch (see execInsert).
 func (db *DB) execDelete(s *sql.Delete, prof *profile.Counters, slots *expr.ParamSlots) (int64, error) {
+	n, lsn, err := db.execDeleteLatched(s, prof, slots)
+	if err != nil {
+		return n, err
+	}
+	return n, db.waitDurable(lsn)
+}
+
+func (db *DB) execDeleteLatched(s *sql.Delete, prof *profile.Counters, slots *expr.ParamSlots) (int64, uint64, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	rel, err := db.handleFor(s.Table)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	conv := db.astConverter(rel.rel, slots)
 	var where expr.Expr
 	if s.Where != nil {
 		where, err = conv(s.Where)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	acc, err := db.accessFor(rel.rel)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	deform := acc.deform
 
@@ -534,19 +584,22 @@ func (db *DB) execDelete(s *sql.Delete, prof *profile.Counters, slots *expr.Para
 	sc.Close()
 	if err := sc.Err(); err != nil {
 		db.stmtAbort(nil, xid, err)
-		return 0, err
+		return 0, 0, err
 	}
 	var undos []func() error
 	for _, tid := range victims {
 		undo, err := db.deleteRowLocked(rel, tid, xid, prof)
 		if err != nil {
 			db.stmtAbort(undos, xid, err)
-			return 0, err
+			return 0, 0, err
 		}
 		undos = append(undos, undo)
 	}
-	db.stmtCommit(rel, xid, prof)
-	return int64(len(victims)), nil
+	lsn, err := db.stmtCommit(rel, xid, prof)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(len(victims)), lsn, nil
 }
 
 // deleteRowLocked stamps one version deleted. Index entries stay: older

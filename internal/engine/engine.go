@@ -26,6 +26,7 @@ import (
 	"microspec/internal/storage/buffer"
 	"microspec/internal/storage/disk"
 	"microspec/internal/storage/heap"
+	"microspec/internal/storage/wal"
 	"microspec/internal/trace"
 	"microspec/internal/txn"
 	"microspec/internal/types"
@@ -59,6 +60,9 @@ type Config struct {
 	// DefaultVacuumEvery; negative disables automatic vacuum (DB.Vacuum
 	// still works).
 	VacuumEvery int
+	// Durability selects write-ahead logging, crash recovery, and the
+	// commit sync policy (see durability.go and docs/DURABILITY.md).
+	Durability DurabilityConfig
 }
 
 // DB is one database instance.
@@ -118,6 +122,18 @@ type DB struct {
 	// obs is the observability layer: metrics registry, latency
 	// histograms, and the slow-query log (see observe.go).
 	obs *observer
+
+	// Durability plane (nil/zero on a non-durable database): the log
+	// writer, the log side of the disk device, the recovering guard that
+	// fails entry points during replay, and the last recovery's stats.
+	// prepTexts feeds the checkpoint manifest's warm-restart list.
+	wal        *wal.Writer
+	walDev     disk.LogDevice
+	durCfg     DurabilityConfig
+	recovering atomic.Bool
+	recStats   RecoveryStats
+	prepMu     sync.Mutex
+	prepTexts  map[string]int
 }
 
 // relAccess is the cached tuple-access pair for one relation.
@@ -163,9 +179,13 @@ func Open(cfg Config) *DB {
 		byRel:    make(map[catalog.RelID][]*Index),
 		access:   make(map[catalog.RelID]*relAccess),
 		obs:      newObserver(),
+
+		durCfg:    cfg.Durability,
+		prepTexts: make(map[string]int),
 	}
 	db.obs.beeMode.Store(cfg.Routines != core.Stock)
 	db.stmtTimeoutNs.Store(int64(cfg.StatementTimeout))
+	db.wireDurability(cfg)
 	db.registerCollectors()
 	db.planner = &plan.Planner{
 		Cat: db.cat,
@@ -366,6 +386,9 @@ func (db *DB) ExplainAnalyzeQueryContext(ctx context.Context, text string) (stri
 // runtime. The retry happens only when at least one bee was newly
 // quarantined, so a second panic cannot loop.
 func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counters, analyze bool, opts *QueryOpts) (*Result, exec.Node, error) {
+	if db.recovering.Load() {
+		return nil, nil, ErrRecovering
+	}
 	start := time.Now()
 	if qctx == nil {
 		qctx = context.Background()
@@ -556,6 +579,9 @@ func (db *DB) ExecProfiled(text string, prof *profile.Counters) (int64, error) {
 // execCtx is the single funnel for statement-level metrics, mirroring
 // runSelect for the DML/DDL path.
 func (db *DB) execCtx(ctx context.Context, text string, prof *profile.Counters) (int64, error) {
+	if db.recovering.Load() {
+		return 0, ErrRecovering
+	}
 	start := time.Now()
 	at := trace.FromContext(ctx)
 	n, err := db.execStmtSafe(at, text, prof)
@@ -643,9 +669,12 @@ func (db *DB) createTable(s *sql.CreateTable) error {
 	if err != nil {
 		return err
 	}
-	db.heaps[rel.ID] = heap.Create(db.dm, db.pool, rel, db.tm)
+	h := heap.Create(db.dm, db.pool, rel, db.tm)
+	h.SetWAL(db.wal)
+	db.heaps[rel.ID] = h
 	db.latches[rel.ID] = &sync.RWMutex{}
 	db.mod.OnCreateRelation(rel)
+	db.wireBeeJournal(rel, h.File())
 	if err := db.refreshAccessLocked(rel); err != nil {
 		return err
 	}
@@ -658,7 +687,9 @@ func (db *DB) createTable(s *sql.CreateTable) error {
 		})
 	}
 	db.ddlGen.Add(1)
-	return nil
+	// DDL is not logged record-by-record; the checkpoint that follows it
+	// carries the new schema in its manifest (a no-op when WAL is off).
+	return db.checkpointLocked()
 }
 
 // installIDX asks the bee module for a specialized key comparator (the
@@ -722,7 +753,7 @@ func (db *DB) createIndex(s *sql.CreateIndex) error {
 	}
 	db.addIndexLocked(ix)
 	db.ddlGen.Add(1)
-	return nil
+	return db.checkpointLocked()
 }
 
 func (db *DB) addIndexLocked(ix *Index) {
@@ -738,6 +769,11 @@ func (db *DB) dropTable(name string) error {
 		return err
 	}
 	if h := db.heaps[rel.ID]; h != nil {
+		// Dropped frames must leave the pool before the file goes away, or
+		// a later eviction/checkpoint would write back to a missing file.
+		if err := db.pool.InvalidateFile(h.File()); err != nil {
+			return err
+		}
 		h.Drop()
 		delete(db.heaps, rel.ID)
 	}
@@ -750,7 +786,7 @@ func (db *DB) dropTable(name string) error {
 	// The Bee Collector reclaims the relation's bees.
 	db.mod.OnDropRelation(rel)
 	db.ddlGen.Add(1)
-	return nil
+	return db.checkpointLocked()
 }
 
 // refreshAccessLocked recomputes the cached routines for one relation.

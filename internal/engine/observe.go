@@ -80,6 +80,10 @@ type observer struct {
 	vacuumRuns      *metrics.Counter
 	vacuumReclaimed *metrics.Counter
 
+	// Durability counters (see docs/DURABILITY.md and DESIGN.md §14).
+	walCommits  *metrics.Counter
+	checkpoints *metrics.Counter
+
 	latBee     *metrics.Histogram
 	latStock   *metrics.Histogram
 	latStmt    *metrics.Histogram
@@ -123,6 +127,9 @@ func newObserver() *observer {
 		txnConflicts:    reg.Counter("txn.conflicts"),
 		vacuumRuns:      reg.Counter("vacuum.runs"),
 		vacuumReclaimed: reg.Counter("vacuum.reclaimed"),
+
+		walCommits:  reg.Counter("wal.commits"),
+		checkpoints: reg.Counter("checkpoint.count"),
 
 		latBee:     reg.Histogram("query.latency.bee"),
 		latStock:   reg.Histogram("query.latency.stock"),
@@ -446,6 +453,32 @@ func (db *DB) registerCollectors() {
 		s.SetCounter("bees.benefit.rows", benRows)
 		s.SetCounter("bees.benefit.observed_ns", benNs)
 		s.SetCounter("bees.benefit.est_saved_ns", benSaved)
+
+		// Durability: WAL, group commit, and recovery (see
+		// docs/DURABILITY.md). wal.fsyncs_per_commit_milli is the headline
+		// group-commit ratio — fsyncs per committed transaction ×1000 —
+		// which drops well below 1000 when batching is effective.
+		if db.wal != nil {
+			appends, syncs := db.walDev.LogStats()
+			s.SetCounter("wal.appends", appends)
+			s.SetCounter("wal.fsyncs", syncs)
+			s.SetCounter("wal.flush_stalls", db.pool.WALStalls())
+			batches, waits := db.wal.Stats()
+			s.SetCounter("group_commit.sync_batches", batches)
+			s.SetCounter("group_commit.sync_waits", waits)
+			if commits := db.obs.walCommits.Load(); commits > 0 {
+				s.SetGauge("wal.fsyncs_per_commit_milli", syncs*1000/commits)
+			}
+			rs := db.RecoveryStats()
+			s.SetCounter("recovery.records_replayed", int64(rs.Records))
+			s.SetCounter("recovery.redo_inserts", int64(rs.RedoInserts))
+			s.SetCounter("recovery.redo_deletes", int64(rs.RedoDeletes))
+			s.SetCounter("recovery.replayed_bees", int64(rs.ReplayedBees))
+			s.SetCounter("recovery.discarded_txns", int64(rs.Discarded))
+			s.SetCounter("recovery.prepared_warm", int64(rs.PreparedWarm))
+			s.SetCounter("recovery.torn_bytes", int64(rs.TornBytes))
+			s.SetCounter("recovery.elapsed_ns", int64(rs.Elapsed))
+		}
 
 		// Tracing plane.
 		s.SetCounter("trace.started", db.obs.tracer.Started())

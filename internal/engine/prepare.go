@@ -76,6 +76,16 @@ func (db *DB) Prepare(text string) (*Stmt, error) {
 // the cached plan (parallelism degree, batch choice) and applied per
 // execution (timeout).
 func (db *DB) PrepareWith(text string, opts QueryOpts) (*Stmt, error) {
+	return db.prepareWith(text, opts, false)
+}
+
+// prepareWith is the shared implementation. internal is set by recovery's
+// manifest replay, which must prepare while the recovering flag still
+// rejects client work.
+func (db *DB) prepareWith(text string, opts QueryOpts, internal bool) (*Stmt, error) {
+	if !internal && db.recovering.Load() {
+		return nil, ErrRecovering
+	}
 	stmt, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -106,6 +116,7 @@ func (db *DB) PrepareWith(text string, opts QueryOpts) (*Stmt, error) {
 		s.ast = stmt
 	}
 	db.obs.prepares.Inc()
+	db.notePrepared(text)
 	return s, nil
 }
 
@@ -153,9 +164,13 @@ func (s *Stmt) Executions() int64 { return s.execs.Load() }
 // ErrStmtClosed; Close is idempotent.
 func (s *Stmt) Close() {
 	s.mu.Lock()
+	first := !s.closed
 	s.closed = true
 	s.planned = nil
 	s.mu.Unlock()
+	if first {
+		s.db.dropPrepared(s.text)
+	}
 }
 
 // Query executes a prepared SELECT with the given parameter values.
@@ -209,6 +224,9 @@ func (s *Stmt) run(qctx context.Context, analyze bool, params []types.Datum) (*R
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, nil, ErrStmtClosed
+	}
+	if db.recovering.Load() {
+		return nil, nil, ErrRecovering
 	}
 	if s.sel == nil {
 		return nil, nil, fmt.Errorf("engine: prepared statement is not a SELECT; use Exec")
@@ -309,6 +327,9 @@ func (s *Stmt) ExecContext(ctx context.Context, params ...types.Datum) (int64, e
 	defer s.mu.Unlock()
 	if s.closed {
 		return 0, ErrStmtClosed
+	}
+	if db.recovering.Load() {
+		return 0, ErrRecovering
 	}
 	if s.sel != nil {
 		return 0, fmt.Errorf("engine: prepared statement is a SELECT; use Query")

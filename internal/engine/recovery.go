@@ -1,0 +1,439 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"microspec/internal/catalog"
+	"microspec/internal/index/btree"
+	"microspec/internal/storage/disk"
+	"microspec/internal/storage/heap"
+	"microspec/internal/storage/page"
+	"microspec/internal/storage/wal"
+	"microspec/internal/txn"
+	"microspec/internal/types"
+)
+
+// This file implements ARIES-style redo-only crash recovery. The write
+// side (log records, checkpoints) lives in durability.go and the storage
+// packages; the protocol is documented in docs/DURABILITY.md. In short:
+//
+//  1. Analysis: scan the durable log from its base (which, after the
+//     first checkpoint, is always a checkpoint record), stopping at the
+//     first torn or corrupt record — the strict-truncation rule: nothing
+//     past the damage is trusted. The last checkpoint's manifest gives
+//     the schema; commit records give the committed set.
+//  2. Redo: re-apply insert records in LSN order, gated by each page's
+//     LSN so replay is idempotent, for ALL transactions (winners and
+//     losers alike — slot numbers only line up if every insert lands).
+//     Apply delete records physically, but only for committed
+//     transactions and only if the slot is still live.
+//  3. Discard: physically delete every insert belonging to a transaction
+//     the log does not prove committed — the no-undo counterpart of the
+//     steal buffer pool.
+//  4. Rebuild: attach heaps over the surviving files (every tuple now
+//     reads frozen-and-live), rebuild every B+tree by heap scan, take an
+//     end-of-recovery checkpoint (which also drops the torn tail from
+//     the log), and finally replay the manifest's prepared-statement
+//     texts so hot queries are re-planned and their bees re-compiled
+//     before the first client arrives.
+
+// RecoveryStats describes what one recovery pass found and did.
+type RecoveryStats struct {
+	LogBytes      int64         `json:"log_bytes"`
+	Records       int           `json:"records"`
+	TornBytes     int           `json:"torn_bytes"`
+	HadCheckpoint bool          `json:"had_checkpoint"`
+	Relations     int           `json:"relations"`
+	Indexes       int           `json:"indexes"`
+	CommittedTxns int           `json:"committed_txns"`
+	ReplayedBees  int           `json:"replayed_bees"`
+	RedoInserts   int           `json:"redo_inserts"`
+	RedoDeletes   int           `json:"redo_deletes"`
+	Discarded     int           `json:"discarded"`
+	PreparedWarm  int           `json:"prepared_warmed"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
+}
+
+// RecoveryStats returns what the last recovery pass did (zero for a
+// database opened fresh).
+func (db *DB) RecoveryStats() RecoveryStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.recStats
+}
+
+// Recover opens a database over the disk image a crashed instance left
+// behind, replaying its log to the last durable, committed state.
+// cfg.Disk must carry the surviving image (disk.Manager.Crash builds one
+// in the harness); Durability.WAL is implied.
+func Recover(cfg Config) (*DB, error) {
+	db, finish := RecoverDeferred(cfg)
+	if err := finish(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// RecoverDeferred returns the database immediately — flagged recovering,
+// so every entry point fails with ErrRecovering — plus the function that
+// performs the actual replay and clears the flag. The network server
+// uses this to open its listener first: early clients get the typed
+// retryable "recovering" error instead of a connection refusal.
+func RecoverDeferred(cfg Config) (*DB, func() error) {
+	cfg.Durability.WAL = true
+	db := Open(cfg)
+	db.recovering.Store(true)
+	return db, func() error {
+		err := db.runRecovery()
+		db.recovering.Store(false)
+		return err
+	}
+}
+
+// runRecovery is the full recovery pass described in the file comment.
+func (db *DB) runRecovery() error {
+	start := time.Now()
+	db.mu.Lock()
+	st := &db.recStats
+	base, data := db.walDev.LogRead()
+	recs, _, torn := wal.Scan(base, data)
+	st.LogBytes = int64(len(data))
+	st.Records = len(recs)
+	st.TornBytes = torn
+
+	// Analysis: anchor on the LAST checkpoint (an older one can precede
+	// it only when a crash hit between a checkpoint's sync and its log
+	// truncation) and collect the committed set from the records after it.
+	// No transaction spans a checkpoint — checkpoints hold db.mu
+	// exclusively — so commits before the anchor concern only state the
+	// checkpoint already captured.
+	ckptIdx := -1
+	var man *manifest
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Type == wal.TCheckpoint {
+			m, err := decodeManifest(recs[i].Manifest)
+			if err != nil {
+				db.mu.Unlock()
+				return err
+			}
+			man = m
+			ckptIdx = i
+			break
+		}
+	}
+	st.HadCheckpoint = man != nil
+	tail := recs[ckptIdx+1:]
+	committed := map[uint64]bool{txn.Frozen: true}
+	for i := range tail {
+		if tail[i].Type == wal.TCommit {
+			committed[tail[i].Xid] = true
+			st.CommittedTxns++
+		}
+	}
+
+	// Rebuild the catalog from the manifest. Heaps are attached only
+	// after redo (attach recounts live tuples from the page images), so
+	// for now record which files belong to relations.
+	rels := make(map[disk.FileID]*catalog.Relation)
+	if man != nil {
+		for _, mr := range man.Relations {
+			rel, err := db.recoverRelationLocked(mr, st)
+			if err != nil {
+				db.mu.Unlock()
+				return err
+			}
+			rels[disk.FileID(mr.File)] = rel
+			st.Relations++
+		}
+	}
+
+	// Redo + discard against the raw pages.
+	if err := db.redoLocked(tail, committed, rels, st); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+
+	// Attach heaps over the recovered pages and rebuild every index.
+	if man != nil {
+		for _, mr := range man.Relations {
+			if err := db.attachHeapLocked(mr); err != nil {
+				db.mu.Unlock()
+				return err
+			}
+		}
+		for _, mi := range man.Indexes {
+			if err := db.rebuildIndexLocked(mi); err != nil {
+				db.mu.Unlock()
+				return err
+			}
+			st.Indexes++
+		}
+	}
+	db.ddlGen.Add(1)
+	db.dataGen.Add(1)
+
+	// Seed the prepared-text set before the end-of-recovery checkpoint so
+	// its manifest carries the texts forward even if none is re-prepared
+	// before the next crash.
+	if man != nil {
+		db.prepMu.Lock()
+		for _, text := range man.Prepared {
+			if _, ok := db.prepTexts[text]; !ok {
+				db.prepTexts[text] = 0
+			}
+		}
+		db.prepMu.Unlock()
+	}
+
+	// End-of-recovery checkpoint: flushes the redone pages, writes a
+	// fresh manifest, and truncates the log — which also discards the
+	// torn tail bytes sitting between the old records and the new
+	// checkpoint record.
+	if err := db.checkpointLocked(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	db.mu.Unlock()
+
+	// Warm restart: re-plan and re-compile the manifest's prepared
+	// statements (bee cache, plan shapes) before the recovering flag
+	// clears. The internal prepare path bypasses the ErrRecovering guard.
+	if man != nil && !db.durCfg.NoManifestReplay {
+		for _, text := range man.Prepared {
+			s, err := db.prepareWith(text, QueryOpts{}, true)
+			if err != nil {
+				continue // a text planned pre-crash may reference since-dropped schema
+			}
+			s.Close()
+			st.PreparedWarm++
+		}
+	}
+	st.Elapsed = time.Since(start)
+	return nil
+}
+
+// recoverRelationLocked re-creates one relation's catalog entry, latch,
+// and bee-module state from its manifest record, then replays the
+// manifest's tuple-bee combos: the resolve path assigns beeIDs
+// sequentially, so replaying the combos in the order the manifest
+// exported them reassigns the exact IDs the stored tuples reference. The
+// heap is attached later, after redo.
+func (db *DB) recoverRelationLocked(mr manifestRel, st *RecoveryStats) (*catalog.Relation, error) {
+	schema := catalog.Schema{Attrs: make([]catalog.Attribute, len(mr.Attrs))}
+	for i, a := range mr.Attrs {
+		schema.Attrs[i] = catalog.Attribute{
+			Name: a.Name, Type: a.typ(), NotNull: a.NotNull, LowCard: a.LowCard,
+		}
+	}
+	spec := db.mod.SpecMaskFor(schema)
+	rel, err := db.cat.CreateRelation(mr.Name, schema, mr.PKey, spec)
+	if err != nil {
+		return nil, fmt.Errorf("engine: recover relation %s: %w", mr.Name, err)
+	}
+	db.latches[rel.ID] = &sync.RWMutex{}
+	rb := db.mod.OnCreateRelation(rel)
+	if len(mr.Bees) > 0 {
+		if rb.DataSections == nil {
+			return nil, fmt.Errorf("engine: recover relation %s: manifest has %d tuple bees but storage is not specialized",
+				mr.Name, len(mr.Bees))
+		}
+		specIdx := rb.DataSections.SpecializedAttrs()
+		for _, md := range mr.Bees {
+			vals, err := decodeCombo(rel, specIdx, md)
+			if err != nil {
+				return nil, err
+			}
+			if err := rb.DataSections.ReplayCombo(vals); err != nil {
+				return nil, fmt.Errorf("engine: recover relation %s: %w", mr.Name, err)
+			}
+			st.ReplayedBees++
+		}
+	}
+	return rel, db.refreshAccessLocked(rel)
+}
+
+// redoLocked replays the post-checkpoint log records against the raw
+// pages, then discards the inserts of transactions the log does not
+// prove committed.
+func (db *DB) redoLocked(tail []wal.Record, committed map[uint64]bool, rels map[disk.FileID]*catalog.Relation, st *RecoveryStats) error {
+	type slotRef struct {
+		file disk.FileID
+		page int
+		slot int
+	}
+	var losers []slotRef
+	for i := range tail {
+		rec := &tail[i]
+		if rec.Type == wal.TBeeCombo {
+			// Bee creation replays for ALL transactions in log order, like
+			// inserts: beeIDs are assigned sequentially and never rolled
+			// back (an aborted statement's bee keeps its slot in the
+			// dictionary), so the log's creation order IS the ID sequence.
+			rel, ok := rels[rec.File]
+			if !ok {
+				continue // dropped relation
+			}
+			if err := db.replayBeeRecordLocked(rel, rec); err != nil {
+				return err
+			}
+			st.ReplayedBees++
+			continue
+		}
+		if rec.Type != wal.TInsert && rec.Type != wal.TDelete {
+			continue
+		}
+		if _, ok := rels[rec.File]; !ok {
+			continue // dropped relation, or damage the checkpoint superseded
+		}
+		hd, err := db.pool.Get(rec.File, rec.Page)
+		if err != nil {
+			return fmt.Errorf("engine: redo page (%d,%d): %w", rec.File, rec.Page, err)
+		}
+		p := page.Page(hd.Bytes)
+		dirty := false
+		switch rec.Type {
+		case wal.TInsert:
+			if !page.Initialized(p) {
+				// A freshly extended page that was never written back is
+				// all zeros on disk; format it before replaying into it.
+				page.Init(p)
+				dirty = true
+			}
+			if page.LSN(p) < rec.LSN {
+				slot, ok := page.AddTuple(p, rec.Tuple)
+				if !ok || slot != rec.Slot {
+					hd.Unpin(dirty)
+					return fmt.Errorf("engine: redo misaligned at (%d,%d) slot %d (got %d, ok=%v)",
+						rec.File, rec.Page, rec.Slot, slot, ok)
+				}
+				page.SetLSN(p, rec.LSN)
+				dirty = true
+				st.RedoInserts++
+			}
+			if !committed[rec.Xid] {
+				losers = append(losers, slotRef{rec.File, rec.Page, rec.Slot})
+			}
+		case wal.TDelete:
+			// Delete stamps live in the in-memory side table pre-crash, so
+			// the record is applied physically here — but only for
+			// committed deleters, and only if vacuum had not already
+			// reclaimed the slot before the last page flush.
+			if committed[rec.Xid] && page.IsLive(p, rec.Slot) {
+				if err := page.DeleteTuple(p, rec.Slot); err != nil {
+					hd.Unpin(dirty)
+					return fmt.Errorf("engine: redo delete (%d,%d) slot %d: %w",
+						rec.File, rec.Page, rec.Slot, err)
+				}
+				dirty = true
+				st.RedoDeletes++
+			}
+		}
+		hd.Unpin(dirty)
+	}
+	// Discard pass: a loser's tuple may be on the page either because
+	// redo just put it there or because the pre-crash pool flushed it
+	// (steal); both cases end with the slot dead.
+	for _, ref := range losers {
+		hd, err := db.pool.Get(ref.file, ref.page)
+		if err != nil {
+			return fmt.Errorf("engine: discard page (%d,%d): %w", ref.file, ref.page, err)
+		}
+		p := page.Page(hd.Bytes)
+		dirty := false
+		if page.IsLive(p, ref.slot) {
+			if err := page.DeleteTuple(p, ref.slot); err != nil {
+				hd.Unpin(false)
+				return fmt.Errorf("engine: discard (%d,%d) slot %d: %w", ref.file, ref.page, ref.slot, err)
+			}
+			dirty = true
+			st.Discarded++
+		}
+		hd.Unpin(dirty)
+	}
+	return nil
+}
+
+// replayBeeRecordLocked applies one bee-combo log record: decode the
+// values with the recovered relation's types and push them through the
+// same resolve path the crashed instance used, verifying the sequential
+// ID assignment lands where the record's position in the log says it must.
+func (db *DB) replayBeeRecordLocked(rel *catalog.Relation, rec *wal.Record) error {
+	rb := db.mod.RelationBeeFor(rel)
+	if rb == nil || rb.DataSections == nil {
+		return fmt.Errorf("engine: bee-combo record for %s, which has no specialized storage", rel.Name)
+	}
+	var md []manifestDatum
+	if err := json.Unmarshal(rec.Combo, &md); err != nil {
+		return fmt.Errorf("engine: corrupt bee-combo record for %s: %w", rel.Name, err)
+	}
+	vals, err := decodeCombo(rel, rb.DataSections.SpecializedAttrs(), md)
+	if err != nil {
+		return err
+	}
+	if err := rb.DataSections.ReplayCombo(vals); err != nil {
+		return fmt.Errorf("engine: replay bee for %s: %w", rel.Name, err)
+	}
+	return nil
+}
+
+// attachHeapLocked reopens one relation's heap over its surviving file
+// and refreshes the planner-visible statistics. With the relation's bees
+// fully replayed by now, it also re-arms the bee journal so post-recovery
+// inserts log their new combos.
+func (db *DB) attachHeapLocked(mr manifestRel) error {
+	rel, err := db.cat.Lookup(mr.Name)
+	if err != nil {
+		return err
+	}
+	h, err := heap.Attach(db.dm, db.pool, rel, db.tm, disk.FileID(mr.File))
+	if err != nil {
+		return err
+	}
+	h.SetWAL(db.wal)
+	db.heaps[rel.ID] = h
+	rel.Stats.RowCount = h.LiveTuples()
+	rel.Stats.Pages = int64(h.NumPages())
+	db.wireBeeJournal(rel, disk.FileID(mr.File))
+	return nil
+}
+
+// rebuildIndexLocked re-creates one B+tree from its manifest record by
+// scanning the recovered heap — the same backfill as CREATE INDEX, valid
+// here for the same reason (exclusive db.mu, no transaction in flight).
+func (db *DB) rebuildIndexLocked(mi manifestIndex) error {
+	rel, err := db.cat.Lookup(mi.Table)
+	if err != nil {
+		return fmt.Errorf("engine: recover index %s: %w", mi.Name, err)
+	}
+	h, ok := db.heaps[rel.ID]
+	if !ok {
+		return fmt.Errorf("engine: recover index %s: relation %s has no heap", mi.Name, mi.Table)
+	}
+	ix := &Index{Name: mi.Name, Rel: rel, Cols: mi.Cols, Tree: btree.New(mi.Name, mi.Unique)}
+	db.installIDX(ix.Tree, rel, mi.Cols)
+	acc, err := db.accessFor(rel)
+	if err != nil {
+		return err
+	}
+	values := make([]types.Datum, len(rel.Attrs))
+	sc := h.Scan(nil, nil)
+	defer sc.Close()
+	for {
+		tid, tup, ok := sc.Next()
+		if !ok {
+			break
+		}
+		acc.deform(tup, values, len(values), nil)
+		if err := ix.Tree.Insert(indexKey(values, mi.Cols), tid, nil); err != nil {
+			return fmt.Errorf("engine: recover index %s: %w", mi.Name, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	db.addIndexLocked(ix)
+	return nil
+}

@@ -53,12 +53,30 @@ func (db *DB) Begin(prof *profile.Counters) *Txn {
 func (t *Txn) ID() uint64 { return t.id }
 
 // Commit ends the transaction keeping its effects, making them visible to
-// every snapshot taken from now on.
-func (t *Txn) Commit() {
+// every snapshot taken from now on. On a durable database it appends the
+// commit record before the in-memory commit flips, then — after releasing
+// db.mu, so concurrent committers share one group-commit sync — blocks
+// until the record is durable. A non-nil error means the commit is NOT
+// durable (the log writer crashed): on a kill-and-recover round the
+// transaction will be absent after replay, so callers must not treat the
+// work as done. Non-durable databases always return nil.
+func (t *Txn) Commit() error {
 	if t.done {
-		return
+		return nil
 	}
 	t.done = true
+	lsn, err := t.db.logCommit(t.id)
+	if err != nil {
+		// The commit record never reached the log: abort instead. No undo
+		// replay is needed — the versions stay stamped with the aborted
+		// xid, invisible until vacuum reclaims them.
+		t.db.tm.Abort(t.id)
+		t.snap.Release()
+		t.undo = nil
+		t.touched = nil
+		t.db.mu.RUnlock()
+		return err
+	}
 	t.db.tm.Commit(t.id)
 	t.snap.Release()
 	if len(t.undo) > 0 {
@@ -72,6 +90,7 @@ func (t *Txn) Commit() {
 	}
 	t.touched = nil
 	t.db.mu.RUnlock()
+	return t.db.waitDurable(lsn)
 }
 
 // Rollback reverses every recorded modification, newest first, then marks
@@ -95,6 +114,7 @@ func (t *Txn) Rollback() error {
 	}
 	t.undo = nil
 	t.touched = nil
+	t.db.logAbort(t.id)
 	t.db.tm.Abort(t.id)
 	t.snap.Release()
 	t.db.mu.RUnlock()
@@ -327,6 +347,9 @@ func (t *Txn) DeleteRow(relName string, tid heap.TID, values []types.Datum) erro
 // the exclusive engine lock, quiescing all other activity. It returns the
 // number of rows loaded.
 func (db *DB) BulkLoad(relName string, prof *profile.Counters, next func() ([]types.Datum, bool)) (int64, error) {
+	if db.recovering.Load() {
+		return 0, ErrRecovering
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	rel, err := db.handleFor(relName)
@@ -336,6 +359,13 @@ func (db *DB) BulkLoad(relName string, prof *profile.Counters, next func() ([]ty
 	acc, err := db.accessFor(rel.rel)
 	if err != nil {
 		return 0, err
+	}
+	// Bulk loads skip per-tuple logging: the rows are stamped txn.Frozen
+	// and made durable wholesale by the checkpoint taken below, which is
+	// far cheaper than one record per row.
+	if db.wal != nil {
+		rel.heap.SetWAL(nil)
+		defer rel.heap.SetWAL(db.wal)
 	}
 	var n int64
 	for {
@@ -366,6 +396,9 @@ func (db *DB) BulkLoad(relName string, prof *profile.Counters, next func() ([]ty
 	rel.rel.Stats.Pages = int64(rel.heap.NumPages())
 	if n > 0 {
 		db.dataGen.Add(1)
+		if err := db.checkpointLocked(); err != nil {
+			return n, err
+		}
 	}
 	return n, nil
 }

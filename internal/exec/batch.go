@@ -144,13 +144,13 @@ type BatchSeqScan struct {
 	fusedNs  int64
 	batches  int64
 	rowsOut  int64
-	scanner *heap.Scanner
-	tupBuf  [][]byte
-	rows    []expr.Row
-	sel     []int32
-	batch   Batch
-	cols    []ColInfo
-	rb      rebatcher
+	scanner  *heap.Scanner
+	tupBuf   [][]byte
+	rows     []expr.Row
+	sel      []int32
+	batch    Batch
+	cols     []ColInfo
+	rb       rebatcher
 }
 
 // NewBatchSeqScan builds a page-wise batch scan over rel's heap. natts ≤ 0

@@ -1,0 +1,43 @@
+package harness
+
+import "testing"
+
+// TestKillRecoverClean runs the full E16 rotation — clean kill,
+// mid-commit, mid-checkpoint, torn tail — at tiny scale and requires
+// every round to replay to the acknowledged, baseline-equal state.
+func TestKillRecoverClean(t *testing.T) {
+	o := KillRecoverOptions{
+		Seed:           7,
+		SF:             0.005,
+		PoolPages:      128,
+		Rounds:         4,
+		AckedPerRound:  25,
+		Queries:        []int{1, 3, 6, 13, 18},
+		TPCCWarehouses: 1,
+		TPCCTxns:       150,
+	}
+	rep, err := RunKillRecover(o)
+	if err != nil {
+		t.Fatalf("RunKillRecover: %v", err)
+	}
+	if bad := rep.Bad(); bad != 0 {
+		t.Fatalf("kill-and-recover broke %d invariants:\n%s", bad, rep.Format())
+	}
+	if len(rep.Rounds) != o.Rounds {
+		t.Fatalf("ran %d rounds, want %d", len(rep.Rounds), o.Rounds)
+	}
+	kinds := map[string]bool{}
+	for _, rd := range rep.Rounds {
+		kinds[rd.Kind] = true
+	}
+	for _, k := range killKinds {
+		if !kinds[k] {
+			t.Fatalf("kill mode %s never ran", k)
+		}
+	}
+	// Mid-commit rounds leave appended-but-unsynced records behind: the
+	// discard pass (or the strict tail scan) must have dropped them.
+	if rep.TPCC.Txns == 0 {
+		t.Fatal("TPC-C phase did not run")
+	}
+}

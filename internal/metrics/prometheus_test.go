@@ -69,6 +69,8 @@ func TestFormatIncludesBuckets(t *testing.T) {
 func TestWritePrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("query.count").Add(12)
+	r.Counter("wal.fsyncs").Add(7)
+	r.Counter("group_commit.batches").Add(4)
 	r.Gauge("server.sessions_active").Set(3)
 	h := r.Histogram("query.latency.bee")
 	h.Observe(800 * time.Nanosecond)  // ≤1µs
@@ -81,8 +83,12 @@ func TestWritePrometheusGolden(t *testing.T) {
 	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
 		t.Fatal(err)
 	}
-	const golden = `# TYPE microspec_query_count counter
+	const golden = `# TYPE microspec_group_commit_batches counter
+microspec_group_commit_batches 4
+# TYPE microspec_query_count counter
 microspec_query_count 12
+# TYPE microspec_wal_fsyncs counter
+microspec_wal_fsyncs 7
 # TYPE microspec_server_sessions_active gauge
 microspec_server_sessions_active 3
 # TYPE microspec_query_latency_bee histogram

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"microspec/internal/client"
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/storage/disk"
+	"microspec/internal/wire"
+)
+
+// TestRecoveringRejectionAndRetry exercises the restart flow end to end:
+// a durable DB crashes, the replacement opens its listener before replay
+// finishes (engine.RecoverDeferred), early clients get the typed
+// "recovering" error — distinct from shutting_down — and the driver's
+// RetryRecovering backoff lands them on the recovered instance.
+func TestRecoveringRejectionAndRetry(t *testing.T) {
+	dm := disk.NewManager(disk.LatencyModel{})
+	db := engine.Open(engine.Config{
+		Routines:   core.AllRoutines,
+		PoolPages:  256,
+		Disk:       dm,
+		Durability: engine.DurabilityConfig{WAL: true},
+	})
+	if _, err := db.Exec(`create table kv (k integer not null, primary key (k))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := db.Exec(fmt.Sprintf("insert into kv values (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.SimulateCrash()
+
+	rdb, finish := engine.RecoverDeferred(engine.Config{
+		Routines:  core.AllRoutines,
+		PoolPages: 256,
+		Disk:      dm.Crash(0),
+	})
+	srv, err := Listen(Config{Addr: "127.0.0.1:0", DB: rdb})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	addr := srv.Addr().String()
+
+	// Without retry: the handshake is rejected with the typed code.
+	if _, err := client.Dial(addr); !client.IsRecovering(err) {
+		t.Fatalf("dial during recovery: %v, want recovering error", err)
+	}
+	var we *wire.Error
+	if _, err := client.Dial(addr); err == nil {
+		t.Fatal("dial during recovery succeeded")
+	} else if ok := errors.As(err, &we); !ok || we.Code != wire.CodeRecovering {
+		t.Fatalf("dial during recovery: code %v, want %q", err, wire.CodeRecovering)
+	}
+
+	// Finish replay shortly after the retrying dial starts.
+	done := make(chan error, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		done <- finish()
+	}()
+
+	c, err := client.DialConfig(client.Config{Addr: addr, RetryRecovering: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("retrying dial: %v", err)
+	}
+	defer c.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("recovery finish: %v", err)
+	}
+	res, err := c.Query("select count(*) from kv")
+	if err != nil {
+		t.Fatalf("query after recovery: %v", err)
+	}
+	if n := res.Rows[0][0].Int64(); n != 25 {
+		t.Fatalf("recovered %d rows, want 25", n)
+	}
+	if got := srv.mRejectedRecover.Load(); got < 2 {
+		t.Fatalf("conns_rejected_recovering = %d, want >= 2", got)
+	}
+}

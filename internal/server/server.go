@@ -91,18 +91,19 @@ type Server struct {
 
 	// Server-wide metrics, registered on the DB's registry so one
 	// snapshot shows engine and server state together.
-	mAccepted     *metrics.Counter
-	mRejectedBusy *metrics.Counter
-	mRejectedDown *metrics.Counter
-	mAuthFailures *metrics.Counter
-	mSessions     *metrics.Counter
-	mActive       *metrics.Gauge
-	mQueued       *metrics.Gauge
-	mRequests     *metrics.Counter
-	mRequestErrs  *metrics.Counter
-	mBadFrames    *metrics.Counter
-	mIdleTimeouts *metrics.Counter
-	mLatency      *metrics.Histogram
+	mAccepted        *metrics.Counter
+	mRejectedBusy    *metrics.Counter
+	mRejectedDown    *metrics.Counter
+	mRejectedRecover *metrics.Counter
+	mAuthFailures    *metrics.Counter
+	mSessions        *metrics.Counter
+	mActive          *metrics.Gauge
+	mQueued          *metrics.Gauge
+	mRequests        *metrics.Counter
+	mRequestErrs     *metrics.Counter
+	mBadFrames       *metrics.Counter
+	mIdleTimeouts    *metrics.Counter
+	mLatency         *metrics.Histogram
 }
 
 // Listen starts a server on cfg.Addr.
@@ -124,18 +125,19 @@ func Listen(cfg Config) (*Server, error) {
 		sem:      make(chan struct{}, cfg.MaxConns),
 		sessions: make(map[*session]struct{}),
 
-		mAccepted:     reg.Counter("server.conns_accepted"),
-		mRejectedBusy: reg.Counter("server.conns_rejected_busy"),
-		mRejectedDown: reg.Counter("server.conns_rejected_shutdown"),
-		mAuthFailures: reg.Counter("server.auth_failures"),
-		mSessions:     reg.Counter("server.sessions"),
-		mActive:       reg.Gauge("server.sessions_active"),
-		mQueued:       reg.Gauge("server.accept_queue"),
-		mRequests:     reg.Counter("server.requests"),
-		mRequestErrs:  reg.Counter("server.request_errors"),
-		mBadFrames:    reg.Counter("server.malformed_frames"),
-		mIdleTimeouts: reg.Counter("server.idle_timeouts"),
-		mLatency:      reg.Histogram("server.request.latency"),
+		mAccepted:        reg.Counter("server.conns_accepted"),
+		mRejectedBusy:    reg.Counter("server.conns_rejected_busy"),
+		mRejectedDown:    reg.Counter("server.conns_rejected_shutdown"),
+		mRejectedRecover: reg.Counter("server.conns_rejected_recovering"),
+		mAuthFailures:    reg.Counter("server.auth_failures"),
+		mSessions:        reg.Counter("server.sessions"),
+		mActive:          reg.Gauge("server.sessions_active"),
+		mQueued:          reg.Gauge("server.accept_queue"),
+		mRequests:        reg.Counter("server.requests"),
+		mRequestErrs:     reg.Counter("server.request_errors"),
+		mBadFrames:       reg.Counter("server.malformed_frames"),
+		mIdleTimeouts:    reg.Counter("server.idle_timeouts"),
+		mLatency:         reg.Histogram("server.request.latency"),
 	}
 	s.wg.Add(2)
 	go s.acceptLoop()
@@ -239,6 +241,14 @@ func (s *Server) serve(conn net.Conn) {
 		s.reject(conn, wire.CodeAuth, "bad credentials")
 		return
 	}
+	// The listener opens before deferred crash recovery finishes (see
+	// engine.RecoverDeferred) so early clients get a typed, retryable
+	// error — distinct from shutting_down, which means "go away".
+	if s.db.Recovering() {
+		s.reject(conn, wire.CodeRecovering, "database is recovering; retry shortly")
+		s.mRejectedRecover.Inc()
+		return
+	}
 	sess := &session{
 		srv:   s,
 		conn:  conn,
@@ -276,6 +286,8 @@ func (s *Server) writeError(conn net.Conn, err error) error {
 		code = wire.CodeTimeout
 	case errors.Is(err, engine.ErrStmtClosed):
 		code = wire.CodeUnknownStmt
+	case errors.Is(err, engine.ErrRecovering):
+		code = wire.CodeRecovering
 	case errors.Is(err, txn.ErrWriteConflict):
 		code = wire.CodeConflict
 	}

@@ -95,6 +95,20 @@ type Pool struct {
 	readRetries   atomic.Int64
 	checksumFails atomic.Int64
 	unpinErrors   int64
+
+	// walFlush, when set, enforces the WAL-before-data rule: it is called
+	// with a page's LSN before that page is written back, and must block
+	// until the log is durable through the LSN. Pages never touched by a
+	// logged change (LSN 0) skip it.
+	walFlush func(lsn uint64) error
+	walStall int64 // write-backs that had to force the log first
+}
+
+// SetWALFlush installs the WAL-before-data hook (see Pool.walFlush).
+// Install it before any writes; it is not synchronized against in-flight
+// flushes.
+func (p *Pool) SetWALFlush(fn func(lsn uint64) error) {
+	p.walFlush = fn
 }
 
 // New returns a pool with capacity pages backed by d.
@@ -255,8 +269,20 @@ func (p *Pool) GetNew(file disk.FileID, pageNo int) (*Handle, error) {
 	return &Handle{pool: p, idx: idx, Bytes: f.buf}, nil
 }
 
-// flushLocked stamps the frame's checksum and writes it back.
+// flushLocked stamps the frame's checksum and writes it back, forcing the
+// log durable through the page's LSN first (WAL-before-data): a page
+// image must never reach disk ahead of the log records that produced it,
+// or a crash could leave effects with no matching records to judge them
+// committed or not.
 func (p *Pool) flushLocked(f *frame) error {
+	if p.walFlush != nil {
+		if lsn := page.LSN(page.Page(f.buf)); lsn > 0 {
+			p.walStall++
+			if err := p.walFlush(lsn); err != nil {
+				return fmt.Errorf("buffer: WAL flush for page %d/%d: %w", f.key.file, f.key.page, err)
+			}
+		}
+	}
 	page.StampChecksum(page.Page(f.buf))
 	if err := p.disk.WritePage(f.key.file, f.key.page, f.buf); err != nil {
 		return err
@@ -350,11 +376,40 @@ func (p *Pool) DropCache() error {
 	return nil
 }
 
+// InvalidateFile discards every cached frame of one file without writing
+// anything back — the companion of dropping the file itself. An error is
+// returned if any of the file's pages is still pinned.
+func (p *Pool) InvalidateFile(file disk.FileID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.valid || f.key.file != file {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("buffer: invalidate of pinned page %d/%d", f.key.file, f.key.page)
+		}
+		delete(p.table, f.key)
+		f.valid = false
+		f.dirty = false
+	}
+	return nil
+}
+
 // Stats returns hit/miss/write-back counts since creation.
 func (p *Pool) Stats() (hits, misses, writeOut int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits, p.misses, p.writeOut
+}
+
+// WALStalls returns how many write-backs had to force the log durable
+// first (the WAL-before-data rule actually firing).
+func (p *Pool) WALStalls() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.walStall
 }
 
 // FaultStats returns the fault-tolerance counters: read retries (after

@@ -38,11 +38,40 @@ type Device interface {
 	ResetStats()
 }
 
+// LogDevice is the append-only log store the WAL writer sits on, provided
+// by the same simulated disk that holds the page files so a simulated
+// crash (Crash) tears both consistently. LSNs are logical byte offsets
+// into the log stream; an LSN returned by LogAppend is the offset just
+// past the appended record, so "durable through lsn" means every byte
+// before lsn survives a crash. Manager implements it; Faulty forwards it.
+type LogDevice interface {
+	// LogAppend appends rec to the volatile log tail and returns the LSN
+	// just past it. The bytes are NOT durable until LogSync.
+	LogAppend(rec []byte) (lsn uint64, err error)
+	// LogSync makes every appended byte durable (the simulated fsync).
+	LogSync() error
+	// LogDurable returns the LSN through which the log is durable.
+	LogDurable() uint64
+	// LogRead returns the durable log contents: the LSN of the first
+	// returned byte (records before it were truncated by a checkpoint)
+	// and a copy of the durable bytes from there.
+	LogRead() (base uint64, data []byte)
+	// LogTruncatePrefix discards durable log bytes before lsn (called
+	// after a checkpoint record at lsn is durable).
+	LogTruncatePrefix(lsn uint64) error
+	// LogStats returns cumulative append and sync counts.
+	LogStats() (appends, syncs int64)
+}
+
 // LatencyModel charges simulated time per page transferred. Zero values
 // disable the charge (the warm-cache configuration).
 type LatencyModel struct {
 	ReadPerPage  time.Duration
 	WritePerPage time.Duration
+	// LogSyncTime charges each LogSync (the simulated fsync). Group
+	// commit's amortization is visible against a nonzero value: many
+	// commits riding one sync pay the cost once.
+	LogSyncTime time.Duration
 	// Sleep makes the charge real: each page transfer blocks the calling
 	// goroutine for the charged duration, slept outside the device lock
 	// so transfers issued by different goroutines overlap — the I/O-bound
@@ -66,6 +95,16 @@ type Manager struct {
 
 	reads, writes int64
 	simIO         time.Duration
+
+	// The write-ahead log: a single append-only byte stream. logBase is
+	// the LSN of log[0] (earlier bytes were truncated after a checkpoint);
+	// logSynced is the LSN through which the stream is durable — on Crash
+	// everything past it is torn away.
+	log        []byte
+	logBase    uint64
+	logSynced  uint64
+	logAppends int64
+	logSyncs   int64
 }
 
 type file struct {
@@ -207,6 +246,112 @@ func (m *Manager) CorruptPage(id FileID, pageNo, off int, xor byte) error {
 	}
 	f.pages[pageNo][off] ^= xor
 	return nil
+}
+
+// --- Write-ahead log ---
+
+// LogAppend appends rec to the volatile log tail and returns the LSN just
+// past it. Append charges no latency: the cost model puts log I/O in
+// LogSync, which is what group commit amortizes.
+func (m *Manager) LogAppend(rec []byte) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.log = append(m.log, rec...)
+	if len(rec) > 0 {
+		m.logAppends++
+	}
+	return m.logBase + uint64(len(m.log)), nil
+}
+
+// LogSync makes every appended log byte durable.
+func (m *Manager) LogSync() error {
+	m.mu.Lock()
+	m.logSynced = m.logBase + uint64(len(m.log))
+	m.logSyncs++
+	m.simIO += m.latency.LogSyncTime
+	var sleep time.Duration
+	if m.latency.Sleep {
+		sleep = m.latency.LogSyncTime
+	}
+	m.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return nil
+}
+
+// LogDurable returns the LSN through which the log is durable.
+func (m *Manager) LogDurable() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.logSynced
+}
+
+// LogRead returns the base LSN and a copy of the durable log bytes.
+func (m *Manager) LogRead() (uint64, []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.logSynced - m.logBase
+	return m.logBase, append([]byte(nil), m.log[:n]...)
+}
+
+// LogTruncatePrefix discards durable log bytes before lsn.
+func (m *Manager) LogTruncatePrefix(lsn uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lsn < m.logBase {
+		return nil
+	}
+	if lsn > m.logSynced {
+		return fmt.Errorf("disk: truncating log to unsynced lsn %d (durable %d)", lsn, m.logSynced)
+	}
+	m.log = append([]byte(nil), m.log[lsn-m.logBase:]...)
+	m.logBase = lsn
+	return nil
+}
+
+// LogStats returns cumulative log append and sync counts.
+func (m *Manager) LogStats() (appends, syncs int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.logAppends, m.logSyncs
+}
+
+// Crash simulates pulling the plug: it returns a new Manager holding what
+// a restarted process would find on disk. Page files survive in full
+// (every WritePage was immediately durable — the buffer pool's unflushed
+// dirty pages are what's lost, and they live above this layer), while the
+// log survives only through its synced prefix. tearBytes > 0 additionally
+// carries over that many unsynced bytes past the synced prefix — a torn
+// log tail, which recovery's scan must detect and discard. The original
+// Manager remains usable (the harness keeps it to compare baselines).
+func (m *Manager) Crash(tearBytes int) *Manager {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := &Manager{
+		files:   make(map[FileID]*file, len(m.files)),
+		nextID:  m.nextID,
+		latency: m.latency,
+	}
+	for id, f := range m.files {
+		nf := &file{pages: make([][]byte, len(f.pages))}
+		for i, pg := range f.pages {
+			nf.pages[i] = append([]byte(nil), pg...)
+		}
+		c.files[id] = nf
+	}
+	keep := int(m.logSynced - m.logBase)
+	if tearBytes > 0 {
+		keep += tearBytes
+		if keep > len(m.log) {
+			keep = len(m.log)
+		}
+	}
+	c.log = append([]byte(nil), m.log[:keep]...)
+	c.logBase = m.logBase
+	// Everything the crashed image holds is, by definition, durable.
+	c.logSynced = c.logBase + uint64(len(c.log))
+	return c
 }
 
 // Stats returns cumulative read/write page counts and simulated I/O time.

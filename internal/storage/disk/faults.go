@@ -224,6 +224,39 @@ func (f *Faulty) ReadPage(id FileID, pageNo int, dst []byte) error {
 	return nil
 }
 
+// --- LogDevice forwarding ---
+//
+// The log path is forwarded to the wrapped device untouched: the WAL has
+// its own integrity story (per-record CRCs, strict truncation at the first
+// invalid record), and the kill-and-recover harness injects log damage
+// directly via Crash's torn tail rather than probabilistically here.
+
+func (f *Faulty) logDev() LogDevice {
+	ld, ok := f.inner.(LogDevice)
+	if !ok {
+		panic("disk: Faulty's inner device does not implement LogDevice")
+	}
+	return ld
+}
+
+// LogAppend implements LogDevice.
+func (f *Faulty) LogAppend(rec []byte) (uint64, error) { return f.logDev().LogAppend(rec) }
+
+// LogSync implements LogDevice.
+func (f *Faulty) LogSync() error { return f.logDev().LogSync() }
+
+// LogDurable implements LogDevice.
+func (f *Faulty) LogDurable() uint64 { return f.logDev().LogDurable() }
+
+// LogRead implements LogDevice.
+func (f *Faulty) LogRead() (uint64, []byte) { return f.logDev().LogRead() }
+
+// LogTruncatePrefix implements LogDevice.
+func (f *Faulty) LogTruncatePrefix(lsn uint64) error { return f.logDev().LogTruncatePrefix(lsn) }
+
+// LogStats implements LogDevice.
+func (f *Faulty) LogStats() (appends, syncs int64) { return f.logDev().LogStats() }
+
 // WritePage implements Device with the torn-write failpoint applied: a
 // torn write persists the first half of the page, zeroes the rest, and
 // reports success — exactly the silent corruption page checksums exist

@@ -27,6 +27,7 @@ import (
 	"microspec/internal/storage/disk"
 	"microspec/internal/storage/latch"
 	"microspec/internal/storage/page"
+	"microspec/internal/storage/wal"
 	"microspec/internal/txn"
 )
 
@@ -87,7 +88,20 @@ type Heap struct {
 	liveTuples atomic.Int64
 	inserts    atomic.Int64
 	deadHint   atomic.Int64 // stamped-dead versions not yet vacuumed
+
+	// wal, when set, logs every insert (physical: the tuple image, with
+	// the page stamped to the record's LSN under the page latch) and every
+	// delete stamp (logical: stamps live in the in-memory side table, so
+	// the record alone carries a committed delete across a crash). Nil in
+	// a non-durable database.
+	wal *wal.Writer
 }
+
+// SetWAL installs (or clears) the heap's write-ahead logger. The engine
+// sets it at create/attach time and clears it around bulk loads, which
+// are made durable by the checkpoint that follows them instead of
+// per-tuple records.
+func (h *Heap) SetWAL(w *wal.Writer) { h.wal = w }
 
 // Create allocates a new empty heap for rel. tm resolves transaction
 // statuses during write-conflict checks and vacuum; it may be nil only
@@ -104,6 +118,52 @@ func Create(dm disk.Device, pool *buffer.Pool, rel *catalog.Relation, tm *txn.Ma
 	empty := []*pageMeta{}
 	h.metas.Store(&empty)
 	return h
+}
+
+// Attach reopens an existing heap over the page file a crashed database
+// left behind — the recovery-time counterpart of Create. It rebuilds the
+// in-memory side state: one pageMeta per page with an *empty* version
+// slice, which reads as frozen-and-live for every slot (see
+// pageMeta.stamp) — exactly right after redo, when every surviving tuple
+// belongs to a committed transaction and every loser has been physically
+// discarded. Live-tuple counts are recounted from the page images.
+// Callers run redo before Attach so the counts see the recovered state.
+func Attach(dm disk.Device, pool *buffer.Pool, rel *catalog.Relation, tm *txn.Manager, file disk.FileID) (*Heap, error) {
+	n, err := dm.NumPages(file)
+	if err != nil {
+		return nil, fmt.Errorf("heap %s: attach: %w", rel.Name, err)
+	}
+	h := &Heap{
+		Rel:        rel,
+		file:       file,
+		dm:         dm,
+		pool:       pool,
+		tm:         tm,
+		insertPage: n - 1,
+	}
+	metas := make([]*pageMeta, n)
+	for i := range metas {
+		metas[i] = &pageMeta{}
+	}
+	h.metas.Store(&metas)
+	h.numPages.Store(int64(n))
+	var live int64
+	for pageNo := 0; pageNo < n; pageNo++ {
+		hd, err := pool.Get(file, pageNo)
+		if err != nil {
+			return nil, fmt.Errorf("heap %s: attach page %d: %w", rel.Name, pageNo, err)
+		}
+		p := page.Page(hd.Bytes)
+		for slot := 0; slot < page.NumSlots(p); slot++ {
+			if page.IsLive(p, slot) {
+				live++
+			}
+		}
+		hd.Unpin(false)
+	}
+	h.liveTuples.Store(live)
+	h.inserts.Store(live)
+	return h, nil
 }
 
 // Drop releases the heap's disk file.
@@ -179,6 +239,11 @@ func (h *Heap) Insert(tup []byte, xid uint64, prof *profile.Counters) (TID, erro
 		m := h.meta(h.insertPage)
 		if m.lockForInsert() {
 			if slot, ok := page.AddTuple(page.Page(hd.Bytes), tup); ok {
+				if err := h.logInsert(page.Page(hd.Bytes), h.insertPage, slot, tup, xid); err != nil {
+					m.latch.Unlock()
+					hd.Unpin(true)
+					return TID{}, err
+				}
 				m.stampInsert(slot, xid)
 				m.latch.Unlock()
 				hd.Unpin(true)
@@ -216,6 +281,11 @@ func (h *Heap) Insert(tup []byte, xid uint64, prof *profile.Counters) (TID, erro
 		hd.Unpin(true)
 		return TID{}, fmt.Errorf("heap %s: tuple does not fit in an empty page", h.Rel.Name)
 	}
+	if err := h.logInsert(page.Page(hd.Bytes), pageNo, slot, tup, xid); err != nil {
+		m.latch.Unlock()
+		hd.Unpin(true)
+		return TID{}, err
+	}
 	m.stampInsert(slot, xid)
 	m.latch.Unlock()
 	hd.Unpin(true)
@@ -224,6 +294,28 @@ func (h *Heap) Insert(tup []byte, xid uint64, prof *profile.Counters) (TID, erro
 	h.liveTuples.Add(1)
 	h.inserts.Add(1)
 	return TID{Page: int32(pageNo), Slot: uint16(slot)}, nil
+}
+
+// logInsert appends the insert's WAL record and stamps the page with its
+// LSN, all under the exclusive page latch, before the pin is released —
+// so by the time the buffer pool could flush this page, the record
+// already exists and WAL-before-data (the flush forces the log through
+// the page LSN) holds. On an append failure — the writer was killed —
+// the just-added slot is marked dead again so the page image never
+// carries a tuple the log knows nothing about.
+func (h *Heap) logInsert(p page.Page, pageNo, slot int, tup []byte, xid uint64) error {
+	if h.wal == nil {
+		return nil
+	}
+	lsn, err := h.wal.Append(&wal.Record{
+		Type: wal.TInsert, Xid: xid, File: h.file, Page: pageNo, Slot: slot, Tuple: tup,
+	})
+	if err != nil {
+		_ = page.DeleteTuple(p, slot)
+		return fmt.Errorf("heap %s: insert log append: %w", h.Rel.Name, err)
+	}
+	page.SetLSN(p, lsn)
+	return nil
 }
 
 // stampInsert grows vers to cover slot and records xid as its inserter.
@@ -329,7 +421,7 @@ func (h *Heap) MarkDeleted(tid TID, xid uint64, prof *profile.Counters) error {
 			if atomic.CompareAndSwapUint64(&vs.xmax, txn.None, xid) {
 				h.liveTuples.Add(-1)
 				h.deadHint.Add(1)
-				return nil
+				return h.logDelete(tid, xid)
 			}
 			continue
 		}
@@ -338,12 +430,31 @@ func (h *Heap) MarkDeleted(tid TID, xid uint64, prof *profile.Counters) error {
 		if h.tm != nil && h.tm.Status(cur) == txn.StatusAborted {
 			if atomic.CompareAndSwapUint64(&vs.xmax, cur, xid) {
 				h.deadHint.Add(1)
-				return nil
+				return h.logDelete(tid, xid)
 			}
 			continue
 		}
 		return &txn.ConflictError{Mine: xid, Theirs: cur}
 	}
+}
+
+// logDelete appends the logical delete record for xid's xmax stamp on
+// tid. The stamp itself lives in the in-memory side table and never
+// dirties the page, so this record is the only thing that carries a
+// committed delete across a crash: recovery applies it physically for
+// every xid the log proves committed. No page LSN is stamped — the page
+// image did not change.
+func (h *Heap) logDelete(tid TID, xid uint64) error {
+	if h.wal == nil {
+		return nil
+	}
+	_, err := h.wal.Append(&wal.Record{
+		Type: wal.TDelete, Xid: xid, File: h.file, Page: int(tid.Page), Slot: int(tid.Slot),
+	})
+	if err != nil {
+		return fmt.Errorf("heap %s: delete log append: %w", h.Rel.Name, err)
+	}
+	return nil
 }
 
 // UnmarkDeleted clears xid's delete stamp from the version at tid — the

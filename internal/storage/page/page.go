@@ -6,11 +6,14 @@
 //
 // Layout:
 //
-//	offset 0..1  lower: end of the line-pointer array
-//	offset 2..3  upper: start of the tuple area
-//	offset 4..5  nslots
-//	offset 6..7  checksum (CRC32c folded to 16 bits; 0 = never checksummed)
-//	offset 8..   line pointers, 4 bytes each: {off uint16, len uint16}
+//	offset 0..1   lower: end of the line-pointer array
+//	offset 2..3   upper: start of the tuple area
+//	offset 4..5   nslots
+//	offset 6..7   checksum (CRC32c folded to 16 bits; 0 = never checksummed)
+//	offset 8..15  pageLSN: WAL position of the last logged change applied
+//	              to this page (0 = never logged); redo compares it against
+//	              each record's LSN so replay is idempotent
+//	offset 16..   line pointers, 4 bytes each: {off uint16, len uint16}
 //
 // A line pointer with len == 0 is dead (deleted tuple).
 package page
@@ -24,7 +27,7 @@ import (
 )
 
 const (
-	headerSize  = 8
+	headerSize  = 16
 	linePtrSize = 4
 )
 
@@ -53,6 +56,22 @@ func upperRaw(p Page) int { return int(binary.LittleEndian.Uint16(p[2:4])) << 3 
 
 // NumSlots returns the number of line pointers (live or dead).
 func NumSlots(p Page) int { return int(binary.LittleEndian.Uint16(p[4:6])) }
+
+// Initialized reports whether p has been formatted by Init. A freshly
+// extended page that was never written back is all zeros, whose lower
+// field (0) is below the header — recovery uses this to know it must
+// Init a page before redoing inserts into it.
+func Initialized(p Page) bool { return lower(p) >= headerSize }
+
+// LSN returns the page's WAL position: the log offset just past the last
+// logged change applied to this page (0 = never logged). Recovery skips a
+// record whose LSN is ≤ the page's LSN — the change is already in the
+// page image — which makes redo idempotent.
+func LSN(p Page) uint64 { return binary.LittleEndian.Uint64(p[8:16]) }
+
+// SetLSN stamps the page's WAL position. The storage layer calls it under
+// the page latch, immediately after applying a logged change.
+func SetLSN(p Page, lsn uint64) { binary.LittleEndian.PutUint64(p[8:16], lsn) }
 
 func setNSlots(p Page, v int) { binary.LittleEndian.PutUint16(p[4:6], uint16(v)) }
 

@@ -1,0 +1,236 @@
+// Package wal implements the write-ahead log: typed, checksummed log
+// records over the simulated disk's append-only log stream
+// (disk.LogDevice), a group-commit writer that batches fsyncs across
+// concurrent committers (writer.go), and the redo scan recovery replays
+// after a crash.
+//
+// Record wire format (all integers little-endian):
+//
+//	offset 0..3  crc: CRC32-Castagnoli over bytes 4..end of record
+//	offset 4..7  payload length
+//	offset 8     record type
+//	offset 9..   payload
+//
+// An LSN is a logical byte offset into the log stream; the LSN *of* a
+// record is the offset just past it, so a page stamped with a record's
+// LSN is durable-consistent exactly when the log is synced through that
+// LSN (the WAL-before-data rule the buffer pool enforces).
+//
+// Payloads:
+//
+//	Insert     xid u64 | file u32 | page u32 | slot u16 | tuple bytes
+//	Delete     xid u64 | file u32 | page u32 | slot u16
+//	Commit     xid u64
+//	Abort      xid u64
+//	Checkpoint manifest bytes (opaque to this package; the engine stores
+//	           its catalog + bee-cache manifest as JSON)
+//	BeeCombo   file u32 | combo bytes (opaque: the engine's encoding of one
+//	           tuple-bee combination's specialized-attribute values; stored
+//	           tuples elide those values, so bee creation is logged before
+//	           the first insert record referencing the new beeID)
+//
+// The scan is strict about the tail: a crash may tear the last record
+// (half-appended bytes with a CRC that cannot match), and Scan treats the
+// first undecodable record as the end of the log — every record before it
+// is intact (each carries its own CRC), everything from it on is
+// discarded. Corruption *before* the tail is distinguished and surfaced
+// as an error, since dropping a mid-log record would silently lose
+// committed work.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"microspec/internal/storage/disk"
+)
+
+// Type identifies a log record kind.
+type Type uint8
+
+// Log record kinds.
+const (
+	TInsert Type = 1 + iota
+	TDelete
+	TCommit
+	TAbort
+	TCheckpoint
+	TBeeCombo
+)
+
+func (t Type) String() string {
+	switch t {
+	case TInsert:
+		return "insert"
+	case TDelete:
+		return "delete"
+	case TCommit:
+		return "commit"
+	case TAbort:
+		return "abort"
+	case TCheckpoint:
+		return "checkpoint"
+	case TBeeCombo:
+		return "bee_combo"
+	}
+	return fmt.Sprintf("wal.Type(%d)", uint8(t))
+}
+
+const (
+	headerSize = 9 // crc u32 + len u32 + type u8
+
+	// MaxPayload bounds a record's payload: a tuple fits in a page, and
+	// the engine's checkpoint manifest is small JSON. Anything larger in
+	// a length field is corruption, not data.
+	MaxPayload = 1 << 20
+)
+
+// Record is one decoded log record. LSN is the offset just past the
+// record in the log stream (assigned by the writer on append and by Scan
+// on replay).
+type Record struct {
+	Type Type
+	LSN  uint64
+
+	Xid  uint64      // Insert, Delete, Commit, Abort
+	File disk.FileID // Insert, Delete, BeeCombo
+	Page int         // Insert, Delete
+	Slot int         // Insert, Delete
+
+	Tuple    []byte // Insert: the stored tuple image
+	Manifest []byte // Checkpoint: engine manifest (opaque here)
+	Combo    []byte // BeeCombo: engine-encoded combo values (opaque here)
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. ErrTruncated means the buffer ends mid-record (a torn
+// tail when it happens at the end of the log); ErrCorrupt means the bytes
+// are complete but wrong (bad CRC, bad type, malformed payload).
+var (
+	ErrTruncated = errors.New("wal: truncated record")
+	ErrCorrupt   = errors.New("wal: corrupt record")
+)
+
+// Encode serializes r (Type plus the fields its type uses) and returns
+// the record bytes.
+func Encode(r *Record) []byte {
+	var payload []byte
+	switch r.Type {
+	case TInsert:
+		payload = make([]byte, 18+len(r.Tuple))
+		encodeTarget(payload, r)
+		copy(payload[18:], r.Tuple)
+	case TDelete:
+		payload = make([]byte, 18)
+		encodeTarget(payload, r)
+	case TCommit, TAbort:
+		payload = make([]byte, 8)
+		binary.LittleEndian.PutUint64(payload, r.Xid)
+	case TCheckpoint:
+		payload = r.Manifest
+	case TBeeCombo:
+		payload = make([]byte, 4+len(r.Combo))
+		binary.LittleEndian.PutUint32(payload[0:4], uint32(r.File))
+		copy(payload[4:], r.Combo)
+	default:
+		panic(fmt.Sprintf("wal: Encode of unknown record type %d", r.Type))
+	}
+	buf := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(payload)))
+	buf[8] = byte(r.Type)
+	copy(buf[headerSize:], payload)
+	binary.LittleEndian.PutUint32(buf[0:4], crc32.Checksum(buf[4:], castagnoli))
+	return buf
+}
+
+func encodeTarget(payload []byte, r *Record) {
+	binary.LittleEndian.PutUint64(payload[0:8], r.Xid)
+	binary.LittleEndian.PutUint32(payload[8:12], uint32(r.File))
+	binary.LittleEndian.PutUint32(payload[12:16], uint32(r.Page))
+	binary.LittleEndian.PutUint16(payload[16:18], uint16(r.Slot))
+}
+
+// DecodeOne decodes the record at the start of data, returning it and the
+// number of bytes consumed. ErrTruncated means data ends mid-record;
+// ErrCorrupt means a CRC, type, or payload-shape violation.
+func DecodeOne(data []byte) (Record, int, error) {
+	if len(data) < headerSize {
+		return Record{}, 0, ErrTruncated
+	}
+	plen := binary.LittleEndian.Uint32(data[4:8])
+	if plen > MaxPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrCorrupt, plen, MaxPayload)
+	}
+	total := headerSize + int(plen)
+	if len(data) < total {
+		return Record{}, 0, ErrTruncated
+	}
+	want := binary.LittleEndian.Uint32(data[0:4])
+	if got := crc32.Checksum(data[4:total], castagnoli); got != want {
+		return Record{}, 0, fmt.Errorf("%w: crc stored=%#08x computed=%#08x", ErrCorrupt, want, got)
+	}
+	r := Record{Type: Type(data[8])}
+	payload := data[headerSize:total]
+	switch r.Type {
+	case TInsert:
+		if len(payload) < 18 {
+			return Record{}, 0, fmt.Errorf("%w: insert payload %d bytes", ErrCorrupt, len(payload))
+		}
+		decodeTarget(payload, &r)
+		r.Tuple = append([]byte(nil), payload[18:]...)
+	case TDelete:
+		if len(payload) != 18 {
+			return Record{}, 0, fmt.Errorf("%w: delete payload %d bytes", ErrCorrupt, len(payload))
+		}
+		decodeTarget(payload, &r)
+	case TCommit, TAbort:
+		if len(payload) != 8 {
+			return Record{}, 0, fmt.Errorf("%w: %s payload %d bytes", ErrCorrupt, r.Type, len(payload))
+		}
+		r.Xid = binary.LittleEndian.Uint64(payload)
+	case TCheckpoint:
+		r.Manifest = append([]byte(nil), payload...)
+	case TBeeCombo:
+		if len(payload) < 4 {
+			return Record{}, 0, fmt.Errorf("%w: bee-combo payload %d bytes", ErrCorrupt, len(payload))
+		}
+		r.File = disk.FileID(binary.LittleEndian.Uint32(payload[0:4]))
+		r.Combo = append([]byte(nil), payload[4:]...)
+	default:
+		return Record{}, 0, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, data[8])
+	}
+	return r, total, nil
+}
+
+func decodeTarget(payload []byte, r *Record) {
+	r.Xid = binary.LittleEndian.Uint64(payload[0:8])
+	r.File = disk.FileID(binary.LittleEndian.Uint32(payload[8:12]))
+	r.Page = int(binary.LittleEndian.Uint32(payload[12:16]))
+	r.Slot = int(binary.LittleEndian.Uint16(payload[16:18]))
+}
+
+// Scan decodes the log contents read at base (see disk.LogDevice.LogRead)
+// into records with their LSNs assigned. A torn tail — the final record
+// truncated or checksum-broken by a crash — ends the scan cleanly:
+// tornBytes reports how many trailing bytes were discarded. Corruption
+// that is provably not the tail (an undecodable record with a further
+// decodable record after it would require guessing record boundaries, so
+// the tail rule is: first bad record ends the log) is still reported as
+// tornBytes; callers that synced through a known LSN can detect lost
+// records by comparing Scan's end against it.
+func Scan(base uint64, data []byte) (recs []Record, end uint64, tornBytes int) {
+	off := 0
+	for off < len(data) {
+		r, n, err := DecodeOne(data[off:])
+		if err != nil {
+			return recs, base + uint64(off), len(data) - off
+		}
+		off += n
+		r.LSN = base + uint64(off)
+		recs = append(recs, r)
+	}
+	return recs, base + uint64(off), 0
+}

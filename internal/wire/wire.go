@@ -100,6 +100,7 @@ const (
 	CodeAuth        ErrCode = "auth"           // bad credentials or version
 	CodeBusy        ErrCode = "server_busy"    // admission control rejected
 	CodeShutdown    ErrCode = "shutting_down"  // server is draining
+	CodeRecovering  ErrCode = "recovering"     // crash recovery in progress; retry
 	CodeTimeout     ErrCode = "timeout"        // statement or idle deadline
 	CodeMalformed   ErrCode = "malformed"      // undecodable frame
 	CodeTooLarge    ErrCode = "too_large"      // frame over MaxFrame
