@@ -23,8 +23,11 @@ import (
 //  1. Analysis: scan the durable log from its base (which, after the
 //     first checkpoint, is always a checkpoint record), stopping at the
 //     first torn or corrupt record — the strict-truncation rule: nothing
-//     past the damage is trusted. The last checkpoint's manifest gives
-//     the schema; commit records give the committed set.
+//     past the damage is trusted. Discarded bytes are probed for an
+//     intact record (wal.ProbeDiscarded): finding one proves mid-log
+//     corruption rather than a torn tail, and recovery fails instead of
+//     silently truncating committed work. The last checkpoint's manifest
+//     gives the schema; commit records give the committed set.
 //  2. Redo: re-apply insert records in LSN order, gated by each page's
 //     LSN so replay is idempotent, for ALL transactions (winners and
 //     losers alike — slot numbers only line up if every insert lands).
@@ -99,10 +102,22 @@ func (db *DB) runRecovery() error {
 	db.mu.Lock()
 	st := &db.recStats
 	base, data := db.walDev.LogRead()
-	recs, _, torn := wal.Scan(base, data)
+	recs, end, torn := wal.Scan(base, data)
 	st.LogBytes = int64(len(data))
 	st.Records = len(recs)
 	st.TornBytes = torn
+	// The tail rule cannot tell a torn final record from mid-log damage
+	// on its own: probe the discarded bytes for an intact record, which
+	// proves the log broke before its end. Refuse to recover in that
+	// case — replaying the truncated prefix would silently drop the
+	// committed work past the damage.
+	if torn > 0 {
+		if off := wal.ProbeDiscarded(data[end-base:]); off >= 0 {
+			db.mu.Unlock()
+			return fmt.Errorf("engine: recovery: log corrupt before tail: intact record at LSN %d after undecodable bytes at LSN %d",
+				end+uint64(off), end)
+		}
+	}
 
 	// Analysis: anchor on the LAST checkpoint (an older one can precede
 	// it only when a crash hit between a checkpoint's sync and its log

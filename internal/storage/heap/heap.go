@@ -487,6 +487,23 @@ func (h *Heap) Vacuum(horizon uint64, prof *profile.Counters, collect func(tid T
 	if h.tm == nil {
 		return 0, nil
 	}
+	// Reclaiming a slot physically changes the page, but the change is
+	// covered by the victims' delete/commit records rather than a record
+	// of its own — and all of those are already in the log: a deleter
+	// passes the horizon check only after tm.Commit, which follows its
+	// commit-record append. Stamping dirtied pages with the tail read
+	// here makes WAL-before-data force those records durable before a
+	// reclaimed page image can reach disk; without the stamp, a flush
+	// could persist the reclaim while the deleter's commit record is
+	// still volatile, and a crash would make recovery treat the deleter
+	// as uncommitted with the tuple already gone — losing a durably
+	// acknowledged insert.
+	var walTail uint64
+	if h.wal != nil {
+		if walTail, err = h.wal.TailLSN(); err != nil {
+			return 0, fmt.Errorf("heap %s: vacuum: %w", h.Rel.Name, err)
+		}
+	}
 	n := int(h.numPages.Load())
 	var tids []TID
 	var tups [][]byte
@@ -529,7 +546,12 @@ func (h *Heap) Vacuum(horizon uint64, prof *profile.Counters, collect func(tid T
 				hd.Unpin(dirty)
 				return reclaimed, fmt.Errorf("heap %s: vacuum: %w", h.Rel.Name, derr)
 			}
-			dirty = true
+			if !dirty {
+				dirty = true
+				if walTail > page.LSN(p) {
+					page.SetLSN(p, walTail)
+				}
+			}
 			tids = append(tids, TID{Page: int32(pageNo), Slot: uint16(slot)})
 			tups = append(tups, append([]byte(nil), b...))
 			reclaimed++

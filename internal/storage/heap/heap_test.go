@@ -10,6 +10,8 @@ import (
 	"microspec/internal/catalog"
 	"microspec/internal/storage/buffer"
 	"microspec/internal/storage/disk"
+	"microspec/internal/storage/page"
+	"microspec/internal/storage/wal"
 	"microspec/internal/txn"
 	"microspec/internal/types"
 )
@@ -356,6 +358,61 @@ func TestVacuumReclaimsDeadVersions(t *testing.T) {
 	sc.Close()
 	if count != 30 {
 		t.Fatalf("post-vacuum scan = %d, want 30", count)
+	}
+}
+
+// TestVacuumStampsPageLSN: vacuum's physical reclaim is justified by the
+// victims' delete/commit records, so it must advance the page LSN past
+// them — otherwise WAL-before-data would let a post-vacuum flush persist
+// the reclaimed image while the deleter's commit record is still
+// volatile, and a crash would lose a durably acknowledged insert.
+func TestVacuumStampsPageLSN(t *testing.T) {
+	m := disk.NewManager(disk.LatencyModel{})
+	pool := buffer.New(m, 8)
+	c := catalog.New()
+	rel, err := c.CreateRelation("t", catalog.Schema{Attrs: []catalog.Attribute{
+		catalog.Col("a", types.Int32, true),
+	}}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := txn.NewManager()
+	h := Create(m, pool, rel, tm)
+	w := wal.NewWriter(m, false)
+	defer w.Close()
+	h.SetWAL(w)
+
+	ins := tm.Begin()
+	tid, err := h.Insert(tupleOf("victim"), ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm.Commit(ins)
+
+	del := tm.Begin()
+	if err := h.MarkDeleted(tid, del, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The engine appends the commit record before tm.Commit flips the
+	// in-memory state; mirror that order here.
+	commitLSN, err := w.Append(&wal.Record{Type: wal.TCommit, Xid: del})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm.Commit(del)
+
+	if n, err := h.Vacuum(tm.Horizon(), nil, nil); err != nil || n != 1 {
+		t.Fatalf("vacuum: reclaimed=%d err=%v, want 1", n, err)
+	}
+	hd, err := pool.Get(h.File(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := page.LSN(page.Page(hd.Bytes))
+	hd.Unpin(false)
+	if lsn < commitLSN {
+		t.Fatalf("vacuumed page LSN %d below the deleter's commit record LSN %d: a flush would not force the commit durable first",
+			lsn, commitLSN)
 	}
 }
 

@@ -33,9 +33,12 @@
 // (half-appended bytes with a CRC that cannot match), and Scan treats the
 // first undecodable record as the end of the log — every record before it
 // is intact (each carries its own CRC), everything from it on is
-// discarded. Corruption *before* the tail is distinguished and surfaced
-// as an error, since dropping a mid-log record would silently lose
-// committed work.
+// discarded. The tail rule alone cannot tell a genuine torn tail from
+// corruption earlier in the log (record boundaries past the damage would
+// have to be guessed), so ProbeDiscarded checks the discarded bytes for
+// an intact record — proof the log broke before its end — and recovery
+// refuses to replay such a log, since truncating there would silently
+// drop committed work.
 package wal
 
 import (
@@ -215,12 +218,11 @@ func decodeTarget(payload []byte, r *Record) {
 // Scan decodes the log contents read at base (see disk.LogDevice.LogRead)
 // into records with their LSNs assigned. A torn tail — the final record
 // truncated or checksum-broken by a crash — ends the scan cleanly:
-// tornBytes reports how many trailing bytes were discarded. Corruption
-// that is provably not the tail (an undecodable record with a further
-// decodable record after it would require guessing record boundaries, so
-// the tail rule is: first bad record ends the log) is still reported as
-// tornBytes; callers that synced through a known LSN can detect lost
-// records by comparing Scan's end against it.
+// tornBytes reports how many trailing bytes were discarded. The first
+// bad record always ends the scan, even when the damage is mid-log
+// rather than a torn tail — continuing would require guessing record
+// boundaries. Callers that must not lose committed work run
+// ProbeDiscarded over the discarded region to detect that case.
 func Scan(base uint64, data []byte) (recs []Record, end uint64, tornBytes int) {
 	off := 0
 	for off < len(data) {
@@ -233,4 +235,22 @@ func Scan(base uint64, data []byte) (recs []Record, end uint64, tornBytes int) {
 		recs = append(recs, r)
 	}
 	return recs, base + uint64(off), 0
+}
+
+// ProbeDiscarded inspects the bytes Scan discarded under the tail rule
+// and returns the offset of the first intact record inside them, or -1.
+// A genuine torn tail is the prefix of a single half-appended record, so
+// nothing decodes at any interior offset; an intact record (its CRC
+// must match, so false positives need record-shaped bytes inside another
+// record's payload) proves the log broke *before* its end, and replaying
+// the truncated prefix would silently drop the committed work after the
+// damage. The probe starts at offset 1: offset 0 is exactly where Scan
+// already failed.
+func ProbeDiscarded(discarded []byte) int {
+	for off := 1; off < len(discarded); off++ {
+		if _, _, err := DecodeOne(discarded[off:]); err == nil {
+			return off
+		}
+	}
+	return -1
 }

@@ -174,6 +174,36 @@ func TestScanStopsAtCorruptRecord(t *testing.T) {
 	}
 }
 
+// TestProbeDiscarded: the probe tells mid-log corruption (an intact
+// record follows the damage) from a genuine torn tail (a prefix of one
+// half-appended record, inside which nothing decodes).
+func TestProbeDiscarded(t *testing.T) {
+	a := Encode(&Record{Type: TCommit, Xid: 1})
+	b := Encode(&Record{Type: TCommit, Xid: 2})
+	c := Encode(&Record{Type: TCommit, Xid: 3})
+	stream := append(append(append([]byte(nil), a...), b...), c...)
+	stream[len(a)+2] ^= 0xFF // corrupt record b mid-log
+	_, end, torn := Scan(0, stream)
+	discarded := stream[end:]
+	if torn != len(discarded) {
+		t.Fatalf("torn %d != discarded region %d", torn, len(discarded))
+	}
+	if off := ProbeDiscarded(discarded); off != len(b) {
+		t.Fatalf("probe offset %d, want %d (the intact record after the damage)", off, len(b))
+	}
+
+	// Every strict prefix of a single record is a plausible torn tail and
+	// must probe clean.
+	for cut := 1; cut < len(a); cut++ {
+		if off := ProbeDiscarded(a[:cut]); off != -1 {
+			t.Fatalf("torn prefix of %d bytes misreported as mid-log corruption at offset %d", cut, off)
+		}
+	}
+	if off := ProbeDiscarded(nil); off != -1 {
+		t.Fatalf("empty region probed at offset %d", off)
+	}
+}
+
 func randomRecord(rng *rand.Rand) Record {
 	switch rng.Intn(6) {
 	case 0:
@@ -257,6 +287,39 @@ func TestWriterNaiveOneFsyncPerCommit(t *testing.T) {
 	batches, waits := w.Stats()
 	if batches != commits || waits != commits {
 		t.Fatalf("batches=%d waits=%d, want %d each (naive is fsync-per-commit)", batches, waits, commits)
+	}
+}
+
+// failingSyncDev is a log device whose fsync always fails.
+type failingSyncDev struct {
+	*disk.Manager
+	err error
+}
+
+func (d *failingSyncDev) LogSync() error { return d.err }
+
+// TestWriterGroupCommitSyncFailure: a persistently failing device must
+// kill the writer and surface the error from WaitDurable — not leave the
+// daemon busy-retrying with committers hung forever.
+func TestWriterGroupCommitSyncFailure(t *testing.T) {
+	dev := &failingSyncDev{Manager: disk.NewManager(disk.LatencyModel{}), err: errors.New("log device failure")}
+	w := NewWriter(dev, false)
+	lsn, err := w.Append(&Record{Type: TCommit, Xid: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = w.WaitDurable(lsn)
+	if err == nil {
+		t.Fatal("WaitDurable returned nil on a failing device")
+	}
+	if !errors.Is(err, dev.err) {
+		t.Fatalf("WaitDurable error %v does not wrap the device failure", err)
+	}
+	if !w.Dead() {
+		t.Fatal("writer still alive after sync failure")
+	}
+	if _, err := w.Append(&Record{Type: TCommit, Xid: 2}); !errors.Is(err, ErrDead) {
+		t.Fatalf("append after sync failure: %v, want ErrDead", err)
 	}
 }
 

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -40,6 +41,11 @@ type Writer struct {
 	wanted uint64 // highest LSN any waiter needs
 	closed bool
 	dead   bool
+	// failure records the device error that killed the writer, when it
+	// died from a failing LogSync rather than a simulated crash.
+	// WaitDurable surfaces it so committers see the real cause instead of
+	// a bare ErrDead.
+	failure error
 	// crashNextSync arms a deterministic kill point: the next sync attempt
 	// kills the writer instead of syncing (a crash after the commit or
 	// checkpoint record was appended but before it became durable).
@@ -66,15 +72,32 @@ func NewWriter(dev disk.LogDevice, naive bool) *Writer {
 
 // Append encodes r and appends it to the volatile log tail, returning its
 // LSN. The record is not durable until WaitDurable (or SyncNow) covers
-// the returned LSN.
+// the returned LSN. The device append happens under the writer lock so
+// it cannot race Kill: once Kill returns, no later append can land in
+// the device and be carried into a crash image's torn tail.
 func (w *Writer) Append(r *Record) (uint64, error) {
+	buf := Encode(r)
 	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.dead {
-		w.mu.Unlock()
 		return 0, ErrDead
 	}
-	w.mu.Unlock()
-	return w.dev.LogAppend(Encode(r))
+	return w.dev.LogAppend(buf)
+}
+
+// TailLSN returns the LSN of the current volatile log tail without
+// appending anything. A page stamped with it cannot be written back
+// before every record appended so far is durable (WAL-before-data);
+// vacuum uses this to cover page changes whose logical justification —
+// the reclaimed versions' delete and commit records — is already in the
+// log rather than in a record of its own.
+func (w *Writer) TailLSN() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dead {
+		return 0, ErrDead
+	}
+	return w.dev.LogAppend(nil)
 }
 
 // WaitDurable blocks until the log is durable through lsn. Under group
@@ -95,6 +118,9 @@ func (w *Writer) WaitDurable(lsn uint64) error {
 		w.cond.Wait()
 	}
 	if w.synced < lsn {
+		if w.failure != nil {
+			return fmt.Errorf("wal: writer dead after sync failure: %w", w.failure)
+		}
 		return ErrDead
 	}
 	return nil
@@ -104,7 +130,7 @@ func (w *Writer) WaitDurable(lsn uint64) error {
 // (checkpoints and clean shutdown use it). An empty append reads the
 // current tail LSN.
 func (w *Writer) SyncNow() error {
-	lsn, err := w.dev.LogAppend(nil)
+	lsn, err := w.TailLSN()
 	if err != nil {
 		return err
 	}
@@ -160,11 +186,18 @@ func (w *Writer) daemon() {
 		w.mu.Unlock()
 		err := w.dev.LogSync()
 		w.mu.Lock()
-		if err == nil {
-			w.batches.Add(1)
-			if s := w.dev.LogDurable(); s > w.synced {
-				w.synced = s
-			}
+		if err != nil {
+			// A failing device can never make more bytes durable; retrying
+			// would spin forever with committers hung. Record the cause and
+			// die: waiters wake and WaitDurable reports the error.
+			w.failure = err
+			w.killLocked()
+			w.mu.Unlock()
+			return
+		}
+		w.batches.Add(1)
+		if s := w.dev.LogDurable(); s > w.synced {
+			w.synced = s
 		}
 		w.cond.Broadcast()
 	}
