@@ -20,8 +20,14 @@
 //
 //	loadgen [-addr host:port] [-conns 1,4,16] [-dur 2s] [-tpch 0.01]
 //	        [-faults] [-faultseed 1] [-check] [-out BENCH_server.json]
-//	        [-admin 127.0.0.1:0] [-trace 1]
+//	        [-admin 127.0.0.1:0] [-trace 1] [-txnbees]
 //	        [-durable] [-naivesync] [-restart]
+//
+// With -txnbees each connection registers the Payment transaction as a
+// server-side named transaction (PREPARE TRANSACTION) and fires it with
+// a single ExecuteTxn frame — one round trip and one fused commit
+// instead of four prepared-statement round trips, exercising the
+// whole-transaction bee path end-to-end over the wire.
 //
 // With -durable the in-process server runs with write-ahead logging and
 // group commit, and every round additionally reports fsyncs-per-commit
@@ -100,6 +106,7 @@ type Report struct {
 	When            string           `json:"when"`
 	ScaleFactor     float64          `json:"scale_factor"`
 	Faults          bool             `json:"faults"`
+	TxnBees         bool             `json:"txn_bees,omitempty"`
 	Durable         bool             `json:"durable,omitempty"`
 	NaiveSync       bool             `json:"naive_sync,omitempty"`
 	IOLatencyUS     float64          `json:"io_latency_us,omitempty"`
@@ -165,6 +172,7 @@ func main() {
 	naiveSync := flag.Bool("naivesync", false, "with -durable: one fsync per commit instead of group commit (the E16 baseline)")
 	fsyncLat := flag.Duration("fsynclat", 100*time.Microsecond, "with -durable: simulated fsync cost, really slept so group commit has something to amortize (0 = free syncs)")
 	restart := flag.Bool("restart", false, "end with the kill-and-restart experiment: warm vs cold prepared first-execution p50 (implies -durable)")
+	txnBees := flag.Bool("txnbees", false, "run the Payment transaction through a server-side transaction bee: one ExecuteTxn round trip instead of four statement round trips")
 	flag.Parse()
 	if *restart {
 		*durable = true
@@ -251,6 +259,9 @@ func main() {
 	if err := setupBenchTables(target, *secret); err != nil {
 		fatalf("setup: %v", err)
 	}
+	if *txnBees {
+		fmt.Println("payment via transaction bees: one ExecuteTxn round trip per Payment")
+	}
 	if fd != nil {
 		fd.SetEnabled(true)
 		fmt.Printf("disk faults armed (seed %d)\n", *faultSeed)
@@ -275,6 +286,7 @@ func main() {
 		When:        time.Now().UTC().Format(time.RFC3339),
 		ScaleFactor: *sf,
 		Faults:      *faults,
+		TxnBees:     *txnBees,
 		Durable:     *durable,
 		NaiveSync:   *durable && *naiveSync,
 		IOLatencyUS: float64(*ioLat) / float64(time.Microsecond),
@@ -293,7 +305,7 @@ func main() {
 	var mismatches int64
 	for _, n := range connCounts {
 		c0, f0 := walCounters()
-		r := runMixed(target, *secret, n, *dur, *seed, nParts)
+		r := runMixed(target, *secret, n, *dur, *seed, nParts, *txnBees)
 		if c1, f1 := walCounters(); c1 > c0 {
 			r.FsyncsPerCommit = float64(f1-f0) / float64(c1-c0)
 		}
@@ -644,6 +656,7 @@ type worker struct {
 	c         *client.Conn
 	rng       *rand.Rand
 	nParts    int
+	txnBees   bool // payment via one ExecuteTxn instead of four statements
 	kvGet     *client.Stmt
 	partGet   *client.Stmt
 	liRange   *client.Stmt
@@ -658,12 +671,12 @@ type worker struct {
 	lats      []time.Duration
 }
 
-func newWorker(addr, secret string, seed int64, nParts int) (*worker, error) {
+func newWorker(addr, secret string, seed int64, nParts int, txnBees bool) (*worker, error) {
 	c, err := client.DialConfig(client.Config{Addr: addr, Secret: secret})
 	if err != nil {
 		return nil, err
 	}
-	w := &worker{c: c, rng: rand.New(rand.NewSource(seed)), nParts: nParts}
+	w := &worker{c: c, rng: rand.New(rand.NewSource(seed)), nParts: nParts, txnBees: txnBees}
 	prepare := func(sql string) (*client.Stmt, error) { return c.Prepare(sql) }
 	if w.kvGet, err = prepare("select v from bench_kv where k = $1"); err != nil {
 		return nil, err
@@ -674,6 +687,20 @@ func newWorker(addr, secret string, seed int64, nParts int) (*worker, error) {
 	if w.liRange, err = prepare(
 		"select count(*), sum(l_extendedprice) from lineitem where l_orderkey >= $1 and l_orderkey < $2"); err != nil {
 		return nil, err
+	}
+	if txnBees {
+		// The same Payment shape as the statement path below, fused
+		// server-side: $1=w_id, $2=d_id, $3=c_id, $4=amount.
+		if err := c.PrepareTxn(`prepare transaction pay as begin;
+			update bench_district set d_ytd = d_ytd + $4 where d_w_id = $1 and d_id = $2;
+			update bench_customer set c_balance = c_balance - $4, c_payment_cnt = c_payment_cnt + 1
+				where c_w_id = $1 and c_d_id = $2 and c_id = $3;
+			insert into bench_history values ($3, $2, $1, $4, 'payment');
+			select c_balance from bench_customer where c_w_id = $1 and c_d_id = $2 and c_id = $3;
+		commit`); err != nil {
+			return nil, fmt.Errorf("prepare transaction pay: %w", err)
+		}
+		return w, nil
 	}
 	if w.payDist, err = prepare(
 		"update bench_district set d_ytd = d_ytd + $1 where d_w_id = $2 and d_id = $3"); err != nil {
@@ -757,6 +784,18 @@ func (w *worker) payment() error {
 	did := int64(1 + w.rng.Intn(districts))
 	cid := int64(1 + w.rng.Intn(custPerDist))
 	amount := 1.0 + float64(w.rng.Intn(500))/100
+	if w.txnBees {
+		res, err := w.c.ExecuteTxn("pay", types.NewInt64(wid), types.NewInt64(did),
+			types.NewInt64(cid), types.NewFloat64(amount))
+		if err != nil {
+			return err
+		}
+		if len(res.Rows) != 1 {
+			w.misses++
+			return fmt.Errorf("payment: customer (%d,%d,%d) missing", wid, did, cid)
+		}
+		return nil
+	}
 	if _, err := w.payDist.Exec(types.NewFloat64(amount),
 		types.NewInt64(wid), types.NewInt64(did)); err != nil {
 		return err
@@ -779,10 +818,10 @@ func (w *worker) payment() error {
 }
 
 // runMixed drives n connections for dur and aggregates their counters.
-func runMixed(addr, secret string, n int, dur time.Duration, seed int64, nParts int) Round {
+func runMixed(addr, secret string, n int, dur time.Duration, seed int64, nParts int, txnBees bool) Round {
 	workers := make([]*worker, n)
 	for i := range workers {
-		w, err := newWorker(addr, secret, seed+int64(i), nParts)
+		w, err := newWorker(addr, secret, seed+int64(i), nParts, txnBees)
 		if err != nil {
 			fatalf("worker %d: %v", i, err)
 		}

@@ -3,10 +3,13 @@
 // TPC-H data), reads semicolon-terminated statements from stdin, and
 // prints results. EXPLAIN <select> prints the plan; EXPLAIN ANALYZE
 // <select> runs it and annotates every node with actual rows, loops, and
-// time. Meta commands: \bees (bee-module statistics), \cache (bee cache
-// contents and stats), \source <relation> (the generated GCL template),
-// \metrics (unified metrics snapshot), \slow [ms] (slow-query log /
-// threshold), \resetmetrics, \q.
+// time. PREPARE TRANSACTION name AS BEGIN; ...; COMMIT compiles a
+// whole-transaction bee; \txn name [params...] executes it fused (and
+// \txn alone lists the prepared transactions). Meta commands: \bees
+// (bee-module statistics), \cache (bee cache contents and stats),
+// \source <relation> (the generated GCL template), \metrics (unified
+// metrics snapshot), \slow [ms] (slow-query log / threshold),
+// \resetmetrics, \q.
 //
 // With -connect host:port the shell runs against a remote
 // microspec-server over the wire protocol instead of an in-process
@@ -27,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +39,7 @@ import (
 	"microspec/internal/engine"
 	"microspec/internal/tpch"
 	"microspec/internal/trace"
+	"microspec/internal/types"
 )
 
 func main() {
@@ -71,7 +76,8 @@ func main() {
 		mode = "stock"
 	}
 	fmt.Printf("microspec (%s engine) — end statements with ';', \\q to quit\n", mode)
-	repl(func(stmt string) { run(db, stmt) }, func(cmd string) bool { return meta(db, cmd) })
+	txns := map[string]*engine.TxnStmt{}
+	repl(func(stmt string) { run(db, txns, stmt) }, func(cmd string) bool { return meta(db, txns, cmd) })
 }
 
 // repl reads semicolon-terminated statements from stdin, dispatching
@@ -200,10 +206,24 @@ func buildDB(routines core.RoutineSet, sf float64) (*engine.DB, error) {
 	return db, nil
 }
 
-func run(db *engine.DB, stmt string) {
+func run(db *engine.DB, txns map[string]*engine.TxnStmt, stmt string) {
 	trimmed := strings.TrimSpace(stmt)
 	lower := strings.ToLower(trimmed)
 	start := time.Now()
+	if strings.HasPrefix(lower, "prepare transaction") {
+		ts, err := db.PrepareTxn(strings.TrimSuffix(trimmed, ";"))
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		if old, ok := txns[ts.Name()]; ok {
+			old.Close()
+		}
+		txns[ts.Name()] = ts
+		fmt.Printf("transaction %q prepared (%d params) — run with \\txn %s [params...]\n",
+			ts.Name(), ts.NumParams(), ts.Name())
+		return
+	}
 	if rest, analyze, ok := stripExplain(trimmed, lower); ok {
 		if analyze {
 			out, res, err := db.ExplainAnalyzeQuery(rest)
@@ -285,15 +305,15 @@ func printResult(res *engine.Result) {
 	}
 }
 
-func meta(db *engine.DB, cmd string) bool {
+func meta(db *engine.DB, txns map[string]*engine.TxnStmt, cmd string) bool {
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit":
 		return false
 	case "\\bees":
 		st := db.Module().Stats()
-		fmt.Printf("relation bees: %d, tuple bees: %d, query bees: %d\n",
-			st.RelationBees, st.TupleBees, st.QueryBees)
+		fmt.Printf("relation bees: %d, tuple bees: %d, query bees: %d, transaction bees: %d\n",
+			st.RelationBees, st.TupleBees, st.QueryBees, st.TxnBees)
 		fmt.Printf("calls: GCL=%d SCL=%d EVP=%d EVJ=%d EVA=%d\n", st.GCLCalls, st.SCLCalls, st.EVPCalls, st.EVJCalls, st.EVACalls)
 		fmt.Println(db.Module().Placement().Report())
 	case "\\cache":
@@ -366,6 +386,34 @@ func meta(db *engine.DB, cmd string) bool {
 	case "\\resetmetrics":
 		db.ResetMetrics()
 		fmt.Println("metrics reset")
+	case "\\txn":
+		if len(fields) < 2 {
+			if len(txns) == 0 {
+				fmt.Println("usage: \\txn <name> [params...]  (no transactions prepared; use PREPARE TRANSACTION ... )")
+				break
+			}
+			for name, ts := range txns {
+				fmt.Printf("%-20s %d params, %d executions\n", name, ts.NumParams(), ts.Executions())
+			}
+			break
+		}
+		ts, ok := txns[fields[1]]
+		if !ok {
+			fmt.Printf("error: no prepared transaction %q\n", fields[1])
+			break
+		}
+		params := make([]types.Datum, 0, len(fields)-2)
+		for _, f := range fields[2:] {
+			params = append(params, parseParam(f))
+		}
+		start := time.Now()
+		res, affected, err := ts.ExecTxn(params...)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		printResult(res)
+		fmt.Printf("ok (%d rows affected, %v)\n", affected, time.Since(start).Round(time.Microsecond))
 	case "\\explain":
 		if len(fields) < 2 {
 			fmt.Println("usage: \\explain [analyze] <select ...>")
@@ -400,9 +448,21 @@ func meta(db *engine.DB, cmd string) bool {
 			fmt.Println("no relation bee (stock engine)")
 		}
 	default:
-		fmt.Println("meta commands: \\bees \\cache \\source <rel> \\explain <select> \\metrics \\slow [ms] \\timeout [ms] \\quarantine [clear] \\resetmetrics \\q")
+		fmt.Println("meta commands: \\bees \\cache \\txn [name params...] \\source <rel> \\explain <select> \\metrics \\slow [ms] \\timeout [ms] \\quarantine [clear] \\resetmetrics \\q")
 	}
 	return true
+}
+
+// parseParam turns one \txn argument into a datum: integer, float, or
+// (optionally single-quoted) string.
+func parseParam(s string) types.Datum {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return types.NewInt64(n)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return types.NewFloat64(f)
+	}
+	return types.NewString(strings.Trim(s, "'"))
 }
 
 func fatalf(format string, args ...any) {

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	tpcc-bench [-w 1] [-txns 4000] [-rounds 3] [-workers 0] [-full] [-timeout 30s]
+//
+// With -bench-json it instead runs the compiled-transactions comparison
+// (E17) — statement-at-a-time vs whole-transaction bees at -sessions
+// concurrent terminals — and writes BENCH_tpcc.json.
 package main
 
 import (
@@ -23,7 +27,37 @@ func main() {
 	workers := flag.Int("workers", 0, "intra-query parallelism degree (0 = GOMAXPROCS, 1 = serial)")
 	full := flag.Bool("full", false, "use the specification-sized population (default: laptop-scale)")
 	timeout := flag.Duration("timeout", 0, "statement timeout per query on both engines (0 = none), e.g. 30s")
+	benchJSON := flag.Bool("bench-json", false, "run the compiled-transactions comparison and write BENCH_tpcc.json")
+	sessions := flag.Int("sessions", 8, "concurrent terminals per mode (with -bench-json)")
+	perSession := flag.Int("txns-per-session", 1500, "transactions per terminal (with -bench-json)")
+	jsonOut := flag.String("out", "BENCH_tpcc.json", "output path (with -bench-json)")
 	flag.Parse()
+
+	if *benchJSON {
+		o := harness.DefaultTPCCTxnOptions()
+		o.Warehouses = *warehouses
+		o.Small = !*full
+		o.Sessions = *sessions
+		o.TxnsPerSession = *perSession
+		fmt.Printf("compiled-transactions comparison: %d warehouse(s), %d sessions x %d txns per mode...\n",
+			o.Warehouses, o.Sessions, o.TxnsPerSession)
+		rep, err := harness.RunTPCCTxnBench(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpcc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(harness.FormatTPCCTxn(rep))
+		data, err := harness.MarshalTPCCTxn(rep)
+		if err == nil {
+			err = os.WriteFile(*jsonOut, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpcc-bench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return
+	}
 
 	o := harness.DefaultTPCCOptions()
 	o.Warehouses = *warehouses

@@ -243,6 +243,22 @@ func (c *Conn) Set(name, value string) error {
 	return err
 }
 
+// PrepareTxn registers a named server-side transaction from PREPARE
+// TRANSACTION SQL. The statement text carries the name; fire it with
+// ExecuteTxn.
+func (c *Conn) PrepareTxn(sql string) error {
+	_, err := c.Query(sql)
+	return err
+}
+
+// ExecuteTxn runs a named transaction — the whole multi-statement unit —
+// in one round trip. The Result carries the body's last SELECT (if any);
+// Affected counts DML rows plus returned rows.
+func (c *Conn) ExecuteTxn(name string, params ...types.Datum) (*Result, error) {
+	return c.roundTrip(wire.TExecuteTxn,
+		wire.EncodeExecuteTxn(wire.ExecuteTxn{Name: name, Params: params, TraceID: c.takeTrace()}))
+}
+
 // Stmt is a server-side prepared statement bound to its Conn.
 type Stmt struct {
 	c         *Conn

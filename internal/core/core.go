@@ -74,6 +74,8 @@ type Stats struct {
 	RelationBees int
 	TupleBees    int
 	QueryBees    int
+	// TxnBees counts compiled whole-transaction bees (see txnbee.go).
+	TxnBees int
 	GCLCalls     int64
 	SCLCalls     int64
 	EVPCalls     int64

@@ -74,6 +74,13 @@ type observer struct {
 	preparedReplans *metrics.Counter
 	preparedResets  *metrics.Counter
 
+	// Transaction-bee counters (see txnbee.go and DESIGN.md §15):
+	// fused executions, DDL-driven replans, and quarantine fallbacks to
+	// the statement-at-a-time path.
+	txnBeeExecs     *metrics.Counter
+	txnBeeReplans   *metrics.Counter
+	txnBeeFallbacks *metrics.Counter
+
 	// Concurrency-control counters (see docs/CONCURRENCY.md and
 	// DESIGN.md §13): first-updater-wins losses and vacuum activity.
 	txnConflicts    *metrics.Counter
@@ -123,6 +130,10 @@ func newObserver() *observer {
 		preparedExecs:   reg.Counter("prepared.executions"),
 		preparedReplans: reg.Counter("prepared.replans"),
 		preparedResets:  reg.Counter("prepared.cache_resets"),
+
+		txnBeeExecs:     reg.Counter("txn_bee.executions"),
+		txnBeeReplans:   reg.Counter("txn_bee.replans"),
+		txnBeeFallbacks: reg.Counter("txn_bee.fallbacks"),
 
 		txnConflicts:    reg.Counter("txn.conflicts"),
 		vacuumRuns:      reg.Counter("vacuum.runs"),
@@ -420,6 +431,7 @@ func (db *DB) registerCollectors() {
 		s.SetGauge("bees.relation", int64(st.RelationBees))
 		s.SetGauge("bees.tuple", int64(st.TupleBees))
 		s.SetGauge("bees.query", int64(st.QueryBees))
+		s.SetGauge("bees.txn", int64(st.TxnBees))
 		s.SetCounter("bees.calls.gcl", st.GCLCalls)
 		s.SetCounter("bees.calls.scl", st.SCLCalls)
 		s.SetCounter("bees.calls.evp", st.EVPCalls)

@@ -1,0 +1,603 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"microspec/internal/catalog"
+	"microspec/internal/exec"
+	"microspec/internal/expr"
+	"microspec/internal/plan"
+	"microspec/internal/sql"
+	"microspec/internal/storage/heap"
+	"microspec/internal/txn"
+	"microspec/internal/types"
+)
+
+// This file implements server-side named transactions: PREPARE
+// TRANSACTION name AS BEGIN; stmt; ...; COMMIT compiled into a
+// transaction bee (see txnbee.go). The per-statement plans are stitched
+// into one fused program at prepare time — INSERT value expressions and
+// UPDATE/DELETE predicates converted once against their relation,
+// SELECTs planned through the regular planner (index paths included)
+// with their scan latches stripped, since the fused latch plan already
+// holds every table's latch — and every statement reads the same
+// parameter-slot array, so EXECUTE TRANSACTION binds once and runs the
+// whole unit under one latch acquisition and one WAL commit record.
+//
+// Invalidation follows prepared statements: ddlGen drift rebuilds the
+// fused program, dataGen drift resets the cached SELECT plans'
+// cross-run caches, and a panic quarantines the bee — the next Exec
+// (and the failed one's retry) runs the body statement-at-a-time, each
+// statement as its own auto-commit transaction, which is exactly the
+// path the client would have used without the bee.
+
+const (
+	opInsert = iota
+	opUpdate
+	opDelete
+	opSelect
+)
+
+// txnOp is one fused statement, compiled against pre-resolved state.
+type txnOp struct {
+	kind int
+	tbl  int // table ordinal in the TxnSpec (DML ops)
+
+	// opInsert
+	colIdx []int
+	rows   [][]sql.Expr
+
+	// opUpdate / opDelete
+	where    expr.Expr
+	setExprs []expr.Expr
+	setCols  []int
+
+	// opSelect
+	planned *plan.Planned
+}
+
+// TxnStmt is a prepared named transaction. Like Stmt, a TxnStmt
+// serializes its own executions (the slot array is shared with the
+// fused program); different TxnStmts execute concurrently.
+type TxnStmt struct {
+	db      *DB
+	name    string
+	text    string
+	ast     *sql.PrepareTxn
+	nParams int
+	execs   atomic.Int64
+
+	mu      sync.Mutex
+	closed  bool
+	slots   *expr.ParamSlots
+	pl      plan.Planner // private copy: Params points at slots, latches stripped
+	ct      *CompiledTxn
+	prog    []txnOp
+	ddlGen  uint64
+	dataGen uint64
+}
+
+// PrepareTxn parses PREPARE TRANSACTION text and compiles the fused
+// unit eagerly — latch plan, index paths, parameter slots.
+func (db *DB) PrepareTxn(text string) (*TxnStmt, error) {
+	stmt, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	pt, ok := stmt.(*sql.PrepareTxn)
+	if !ok {
+		return nil, fmt.Errorf("engine: not a PREPARE TRANSACTION statement")
+	}
+	return db.PrepareTxnAST(pt, text)
+}
+
+// PrepareTxnAST compiles an already-parsed PREPARE TRANSACTION unit.
+func (db *DB) PrepareTxnAST(pt *sql.PrepareTxn, text string) (*TxnStmt, error) {
+	if db.recovering.Load() {
+		return nil, ErrRecovering
+	}
+	ts := &TxnStmt{db: db, name: pt.Name, text: text, ast: pt, nParams: sql.MaxParam(pt)}
+	ts.slots = &expr.ParamSlots{Vals: make([]types.Datum, ts.nParams)}
+	for i := range ts.slots.Vals {
+		ts.slots.Vals[i] = types.Null
+	}
+	db.mu.RLock()
+	err := ts.compileLocked()
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	db.obs.prepares.Inc()
+	return ts, nil
+}
+
+// Name returns the transaction's name (the EXECUTE TRANSACTION handle).
+func (ts *TxnStmt) Name() string { return ts.name }
+
+// NumParams returns how many $n placeholders the unit has.
+func (ts *TxnStmt) NumParams() int { return ts.nParams }
+
+// Executions returns how many times the unit has run (fused or fallen
+// back).
+func (ts *TxnStmt) Executions() int64 { return ts.execs.Load() }
+
+// Close releases the statement.
+func (ts *TxnStmt) Close() {
+	ts.mu.Lock()
+	ts.closed = true
+	ts.prog = nil
+	ts.mu.Unlock()
+}
+
+// compileLocked builds the fused program: the TxnSpec (write tables,
+// read tables, probed indexes), the CompiledTxn latch plan, and the
+// per-statement ops. Caller holds db.mu (read suffices) and ts.mu when
+// recompiling from Exec.
+func (ts *TxnStmt) compileLocked() error {
+	db := ts.db
+	spec := TxnSpec{Name: ts.name}
+	ord := map[string]int{}
+	addWrite := func(name string) int {
+		if i, ok := ord[name]; ok {
+			return i
+		}
+		i := len(spec.Writes)
+		ord[name] = i
+		spec.Writes = append(spec.Writes, name)
+		return i
+	}
+	var readNames []string
+	seenRead := map[string]bool{}
+	for _, st := range ts.ast.Stmts {
+		switch s := st.(type) {
+		case *sql.Insert:
+			addWrite(s.Table)
+		case *sql.Update:
+			addWrite(s.Table)
+		case *sql.Delete:
+			addWrite(s.Table)
+		case *sql.Select:
+			collectBaseTables(s, func(name string) {
+				if !seenRead[name] {
+					seenRead[name] = true
+					readNames = append(readNames, name)
+				}
+			})
+		}
+	}
+	for _, name := range readNames {
+		if _, isWrite := ord[name]; isWrite {
+			continue
+		}
+		// Skip names that are not relations (CTE references resolve
+		// inside their own SELECT plan).
+		if _, err := db.cat.Lookup(name); err != nil {
+			continue
+		}
+		spec.Reads = append(spec.Reads, name)
+	}
+
+	res, err := db.resolveTxn(spec)
+	if err != nil {
+		return err
+	}
+
+	// The fused planner copy: slots bound, scan latches stripped (the
+	// latch plan already holds them — an inner IndexScan re-acquiring the
+	// same RWMutex would self-deadlock), serial execution (the unit runs
+	// under held latches; fan-out belongs to OLAP queries).
+	ts.pl = *db.planner
+	ts.pl.Params = ts.slots
+	ts.pl.ParamTypes = make([]types.T, ts.nParams)
+	ts.pl.Workers = 1
+	latched := make(map[*catalog.Relation]bool, len(res.tables))
+	for _, t := range res.tables {
+		latched[t.rel.rel] = true
+	}
+	baseIndexes := db.planner.IndexesFor
+	ts.pl.IndexesFor = func(rel *catalog.Relation) []plan.IndexMeta {
+		ims := baseIndexes(rel)
+		if !latched[rel] {
+			return ims
+		}
+		out := make([]plan.IndexMeta, len(ims))
+		for i, im := range ims {
+			im.Latch = nil
+			out[i] = im
+		}
+		return out
+	}
+
+	prog := make([]txnOp, 0, len(ts.ast.Stmts))
+	for _, st := range ts.ast.Stmts {
+		switch s := st.(type) {
+		case *sql.Insert:
+			ti := ord[s.Table]
+			colIdx, err := insertColumnMap(res.tables[ti].rel.rel, s.Cols)
+			if err != nil {
+				return err
+			}
+			for _, row := range s.Rows {
+				if len(row) != len(colIdx) {
+					return fmt.Errorf("engine: INSERT has %d values for %d columns", len(row), len(colIdx))
+				}
+			}
+			prog = append(prog, txnOp{kind: opInsert, tbl: ti, colIdx: colIdx, rows: s.Rows})
+		case *sql.Update:
+			ti := ord[s.Table]
+			where, setExprs, setCols, err := ts.compileUpdateOp(res.tables[ti].rel.rel, s)
+			if err != nil {
+				return err
+			}
+			prog = append(prog, txnOp{kind: opUpdate, tbl: ti, where: where, setExprs: setExprs, setCols: setCols})
+		case *sql.Delete:
+			ti := ord[s.Table]
+			var where expr.Expr
+			if s.Where != nil {
+				where, err = ts.pl.ConvertForRelation(s.Where, res.tables[ti].rel.rel)
+				if err != nil {
+					return err
+				}
+			}
+			prog = append(prog, txnOp{kind: opDelete, tbl: ti, where: where})
+		case *sql.Select:
+			planned, err := ts.pl.PlanSelect(s)
+			if err != nil {
+				return err
+			}
+			prog = append(prog, txnOp{kind: opSelect, planned: planned})
+		}
+	}
+
+	ct := &CompiledTxn{db: db, spec: spec}
+	ct.res.Store(res)
+	if err := ct.register(res); err != nil {
+		return err
+	}
+	ts.ct = ct
+	ts.prog = prog
+	ts.ddlGen = db.ddlGen.Load()
+	ts.dataGen = db.dataGen.Load()
+	return nil
+}
+
+func (ts *TxnStmt) compileUpdateOp(rel *catalog.Relation, s *sql.Update) (expr.Expr, []expr.Expr, []int, error) {
+	var where expr.Expr
+	var err error
+	if s.Where != nil {
+		where, err = ts.pl.ConvertForRelation(s.Where, rel)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	var setExprs []expr.Expr
+	var setCols []int
+	for _, sc := range s.Set {
+		i := rel.AttrIndex(sc.Col)
+		if i < 0 {
+			return nil, nil, nil, fmt.Errorf("engine: column %q not in %s", sc.Col, rel.Name)
+		}
+		e, err := ts.pl.ConvertForRelation(sc.Expr, rel)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		setCols = append(setCols, i)
+		setExprs = append(setExprs, e)
+	}
+	return where, setExprs, setCols, nil
+}
+
+// collectBaseTables visits every base-relation name a SELECT references,
+// including in joins, subqueries, and CTE bodies.
+func collectBaseTables(sel *sql.Select, fn func(string)) {
+	if sel == nil {
+		return
+	}
+	cte := map[string]bool{}
+	for _, w := range sel.With {
+		cte[w.Name] = true
+		collectBaseTables(w.Sel, fn)
+	}
+	var visit func(tr sql.TableRef)
+	visit = func(tr sql.TableRef) {
+		switch t := tr.(type) {
+		case *sql.BaseTable:
+			if !cte[t.Name] {
+				fn(t.Name)
+			}
+		case *sql.SubqueryRef:
+			collectBaseTables(t.Sel, fn)
+		case *sql.JoinRef:
+			visit(t.Left)
+			visit(t.Right)
+		}
+	}
+	for _, tr := range sel.From {
+		visit(tr)
+	}
+	walkSelectSubqueries(sel, fn)
+}
+
+// walkSelectSubqueries finds base tables referenced from scalar/EXISTS/IN
+// subqueries in the SELECT's expressions.
+func walkSelectSubqueries(sel *sql.Select, fn func(string)) {
+	sql.WalkSelectSubqueries(sel, func(sub *sql.Select) {
+		collectBaseTables(sub, fn)
+	})
+}
+
+// ExecTxn runs the named transaction with the given parameters: fused
+// when the bee is in service, statement-at-a-time otherwise. It returns
+// the last SELECT's result (nil if the body has none) and the total
+// number of rows affected by DML.
+func (ts *TxnStmt) ExecTxn(params ...types.Datum) (*Result, int64, error) {
+	db := ts.db
+	start := time.Now()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.closed {
+		return nil, 0, ErrStmtClosed
+	}
+	if db.recovering.Load() {
+		return nil, 0, ErrRecovering
+	}
+	if err := ts.bind(params); err != nil {
+		return nil, 0, err
+	}
+
+	var res *Result
+	var affected int64
+	var err error
+	if db.mod.TxnBeeAllowed(ts.name) {
+		res, affected, err = ts.runFused()
+		var pe *exec.PanicError
+		if errors.As(err, &pe) {
+			// The bee is quarantined now (Run did it); retry this same
+			// execution statement-at-a-time.
+			db.obs.txnBeeFallbacks.Inc()
+			res, affected, err = ts.runStmtAtATime()
+		}
+	} else {
+		db.obs.txnBeeFallbacks.Inc()
+		res, affected, err = ts.runStmtAtATime()
+	}
+	ts.execs.Add(1)
+	rows := affected
+	if res != nil {
+		rows += int64(len(res.Rows))
+	}
+	db.obs.observeExecuteStmt(ts.text, time.Since(start), rows, err, 0)
+	return res, affected, err
+}
+
+// bind writes parameter values into the shared slot array.
+func (ts *TxnStmt) bind(params []types.Datum) error {
+	if len(params) != ts.nParams {
+		return fmt.Errorf("engine: transaction has %d parameters, got %d", ts.nParams, len(params))
+	}
+	for i, d := range params {
+		if i < len(ts.pl.ParamTypes) {
+			d = coerceParam(d, ts.pl.ParamTypes[i])
+		}
+		ts.slots.Vals[i] = d
+	}
+	return nil
+}
+
+// runFused executes the compiled program under the fused latch plan and
+// a single commit. Caller holds ts.mu.
+func (ts *TxnStmt) runFused() (*Result, int64, error) {
+	db := ts.db
+	// DDL moved the schema: rebuild the whole fused program (the ops hold
+	// relation pointers and plans against the old catalog).
+	if db.ddlGen.Load() != ts.ddlGen {
+		db.mu.RLock()
+		err := ts.compileLocked()
+		db.mu.RUnlock()
+		if err != nil {
+			return nil, 0, err
+		}
+		db.obs.txnBeeReplans.Inc()
+	} else if dg := db.dataGen.Load(); dg != ts.dataGen {
+		for _, op := range ts.prog {
+			if op.kind == opSelect {
+				exec.ResetCaches(op.planned.Root)
+			}
+		}
+		ts.dataGen = dg
+		db.obs.preparedResets.Inc()
+	}
+	var res *Result
+	var affected int64
+	err := ts.ct.Run(nil, func(ft *FastTxn) error {
+		for i := range ts.prog {
+			op := &ts.prog[i]
+			switch op.kind {
+			case opInsert:
+				n, err := ts.fusedInsert(ft, op)
+				if err != nil {
+					return err
+				}
+				affected += n
+			case opUpdate:
+				n, err := ts.fusedUpdate(ft, op)
+				if err != nil {
+					return err
+				}
+				affected += n
+			case opDelete:
+				n, err := ts.fusedDelete(ft, op)
+				if err != nil {
+					return err
+				}
+				affected += n
+			case opSelect:
+				rows, err := collectSafe(&exec.Ctx{Context: context.Background(), Expr: expr.Ctx{}, Snap: ft.snap}, op.planned.Root)
+				if err != nil {
+					return err
+				}
+				res = &Result{Cols: op.planned.Cols, Rows: rows}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		ts.dataGen = db.dataGen.Load() // our own rollback bumped it
+		return nil, 0, err
+	}
+	ts.dataGen = db.dataGen.Load()
+	return res, affected, nil
+}
+
+func (ts *TxnStmt) fusedInsert(ft *FastTxn, op *txnOp) (int64, error) {
+	nAttrs := len(ft.res.tables[op.tbl].rel.rel.Attrs)
+	var n int64
+	for _, rowExprs := range op.rows {
+		values := make([]types.Datum, nAttrs)
+		for i := range values {
+			values[i] = types.Null
+		}
+		for i, e := range rowExprs {
+			d, err := evalConstAST(e, ts.slots)
+			if err != nil {
+				return n, err
+			}
+			values[op.colIdx[i]] = d
+		}
+		if err := ft.Insert(op.tbl, values); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// fusedScanWhere collects the TIDs and deformed rows matching op.where
+// under the transaction's own snapshot (two-phase, like
+// execUpdateLatched: applying during the scan would revisit moved
+// tuples).
+func (ft *FastTxn) fusedScanWhere(tbl int, where expr.Expr) ([]heap.TID, []expr.Row, error) {
+	t := &ft.res.tables[tbl]
+	ctx := &expr.Ctx{Prof: ft.prof}
+	values := make([]types.Datum, len(t.rel.rel.Attrs))
+	var tids []heap.TID
+	var rows []expr.Row
+	sc := t.rel.heap.Scan(ft.snap, ft.prof)
+	for {
+		tid, tup, ok := sc.Next()
+		if !ok {
+			break
+		}
+		t.acc.deform(tup, values, len(values), ft.prof)
+		if where != nil {
+			v := where.Eval(values, ctx)
+			if v.IsNull() || !v.Bool() {
+				continue
+			}
+		}
+		tids = append(tids, tid)
+		rows = append(rows, exec.CloneRow(values))
+	}
+	sc.Close()
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return tids, rows, nil
+}
+
+func (ts *TxnStmt) fusedUpdate(ft *FastTxn, op *txnOp) (int64, error) {
+	tids, olds, err := ft.fusedScanWhere(op.tbl, op.where)
+	if err != nil {
+		return 0, err
+	}
+	ctx := &expr.Ctx{Prof: ft.prof}
+	for i, tid := range tids {
+		newVal := exec.CloneRow(olds[i])
+		for j, e := range op.setExprs {
+			newVal[op.setCols[j]] = exec.CloneDatum(e.Eval(olds[i], ctx))
+		}
+		if err := ft.UpdateRow(op.tbl, tid, olds[i], newVal); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(tids)), nil
+}
+
+func (ts *TxnStmt) fusedDelete(ft *FastTxn, op *txnOp) (int64, error) {
+	tids, _, err := ft.fusedScanWhere(op.tbl, op.where)
+	if err != nil {
+		return 0, err
+	}
+	for _, tid := range tids {
+		if err := ft.DeleteRow(op.tbl, tid); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(tids)), nil
+}
+
+// runStmtAtATime is the fallback: each body statement runs as its own
+// auto-commit transaction through the regular statement paths — exactly
+// what a client without the transaction bee would have sent. Caller
+// holds ts.mu.
+func (ts *TxnStmt) runStmtAtATime() (*Result, int64, error) {
+	db := ts.db
+	var res *Result
+	var affected int64
+	for _, st := range ts.ast.Stmts {
+		switch s := st.(type) {
+		case *sql.Insert:
+			n, err := db.execInsert(s, nil, ts.slots)
+			if err != nil {
+				return nil, affected, err
+			}
+			affected += n
+		case *sql.Update:
+			n, err := db.execUpdate(s, nil, ts.slots)
+			if err != nil {
+				return nil, affected, err
+			}
+			affected += n
+		case *sql.Delete:
+			n, err := db.execDelete(s, nil, ts.slots)
+			if err != nil {
+				return nil, affected, err
+			}
+			affected += n
+		case *sql.Select:
+			r, err := db.selectWithSlots(s, ts.slots)
+			if err != nil {
+				return nil, affected, err
+			}
+			res = r
+		}
+	}
+	return res, affected, nil
+}
+
+// selectWithSlots plans and runs one SELECT with prepared-statement
+// slots bound — the statement-at-a-time form of a fused SELECT, with
+// its own snapshot.
+func (db *DB) selectWithSlots(sel *sql.Select, slots *expr.ParamSlots) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pl := *db.planner
+	pl.Params = slots
+	pl.ParamTypes = make([]types.T, len(slots.Vals))
+	planned, err := pl.PlanSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	snap := db.tm.Snapshot(txn.None)
+	defer snap.Release()
+	rows, err := collectSafe(&exec.Ctx{Context: context.Background(), Expr: expr.Ctx{}, Snap: snap}, planned.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: planned.Cols, Rows: rows}, nil
+}

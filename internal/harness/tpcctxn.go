@@ -1,0 +1,308 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"microspec/internal/core"
+	"microspec/internal/engine"
+	"microspec/internal/tpcc"
+	"microspec/internal/txn"
+)
+
+// This file is the compiled-transactions experiment (E17): the five
+// TPC-C transactions at N concurrent sessions, statement-at-a-time vs
+// whole-transaction bees (engine.CompiledTxn), with per-type latency
+// percentiles and the tpmC headline. Both modes run the same per-session
+// seeds; after each run the TPC-C consistency invariants are asserted,
+// so a mode only posts a number if its database is still correct.
+
+// TPCCTxnOptions configures the compiled-transactions comparison.
+type TPCCTxnOptions struct {
+	Warehouses     int
+	Small          bool // laptop-scale population
+	Sessions       int  // concurrent terminals per mode
+	TxnsPerSession int
+	Seed           int64
+	PoolPages      int
+}
+
+// DefaultTPCCTxnOptions returns laptop-scale settings: 8 sessions, as
+// the experiment is about amortizing per-operation overheads under
+// concurrency.
+func DefaultTPCCTxnOptions() TPCCTxnOptions {
+	return TPCCTxnOptions{Warehouses: 1, Small: true, Sessions: 8, TxnsPerSession: 1500, Seed: 1, PoolPages: 32768}
+}
+
+// TxnLatency is one transaction type's latency summary.
+type TxnLatency struct {
+	Count int64   `json:"count"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+}
+
+// TPCCTxnMode is one execution mode's measurements.
+type TPCCTxnMode struct {
+	Mode       string                `json:"mode"` // "stmt" or "txn_bee"
+	TpmC       float64               `json:"tpmc"` // committed New-Order per minute
+	TPM        float64               `json:"tpm"`  // all committed transactions per minute
+	Committed  int64                 `json:"committed"`
+	RolledBack int64                 `json:"rolled_back"`
+	Conflicts  int64                 `json:"conflicts"`
+	Fallbacks  int64                 `json:"fallbacks,omitempty"`
+	ByType     map[string]TxnLatency `json:"by_type"`
+}
+
+// TPCCTxnReport is the BENCH_tpcc.json document.
+type TPCCTxnReport struct {
+	Bench          string      `json:"bench"`
+	Warehouses     int         `json:"warehouses"`
+	Sessions       int         `json:"sessions"`
+	TxnsPerSession int         `json:"txns_per_session"`
+	Mix            string      `json:"mix"`
+	Stmt           TPCCTxnMode `json:"stmt"`
+	TxnBee         TPCCTxnMode `json:"txn_bee"`
+	// TpmCUplift is the headline: txn-bee tpmC over statement-at-a-time.
+	TpmCUplift float64 `json:"tpmc_uplift"`
+}
+
+// sessionRun is one terminal's tally.
+type sessionRun struct {
+	committed, rolledBack, conflicts int64
+	byType                           [5]int64
+	lats                             [5][]time.Duration
+}
+
+// runTPCCTxnMode loads a fresh database and drives it with o.Sessions
+// concurrent seeded terminals, all in one mode.
+func runTPCCTxnMode(o TPCCTxnOptions, useBees bool) (TPCCTxnMode, error) {
+	cfg := tpcc.DefaultConfig(o.Warehouses)
+	if o.Small {
+		cfg = tpcc.SmallConfig(o.Warehouses)
+	}
+	db, err := tpcc.NewDatabase(engine.Config{Routines: core.AllRoutines, PoolPages: o.PoolPages}, cfg)
+	if err != nil {
+		return TPCCTxnMode{}, fmt.Errorf("harness: tpcc load: %w", err)
+	}
+	execs := make([]*tpcc.Executor, o.Sessions)
+	for i := range execs {
+		execs[i] = tpcc.NewExecutor(db, cfg, o.Seed+int64(i))
+		if useBees {
+			if err := execs[i].EnableTxnBees(); err != nil {
+				return TPCCTxnMode{}, err
+			}
+		}
+	}
+
+	mode := "stmt"
+	if useBees {
+		mode = "txn_bee"
+	}
+	runs := make([]sessionRun, o.Sessions)
+	var wg sync.WaitGroup
+	errCh := make(chan error, o.Sessions)
+	runtime.GC()
+	start := time.Now()
+	for i := range execs {
+		wg.Add(1)
+		go func(e *tpcc.Executor, r *sessionRun) {
+			defer wg.Done()
+			mix := tpcc.DefaultMix
+			for n := 0; n < o.TxnsPerSession; n++ {
+				t := pickTxn(e, mix)
+				t0 := time.Now()
+				var err error
+				for {
+					err = runTxnType(e, t)
+					// A first-updater-wins loss is the client's cue to retry
+					// the transaction; the retry is part of this
+					// transaction's latency.
+					if err != nil && errors.Is(err, txn.ErrWriteConflict) {
+						r.conflicts++
+						continue
+					}
+					break
+				}
+				r.lats[t] = append(r.lats[t], time.Since(t0))
+				if errors.Is(err, tpcc.ErrRollback) {
+					r.rolledBack++
+					continue
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("harness: %s mode: %v: %w", mode, t, err)
+					return
+				}
+				r.committed++
+				r.byType[t]++
+			}
+		}(execs[i], &runs[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return TPCCTxnMode{}, err
+	default:
+	}
+
+	if err := checkTPCCConsistency(db, o.Warehouses); err != nil {
+		return TPCCTxnMode{}, fmt.Errorf("harness: %s mode: %w", mode, err)
+	}
+
+	m := TPCCTxnMode{Mode: mode, ByType: map[string]TxnLatency{}}
+	if useBees {
+		for _, e := range execs {
+			m.Fallbacks += e.Fallbacks
+		}
+	}
+	var merged [5][]time.Duration
+	for i := range runs {
+		m.Committed += runs[i].committed
+		m.RolledBack += runs[i].rolledBack
+		m.Conflicts += runs[i].conflicts
+		for t := 0; t < 5; t++ {
+			merged[t] = append(merged[t], runs[i].lats[t]...)
+		}
+	}
+	var newOrders int64
+	for i := range runs {
+		newOrders += runs[i].byType[tpcc.TxnNewOrder]
+	}
+	m.TPM = float64(m.Committed) / elapsed.Minutes()
+	m.TpmC = float64(newOrders) / elapsed.Minutes()
+	for t := tpcc.TxnType(0); t < 5; t++ {
+		lats := merged[t]
+		if len(lats) == 0 {
+			continue
+		}
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		at := func(q float64) float64 {
+			return float64(lats[int(q*float64(len(lats)-1))]) / float64(time.Microsecond)
+		}
+		m.ByType[t.String()] = TxnLatency{Count: int64(len(lats)), P50us: at(0.50), P95us: at(0.95)}
+	}
+	return m, nil
+}
+
+func pickTxn(e *tpcc.Executor, mix tpcc.Mix) tpcc.TxnType {
+	r := e.Rng.Intn(1000)
+	acc := 0
+	for t := tpcc.TxnType(0); t < 5; t++ {
+		acc += mix[t]
+		if r < acc {
+			return t
+		}
+	}
+	return tpcc.TxnNewOrder
+}
+
+func runTxnType(e *tpcc.Executor, t tpcc.TxnType) error {
+	switch t {
+	case tpcc.TxnNewOrder:
+		return e.NewOrder()
+	case tpcc.TxnPayment:
+		return e.Payment()
+	case tpcc.TxnOrderStatus:
+		return e.OrderStatus()
+	case tpcc.TxnDelivery:
+		return e.Delivery()
+	default:
+		return e.StockLevel()
+	}
+}
+
+// checkTPCCConsistency asserts the TPC-C consistency conditions the
+// workload maintains: condition 1 (per warehouse, w_ytd equals the sum
+// of its districts' d_ytd) and no order left without order lines.
+func checkTPCCConsistency(db *engine.DB, warehouses int) error {
+	for w := 1; w <= warehouses; w++ {
+		wr, err := db.Query(fmt.Sprintf("select w_ytd from warehouse where w_id = %d", w))
+		if err != nil {
+			return err
+		}
+		dr, err := db.Query(fmt.Sprintf("select sum(d_ytd) from district where d_w_id = %d", w))
+		if err != nil {
+			return err
+		}
+		diff := wr.Rows[0][0].Float64() - dr.Rows[0][0].Float64()
+		if diff > 1e-4 || diff < -1e-4 {
+			return fmt.Errorf("consistency: warehouse %d w_ytd %v != sum(d_ytd) %v",
+				w, wr.Rows[0][0], dr.Rows[0][0])
+		}
+	}
+	r, err := db.Query(`select count(*) from orders
+		where not exists (select * from order_line
+			where ol_w_id = o_w_id and ol_d_id = o_d_id and ol_o_id = o_id)`)
+	if err != nil {
+		return err
+	}
+	if n := r.Rows[0][0].Int64(); n != 0 {
+		return fmt.Errorf("consistency: %d orders without order lines", n)
+	}
+	return nil
+}
+
+// RunTPCCTxnBench runs both modes and assembles the report.
+func RunTPCCTxnBench(o TPCCTxnOptions) (TPCCTxnReport, error) {
+	if o.Sessions < 1 {
+		o.Sessions = 1
+	}
+	rep := TPCCTxnReport{
+		Bench:          "tpcc",
+		Warehouses:     o.Warehouses,
+		Sessions:       o.Sessions,
+		TxnsPerSession: o.TxnsPerSession,
+		Mix:            "default (45/43/4/4/4)",
+	}
+	var err error
+	if rep.Stmt, err = runTPCCTxnMode(o, false); err != nil {
+		return rep, err
+	}
+	if rep.TxnBee, err = runTPCCTxnMode(o, true); err != nil {
+		return rep, err
+	}
+	if rep.Stmt.TpmC > 0 {
+		rep.TpmCUplift = rep.TxnBee.TpmC / rep.Stmt.TpmC
+	}
+	return rep, nil
+}
+
+// FormatTPCCTxn renders the comparison table.
+func FormatTPCCTxn(r TPCCTxnReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compiled transactions (E17): %d sessions, %d txns/session, %d warehouse(s)\n",
+		r.Sessions, r.TxnsPerSession, r.Warehouses)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s %10s %10s\n", "mode", "tpmC", "tpm", "committed", "conflicts", "fallbacks")
+	for _, m := range []TPCCTxnMode{r.Stmt, r.TxnBee} {
+		fmt.Fprintf(&b, "%-10s %12.0f %12.0f %12d %10d %10d\n",
+			m.Mode, m.TpmC, m.TPM, m.Committed, m.Conflicts, m.Fallbacks)
+	}
+	fmt.Fprintf(&b, "tpmC uplift: %.2fx\n", r.TpmCUplift)
+	order := []string{"NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"}
+	fmt.Fprintf(&b, "%-12s %10s %10s %12s %12s\n", "type", "stmt p50", "stmt p95", "txn-bee p50", "txn-bee p95")
+	for _, name := range order {
+		s, okS := r.Stmt.ByType[name]
+		t, okT := r.TxnBee.ByType[name]
+		if !okS && !okT {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %9.0fµ %9.0fµ %11.0fµ %11.0fµ\n", name, s.P50us, s.P95us, t.P50us, t.P95us)
+	}
+	return b.String()
+}
+
+// MarshalTPCCTxn renders the report as indented JSON with a trailing
+// newline.
+func MarshalTPCCTxn(r TPCCTxnReport) ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

@@ -234,13 +234,20 @@ func (t *Tree) insert(n *node, key Key, tid heap.TID) (*node, Key) {
 	return right, sepUp
 }
 
-// leafFor returns the leftmost leaf that may contain key.
+// leafFor returns the leftmost leaf that may contain key. Descent must
+// be left-biased — first separator >= key, then take the child to its
+// left: a split can leave older duplicates of the separator key in the
+// left sibling (MVCC keeps one entry per version under the same key),
+// and a right-biased descent would make them unreachable, so point
+// lookups under concurrent update churn would miss visible versions.
+// Readers that need the newer duplicates too walk the leaf sibling
+// chain forward.
 func (t *Tree) leafFor(key Key) *node {
 	t.searches.Add(1)
 	n := t.root
 	for !n.leaf {
 		i := sort.Search(len(n.keys), func(i int) bool {
-			return t.cmp(n.keys[i], key) > 0
+			return t.cmp(n.keys[i], key) >= 0
 		})
 		n = n.children[i]
 	}

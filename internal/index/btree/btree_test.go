@@ -252,3 +252,54 @@ func TestTreeMatchesReferenceModel(t *testing.T) {
 		t.Errorf("Len() = %d, want %d", tr.Len(), len(want))
 	}
 }
+
+// TestDuplicatesAcrossLeafSplits regression-tests the left-biased
+// descent in leafFor: when many entries share one key (MVCC versions),
+// a leaf split can leave older duplicates in the left sibling with the
+// shared key as the parent separator. A right-biased descent (first
+// separator strictly greater) would land past them, making SearchAll,
+// SearchEq, AscendPrefix, and Delete miss every duplicate left of the
+// split point — exactly the versions an older snapshot still needs.
+func TestDuplicatesAcrossLeafSplits(t *testing.T) {
+	tr := New("dup_split", false)
+	// Surround one hot key with enough distinct neighbors to force
+	// several splits, interleaving so the hot key's run straddles leaf
+	// boundaries.
+	const hot = 500
+	n := 0
+	for round := 0; round < 40; round++ {
+		for k := 0; k < 10; k++ {
+			tr.InsertVersion(ik(hot-20+k), tid(n), nil)
+			n++
+		}
+		for v := 0; v < 10; v++ {
+			tr.InsertVersion(ik(hot), tid(n), nil)
+			n++
+		}
+		for k := 0; k < 10; k++ {
+			tr.InsertVersion(ik(hot+1+k), tid(n), nil)
+			n++
+		}
+	}
+	if got := len(tr.SearchAll(ik(hot), nil)); got != 400 {
+		t.Fatalf("SearchAll found %d of 400 duplicates", got)
+	}
+	if _, ok := tr.SearchEq(ik(hot), nil); !ok {
+		t.Fatal("SearchEq missed the hot key")
+	}
+	// Every (key, tid) pair must be individually deletable.
+	for _, td := range tr.SearchAll(ik(hot), nil) {
+		if !tr.Delete(ik(hot), td, nil) {
+			t.Fatalf("Delete missed (hot,%v)", td)
+		}
+	}
+	if got := len(tr.SearchAll(ik(hot), nil)); got != 0 {
+		t.Fatalf("%d duplicates survived deletion", got)
+	}
+	// Neighbors are untouched.
+	for k := 0; k < 10; k++ {
+		if got := len(tr.SearchAll(ik(hot-20+k), nil)); got != 40 {
+			t.Fatalf("neighbor %d: %d of 40 entries", hot-20+k, got)
+		}
+	}
+}

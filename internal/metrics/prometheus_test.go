@@ -69,6 +69,8 @@ func TestFormatIncludesBuckets(t *testing.T) {
 func TestWritePrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("query.count").Add(12)
+	r.Counter("txn_bee.executions").Add(9)
+	r.Counter("txn_bee.fallbacks").Add(1)
 	r.Counter("wal.fsyncs").Add(7)
 	r.Counter("group_commit.batches").Add(4)
 	r.Gauge("server.sessions_active").Set(3)
@@ -87,6 +89,10 @@ func TestWritePrometheusGolden(t *testing.T) {
 microspec_group_commit_batches 4
 # TYPE microspec_query_count counter
 microspec_query_count 12
+# TYPE microspec_txn_bee_executions counter
+microspec_txn_bee_executions 9
+# TYPE microspec_txn_bee_fallbacks counter
+microspec_txn_bee_fallbacks 1
 # TYPE microspec_wal_fsyncs counter
 microspec_wal_fsyncs 7
 # TYPE microspec_server_sessions_active gauge

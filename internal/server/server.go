@@ -254,6 +254,7 @@ func (s *Server) serve(conn net.Conn) {
 		conn:  conn,
 		id:    s.nextSID.Add(1),
 		stmts: make(map[string]*engine.Stmt),
+		txns:  make(map[string]*engine.TxnStmt),
 	}
 	s.mu.Lock()
 	s.sessions[sess] = struct{}{}

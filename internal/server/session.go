@@ -28,6 +28,7 @@ type session struct {
 	id    uint64
 	opts  engine.QueryOpts
 	stmts map[string]*engine.Stmt
+	txns  map[string]*engine.TxnStmt
 	busy  atomic.Bool
 }
 
@@ -42,6 +43,9 @@ func (s *session) interruptIfIdle() {
 func (s *session) closeStmts() {
 	for _, st := range s.stmts {
 		st.Close()
+	}
+	for _, ts := range s.txns {
+		ts.Close()
 	}
 }
 
@@ -148,6 +152,25 @@ func (s *session) handle(f wire.Frame, readStart time.Time, readDur time.Duratio
 		at.SpanAt("wire.decode", decStart, decDur)
 		return s.runExecute(st, e, at) != nil
 
+	case wire.TExecuteTxn:
+		decStart := time.Now()
+		e, err := wire.DecodeExecuteTxn(f.Payload)
+		decDur := time.Since(decStart)
+		if err != nil {
+			srv.mBadFrames.Inc()
+			srv.writeError(s.conn, err)
+			return true
+		}
+		ts, ok := s.txns[e.Name]
+		if !ok {
+			return srv.writeError(s.conn, &wire.Error{
+				Code: wire.CodeUnknownStmt, Msg: fmt.Sprintf("no prepared transaction %q", e.Name)}) != nil
+		}
+		at := srv.db.Tracer().Start(e.TraceID, "execute_txn", e.Name)
+		at.SpanAt("wire.read", readStart, readDur)
+		at.SpanAt("wire.decode", decStart, decDur)
+		return s.runExecuteTxn(ts, e, at) != nil
+
 	case wire.TCloseStmt:
 		c, err := wire.DecodeCloseStmt(f.Payload)
 		if err != nil {
@@ -158,6 +181,10 @@ func (s *session) handle(f wire.Frame, readStart time.Time, readDur time.Duratio
 		if st, ok := s.stmts[c.Name]; ok {
 			st.Close()
 			delete(s.stmts, c.Name)
+		}
+		if ts, ok := s.txns[c.Name]; ok {
+			ts.Close()
+			delete(s.txns, c.Name)
 		}
 		return wire.WriteFrame(s.conn, wire.TDone, wire.EncodeDone(wire.Done{})) != nil
 
@@ -191,6 +218,21 @@ func (s *session) runQuery(q wire.Query, at *trace.Active) error {
 	if err != nil {
 		at.Finish(err)
 		return srv.writeError(s.conn, err)
+	}
+	// PREPARE TRANSACTION registers a named fused unit on the session;
+	// the client fires it later with an ExecuteTxn frame.
+	if pt, ok := stmt.(*sql.PrepareTxn); ok {
+		ts, err := srv.db.PrepareTxnAST(pt, q.SQL)
+		at.Finish(err)
+		if err != nil {
+			return srv.writeError(s.conn, err)
+		}
+		if old, ok := s.txns[pt.Name]; ok {
+			old.Close()
+		}
+		s.txns[pt.Name] = ts
+		return wire.WriteFrame(s.conn, wire.TDone,
+			wire.EncodeDone(wire.Done{TraceID: at.ID()}))
 	}
 	// The trace rides the context into the engine, where parse/plan/exec
 	// spans attach to it; all Active methods are nil-safe for the common
@@ -245,6 +287,35 @@ func (s *session) runExecute(st *engine.Stmt, e wire.Execute, at *trace.Active) 
 		return srv.writeError(s.conn, err)
 	}
 	return s.sendResult(res, analyze, at.ID())
+}
+
+// runExecuteTxn binds and runs a named transaction in one round trip.
+// The reply is the last SELECT's result (RowDesc + rows when the body
+// has one) and a Done whose row count is the DML rows affected plus the
+// rows returned.
+func (s *session) runExecuteTxn(ts *engine.TxnStmt, e wire.ExecuteTxn, at *trace.Active) error {
+	srv := s.srv
+	res, affected, err := ts.ExecTxn(e.Params...)
+	at.Finish(err)
+	if err != nil {
+		return srv.writeError(s.conn, err)
+	}
+	if res == nil {
+		return wire.WriteFrame(s.conn, wire.TDone,
+			wire.EncodeDone(wire.Done{Rows: affected, TraceID: at.ID()}))
+	}
+	if err := wire.WriteFrame(s.conn, wire.TRowDesc,
+		wire.EncodeRowDesc(wire.RowDesc{Cols: colsOf(res.Cols)})); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		if err := wire.WriteFrame(s.conn, wire.TRow,
+			wire.EncodeRow(wire.Row{Vals: row})); err != nil {
+			return err
+		}
+	}
+	return wire.WriteFrame(s.conn, wire.TDone,
+		wire.EncodeDone(wire.Done{Rows: affected + int64(len(res.Rows)), TraceID: at.ID()}))
 }
 
 // sendResult streams RowDesc, the rows, and Done; traced requests get

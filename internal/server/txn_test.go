@@ -1,0 +1,85 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"microspec/internal/client"
+	"microspec/internal/types"
+	"microspec/internal/wire"
+)
+
+// The ExecuteTxn frame fires a whole named transaction in one round
+// trip: registration rides a Query frame carrying PREPARE TRANSACTION,
+// then each ExecuteTxn binds parameters and runs the fused unit.
+func TestExecuteTxnRoundTrip(t *testing.T) {
+	srv, db := startServer(t, nil)
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	if err := c.PrepareTxn(`prepare transaction bump as begin;
+		update kv set v = 'bumped' where k = $1;
+		insert into kv values ($2, 'fresh');
+		select v from kv where k = $1;
+	commit`); err != nil {
+		t.Fatalf("PrepareTxn: %v", err)
+	}
+
+	res, err := c.ExecuteTxn("bump", types.NewInt64(7), types.NewInt64(1007))
+	if err != nil {
+		t.Fatalf("ExecuteTxn: %v", err)
+	}
+	// 2 DML rows + 1 returned row.
+	if res.Affected != 3 {
+		t.Errorf("Affected = %d, want 3", res.Affected)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "bumped" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+
+	// The fused unit executed as a transaction bee.
+	snap := db.MetricsSnapshot()
+	if snap.Counters["txn_bee.executions"] != 1 {
+		t.Errorf("txn_bee.executions = %d", snap.Counters["txn_bee.executions"])
+	}
+
+	// Unknown names get the typed unknown-statement error.
+	if _, err := c.ExecuteTxn("nosuch"); err == nil {
+		t.Error("unknown transaction succeeded")
+	} else {
+		var we *wire.Error
+		if !asWireError(err, &we) || we.Code != wire.CodeUnknownStmt {
+			t.Errorf("err = %v", err)
+		}
+	}
+
+	// A body error rolls the whole unit back and the session continues:
+	// insert a duplicate key so every statement's effect must vanish.
+	if err := c.PrepareTxn(`prepare transaction dup as begin;
+		update kv set v = 'poison' where k = 8;
+		insert into kv values (8, 'dup');
+	commit`); err != nil {
+		t.Fatalf("PrepareTxn dup: %v", err)
+	}
+	if _, err := c.ExecuteTxn("dup"); err == nil {
+		t.Error("duplicate insert committed")
+	}
+	r, err := c.Query("select v from kv where k = 8")
+	if err != nil {
+		t.Fatalf("Query after rollback: %v", err)
+	}
+	if len(r.Rows) != 1 || !strings.HasPrefix(r.Rows[0][0].Str(), "val-") {
+		t.Errorf("k=8 after rollback = %v", r.Rows)
+	}
+}
+
+func asWireError(err error, target **wire.Error) bool {
+	we, ok := err.(*wire.Error)
+	if ok {
+		*target = we
+	}
+	return ok
+}

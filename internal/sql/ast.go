@@ -32,6 +32,16 @@ type CreateIndex struct {
 // DropTable is DROP TABLE name.
 type DropTable struct{ Name string }
 
+// PrepareTxn is PREPARE TRANSACTION name AS BEGIN; stmt; ...; COMMIT —
+// a named multi-statement transaction planned once as a single fused
+// unit (a transaction bee). The body statements are restricted to
+// SELECT/INSERT/UPDATE/DELETE and may carry $n placeholders sharing one
+// parameter space across all statements.
+type PrepareTxn struct {
+	Name  string
+	Stmts []Statement
+}
+
 // Insert is INSERT INTO table [(cols)] VALUES (...), (...).
 type Insert struct {
 	Table string
@@ -129,6 +139,7 @@ func (*SubqueryRef) tableRef() {}
 func (*JoinRef) tableRef()     {}
 
 func (*CreateTable) stmt() {}
+func (*PrepareTxn) stmt()  {}
 func (*CreateIndex) stmt() {}
 func (*DropTable) stmt()   {}
 func (*Insert) stmt()      {}

@@ -33,7 +33,33 @@ func walkStmtExprs(s Statement, fn func(Expr)) {
 		walkExpr(st.Where, fn)
 	case *Delete:
 		walkExpr(st.Where, fn)
+	case *PrepareTxn:
+		for _, sub := range st.Stmts {
+			walkStmtExprs(sub, fn)
+		}
 	}
+}
+
+// WalkSelectSubqueries visits every subquery SELECT nested in sel's
+// expressions (scalar, IN, EXISTS), at any depth. It does not visit sel
+// itself or its FROM-clause derived tables.
+func WalkSelectSubqueries(sel *Select, fn func(*Select)) {
+	walkSelectExprs(sel, func(e Expr) {
+		switch x := e.(type) {
+		case *InExpr:
+			if x.Sub != nil {
+				fn(x.Sub)
+			}
+		case *ExistsExpr:
+			if x.Sub != nil {
+				fn(x.Sub)
+			}
+		case *SubqueryExpr:
+			if x.Sel != nil {
+				fn(x.Sel)
+			}
+		}
+	})
 }
 
 func walkSelectExprs(sel *Select, fn func(Expr)) {

@@ -98,9 +98,58 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case p.at(tokKeyword, "delete"):
 		return p.parseDelete()
+	case p.at(tokIdent, "prepare"):
+		return p.parsePrepareTxn()
 	default:
 		return nil, p.errf("unexpected token %q at start of statement", p.cur().text)
 	}
+}
+
+// parsePrepareTxn parses PREPARE TRANSACTION name AS BEGIN; stmt; ...;
+// COMMIT. PREPARE, TRANSACTION, BEGIN, and COMMIT lex as identifiers
+// (they are not reserved words), so they are matched by text here and
+// remain usable as ordinary identifiers elsewhere.
+func (p *parser) parsePrepareTxn() (Statement, error) {
+	p.pos++ // prepare
+	if !p.accept(tokIdent, "transaction") {
+		return nil, p.errf("expected TRANSACTION after PREPARE")
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "as"); err != nil {
+		return nil, err
+	}
+	if !p.accept(tokIdent, "begin") {
+		return nil, p.errf("expected BEGIN after AS")
+	}
+	if _, err := p.expect(tokOp, ";"); err != nil {
+		return nil, err
+	}
+	var stmts []Statement
+	for {
+		if p.accept(tokIdent, "commit") {
+			break
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		switch st.(type) {
+		case *Select, *Insert, *Update, *Delete:
+		default:
+			return nil, p.errf("PREPARE TRANSACTION bodies allow only SELECT/INSERT/UPDATE/DELETE")
+		}
+		stmts = append(stmts, st)
+		if _, err := p.expect(tokOp, ";"); err != nil {
+			return nil, err
+		}
+	}
+	if len(stmts) == 0 {
+		return nil, p.errf("PREPARE TRANSACTION body is empty")
+	}
+	return &PrepareTxn{Name: name, Stmts: stmts}, nil
 }
 
 // --- DDL ---

@@ -1,10 +1,12 @@
 package tpcc
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"microspec/internal/engine"
+	"microspec/internal/exec"
 	"microspec/internal/expr"
 	"microspec/internal/profile"
 	"microspec/internal/storage/heap"
@@ -53,11 +55,30 @@ const (
 // Executor runs TPC-C transactions against one database. It is not
 // goroutine-safe; each terminal owns one (they share the DB, which
 // serializes writers internally).
+//
+// Each transaction samples all of its random inputs up front into a
+// parameter struct, then dispatches to one of two bodies that apply
+// identical logic: the statement-at-a-time body (interactive engine.Txn,
+// one latch acquisition per operation) or — after EnableTxnBees — the
+// fused body running inside a compiled transaction bee (one latch plan,
+// pre-resolved handles, single commit; see engine/txnbee.go and
+// txnbees.go in this package). Because the parameters are fixed before
+// execution, a bee that panics mid-transaction is quarantined and the
+// very same transaction is retried statement-at-a-time with identical
+// inputs and results.
 type Executor struct {
 	DB   *engine.DB
 	Cfg  Config
 	Rng  *rand.Rand
 	Prof *profile.Counters
+
+	// UseTxnBees routes transactions through the compiled whole-
+	// transaction bees; EnableTxnBees sets it after compiling them.
+	UseTxnBees bool
+	bees       [numTxnTypes]*engine.CompiledTxn
+	// Fallbacks counts transactions that started fused and were retried
+	// statement-at-a-time (quarantine or replan failure).
+	Fallbacks int64
 
 	// today stamps order entry dates.
 	today int32
@@ -85,14 +106,73 @@ func (e *Executor) randLastNum() int {
 // ErrRollback marks the intentional 1% New-Order abort.
 var ErrRollback = fmt.Errorf("tpcc: new-order rollback (unused item)")
 
+// errNoCustomer marks a by-last-name lookup that found nobody: the
+// transaction rolls back and counts as done (matching the
+// statement-at-a-time behaviour).
+var errNoCustomer = errors.New("tpcc: no customer with that last name")
+
+// beeFellBack reports whether a fused execution error means "retry
+// statement-at-a-time": the bee was quarantined (by this very panic or
+// an earlier one) or could not replan. Transaction-level errors — write
+// conflicts, the intentional rollback — are not fallbacks.
+func beeFellBack(err error) bool {
+	if errors.Is(err, engine.ErrTxnBeeUnavailable) {
+		return true
+	}
+	var pe *exec.PanicError
+	return errors.As(err, &pe)
+}
+
+// dispatch routes one transaction: fused body when transaction bees are
+// enabled, with a statement-at-a-time retry of the same parameters if
+// the bee fell out of service mid-flight.
+func (e *Executor) dispatch(t TxnType, fused, stmt func() error) error {
+	if e.UseTxnBees && e.bees[t] != nil {
+		err := fused()
+		if !beeFellBack(err) {
+			return err
+		}
+		e.Fallbacks++
+		e.DB.NoteTxnBeeFallback()
+	}
+	return stmt()
+}
+
+// --- New-Order ---
+
+type noLine struct{ item, qty int32 }
+
+type noParams struct {
+	w, d, c int32
+	lines   []noLine
+	abort   bool
+}
+
+func (e *Executor) newOrderParams() noParams {
+	p := noParams{
+		w: int32(1 + e.Rng.Intn(e.Cfg.Warehouses)),
+		d: int32(1 + e.Rng.Intn(e.Cfg.DistrictsPerWH)),
+		c: int32(nuRand(e.Rng, 1023, 1, e.Cfg.CustomersPerDist)),
+	}
+	n := 5 + e.Rng.Intn(11)
+	p.abort = e.Rng.Intn(100) == 0
+	p.lines = make([]noLine, n)
+	for i := range p.lines {
+		p.lines[i].item = int32(nuRand(e.Rng, 8191, 1, e.Cfg.Items))
+		p.lines[i].qty = int32(1 + e.Rng.Intn(10))
+	}
+	return p
+}
+
 // NewOrder runs the New-Order transaction for a random district and
 // customer; 1% of invocations roll back per the specification.
 func (e *Executor) NewOrder() error {
-	w := int32(1 + e.Rng.Intn(e.Cfg.Warehouses))
-	d := int32(1 + e.Rng.Intn(e.Cfg.DistrictsPerWH))
-	c := int32(nuRand(e.Rng, 1023, 1, e.Cfg.CustomersPerDist))
-	nItems := 5 + e.Rng.Intn(11)
-	abort := e.Rng.Intn(100) == 0
+	p := e.newOrderParams()
+	return e.dispatch(TxnNewOrder, func() error { return e.newOrderFused(p) }, func() error { return e.newOrderStmt(p) })
+}
+
+func (e *Executor) newOrderStmt(p noParams) error {
+	w, d, c := p.w, p.d, p.c
 
 	txn := e.DB.Begin(e.Prof)
 	wRow, _, ok, err := txn.GetByIndex("warehouse_pkey", []types.Datum{i32d(w)})
@@ -122,7 +202,7 @@ func (e *Executor) NewOrder() error {
 	allLocal := int32(1)
 	if err := txn.Insert("orders", []types.Datum{
 		i32d(w), i32d(d), i32d(orderID), i32d(c),
-		types.NewDate(e.today), i32d(0), i32d(int32(nItems)), i32d(allLocal),
+		types.NewDate(e.today), i32d(0), i32d(int32(len(p.lines))), i32d(allLocal),
 	}); err != nil {
 		txn.Rollback()
 		return err
@@ -135,8 +215,9 @@ func (e *Executor) NewOrder() error {
 	discount := cRow[cDiscount].Float64()
 	taxes := (1 + wRow[wTax].Float64() + dRow[dTax].Float64()) * (1 - discount)
 	total := 0.0
-	for ln := 1; ln <= nItems; ln++ {
-		item := int32(nuRand(e.Rng, 8191, 1, e.Cfg.Items))
+	for i, line := range p.lines {
+		ln := i + 1
+		item := line.item
 		iRow, _, ok, err := txn.GetByIndex("item_pkey", []types.Datum{i32d(item)})
 		if err != nil || !ok {
 			txn.Rollback()
@@ -147,7 +228,7 @@ func (e *Executor) NewOrder() error {
 			txn.Rollback()
 			return fmt.Errorf("tpcc: stock (%d,%d): %v", w, item, err)
 		}
-		qty := int32(1 + e.Rng.Intn(10))
+		qty := line.qty
 		newS := append(expr.Row(nil), sRow...)
 		sq := sRow[sQuantity].Int32()
 		if sq >= qty+10 {
@@ -176,7 +257,7 @@ func (e *Executor) NewOrder() error {
 	}
 	_ = total * taxes
 
-	if abort {
+	if p.abort {
 		if err := txn.Rollback(); err != nil {
 			return err
 		}
@@ -186,12 +267,40 @@ func (e *Executor) NewOrder() error {
 	return nil
 }
 
+// --- Payment ---
+
+type payParams struct {
+	w, d   int32
+	amount float64
+	byName bool
+	last   string
+	c      int32
+}
+
+func (e *Executor) paymentParams() payParams {
+	p := payParams{
+		w:      int32(1 + e.Rng.Intn(e.Cfg.Warehouses)),
+		d:      int32(1 + e.Rng.Intn(e.Cfg.DistrictsPerWH)),
+		amount: 1 + float64(e.Rng.Intn(499900))/100,
+	}
+	p.byName = e.Rng.Intn(100) < 60
+	if p.byName {
+		p.last = LastName(e.randLastNum())
+	} else {
+		p.c = int32(nuRand(e.Rng, 1023, 1, e.Cfg.CustomersPerDist))
+	}
+	return p
+}
+
 // Payment runs the Payment transaction: 60% of customers are selected by
 // last name, 40% by id.
 func (e *Executor) Payment() error {
-	w := int32(1 + e.Rng.Intn(e.Cfg.Warehouses))
-	d := int32(1 + e.Rng.Intn(e.Cfg.DistrictsPerWH))
-	amount := 1 + float64(e.Rng.Intn(499900))/100
+	p := e.paymentParams()
+	return e.dispatch(TxnPayment, func() error { return e.paymentFused(p) }, func() error { return e.paymentStmt(p) })
+}
+
+func (e *Executor) paymentStmt(p payParams) error {
+	w, d, amount := p.w, p.d, p.amount
 
 	txn := e.DB.Begin(e.Prof)
 	wRow, wTID, ok, err := txn.GetByIndex("warehouse_pkey", []types.Datum{i32d(w)})
@@ -219,14 +328,13 @@ func (e *Executor) Payment() error {
 
 	var cRow expr.Row
 	var cTID heap.TID
-	if e.Rng.Intn(100) < 60 {
-		cRow, cTID, err = e.customerByLastName(txn, w, d, LastName(e.randLastNum()))
+	if p.byName {
+		cRow, cTID, err = e.customerByLastName(txn, w, d, p.last)
 	} else {
-		c := int32(nuRand(e.Rng, 1023, 1, e.Cfg.CustomersPerDist))
 		var found bool
-		cRow, cTID, found, err = txn.GetByIndex("customer_pkey", []types.Datum{i32d(w), i32d(d), i32d(c)})
+		cRow, cTID, found, err = txn.GetByIndex("customer_pkey", []types.Datum{i32d(w), i32d(d), i32d(p.c)})
 		if err == nil && !found {
-			err = fmt.Errorf("tpcc: customer %d missing", c)
+			err = fmt.Errorf("tpcc: customer %d missing", p.c)
 		}
 	}
 	if err != nil || cRow == nil {
@@ -277,20 +385,46 @@ func (e *Executor) customerByLastName(txn *engine.Txn, w, d int32, last string) 
 	return mid.row, mid.tid, nil
 }
 
+// --- Order-Status ---
+
+type osParams struct {
+	w, d   int32
+	byName bool
+	last   string
+	c      int32
+}
+
+func (e *Executor) orderStatusParams() osParams {
+	p := osParams{
+		w: int32(1 + e.Rng.Intn(e.Cfg.Warehouses)),
+		d: int32(1 + e.Rng.Intn(e.Cfg.DistrictsPerWH)),
+	}
+	p.byName = e.Rng.Intn(100) < 60
+	if p.byName {
+		p.last = LastName(e.randLastNum())
+	} else {
+		p.c = int32(nuRand(e.Rng, 1023, 1, e.Cfg.CustomersPerDist))
+	}
+	return p
+}
+
 // OrderStatus runs the Order-Status read-only transaction.
 func (e *Executor) OrderStatus() error {
-	w := int32(1 + e.Rng.Intn(e.Cfg.Warehouses))
-	d := int32(1 + e.Rng.Intn(e.Cfg.DistrictsPerWH))
+	p := e.orderStatusParams()
+	return e.dispatch(TxnOrderStatus, func() error { return e.orderStatusFused(p) }, func() error { return e.orderStatusStmt(p) })
+}
+
+func (e *Executor) orderStatusStmt(p osParams) error {
+	w, d := p.w, p.d
 
 	txn := e.DB.Begin(e.Prof)
 	defer txn.Commit()
 	var cRow expr.Row
 	var err error
-	if e.Rng.Intn(100) < 60 {
-		cRow, _, err = e.customerByLastName(txn, w, d, LastName(e.randLastNum()))
+	if p.byName {
+		cRow, _, err = e.customerByLastName(txn, w, d, p.last)
 	} else {
-		c := int32(nuRand(e.Rng, 1023, 1, e.Cfg.CustomersPerDist))
-		cRow, _, _, err = txn.GetByIndex("customer_pkey", []types.Datum{i32d(w), i32d(d), i32d(c)})
+		cRow, _, _, err = txn.GetByIndex("customer_pkey", []types.Datum{i32d(w), i32d(d), i32d(p.c)})
 	}
 	if err != nil {
 		return err
@@ -323,11 +457,28 @@ func (e *Executor) OrderStatus() error {
 	return nil
 }
 
+// --- Delivery ---
+
+type delParams struct {
+	w, carrier int32
+}
+
+func (e *Executor) deliveryParams() delParams {
+	return delParams{
+		w:       int32(1 + e.Rng.Intn(e.Cfg.Warehouses)),
+		carrier: int32(1 + e.Rng.Intn(10)),
+	}
+}
+
 // Delivery runs the Delivery transaction: for each district of a
 // warehouse, deliver the oldest undelivered order.
 func (e *Executor) Delivery() error {
-	w := int32(1 + e.Rng.Intn(e.Cfg.Warehouses))
-	carrier := int32(1 + e.Rng.Intn(10))
+	p := e.deliveryParams()
+	return e.dispatch(TxnDelivery, func() error { return e.deliveryFused(p) }, func() error { return e.deliveryStmt(p) })
+}
+
+func (e *Executor) deliveryStmt(p delParams) error {
+	w, carrier := p.w, p.carrier
 
 	txn := e.DB.Begin(e.Prof)
 	for d := int32(1); d <= int32(e.Cfg.DistrictsPerWH); d++ {
@@ -410,12 +561,30 @@ func (e *Executor) Delivery() error {
 	return nil
 }
 
+// --- Stock-Level ---
+
+type slParams struct {
+	w, d      int32
+	threshold int32
+}
+
+func (e *Executor) stockLevelParams() slParams {
+	return slParams{
+		w:         int32(1 + e.Rng.Intn(e.Cfg.Warehouses)),
+		d:         int32(1 + e.Rng.Intn(e.Cfg.DistrictsPerWH)),
+		threshold: int32(10 + e.Rng.Intn(11)),
+	}
+}
+
 // StockLevel runs the Stock-Level read-only transaction: count distinct
 // items in the district's last 20 orders whose stock is below threshold.
 func (e *Executor) StockLevel() error {
-	w := int32(1 + e.Rng.Intn(e.Cfg.Warehouses))
-	d := int32(1 + e.Rng.Intn(e.Cfg.DistrictsPerWH))
-	threshold := int32(10 + e.Rng.Intn(11))
+	p := e.stockLevelParams()
+	return e.dispatch(TxnStockLevel, func() error { return e.stockLevelFused(p) }, func() error { return e.stockLevelStmt(p) })
+}
+
+func (e *Executor) stockLevelStmt(p slParams) error {
+	w, d, threshold := p.w, p.d, p.threshold
 
 	txn := e.DB.Begin(e.Prof)
 	defer txn.Commit()

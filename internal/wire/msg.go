@@ -168,6 +168,45 @@ func DecodeExecute(p []byte) (Execute, error) {
 	return m, d.done(TExecute)
 }
 
+// ExecuteTxn binds parameters and runs a named transaction (a PREPARE
+// TRANSACTION unit) in one round trip: BEGIN, every body statement, and
+// COMMIT are a single fused server-side execution. TraceID is the same
+// optional trailing trace-correlation field as Query.TraceID.
+type ExecuteTxn struct {
+	Name    string
+	Params  []types.Datum
+	TraceID uint64
+}
+
+func EncodeExecuteTxn(m ExecuteTxn) []byte {
+	var e enc
+	e.str(m.Name)
+	e.u16(uint16(len(m.Params)))
+	for _, v := range m.Params {
+		e.datum(v)
+	}
+	if m.TraceID != 0 {
+		e.u64(m.TraceID)
+	}
+	return e.b
+}
+
+func DecodeExecuteTxn(p []byte) (ExecuteTxn, error) {
+	d := dec{b: p}
+	m := ExecuteTxn{Name: d.str()}
+	n := int(d.u16())
+	if d.err == nil && n > 0 {
+		m.Params = make([]types.Datum, 0, min(n, maxElems))
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Params = append(m.Params, d.datum())
+		}
+	}
+	if d.rem() > 0 {
+		m.TraceID = d.u64()
+	}
+	return m, d.done(TExecuteTxn)
+}
+
 // CloseStmt drops a named prepared statement.
 type CloseStmt struct {
 	Name string

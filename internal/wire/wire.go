@@ -39,6 +39,10 @@ const (
 	TCloseStmt Type = 0x05 // CloseStmt: drop a prepared statement
 	TSet       Type = 0x06 // Set: session-scoped setting
 	TTerminate Type = 0x07 // Terminate: clean goodbye
+	// TExecuteTxn fires a named transaction (PREPARE TRANSACTION,
+	// registered via a TQuery frame) in one round trip: the whole
+	// multi-statement unit runs server-side as a transaction bee.
+	TExecuteTxn Type = 0x08
 
 	// Server → client.
 	THelloOK   Type = 0x81 // HelloOK: server accepted the session
@@ -65,6 +69,8 @@ func (t Type) String() string {
 		return "Set"
 	case TTerminate:
 		return "Terminate"
+	case TExecuteTxn:
+		return "ExecuteTxn"
 	case THelloOK:
 		return "HelloOK"
 	case TRowDesc:
@@ -86,7 +92,7 @@ func (t Type) String() string {
 func validType(t Type) bool {
 	switch t {
 	case THello, TQuery, TPrepare, TExecute, TCloseStmt, TSet, TTerminate,
-		THelloOK, TRowDesc, TRow, TDone, TError, TPrepareOK:
+		TExecuteTxn, THelloOK, TRowDesc, TRow, TDone, TError, TPrepareOK:
 		return true
 	}
 	return false
