@@ -45,6 +45,19 @@
 // "client trace <id>" lines whose IDs match the server-side span trees at
 // the admin plane's /traces endpoint (started with -admin; against an
 // external server, start it with its own -admin/-trace flags instead).
+//
+// With -shift the run ends with the adaptive-specialization experiment
+// (E18): the advisor is enabled on the live server with a short decision
+// interval, a hot set of Q6-shaped lineitem predicates runs until the
+// advisor promotes it, then the hot set rotates — the old predicates
+// vanish from the workload and a disjoint set takes over. The report
+// captures pre-shift steady throughput, the post-shift dip, the
+// recovered tail once the advisor has re-specialized, and the
+// statically-specialized ceiling, plus the advisor's promotion/demotion
+// counts. Every query in the experiment is verified against expected
+// aggregates computed on the stock path; under -check, any mismatch —
+// or a run where the advisor never promoted or never demoted — exits
+// non-zero.
 package main
 
 import (
@@ -62,6 +75,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"microspec/internal/advisor"
 	"microspec/internal/client"
 	"microspec/internal/core"
 	"microspec/internal/engine"
@@ -113,8 +127,35 @@ type Report struct {
 	Scaling         *Scaling         `json:"scaling,omitempty"`
 	Rounds          []Round          `json:"rounds"`
 	PreparedVsAdhoc *PreparedVsAdhoc `json:"prepared_vs_adhoc,omitempty"`
+	Shift           *ShiftReport     `json:"shift,omitempty"`
 	Restart         *RestartReport   `json:"restart,omitempty"`
 	FaultStats      *disk.FaultStats `json:"fault_stats,omitempty"`
+}
+
+// ShiftReport is the E18 adaptive-specialization experiment: throughput
+// through a mid-run rotation of the hot predicate set, with the advisor
+// re-specializing the engine online (no restart).
+type ShiftReport struct {
+	PhaseSeconds float64 `json:"phase_seconds"`
+	// PhaseAOpsSec is steady throughput on the first hot set after the
+	// advisor specialized it.
+	PhaseAOpsSec float64 `json:"phase_a_ops_per_sec"`
+	// DipOpsSec is throughput right after the shift, while the new hot
+	// set still runs interpreted.
+	DipOpsSec float64 `json:"dip_ops_per_sec"`
+	// PostShiftOpsSec is the recovered tail: the new hot set after the
+	// advisor promoted it.
+	PostShiftOpsSec float64 `json:"post_shift_ops_per_sec"`
+	// StaticOpsSec is the statically-specialized ceiling: the same new
+	// hot set with the advisor off (compile-on-first-use), measured warm.
+	StaticOpsSec float64 `json:"static_ops_per_sec"`
+	// RecoveryRatio = PostShiftOpsSec / StaticOpsSec (E18's headline:
+	// within 10% of the ceiling means ≥ 0.9).
+	RecoveryRatio float64 `json:"recovery_ratio"`
+	Promotions    int64   `json:"promotions"`
+	Demotions     int64   `json:"demotions"`
+	Cycles        int64   `json:"cycles"`
+	Mismatches    int64   `json:"mismatches"`
 }
 
 // RestartReport is the kill-and-restart experiment (E16's warm-restart
@@ -172,6 +213,7 @@ func main() {
 	naiveSync := flag.Bool("naivesync", false, "with -durable: one fsync per commit instead of group commit (the E16 baseline)")
 	fsyncLat := flag.Duration("fsynclat", 100*time.Microsecond, "with -durable: simulated fsync cost, really slept so group commit has something to amortize (0 = free syncs)")
 	restart := flag.Bool("restart", false, "end with the kill-and-restart experiment: warm vs cold prepared first-execution p50 (implies -durable)")
+	shift := flag.Bool("shift", false, "end with the adaptive-specialization experiment: rotate the hot predicate set mid-run and let the advisor re-specialize online (E18)")
 	txnBees := flag.Bool("txnbees", false, "run the Payment transaction through a server-side transaction bee: one ExecuteTxn round trip instead of four statement round trips")
 	flag.Parse()
 	if *restart {
@@ -182,6 +224,9 @@ func main() {
 	}
 	if (*durable || *restart) && *addr != "" {
 		fatalf("-durable/-restart need the in-process server (drop -addr)")
+	}
+	if *shift && *addr != "" {
+		fatalf("-shift needs the in-process server (drop -addr)")
 	}
 
 	connCounts, err := parseConns(*connsFlag)
@@ -227,6 +272,12 @@ func main() {
 		}
 		if *durable {
 			cfg.Durability = engine.DurabilityConfig{WAL: true, NaiveSync: *naiveSync}
+		}
+		if *shift {
+			// A short decision interval keeps the experiment brief, and
+			// pinning is effectively disabled so the abandoned hot set
+			// stays eligible for cold demotion after the shift.
+			cfg.Advisor = advisor.Config{Interval: 200 * time.Millisecond, PinStreak: 1 << 20}
 		}
 		engCfg = cfg
 		db = engine.Open(cfg)
@@ -358,6 +409,17 @@ func main() {
 	if db != nil {
 		fmt.Print(harness.FormatBeeBenefits(db, 10))
 	}
+	shiftOK := true
+	if *shift && db != nil {
+		sr := runShift(db, target, *secret, *dur)
+		rep.Shift = sr
+		mismatches += sr.Mismatches
+		if *check && (sr.Promotions < 1 || sr.Demotions < 1) {
+			shiftOK = false
+			fmt.Fprintf(os.Stderr, "loadgen: shift experiment saw %d promotions, %d demotions (want >= 1 each)\n",
+				sr.Promotions, sr.Demotions)
+		}
+	}
 	restartOK := true
 	if *restart && srv != nil {
 		rr := runRestart(db, srv, dm, engCfg, *secret, *seed, nParts)
@@ -405,6 +467,9 @@ func main() {
 	}
 	if !restartOK {
 		fatalf("check failed: warm restart slower than 2x pre-kill")
+	}
+	if !shiftOK {
+		fatalf("check failed: advisor never re-specialized across the shift")
 	}
 	if *check {
 		if mismatches > 0 {
@@ -537,6 +602,144 @@ func runRestart(db *engine.DB, srv *server.Server, dm *disk.Manager, cfg engine.
 		rr.PreKillP50us, rr.WarmP50us, rr.ColdP50us, rr.PreparedWarmed, rr.RecoveryMS)
 	fmt.Printf("restart ratios: warm/pre=%.2fx cold/warm=%.2fx\n", rr.WarmOverPre, rr.ColdOverWarm)
 	return rr
+}
+
+// shiftTexts returns the two disjoint hot predicate sets of the E18
+// experiment: Q6-shaped lineitem aggregates whose fixed constants make
+// each text its own predicate bee. Phase A's set is hot first; the
+// shift replaces it wholesale with phase B's.
+func shiftTexts() (a, b []string) {
+	a = []string{
+		"select count(*), sum(l_extendedprice) from lineitem where l_quantity < 24.0",
+		"select count(*), sum(l_extendedprice) from lineitem where l_quantity >= 45.0",
+		"select count(*), sum(l_quantity) from lineitem where l_discount < 0.03",
+		"select count(*), sum(l_quantity) from lineitem where l_tax >= 0.07",
+	}
+	b = []string{
+		"select count(*), sum(l_extendedprice) from lineitem where l_quantity < 11.0",
+		"select count(*), sum(l_extendedprice) from lineitem where l_tax < 0.02",
+		"select count(*), sum(l_quantity) from lineitem where l_discount >= 0.08",
+		"select count(*), sum(l_quantity) from lineitem where l_extendedprice < 20000.0",
+	}
+	return a, b
+}
+
+// sumClose compares float aggregates with a relative tolerance: parallel
+// scans may sum partitions in a different order than the serial stock
+// pass that computed the expectation.
+func sumClose(got, want float64) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := want
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= 1e-9*scale
+}
+
+// runShift is the E18 adaptive-specialization experiment: enable the
+// advisor on the live server, let it specialize the phase-A hot set,
+// rotate the hot set to phase B mid-run, and measure the dip and the
+// recovered tail against the statically-specialized ceiling. Every query
+// is verified against aggregates computed on the stock path first.
+func runShift(db *engine.DB, addr, secret string, dur time.Duration) *ShiftReport {
+	phase := dur
+	if phase < 2*time.Second {
+		phase = 2 * time.Second // demotion needs heat to decay through several cycles
+	}
+	sr := &ShiftReport{PhaseSeconds: phase.Seconds()}
+	hotA, hotB := shiftTexts()
+
+	c, err := client.DialConfig(client.Config{Addr: addr, Secret: secret})
+	if err != nil {
+		fatalf("shift dial: %v", err)
+	}
+	defer c.Close()
+
+	// Raise the gate first, then compute expected aggregates: with the
+	// advisor up these run interpreted, so the expectations come from the
+	// stock path every later execution is checked against.
+	db.SetAdvisorEnabled(true)
+	snap0 := db.MetricsSnapshot()
+	type agg struct {
+		count int64
+		sum   float64
+	}
+	expect := make(map[string]agg)
+	for _, q := range append(append([]string{}, hotA...), hotB...) {
+		res, err := c.Query(q)
+		if err != nil || len(res.Rows) != 1 {
+			fatalf("shift expectation %q: %v", q, err)
+		}
+		expect[q] = agg{res.Rows[0][0].Int64(), res.Rows[0][1].Float64()}
+	}
+
+	exec1 := func(q string) {
+		res, err := c.Query(q)
+		e := expect[q]
+		if err != nil || len(res.Rows) != 1 ||
+			res.Rows[0][0].Int64() != e.count || !sumClose(res.Rows[0][1].Float64(), e.sum) {
+			sr.Mismatches++
+		}
+	}
+	// measure runs texts round-robin for d and returns the rate, checking
+	// every result.
+	measure := func(texts []string, d time.Duration) float64 {
+		var ops int64
+		t0 := time.Now()
+		for time.Since(t0) < d {
+			exec1(texts[int(ops)%len(texts)])
+			ops++
+		}
+		return float64(ops) / time.Since(t0).Seconds()
+	}
+	delta := func(name string) int64 {
+		return db.MetricsSnapshot().Counters[name] - snap0.Counters[name]
+	}
+
+	// Phase A: first half is the promotion transient, second half the
+	// specialized steady state.
+	measure(hotA, phase/2)
+	sr.PhaseAOpsSec = measure(hotA, phase/2)
+
+	// The shift: phase A's predicates vanish, phase B takes over. The
+	// first half after the shift is the dip (B still interpreted), the
+	// second the recovered tail (B promoted and compiled).
+	sr.DipOpsSec = measure(hotB, phase/2)
+	sr.PostShiftOpsSec = measure(hotB, phase/2)
+
+	// Keep B hot until the advisor has demoted the abandoned set — its
+	// heat has to decay below threshold for ColdStreak cycles.
+	deadline := time.Now().Add(phase + 4*time.Second)
+	for delta("advisor.demotions") == 0 && time.Now().Before(deadline) {
+		exec1(hotB[0])
+	}
+
+	sr.Promotions = delta("advisor.promotions")
+	sr.Demotions = delta("advisor.demotions")
+	sr.Cycles = delta("advisor.cycles")
+
+	// Statically-specialized ceiling: advisor off, compile on first use,
+	// measured warm over the same texts.
+	db.SetAdvisorEnabled(false)
+	for _, q := range hotB {
+		exec1(q)
+	}
+	sr.StaticOpsSec = measure(hotB, phase/2)
+	if sr.StaticOpsSec > 0 {
+		sr.RecoveryRatio = sr.PostShiftOpsSec / sr.StaticOpsSec
+	}
+
+	fmt.Printf("shift: phaseA=%.0f ops/s dip=%.0f post-shift=%.0f static=%.0f recovery=%.2f\n",
+		sr.PhaseAOpsSec, sr.DipOpsSec, sr.PostShiftOpsSec, sr.StaticOpsSec, sr.RecoveryRatio)
+	fmt.Printf("shift advisor: promotions=%d demotions=%d cycles=%d mismatches=%d\n",
+		sr.Promotions, sr.Demotions, sr.Cycles, sr.Mismatches)
+	return sr
 }
 
 // setupBenchTables creates and seeds the bench_* tables over the wire,

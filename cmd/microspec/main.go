@@ -328,6 +328,14 @@ func meta(db *engine.DB, txns map[string]*engine.TxnStmt, cmd string) bool {
 			if e.Quarantined {
 				marker = " QUARANTINED"
 			}
+			// Advisor tier markers: pinned bees the advisor keeps hot,
+			// demoted bees it evicted back to the stock path.
+			switch e.Tier {
+			case "pinned":
+				marker += " PINNED"
+			case "demoted":
+				marker += " DEMOTED"
+			}
 			if ns := saved[e.Kind+"\x00"+e.Name]; ns > 0 {
 				marker += fmt.Sprintf(" saved≈%v", time.Duration(ns).Round(time.Microsecond))
 			}
@@ -336,6 +344,25 @@ func meta(db *engine.DB, txns map[string]*engine.TxnStmt, cmd string) bool {
 		cs := db.Module().Cache().Stats()
 		fmt.Printf("entries: mem=%d (%dB) disk=%d (%dB)\n", cs.MemEntries, cs.MemBytes, cs.DiskEntries, cs.DiskBytes)
 		fmt.Printf("writes=%d hits=%d misses=%d evictions=%d\n", cs.Writes, cs.Hits, cs.Misses, cs.Evictions)
+	case "\\advisor":
+		if len(fields) > 1 && (fields[1] == "on" || fields[1] == "off") {
+			db.SetAdvisorEnabled(fields[1] == "on")
+		}
+		st := db.Advisor().Snapshot()
+		fmt.Printf("advisor: enabled=%v cycles=%d\n", st.Enabled, st.Cycles)
+		if len(st.Decisions) == 0 {
+			fmt.Println("no decisions yet")
+		}
+		for _, d := range st.Decisions {
+			target := d.Name
+			if d.Kind != "" {
+				target = d.Kind + " " + d.Name
+			}
+			fmt.Printf("cycle %-4d %-12s %-44s %s\n", d.Cycle, d.Action, target, d.Reason)
+		}
+		for _, ti := range st.Tiers {
+			fmt.Printf("tier %-9s heat=%-8.3g %-10s %s\n", ti.StateName, ti.Heat, ti.Kind, ti.Name)
+		}
 	case "\\metrics":
 		fmt.Print(db.MetricsSnapshot().Format())
 	case "\\slow":
@@ -448,7 +475,7 @@ func meta(db *engine.DB, txns map[string]*engine.TxnStmt, cmd string) bool {
 			fmt.Println("no relation bee (stock engine)")
 		}
 	default:
-		fmt.Println("meta commands: \\bees \\cache \\txn [name params...] \\source <rel> \\explain <select> \\metrics \\slow [ms] \\timeout [ms] \\quarantine [clear] \\resetmetrics \\q")
+		fmt.Println("meta commands: \\bees \\cache \\advisor [on|off] \\txn [name params...] \\source <rel> \\explain <select> \\metrics \\slow [ms] \\timeout [ms] \\quarantine [clear] \\resetmetrics \\q")
 	}
 	return true
 }

@@ -44,6 +44,30 @@ func (u *BeeUsage) Note(rows, ns int64) {
 	u.ns.Add(ns)
 }
 
+// SignedEstSavedNs is the advisor's demotion signal: the same
+// observed × (stock − bee) / bee estimate as BeeBenefit.EstSavedNs but
+// without the positive clamp, so a bee whose static cost exceeds the
+// stock routine's (the cost model says it is a net loss for this shape)
+// reports a negative saving. Returns 0 until the bee has timed work.
+func (u *BeeUsage) SignedEstSavedNs() int64 {
+	if u == nil || u.beeCost <= 0 {
+		return 0
+	}
+	ns := u.ns.Load()
+	if ns <= 0 {
+		return 0
+	}
+	return ns * (u.stockCost - u.beeCost) / u.beeCost
+}
+
+// Rows returns how many rows the bee has processed on timed paths.
+func (u *BeeUsage) Rows() int64 {
+	if u == nil {
+		return 0
+	}
+	return u.rows.Load()
+}
+
 // BeeBenefit is one bee's attribution line: identity, usage, the static
 // cost pair, and the estimated time saved versus the stock routine.
 type BeeBenefit struct {

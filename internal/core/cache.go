@@ -29,6 +29,11 @@ type CacheEntry struct {
 	// Quarantined is set by Module.CacheEntries for bees currently out of
 	// service after a runtime panic.
 	Quarantined bool
+	// Tier is set by Module.CacheEntries when the adaptive advisor tracks
+	// this bee: "pinned", "compiled", "candidate", or "demoted". Demoted
+	// bees are evicted from the cache itself but still listed so shell
+	// and admin views can show what the advisor switched off.
+	Tier string
 }
 
 // BeeCache stores every bee's executable form (here: its generated

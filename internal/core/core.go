@@ -75,12 +75,12 @@ type Stats struct {
 	TupleBees    int
 	QueryBees    int
 	// TxnBees counts compiled whole-transaction bees (see txnbee.go).
-	TxnBees int
-	GCLCalls     int64
-	SCLCalls     int64
-	EVPCalls     int64
-	EVJCalls     int64
-	EVACalls     int64
+	TxnBees  int
+	GCLCalls int64
+	SCLCalls int64
+	EVPCalls int64
+	EVJCalls int64
+	EVACalls int64
 	// Quarantined is the cumulative count of quarantine events (bees
 	// pulled from service after a panic); QuarantinedNow is how many are
 	// currently out of service.
@@ -107,6 +107,7 @@ type Module struct {
 	quar     quarantine
 	inject   panicInjector
 	usage    usageTable
+	tier     tierTable
 }
 
 // NewModule returns a bee module with the given routine set.
@@ -366,6 +367,9 @@ func (m *Module) CompilePredicate(e expr.Expr) (CompiledPred, bool) {
 	if m.quar.has(beeKey{kind: "query/EVP", name: name}) {
 		return nil, false // quarantined after a panic: generic fallback
 	}
+	if !m.tier.allow(beeKey{kind: "query/EVP", name: name}, "") {
+		return nil, false // gated by the advisor tier table: stock path
+	}
 	p, cost := compilePred(e)
 	if p == nil {
 		return nil, false
@@ -405,6 +409,9 @@ func (m *Module) CompileBatchPredicate(e expr.Expr) (CompiledBatchPred, bool) {
 	name := e.String()
 	if m.quar.has(beeKey{kind: "query/EVP", name: name}) {
 		return nil, false // quarantined after a panic: generic fallback
+	}
+	if !m.tier.allow(beeKey{kind: "query/EVP", name: name}, "") {
+		return nil, false // gated by the advisor tier table: stock path
 	}
 	p, cost := compilePred(e)
 	if p == nil {

@@ -61,6 +61,9 @@ func (m *Module) CompileFusedScanFilter(rel *catalog.Relation, e expr.Expr, natt
 	if m.quar.has(beeKey{kind: "query/EVP", name: name}) {
 		return nil, false // quarantined after a panic: generic fallback
 	}
+	if !m.tier.allow(beeKey{kind: "query/EVP", name: name}, rel.Name) {
+		return nil, false // gated by the advisor tier table: stock path
+	}
 	var checks []fusedCheck
 	for _, c := range flattenAnd(e, nil) {
 		p, terms := compileNode(c)

@@ -95,8 +95,29 @@ func (m *Module) QuarantinedBees() int64 {
 // entry's quarantine status filled in (the \bees shell view).
 func (m *Module) CacheEntries() []CacheEntry {
 	entries := m.cache.Entries()
+	inCache := make(map[beeKey]struct{}, len(entries))
 	for i := range entries {
-		entries[i].Quarantined = m.quar.has(beeKey{kind: entries[i].Kind, name: entries[i].Name})
+		key := beeKey{kind: entries[i].Kind, name: entries[i].Name}
+		inCache[key] = struct{}{}
+		entries[i].Quarantined = m.quar.has(key)
+		if st, ok := m.tier.get(key); ok {
+			entries[i].Tier = st.String()
+		}
+	}
+	// Demoted bees were evicted from the cache; append phantom rows so
+	// the advisor's decisions stay visible in \cache and /bees.
+	for _, ti := range m.tier.snapshot() {
+		if ti.State != TierDemoted {
+			continue
+		}
+		if _, ok := inCache[beeKey{kind: ti.Kind, name: ti.Name}]; ok {
+			continue
+		}
+		entries = append(entries, CacheEntry{
+			Kind: ti.Kind, Name: ti.Name,
+			Quarantined: m.quar.has(beeKey{kind: ti.Kind, name: ti.Name}),
+			Tier:        ti.StateName,
+		})
 	}
 	return entries
 }

@@ -1,0 +1,116 @@
+package core
+
+import "testing"
+
+// TestTierGateOffCompilesFirstUse pins the compatibility default: with
+// the gate down (advisor off) every unknown bee compiles on first use,
+// and only an explicit demotion blocks one.
+func TestTierGateOffCompilesFirstUse(t *testing.T) {
+	m := NewModule(AllRoutines)
+	k := beeKey{kind: "query/EVP", name: "(x < 1)"}
+	if !m.tier.allow(k, "") {
+		t.Fatal("gate off: unknown bee refused")
+	}
+	if _, ok := m.TierOf("query/EVP", "(x < 1)"); ok {
+		t.Fatal("gate off: allow created a tier entry")
+	}
+	if !m.TierDemote("query/EVP", "(x < 1)", true, 4) {
+		t.Fatal("sticky demote of untracked bee should install a denylist entry")
+	}
+	if m.tier.allow(k, "") {
+		t.Fatal("gate off: demoted bee still compiled")
+	}
+}
+
+// TestTierLifecycle walks candidate → compiled → pinned → demoted →
+// candidate and checks each transition fires exactly once.
+func TestTierLifecycle(t *testing.T) {
+	m := NewModule(AllRoutines)
+	m.SetTierGating(true)
+	k := beeKey{kind: "query/EVP", name: "(x < 1)"}
+
+	// Gate up: first compile attempt is refused and creates a candidate.
+	if m.tier.allow(k, "t") {
+		t.Fatal("gate on: unknown bee compiled immediately")
+	}
+	st, ok := m.TierOf("query/EVP", "(x < 1)")
+	if !ok || st != TierCandidate {
+		t.Fatalf("state after refused compile = %v, %v; want candidate", st, ok)
+	}
+
+	// Demand accumulates from refused compiles and per-execution wants.
+	m.TierWant("query/EVP", "(x < 1)", []string{"t"}, 2)
+	snap := m.TierSnapshot()
+	if len(snap) != 1 || snap[0].Heat < 3 {
+		t.Fatalf("heat = %+v, want one entry with heat ≥ 3", snap)
+	}
+	if got := snap[0].Rels; len(got) != 1 || got[0] != "t" {
+		t.Fatalf("rels = %v, want [t]", got)
+	}
+
+	if !m.TierPromote("query/EVP", "(x < 1)") {
+		t.Fatal("promote failed")
+	}
+	if m.TierPromote("query/EVP", "(x < 1)") {
+		t.Fatal("second promote reported a transition")
+	}
+	if !m.tier.allow(k, "t") {
+		t.Fatal("promoted bee still gated")
+	}
+	if !m.TierPin("query/EVP", "(x < 1)") {
+		t.Fatal("pin failed")
+	}
+
+	// Demotion is exactly-once: the second call finds it already demoted.
+	if !m.TierDemote("query/EVP", "(x < 1)", false, 2) {
+		t.Fatal("demote failed")
+	}
+	if m.TierDemote("query/EVP", "(x < 1)", false, 2) {
+		t.Fatal("second demote reported a transition (would double-count)")
+	}
+	if m.tier.allow(k, "t") {
+		t.Fatal("demoted bee compiled")
+	}
+
+	// Hysteresis: the hold expires after two decay cycles, the entry
+	// reverts to candidate with zero heat, and demand must be re-earned.
+	m.TierDecay(0.5)
+	if st, _ := m.TierOf("query/EVP", "(x < 1)"); st != TierDemoted {
+		t.Fatalf("state after one decay = %v, want still demoted", st)
+	}
+	m.TierDecay(0.5)
+	st, _ = m.TierOf("query/EVP", "(x < 1)")
+	if st != TierCandidate {
+		t.Fatalf("state after hold expiry = %v, want candidate", st)
+	}
+	if snap := m.TierSnapshot(); snap[0].Heat != 0 {
+		t.Fatalf("heat after hold expiry = %v, want 0 (re-earn demand)", snap[0].Heat)
+	}
+}
+
+// TestTierStickyDemotionPersists checks that guard-break demotions are
+// reported by DemotedBees for the checkpoint manifest and that a
+// restored denylist entry blocks compilation with the gate down.
+func TestTierStickyDemotionPersists(t *testing.T) {
+	m := NewModule(AllRoutines)
+	m.SetTierGating(true)
+	m.TierWant("query/EVP", "(a = 1)", nil, 5)
+	m.TierPromote("query/EVP", "(a = 1)")
+	m.TierDemote("query/EVP", "(a = 1)", true, 8)
+
+	dem := m.DemotedBees()
+	if len(dem) != 1 || dem[0].Name != "(a = 1)" || !dem[0].Sticky {
+		t.Fatalf("DemotedBees = %+v, want the one sticky entry", dem)
+	}
+
+	// A fresh module (warm restart) restores the denylist from the
+	// manifest; the bee stays off even though gating is down.
+	m2 := NewModule(AllRoutines)
+	m2.RestoreDemotedBee("query/EVP", "(a = 1)", 16)
+	if m2.tier.allow(beeKey{kind: "query/EVP", name: "(a = 1)"}, "") {
+		t.Fatal("restored denylist entry did not block compilation")
+	}
+	if m2.tier.allow(beeKey{kind: "query/EVP", name: "(b = 2)"}, "") == false {
+		t.Fatal("unrelated bee blocked by restored denylist")
+	}
+}

@@ -43,6 +43,7 @@ func (db *DB) insertRowLocked(rel relHandle, values []types.Datum, xid uint64, p
 	if err != nil {
 		return heap.TID{}, nil, err
 	}
+	db.advisorObserveRow(rel.rel, values)
 	// Visibility-aware unique checks come first, before any effect that
 	// would need undoing. The B+tree cannot enforce uniqueness itself: it
 	// keeps one entry per version, and dead versions of a key linger until
@@ -472,6 +473,7 @@ func (db *DB) applyUpdateLocked(rel relHandle, tid heap.TID, oldVal, newVal []ty
 	if err != nil {
 		return nil, err
 	}
+	db.advisorObserveRow(rel.rel, newVal)
 	if err := rel.heap.MarkDeleted(tid, xid, prof); err != nil {
 		return nil, err
 	}

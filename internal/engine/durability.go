@@ -109,6 +109,16 @@ type manifest struct {
 	Relations []manifestRel   `json:"relations"`
 	Indexes   []manifestIndex `json:"indexes"`
 	Prepared  []string        `json:"prepared,omitempty"`
+	// Demoted is the advisor's denylist: bees demoted for a broken guard
+	// assumption. Recovery restores these before the warm-restart replay
+	// re-prepares the manifest's statements, so a demoted bee cannot be
+	// resurrected by its own prepared text (see docs/ADAPTIVE.md).
+	Demoted []manifestBee `json:"demoted,omitempty"`
+}
+
+type manifestBee struct {
+	Kind string `json:"kind"`
+	Name string `json:"name"`
 }
 
 type manifestRel struct {
@@ -250,6 +260,9 @@ func (db *DB) manifestLocked() ([]byte, error) {
 	}
 	db.prepMu.Unlock()
 	sort.Strings(m.Prepared)
+	for _, ti := range db.mod.DemotedBees() {
+		m.Demoted = append(m.Demoted, manifestBee{Kind: ti.Kind, Name: ti.Name})
+	}
 	return json.Marshal(&m)
 }
 
@@ -337,6 +350,7 @@ func (db *DB) checkpointLocked() error {
 // stop issuing work first (the network server drains sessions before
 // closing its DB).
 func (db *DB) Close() error {
+	db.stopAdvisor()
 	if db.wal == nil {
 		return nil
 	}
@@ -354,6 +368,7 @@ func (db *DB) Close() error {
 // died. The harness follows it with disk.Manager.Crash to build the
 // surviving disk image and hands that to Recover.
 func (db *DB) SimulateCrash() {
+	db.stopAdvisor()
 	if db.wal != nil {
 		db.wal.Kill()
 	}

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"microspec/internal/advisor"
 	"microspec/internal/catalog"
 	"microspec/internal/core"
 	"microspec/internal/exec"
@@ -63,6 +64,11 @@ type Config struct {
 	// Durability selects write-ahead logging, crash recovery, and the
 	// commit sync policy (see durability.go and docs/DURABILITY.md).
 	Durability DurabilityConfig
+	// Advisor configures the adaptive specialization advisor: the
+	// background loop that promotes hot predicates and low-NDV
+	// attributes and demotes bees whose guard assumptions break (see
+	// internal/advisor and docs/ADAPTIVE.md).
+	Advisor advisor.Config
 }
 
 // DB is one database instance.
@@ -134,6 +140,10 @@ type DB struct {
 	recStats   RecoveryStats
 	prepMu     sync.Mutex
 	prepTexts  map[string]int
+
+	// adv is the adaptive specialization advisor (always constructed,
+	// enabled per Config.Advisor or at runtime via the admin plane).
+	adv *advisor.Advisor
 }
 
 // relAccess is the cached tuple-access pair for one relation.
@@ -187,6 +197,7 @@ func Open(cfg Config) *DB {
 	db.stmtTimeoutNs.Store(int64(cfg.StatementTimeout))
 	db.wireDurability(cfg)
 	db.registerCollectors()
+	db.wireAdvisor(cfg)
 	db.planner = &plan.Planner{
 		Cat: db.cat,
 		Mod: db.mod,
@@ -479,6 +490,7 @@ func (db *DB) runSelect(qctx context.Context, text string, prof *profile.Counter
 	}
 	db.obs.observeParallel(root)
 	db.obs.observeBatch(root)
+	db.advisorObservePlan(root, sel, time.Since(start))
 	if analyze {
 		db.obs.foldNodeStats(root)
 	}
@@ -785,6 +797,10 @@ func (db *DB) dropTable(name string) error {
 	delete(db.latches, rel.ID)
 	// The Bee Collector reclaims the relation's bees.
 	db.mod.OnDropRelation(rel)
+	// The advisor demotes this table's promoted bees next cycle: their
+	// guard assumption (the relation they were specialized against) is
+	// gone.
+	db.advisorNoteDDL(name)
 	db.ddlGen.Add(1)
 	return db.checkpointLocked()
 }

@@ -74,6 +74,14 @@ type observer struct {
 	preparedReplans *metrics.Counter
 	preparedResets  *metrics.Counter
 
+	// Adaptive-advisor counters (see internal/advisor and
+	// docs/ADAPTIVE.md): decision cycles, promotions (bee or
+	// attribute), demotions, and promotions skipped by the budget.
+	advisorPromotions *metrics.Counter
+	advisorDemotions  *metrics.Counter
+	advisorSkipped    *metrics.Counter
+	advisorCycles     *metrics.Counter
+
 	// Transaction-bee counters (see txnbee.go and DESIGN.md §15):
 	// fused executions, DDL-driven replans, and quarantine fallbacks to
 	// the statement-at-a-time path.
@@ -130,6 +138,11 @@ func newObserver() *observer {
 		preparedExecs:   reg.Counter("prepared.executions"),
 		preparedReplans: reg.Counter("prepared.replans"),
 		preparedResets:  reg.Counter("prepared.cache_resets"),
+
+		advisorPromotions: reg.Counter("advisor.promotions"),
+		advisorDemotions:  reg.Counter("advisor.demotions"),
+		advisorSkipped:    reg.Counter("advisor.skipped"),
+		advisorCycles:     reg.Counter("advisor.cycles"),
 
 		txnBeeExecs:     reg.Counter("txn_bee.executions"),
 		txnBeeReplans:   reg.Counter("txn_bee.replans"),

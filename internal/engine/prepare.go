@@ -307,6 +307,7 @@ func (s *Stmt) run(qctx context.Context, analyze bool, params []types.Datum) (*R
 	}
 	db.obs.observeParallel(root)
 	db.obs.observeBatch(root)
+	db.advisorObservePlan(root, s.sel, time.Since(start))
 	return &Result{Cols: s.planned.Cols, Rows: rows}, root, nil
 }
 

@@ -57,8 +57,14 @@ type RecoveryStats struct {
 	RedoDeletes   int           `json:"redo_deletes"`
 	Discarded     int           `json:"discarded"`
 	PreparedWarm  int           `json:"prepared_warmed"`
+	DemotedBees   int           `json:"demoted_bees,omitempty"`
 	Elapsed       time.Duration `json:"elapsed_ns"`
 }
+
+// demotedRestoreHold is the hysteresis (in advisor cycles) applied to
+// denylist entries restored from a manifest: long enough that a restart
+// cannot be used to flap a demoted bee back in.
+const demotedRestoreHold = 16
 
 // RecoveryStats returns what the last recovery pass did (zero for a
 // database opened fresh).
@@ -201,6 +207,17 @@ func (db *DB) runRecovery() error {
 			}
 		}
 		db.prepMu.Unlock()
+	}
+
+	// Restore the advisor's demotion denylist before both the
+	// end-of-recovery checkpoint (so the fresh manifest carries it
+	// forward) and the warm-restart replay below (so a demoted bee's own
+	// prepared text cannot re-compile — resurrect — it).
+	if man != nil {
+		for _, mb := range man.Demoted {
+			db.mod.RestoreDemotedBee(mb.Kind, mb.Name, demotedRestoreHold)
+			st.DemotedBees++
+		}
 	}
 
 	// End-of-recovery checkpoint: flushes the redone pages, writes a

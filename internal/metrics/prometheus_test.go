@@ -69,6 +69,8 @@ func TestFormatIncludesBuckets(t *testing.T) {
 func TestWritePrometheusGolden(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("query.count").Add(12)
+	r.Counter("advisor.promotions").Add(5)
+	r.Counter("advisor.demotions").Add(2)
 	r.Counter("txn_bee.executions").Add(9)
 	r.Counter("txn_bee.fallbacks").Add(1)
 	r.Counter("wal.fsyncs").Add(7)
@@ -85,7 +87,11 @@ func TestWritePrometheusGolden(t *testing.T) {
 	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
 		t.Fatal(err)
 	}
-	const golden = `# TYPE microspec_group_commit_batches counter
+	const golden = `# TYPE microspec_advisor_demotions counter
+microspec_advisor_demotions 2
+# TYPE microspec_advisor_promotions counter
+microspec_advisor_promotions 5
+# TYPE microspec_group_commit_batches counter
 microspec_group_commit_batches 4
 # TYPE microspec_query_count counter
 microspec_query_count 12

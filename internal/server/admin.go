@@ -23,12 +23,16 @@ import (
 //	/traces       JSON tail of the sampled trace ring (?n=, ?id=)
 //	/bees         JSON bee cache + placement + quarantine + per-bee
 //	              benefit attribution (estimated time saved per bee)
+//	/advisor      JSON adaptive-advisor state: recent promote/demote
+//	              decisions with reasons and the bee tier table; POST
+//	              ?enabled=true|false toggles the decision loop
 //	/slow         JSON slow-query log, trace IDs included
 //	/debug/pprof  the standard Go profiler endpoints
 //
-// The plane is read-only with one exception: POST /traces/enable and
-// /traces/disable toggle the sampler so an operator can switch tracing on
-// against a live server without restarting it.
+// The plane is read-only with two exceptions: POST /traces/enable and
+// /traces/disable toggle the sampler, and POST /advisor toggles the
+// adaptive advisor — both so an operator can flip them on a live server
+// without restarting it.
 type Admin struct {
 	db *engine.DB
 	ln net.Listener
@@ -51,6 +55,7 @@ func StartAdmin(addr string, db *engine.DB) (*Admin, error) {
 	mux.HandleFunc("/traces/enable", a.handleTraceEnable)
 	mux.HandleFunc("/traces/disable", a.handleTraceDisable)
 	mux.HandleFunc("/bees", a.handleBees)
+	mux.HandleFunc("/advisor", a.handleAdvisor)
 	mux.HandleFunc("/slow", a.handleSlow)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -169,6 +174,26 @@ func (a *Admin) handleBees(w http.ResponseWriter, r *http.Request) {
 		Entries:  mod.CacheEntries(),
 		Benefits: mod.BeeBenefits(),
 	})
+}
+
+// handleAdvisor serves the adaptive advisor's state: GET returns recent
+// promote/demote decisions with reasons plus the tier table; POST with
+// ?enabled=true|false toggles the decision loop at runtime.
+func (a *Admin) handleAdvisor(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		on, err := strconv.ParseBool(r.URL.Query().Get("enabled"))
+		if err != nil {
+			http.Error(w, "POST /advisor requires ?enabled=true|false", http.StatusBadRequest)
+			return
+		}
+		a.db.SetAdvisorEnabled(on)
+		writeJSON(w, map[string]any{"enabled": on})
+	case http.MethodGet:
+		writeJSON(w, a.db.Advisor().Snapshot())
+	default:
+		http.Error(w, "GET or POST required", http.StatusMethodNotAllowed)
+	}
 }
 
 func (a *Admin) handleSlow(w http.ResponseWriter, r *http.Request) {
